@@ -1,0 +1,116 @@
+//! Ablation experiments over the design choices DESIGN.md calls out.
+//!
+//! Each ablation replays the Fig. 6 misclassification-recovery scenario
+//! (BT announced as IS next to SP under a shared 840 W budget) while
+//! varying one knob, and reports the *recovery fraction* — how much of
+//! the slowdown gap between the misclassified and fully-characterized
+//! runs the feedback path wins back.
+
+use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_types::{Result, Watts};
+
+/// The recovery achieved under one knob setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// The knob value.
+    pub value: f64,
+    /// BT slowdown (%) with feedback under this setting.
+    pub bt_slowdown_pct: f64,
+    /// Fraction of the misclassification gap recovered (0 = none,
+    /// 1 = fully back to the characterized baseline).
+    pub recovery: f64,
+}
+
+fn bt_slowdown(cfg: EmulatorConfig, jobs: &[JobSetup]) -> Result<f64> {
+    let report = EmulatedCluster::new(cfg).run_static(jobs, Watts(840.0))?;
+    Ok(report
+        .mean_slowdown("bt.D.81")
+        .expect("bt present in scenario"))
+}
+
+fn scenario() -> ([JobSetup; 2], [JobSetup; 2]) {
+    (
+        [JobSetup::known("bt.D.81"), JobSetup::known("sp.D.81")],
+        [
+            JobSetup::misclassified("bt.D.81", "is.D.32"),
+            JobSetup::known("sp.D.81"),
+        ],
+    )
+}
+
+/// Sweep the modeler's retrain threshold (paper default: 10 new epochs).
+pub fn retrain_threshold(thresholds: &[u64], seed: u64) -> Result<Vec<AblationPoint>> {
+    let (known, mislabeled) = scenario();
+    let mut base_cfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false);
+    base_cfg.seed = seed;
+    let ideal = bt_slowdown(base_cfg.clone(), &known)?;
+    let hurt = bt_slowdown(base_cfg, &mislabeled)?;
+    let gap = (hurt - ideal).max(1e-9);
+    let mut out = Vec::with_capacity(thresholds.len());
+    for &t in thresholds {
+        let mut cfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, true);
+        cfg.seed = seed;
+        cfg.retrain_epochs = Some(t);
+        let fed = bt_slowdown(cfg, &mislabeled)?;
+        out.push(AblationPoint {
+            value: t as f64,
+            bt_slowdown_pct: (fed - 1.0) * 100.0,
+            recovery: ((hurt - fed) / gap).clamp(-1.0, 1.0),
+        });
+    }
+    Ok(out)
+}
+
+/// Sweep the modeler's exploratory dither amplitude (fraction of the
+/// 140 W cap span; the default is 0.05).
+pub fn dither_amplitude(fractions: &[f64], seed: u64) -> Result<Vec<AblationPoint>> {
+    let (known, mislabeled) = scenario();
+    let mut base_cfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false);
+    base_cfg.seed = seed;
+    let ideal = bt_slowdown(base_cfg.clone(), &known)?;
+    let hurt = bt_slowdown(base_cfg, &mislabeled)?;
+    let gap = (hurt - ideal).max(1e-9);
+    let mut out = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        let mut cfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, true);
+        cfg.seed = seed;
+        cfg.dither_fraction = Some(f);
+        let fed = bt_slowdown(cfg, &mislabeled)?;
+        out.push(AblationPoint {
+            value: f,
+            bt_slowdown_pct: (fed - 1.0) * 100.0,
+            recovery: ((hurt - fed) / gap).clamp(-1.0, 1.0),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_retrain_threshold_recovers_most_of_the_gap() {
+        let points = retrain_threshold(&[10], 42).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(
+            points[0].recovery > 0.5,
+            "10-epoch retrain should recover most of the gap: {:?}",
+            points[0]
+        );
+    }
+
+    #[test]
+    fn zero_dither_cannot_identify_the_model() {
+        // With no dither and a static budget, the misclassified job sits
+        // at one cap level; the model stays unidentifiable and recovery
+        // is limited.
+        let points = dither_amplitude(&[0.0, 0.05], 7).unwrap();
+        let none = points[0];
+        let paper = points[1];
+        assert!(
+            paper.recovery > none.recovery + 0.2,
+            "dither must enable recovery: {none:?} vs {paper:?}"
+        );
+    }
+}

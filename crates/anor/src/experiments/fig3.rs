@@ -1,0 +1,79 @@
+//! Fig. 3: execution time of each job type under varied power caps,
+//! relative to the time at a 280 W node cap; error bars are the standard
+//! deviation over repeated runs (the paper uses 10).
+
+use crate::render::Series;
+use anor_platform::SyntheticWorkload;
+use anor_types::stats::{mean, std_dev};
+use anor_types::{standard_catalog, Watts};
+
+/// Run the characterization sweep: `runs` repetitions per (type, cap).
+/// Returns one series per job type with x = cap (W), y = relative time,
+/// err = σ of relative time.
+pub fn run(runs: usize, seed: u64) -> Vec<Series> {
+    assert!(runs >= 1);
+    let catalog = standard_catalog();
+    let caps: Vec<f64> = (0..8).map(|i| 140.0 + 20.0 * i as f64).collect();
+    let mut out = Vec::new();
+    for spec in catalog.iter() {
+        // Reference: mean uncapped (280 W) execution time.
+        let t_ref = mean(
+            &(0..runs)
+                .map(|r| {
+                    let mut w =
+                        SyntheticWorkload::new(spec.clone(), 1.0, seed ^ (r as u64) << 8);
+                    w.run_to_completion(Watts(280.0)).value()
+                })
+                .collect::<Vec<f64>>(),
+        );
+        let mut series = Series::new(spec.name.clone());
+        for &cap in &caps {
+            let ts: Vec<f64> = (0..runs)
+                .map(|r| {
+                    let mut w = SyntheticWorkload::new(
+                        spec.clone(),
+                        1.0,
+                        seed ^ ((r as u64) << 8) ^ ((cap as u64) << 20),
+                    );
+                    w.run_to_completion(Watts(cap)).value() / t_ref
+                })
+                .collect();
+            series.push(cap, mean(&ts), std_dev(&ts));
+        }
+        out.push(series);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_figure_3() {
+        let series = run(3, 7);
+        assert_eq!(series.len(), 8);
+        for s in &series {
+            // Relative time at 280 W ~ 1.
+            let top = s.y_at(280.0).unwrap();
+            assert!((top - 1.0).abs() < 0.1, "{}: top {top}", s.label);
+            // Monotone-ish increase toward 140 W; y stays in Fig. 3's
+            // plotted band.
+            let bottom = s.y_at(140.0).unwrap();
+            assert!(bottom >= top - 0.05, "{}: {bottom} < {top}", s.label);
+            assert!(bottom < 2.0, "{}: bottom {bottom}", s.label);
+        }
+        // Ordering: EP most sensitive, IS least (Fig. 5's casting).
+        let at140 = |name: &str| {
+            series
+                .iter()
+                .find(|s| s.label.starts_with(name))
+                .unwrap()
+                .y_at(140.0)
+                .unwrap()
+        };
+        assert!(at140("ep") > at140("ft"));
+        assert!(at140("ft") > at140("is"));
+        assert!(at140("bt") > at140("sp"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared machinery for the emulated-hardware experiments (Figs. 6–8).
+//!
+//! Each figure co-schedules two jobs under a shared static budget of 75%
+//! of TDP across 4 nodes (840 W) and measures slowdown vs the job type's
+//! uncapped execution time, across budgeter configurations and repeated
+//! trials.
+
+use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_types::stats::{mean, std_dev};
+use anor_types::{Result, Watts};
+
+/// The shared budget: 75% of the 4-node TDP (0.75 × 4 × 280 W).
+pub const SHARED_BUDGET: Watts = Watts(840.0);
+
+/// One configuration row of a Fig. 6–8 chart.
+#[derive(Debug, Clone)]
+pub struct HwConfig {
+    /// Row label as it appears in the figure.
+    pub label: String,
+    /// Budget distribution policy.
+    pub policy: BudgetPolicy,
+    /// Whether model feedback flows back into the budgeter.
+    pub feedback: bool,
+    /// The two jobs (true type, announced type).
+    pub jobs: [JobSetup; 2],
+}
+
+impl HwConfig {
+    /// Convenience constructor.
+    pub fn new(
+        label: &str,
+        policy: BudgetPolicy,
+        feedback: bool,
+        jobs: [JobSetup; 2],
+    ) -> Self {
+        HwConfig {
+            label: label.to_string(),
+            policy,
+            feedback,
+            jobs,
+        }
+    }
+}
+
+/// One measured bar: per-job mean slowdown (as a percentage above
+/// uncapped) with standard deviation over trials.
+#[derive(Debug, Clone)]
+pub struct HwBar {
+    /// Configuration label.
+    pub label: String,
+    /// `(job display name, mean slowdown %, σ %)` per job.
+    pub jobs: Vec<(String, f64, f64)>,
+}
+
+/// Run a set of configurations for `trials` repetitions each.
+pub fn run_configs(configs: &[HwConfig], trials: usize, seed: u64) -> Result<Vec<HwBar>> {
+    let mut bars = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        // Per-job slowdown samples across trials.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.jobs.len()];
+        for trial in 0..trials {
+            let mut ecfg = EmulatorConfig::paper(cfg.policy, cfg.feedback);
+            ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
+            let cluster = EmulatedCluster::new(ecfg);
+            let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;
+            for (i, job) in report.jobs.iter().enumerate() {
+                samples[i].push((job.slowdown - 1.0) * 100.0);
+            }
+        }
+        let jobs = cfg
+            .jobs
+            .iter()
+            .zip(&samples)
+            .map(|(setup, xs)| {
+                let display = if setup.true_type == setup.announced {
+                    setup.true_type.clone()
+                } else {
+                    format!("{}={}", setup.true_type, setup.announced)
+                };
+                (display, mean(xs), std_dev(xs))
+            })
+            .collect();
+        bars.push(HwBar {
+            label: cfg.label.clone(),
+            jobs,
+        });
+    }
+    Ok(bars)
+}
+
+/// Look up a bar by configuration label.
+pub fn bar<'a>(bars: &'a [HwBar], label: &str) -> &'a HwBar {
+    bars.iter()
+        .find(|b| b.label == label)
+        .unwrap_or_else(|| panic!("no bar labelled {label}"))
+}
+
+/// A job's mean slowdown within a bar, by true-type prefix.
+pub fn job_slowdown(bar: &HwBar, prefix: &str) -> f64 {
+    bar.jobs
+        .iter()
+        .find(|(name, _, _)| name.starts_with(prefix))
+        .map(|(_, y, _)| *y)
+        .unwrap_or_else(|| panic!("no job starting with {prefix} in {}", bar.label))
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # anor-core
+//!
+//! The facade of the ANOR workspace: re-exports of every subsystem plus
+//! [`experiments`], the scenario runners that regenerate each figure of
+//! the paper's evaluation (Section 6). Examples and the benchmark
+//! harness are thin wrappers over this crate.
+
+pub mod bidding;
+pub mod training;
+pub mod experiments;
+pub mod render;
+
+pub use anor_aqa as aqa;
+pub use anor_cluster as cluster;
+pub use anor_geopm as geopm;
+pub use anor_model as model;
+pub use anor_platform as platform;
+pub use anor_policy as policy;
+pub use anor_sim as sim;
+pub use anor_types as types;

@@ -1,0 +1,137 @@
+//! Plain-text rendering of experiment output.
+//!
+//! The benchmark harness prints each figure's data as aligned text tables
+//! (the "same rows/series the paper reports"); these helpers keep the
+//! formatting consistent across the `fig*` binaries.
+
+/// A labelled data series: `(x, y, err)` triples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points: x, y, and a symmetric error (0 when not applicable).
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl Series {
+    /// A new empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point with error.
+    pub fn push(&mut self, x: f64, y: f64, err: f64) {
+        self.points.push((x, y, err));
+    }
+
+    /// The y value at a given x (exact match), if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y, _)| y)
+    }
+
+    /// Largest y in the series.
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|&(_, y, _)| y).fold(f64::NAN, f64::max)
+    }
+}
+
+/// Render a group of series as a wide table: one row per x, one column
+/// per series, `value±err` cells.
+pub fn render_table(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    // Collect the union of x values in first-seen order.
+    let mut xs: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, _, _) in &s.points {
+            if !xs.iter().any(|&v| (v - x).abs() < 1e-9) {
+                xs.push(x);
+            }
+        }
+    }
+    out.push_str(&format!("{x_label:>12}"));
+    for s in series {
+        out.push_str(&format!(" {:>22}", s.label));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x:>12.1}"));
+        for s in series {
+            match s
+                .points
+                .iter()
+                .find(|(px, _, _)| (px - x).abs() < 1e-9)
+            {
+                Some(&(_, y, e)) if e > 0.0 => {
+                    out.push_str(&format!(" {:>14.4}±{:<7.4}", y, e))
+                }
+                Some(&(_, y, _)) => out.push_str(&format!(" {y:>22.4}")),
+                None => out.push_str(&format!(" {:>22}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render labelled scalar rows (`label: value±err`), for bar-chart-like
+/// figures.
+pub fn render_bars(title: &str, rows: &[(String, f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    let width = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+    for (label, y, e) in rows {
+        if *e > 0.0 {
+            out.push_str(&format!("{label:>width$}  {y:.4} ± {e:.4}\n"));
+        } else {
+            out.push_str(&format!("{label:>width$}  {y:.4}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("bt");
+        s.push(140.0, 1.75, 0.02);
+        s.push(280.0, 1.0, 0.01);
+        assert_eq!(s.y_at(140.0), Some(1.75));
+        assert_eq!(s.y_at(200.0), None);
+        assert_eq!(s.y_max(), 1.75);
+    }
+
+    #[test]
+    fn table_renders_union_of_xs() {
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0, 0.0);
+        a.push(2.0, 20.0, 0.5);
+        let mut b = Series::new("b");
+        b.push(2.0, 200.0, 0.0);
+        let t = render_table("T", "x", &[a, b]);
+        assert!(t.contains("# T"));
+        assert!(t.lines().count() == 4, "{t}");
+        assert!(t.contains('-'), "missing cell placeholder");
+        assert!(t.contains("±"), "error cell rendered");
+    }
+
+    #[test]
+    fn bars_render() {
+        let rows = vec![
+            ("Performance Agnostic".to_string(), 0.15, 0.01),
+            ("Performance Aware".to_string(), 0.08, 0.0),
+        ];
+        let t = render_bars("Fig", &rows);
+        assert!(t.contains("0.1500 ± 0.0100"));
+        assert!(t.contains("0.0800"));
+    }
+}

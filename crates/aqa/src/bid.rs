@@ -1,0 +1,223 @@
+//! The hourly demand-response bidding decision.
+//!
+//! Section 4.4.1: "the resource-forecasting policy determines how much
+//! average power the cluster should request and what range of power
+//! flexibility the cluster should offer as reserve for demand response.
+//! The bidding decision is made once per hour." Section 4.4.2: "AQA
+//! searches for queue weights and demand response bids (average power and
+//! reserve) that reduce electricity cost under constraints for QoS and
+//! power-tracking error."
+//!
+//! The search here is deliberately evaluator-agnostic: feasibility of a
+//! candidate bid (does it keep QoS and tracking within constraints?) is
+//! judged by a caller-supplied closure, which in this workspace is backed
+//! by the tabular cluster simulator.
+
+use anor_types::Watts;
+
+/// A demand-response bid: requested mean power and offered reserve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bid {
+    /// Requested average power P̄.
+    pub avg_power: Watts,
+    /// Offered reserve R. Targets will span `avg ± reserve`.
+    pub reserve: Watts,
+}
+
+impl Bid {
+    /// The band of power targets this bid commits to.
+    pub fn band(&self) -> (Watts, Watts) {
+        (self.avg_power - self.reserve, self.avg_power + self.reserve)
+    }
+}
+
+/// A simple electricity cost model: pay for expected energy, get credited
+/// for offered reserve (regulation-market revenue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// $ per kWh of average consumption.
+    pub energy_price: f64,
+    /// $ per kW of reserve per hour.
+    pub reserve_credit: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Representative magnitudes: 12 ¢/kWh energy, 5 $/MW·h regulation
+        // credit (≈ 0.005 $/kW·h).
+        CostModel {
+            energy_price: 0.12,
+            reserve_credit: 0.005,
+        }
+    }
+}
+
+impl CostModel {
+    /// Net cost per hour of operating at a bid (energy bill minus reserve
+    /// credit).
+    pub fn hourly_cost(&self, bid: &Bid) -> f64 {
+        let avg_kw = bid.avg_power.value() / 1000.0;
+        let reserve_kw = bid.reserve.value() / 1000.0;
+        self.energy_price * avg_kw - self.reserve_credit * reserve_kw
+    }
+}
+
+/// What the evaluator reports about one candidate bid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BidEvaluation {
+    /// Would the QoS constraint hold under this bid?
+    pub qos_ok: bool,
+    /// Would the power-tracking constraint hold?
+    pub tracking_ok: bool,
+}
+
+impl BidEvaluation {
+    /// Feasible = both constraints hold.
+    pub fn feasible(&self) -> bool {
+        self.qos_ok && self.tracking_ok
+    }
+}
+
+/// Build a grid of candidate bids over inclusive ranges.
+pub fn candidate_grid(
+    avg_range: (Watts, Watts),
+    reserve_range: (Watts, Watts),
+    steps: usize,
+) -> Vec<Bid> {
+    assert!(steps >= 2, "need at least 2 grid steps");
+    let lerp = |lo: f64, hi: f64, i: usize| lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+    let mut out = Vec::with_capacity(steps * steps);
+    for i in 0..steps {
+        for j in 0..steps {
+            let bid = Bid {
+                avg_power: Watts(lerp(avg_range.0.value(), avg_range.1.value(), i)),
+                reserve: Watts(lerp(reserve_range.0.value(), reserve_range.1.value(), j)),
+            };
+            // A bid whose lower band edge goes negative is meaningless.
+            if bid.band().0.value() >= 0.0 && bid.reserve.value() > 0.0 {
+                out.push(bid);
+            }
+        }
+    }
+    out
+}
+
+/// Search candidates for the cheapest *feasible* bid. The evaluator is
+/// called once per candidate (typically a simulation). Returns `None`
+/// when nothing is feasible.
+pub fn search_bid(
+    candidates: &[Bid],
+    cost: &CostModel,
+    mut evaluate: impl FnMut(&Bid) -> BidEvaluation,
+) -> Option<Bid> {
+    let mut best: Option<(f64, Bid)> = None;
+    for &bid in candidates {
+        if !evaluate(&bid).feasible() {
+            continue;
+        }
+        let c = cost.hourly_cost(&bid);
+        if best.is_none_or(|(bc, _)| c < bc) {
+            best = Some((c, bid));
+        }
+    }
+    best.map(|(_, b)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_rewards_reserve_and_penalizes_power() {
+        let m = CostModel::default();
+        let base = Bid {
+            avg_power: Watts(100_000.0),
+            reserve: Watts(10_000.0),
+        };
+        let more_power = Bid {
+            avg_power: Watts(120_000.0),
+            ..base
+        };
+        let more_reserve = Bid {
+            reserve: Watts(20_000.0),
+            ..base
+        };
+        assert!(m.hourly_cost(&more_power) > m.hourly_cost(&base));
+        assert!(m.hourly_cost(&more_reserve) < m.hourly_cost(&base));
+    }
+
+    #[test]
+    fn grid_covers_corners_and_filters_degenerates() {
+        let grid = candidate_grid(
+            (Watts(1000.0), Watts(3000.0)),
+            (Watts(500.0), Watts(1500.0)),
+            3,
+        );
+        assert!(grid.contains(&Bid {
+            avg_power: Watts(1000.0),
+            reserve: Watts(500.0)
+        }));
+        assert!(grid.contains(&Bid {
+            avg_power: Watts(3000.0),
+            reserve: Watts(1500.0)
+        }));
+        // avg 1000, reserve 1500 -> band goes negative -> filtered.
+        assert!(!grid.contains(&Bid {
+            avg_power: Watts(1000.0),
+            reserve: Watts(1500.0)
+        }));
+    }
+
+    #[test]
+    fn search_picks_cheapest_feasible() {
+        let grid = candidate_grid(
+            (Watts(1000.0), Watts(2000.0)),
+            (Watts(100.0), Watts(900.0)),
+            5,
+        );
+        // Feasibility rule: tracking fails when reserve > 500 W; QoS
+        // fails when avg < 1500 W.
+        let chosen = search_bid(&grid, &CostModel::default(), |b| BidEvaluation {
+            qos_ok: b.avg_power.value() >= 1500.0,
+            tracking_ok: b.reserve.value() <= 500.0,
+        })
+        .expect("feasible bids exist");
+        // Cheapest feasible: smallest feasible avg (1500), largest
+        // feasible reserve (500).
+        assert_eq!(chosen.avg_power, Watts(1500.0));
+        assert_eq!(chosen.reserve, Watts(500.0));
+    }
+
+    #[test]
+    fn search_returns_none_when_infeasible() {
+        let grid = candidate_grid((Watts(1000.0), Watts(2000.0)), (Watts(100.0), Watts(200.0)), 3);
+        let got = search_bid(&grid, &CostModel::default(), |_| BidEvaluation {
+            qos_ok: false,
+            tracking_ok: true,
+        });
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn evaluator_called_per_candidate() {
+        let grid = candidate_grid((Watts(1000.0), Watts(2000.0)), (Watts(100.0), Watts(200.0)), 3);
+        let mut calls = 0;
+        search_bid(&grid, &CostModel::default(), |_| {
+            calls += 1;
+            BidEvaluation {
+                qos_ok: true,
+                tracking_ok: true,
+            }
+        });
+        assert_eq!(calls, grid.len());
+    }
+
+    #[test]
+    fn band_is_symmetric() {
+        let b = Bid {
+            avg_power: Watts(3400.0),
+            reserve: Watts(1100.0),
+        };
+        assert_eq!(b.band(), (Watts(2300.0), Watts(4500.0)));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # anor-aqa
+//!
+//! The demand-response machinery of the paper's cluster tier, based on
+//! the AQA policy (Zhang et al., *HPC Data Center Participation in Demand
+//! Response: An Adaptive Policy With QoS Assurance*, IEEE TSUSC 2022),
+//! which the paper reuses for its "demand response bidder, job scheduler,
+//! and power budgeter" (Section 4).
+//!
+//! * [`regulation`] — the grid regulation signal `y(t) ∈ [−1, 1]` and the
+//!   moving power target `P_target = P̄ + R·y(t)` (Section 5.6), with new
+//!   targets every few seconds (4 s in Section 6.3);
+//! * [`tracking`] — power-tracking error accounting: error = |measured −
+//!   target| / reserve, with the paper's constraint of ≤ 30% error at
+//!   least 90% of the time (Section 4.4.2);
+//! * [`bid`] — the hourly bidding decision: search average power and
+//!   reserve "that reduce electricity cost under constraints for QoS and
+//!   power-tracking error";
+//! * [`queue`] — AQA's weighted work queues: "compute nodes are allocated
+//!   so that queues with greater weight are assigned more nodes";
+//! * [`schedule`] — Poisson job-submission generation calibrated by the
+//!   utilization equation `Σ λ_j·T_j·n_j = η·N` (Section 5.3), plus the
+//!   schedule / power-target file formats the head-node daemon reads
+//!   (Section 4.1: "this process reads power targets and a job submission
+//!   schedule from files").
+
+pub mod bid;
+pub mod queue;
+pub mod regulation;
+pub mod schedule;
+pub mod tracking;
+pub mod train;
+
+pub use bid::{candidate_grid, search_bid, Bid, BidEvaluation, CostModel};
+pub use queue::{PendingView, QueueScheduler, WorkQueues};
+pub use regulation::{PowerTarget, RegulationSignal};
+pub use schedule::{poisson_schedule, JobSubmission};
+pub use tracking::{TrackingConstraint, TrackingRecorder};
+pub use train::{search_weights, weight_candidates, UnknownJobSampler, WeightEvaluation};

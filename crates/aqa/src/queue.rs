@@ -1,0 +1,276 @@
+//! AQA's weighted work queues.
+//!
+//! Section 4.4.2: "AQA models job types as a collection of work queues.
+//! Each queue is assigned a weight of node allocations that is tuned over
+//! simulations... Compute nodes are allocated so that queues with greater
+//! weight are assigned more nodes."
+//!
+//! [`QueueScheduler::select`] implements the allocation rule as deficit
+//! scheduling: among the pending jobs that fit in the currently idle
+//! nodes, start the one whose queue is furthest *below* its weighted node
+//! share; ties break FCFS. The scheduler stays work-conserving — if only
+//! over-share queues have pending work and nodes are idle, it still
+//! schedules (unless the caller withholds nodes for power reasons).
+
+use anor_types::{JobTypeId, Seconds};
+
+/// A pending job as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingView {
+    /// Which queue (job type) it belongs to.
+    pub type_id: JobTypeId,
+    /// Nodes the job needs.
+    pub nodes: u32,
+    /// Submission time (FCFS tie-break).
+    pub submit: Seconds,
+}
+
+/// The weighted-queue node allocator.
+#[derive(Debug, Clone)]
+pub struct QueueScheduler {
+    weights: Vec<f64>,
+    total_nodes: u32,
+}
+
+impl QueueScheduler {
+    /// Build with one weight per job type (indexed by [`JobTypeId`]).
+    /// Weights are relative; they need not sum to 1.
+    pub fn new(weights: Vec<f64>, total_nodes: u32) -> Self {
+        assert!(!weights.is_empty(), "need at least one queue");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
+            "weights must be non-negative with a positive sum"
+        );
+        QueueScheduler {
+            weights,
+            total_nodes,
+        }
+    }
+
+    /// Equal weights across `n_types` queues.
+    pub fn uniform(n_types: usize, total_nodes: u32) -> Self {
+        QueueScheduler::new(vec![1.0; n_types], total_nodes)
+    }
+
+    /// Number of queues.
+    pub fn queue_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The node share a queue is entitled to.
+    pub fn target_nodes(&self, q: JobTypeId) -> f64 {
+        let total_w: f64 = self.weights.iter().sum();
+        self.weights[q.index()] / total_w * self.total_nodes as f64
+    }
+
+    /// Pick the next pending job to start, given current per-queue node
+    /// usage and the number of idle nodes. Returns the index into
+    /// `pending`, or `None` when nothing fits.
+    pub fn select(&self, pending: &[PendingView], usage: &[u32], idle: u32) -> Option<usize> {
+        debug_assert_eq!(usage.len(), self.weights.len());
+        let mut best: Option<(f64, Seconds, usize)> = None;
+        for (i, p) in pending.iter().enumerate() {
+            if p.nodes > idle {
+                continue;
+            }
+            // Deficit = usage relative to entitled share. Lower = more
+            // deserving.
+            let target = self.target_nodes(p.type_id).max(1e-9);
+            let ratio = usage[p.type_id.index()] as f64 / target;
+            let better = match &best {
+                None => true,
+                Some((r, t, _)) => {
+                    ratio < r - 1e-12 || ((ratio - r).abs() <= 1e-12 && p.submit.value() < t.value())
+                }
+            };
+            if better {
+                best = Some((ratio, p.submit, i));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+}
+
+/// The pending-job store behind the scheduler: one FIFO per job type,
+/// with aggregate statistics for QoS forecasting (queue depth and oldest
+/// wait feed the forced-start logic).
+#[derive(Debug, Clone)]
+pub struct WorkQueues {
+    queues: Vec<std::collections::VecDeque<(u64, PendingView)>>,
+}
+
+impl WorkQueues {
+    /// Empty queues for `n_types` job types.
+    pub fn new(n_types: usize) -> Self {
+        WorkQueues {
+            queues: (0..n_types).map(|_| Default::default()).collect(),
+        }
+    }
+
+    /// Enqueue a pending job (tagged with an opaque job key).
+    pub fn submit(&mut self, key: u64, view: PendingView) {
+        self.queues[view.type_id.index()].push_back((key, view));
+    }
+
+    /// All pending jobs across queues, in a stable order (queue-major,
+    /// FIFO within a queue) — the shape [`QueueScheduler::select`] takes.
+    pub fn pending(&self) -> Vec<PendingView> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(|(_, v)| *v))
+            .collect()
+    }
+
+    /// Remove and return the job at `index` of the [`WorkQueues::pending`]
+    /// ordering (the index [`QueueScheduler::select`] returned).
+    pub fn take(&mut self, mut index: usize) -> Option<(u64, PendingView)> {
+        for q in &mut self.queues {
+            if index < q.len() {
+                return q.remove(index);
+            }
+            index -= q.len();
+        }
+        None
+    }
+
+    /// Total jobs waiting.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// No jobs waiting?
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Depth of one queue.
+    pub fn depth(&self, q: JobTypeId) -> usize {
+        self.queues[q.index()].len()
+    }
+
+    /// The earliest submission time still waiting in a queue.
+    pub fn oldest_submit(&self, q: JobTypeId) -> Option<Seconds> {
+        self.queues[q.index()].front().map(|(_, v)| v.submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(type_id: u16, nodes: u32, submit: f64) -> PendingView {
+        PendingView {
+            type_id: JobTypeId(type_id),
+            nodes,
+            submit: Seconds(submit),
+        }
+    }
+
+    #[test]
+    fn target_shares_follow_weights() {
+        let s = QueueScheduler::new(vec![1.0, 3.0], 16);
+        assert!((s.target_nodes(JobTypeId(0)) - 4.0).abs() < 1e-12);
+        assert!((s.target_nodes(JobTypeId(1)) - 12.0).abs() < 1e-12);
+        assert_eq!(s.queue_count(), 2);
+    }
+
+    #[test]
+    fn under_share_queue_wins() {
+        let s = QueueScheduler::new(vec![1.0, 1.0], 16);
+        // Queue 0 is using 6 nodes, queue 1 only 2: queue 1 is more
+        // deserving.
+        let pending = [p(0, 2, 0.0), p(1, 2, 5.0)];
+        let pick = s.select(&pending, &[6, 2], 4).unwrap();
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn fcfs_tie_break() {
+        let s = QueueScheduler::uniform(2, 16);
+        let pending = [p(0, 2, 9.0), p(1, 2, 3.0)];
+        let pick = s.select(&pending, &[4, 4], 8).unwrap();
+        assert_eq!(pick, 1, "equal deficit: earlier submission wins");
+    }
+
+    #[test]
+    fn jobs_that_do_not_fit_are_skipped() {
+        let s = QueueScheduler::uniform(2, 16);
+        let pending = [p(0, 8, 0.0), p(1, 2, 10.0)];
+        // Only 4 idle nodes: the 8-node job can't start.
+        let pick = s.select(&pending, &[0, 0], 4).unwrap();
+        assert_eq!(pick, 1);
+        // Nothing fits at 1 idle node.
+        assert!(s.select(&pending, &[0, 0], 1).is_none());
+    }
+
+    #[test]
+    fn empty_pending_yields_none() {
+        let s = QueueScheduler::uniform(3, 16);
+        assert!(s.select(&[], &[0, 0, 0], 16).is_none());
+    }
+
+    #[test]
+    fn work_conserving_over_share_queue_still_runs() {
+        let s = QueueScheduler::new(vec![1.0, 1.0], 16);
+        // Queue 0 already over its 8-node share but it's the only queue
+        // with pending work and nodes are idle.
+        let pending = [p(0, 2, 0.0)];
+        assert_eq!(s.select(&pending, &[10, 0], 6), Some(0));
+    }
+
+    #[test]
+    fn zero_weight_queue_starves_against_competition() {
+        let s = QueueScheduler::new(vec![0.0, 1.0], 16);
+        let pending = [p(0, 1, 0.0), p(1, 1, 100.0)];
+        // Queue 0 with any usage has infinite ratio vs its ~0 target.
+        assert_eq!(s.select(&pending, &[1, 0], 4), Some(1));
+        // But alone it still runs (work conserving).
+        assert_eq!(s.select(&pending[..1], &[1, 0], 4), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_rejected() {
+        QueueScheduler::new(vec![0.0, 0.0], 16);
+    }
+
+    #[test]
+    fn work_queues_fifo_per_type() {
+        let mut q = WorkQueues::new(2);
+        assert!(q.is_empty());
+        q.submit(10, p(0, 1, 5.0));
+        q.submit(11, p(1, 2, 1.0));
+        q.submit(12, p(0, 1, 7.0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.depth(JobTypeId(0)), 2);
+        assert_eq!(q.depth(JobTypeId(1)), 1);
+        assert_eq!(q.oldest_submit(JobTypeId(0)), Some(Seconds(5.0)));
+        // pending() is queue-major: [type0#10, type0#12, type1#11].
+        let pending = q.pending();
+        assert_eq!(pending.len(), 3);
+        assert_eq!(pending[0].submit, Seconds(5.0));
+        assert_eq!(pending[2].type_id, JobTypeId(1));
+        // take() maps pending indices back to the right queue slot.
+        let (key, view) = q.take(1).unwrap();
+        assert_eq!(key, 12);
+        assert_eq!(view.submit, Seconds(7.0));
+        assert_eq!(q.len(), 2);
+        let (key, _) = q.take(1).unwrap();
+        assert_eq!(key, 11, "index shifts after removal");
+        assert!(q.take(5).is_none());
+    }
+
+    #[test]
+    fn work_queues_integrate_with_scheduler() {
+        let mut wq = WorkQueues::new(2);
+        wq.submit(1, p(0, 2, 0.0));
+        wq.submit(2, p(1, 2, 1.0));
+        let s = QueueScheduler::uniform(2, 16);
+        // Queue 1 under-served: scheduler picks its job; take() pops it.
+        let pick = s.select(&wq.pending(), &[6, 0], 8).unwrap();
+        let (key, view) = wq.take(pick).unwrap();
+        assert_eq!(key, 2);
+        assert_eq!(view.type_id, JobTypeId(1));
+        assert_eq!(wq.len(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! The grid regulation signal and moving power target.
+//!
+//! Section 5.6: "Demand response parameters include average power P̄,
+//! reserve power R offered by the simulated cluster, and a time-varying
+//! regulation signal y(t). The regulation signal ranges from −1 to 1,
+//! indicating the cluster power target P_target = P̄ + R·y(t)."
+//!
+//! Section 6.3 drives the real cluster with a target that "changes once
+//! every 4 seconds, staying within the range of 2.3 kW to 4.5 kW".
+
+use anor_types::stats::standard_normal;
+use anor_types::{Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A regulation signal `y(t)` with values in `[−1, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegulationSignal {
+    /// A constant level (e.g. 0 for "hold the average").
+    Constant(f64),
+    /// A sinusoid with the given period and amplitude.
+    Sinusoid {
+        /// Full oscillation period.
+        period: Seconds,
+        /// Peak |y| (clamped to 1).
+        amplitude: f64,
+    },
+    /// A piecewise-constant trace: `values[k]` holds on
+    /// `[k·update_period, (k+1)·update_period)`; the last value holds
+    /// forever after.
+    Trace {
+        /// Piecewise-constant levels, each already in `[−1, 1]`.
+        values: Vec<f64>,
+        /// Hold time per level (paper: 4 s).
+        update_period: Seconds,
+    },
+}
+
+impl RegulationSignal {
+    /// A mean-reverting random walk, precomputed over `horizon` as a
+    /// [`RegulationSignal::Trace`]. This is the shape of a frequency-
+    /// regulation test signal: zero-mean, bounded, with step-to-step
+    /// correlation.
+    pub fn random_walk(
+        update_period: Seconds,
+        step: f64,
+        horizon: Seconds,
+        seed: u64,
+    ) -> RegulationSignal {
+        assert!(update_period.value() > 0.0, "update period must be positive");
+        let n = (horizon.value() / update_period.value()).ceil() as usize + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut y = 0.0f64;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Mean reversion keeps the signal from pinning at the rails.
+            y = (0.9 * y + step * standard_normal(&mut rng)).clamp(-1.0, 1.0);
+            values.push(y);
+        }
+        RegulationSignal::Trace {
+            values,
+            update_period,
+        }
+    }
+
+    /// A tariff-driven signal (a Section 3 motivation: "changing power
+    /// tariffs"): given a per-period electricity price, the cluster runs
+    /// hotter when power is cheap and colder when it is expensive. The
+    /// cheapest period maps to +1, the priciest to −1, linearly in
+    /// between; a flat tariff maps to 0 everywhere.
+    pub fn from_tariff(prices: &[f64], period: Seconds) -> RegulationSignal {
+        assert!(!prices.is_empty(), "tariff needs at least one period");
+        assert!(
+            prices.iter().all(|p| p.is_finite()),
+            "tariff prices must be finite"
+        );
+        let lo = prices.iter().copied().fold(f64::MAX, f64::min);
+        let hi = prices.iter().copied().fold(f64::MIN, f64::max);
+        let values = if hi - lo <= 1e-12 {
+            vec![0.0; prices.len()]
+        } else {
+            prices
+                .iter()
+                .map(|p| 1.0 - 2.0 * (p - lo) / (hi - lo))
+                .collect()
+        };
+        RegulationSignal::Trace {
+            values,
+            update_period: period,
+        }
+    }
+
+    /// The signal value at time `t`, clamped into `[−1, 1]`.
+    pub fn value(&self, t: Seconds) -> f64 {
+        let y = match self {
+            RegulationSignal::Constant(v) => *v,
+            RegulationSignal::Sinusoid { period, amplitude } => {
+                amplitude * (std::f64::consts::TAU * t.value() / period.value()).sin()
+            }
+            RegulationSignal::Trace {
+                values,
+                update_period,
+            } => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    let k = (t.value().max(0.0) / update_period.value()) as usize;
+                    values[k.min(values.len() - 1)]
+                }
+            }
+        };
+        y.clamp(-1.0, 1.0)
+    }
+}
+
+/// A committed demand-response operating point: the cluster promises to
+/// track `avg + reserve·y(t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTarget {
+    /// Requested mean power P̄.
+    pub avg: Watts,
+    /// Offered reserve R (flexibility half-width).
+    pub reserve: Watts,
+    /// The regulation signal received from the grid.
+    pub signal: RegulationSignal,
+}
+
+impl PowerTarget {
+    /// The instantaneous power target `P̄ + R·y(t)`.
+    pub fn at(&self, t: Seconds) -> Watts {
+        self.avg + self.reserve * self.signal.value(t)
+    }
+
+    /// The committed tracking band `[P̄ − R, P̄ + R]`.
+    pub fn band(&self) -> (Watts, Watts) {
+        (self.avg - self.reserve, self.avg + self.reserve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let s = RegulationSignal::Constant(0.5);
+        assert_eq!(s.value(Seconds(0.0)), 0.5);
+        assert_eq!(s.value(Seconds(1e6)), 0.5);
+        // Out-of-range constants clamp.
+        assert_eq!(RegulationSignal::Constant(3.0).value(Seconds(1.0)), 1.0);
+    }
+
+    #[test]
+    fn sinusoid_hits_extremes_and_zero() {
+        let s = RegulationSignal::Sinusoid {
+            period: Seconds(100.0),
+            amplitude: 1.0,
+        };
+        assert!(s.value(Seconds(0.0)).abs() < 1e-12);
+        assert!((s.value(Seconds(25.0)) - 1.0).abs() < 1e-12);
+        assert!((s.value(Seconds(75.0)) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_is_piecewise_constant_and_extends() {
+        let s = RegulationSignal::Trace {
+            values: vec![-1.0, 0.0, 1.0],
+            update_period: Seconds(4.0),
+        };
+        assert_eq!(s.value(Seconds(0.0)), -1.0);
+        assert_eq!(s.value(Seconds(3.999)), -1.0);
+        assert_eq!(s.value(Seconds(4.0)), 0.0);
+        assert_eq!(s.value(Seconds(8.5)), 1.0);
+        // Past the end: last value holds.
+        assert_eq!(s.value(Seconds(1e4)), 1.0);
+        // Negative time clamps to the first value.
+        assert_eq!(s.value(Seconds(-5.0)), -1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let s = RegulationSignal::Trace {
+            values: vec![],
+            update_period: Seconds(4.0),
+        };
+        assert_eq!(s.value(Seconds(10.0)), 0.0);
+    }
+
+    #[test]
+    fn random_walk_is_bounded_and_deterministic() {
+        let a = RegulationSignal::random_walk(Seconds(4.0), 0.3, Seconds(3600.0), 7);
+        let b = RegulationSignal::random_walk(Seconds(4.0), 0.3, Seconds(3600.0), 7);
+        assert_eq!(a, b);
+        let RegulationSignal::Trace { values, .. } = &a else {
+            panic!("random_walk returns a trace");
+        };
+        assert!(values.len() >= 900);
+        assert!(values.iter().all(|v| (-1.0..=1.0).contains(v)));
+        // Mean-reverting: long-run average near zero.
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        assert!(mean.abs() < 0.25, "walk mean {mean}");
+    }
+
+    #[test]
+    fn tariff_signal_inverts_prices() {
+        // Hourly prices: cheap overnight, expensive evening peak.
+        let prices = [0.08, 0.08, 0.12, 0.30, 0.20];
+        let s = RegulationSignal::from_tariff(&prices, Seconds(3600.0));
+        // Cheapest hours -> full power (+1).
+        assert_eq!(s.value(Seconds(0.0)), 1.0);
+        assert_eq!(s.value(Seconds(3700.0)), 1.0);
+        // Priciest hour -> maximum curtailment (−1).
+        assert_eq!(s.value(Seconds(3.5 * 3600.0)), -1.0);
+        // Mid prices interpolate and stay in bounds.
+        let mid = s.value(Seconds(2.5 * 3600.0));
+        assert!((-1.0..=1.0).contains(&mid) && mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn flat_tariff_is_neutral() {
+        let s = RegulationSignal::from_tariff(&[0.1, 0.1, 0.1], Seconds(3600.0));
+        for h in 0..3 {
+            assert_eq!(s.value(Seconds(h as f64 * 3600.0)), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn empty_tariff_rejected() {
+        RegulationSignal::from_tariff(&[], Seconds(3600.0));
+    }
+
+    #[test]
+    fn power_target_formula() {
+        // The paper's Fig. 9 band: 2.3–4.5 kW -> avg 3.4 kW, reserve 1.1 kW.
+        let t = PowerTarget {
+            avg: Watts(3400.0),
+            reserve: Watts(1100.0),
+            signal: RegulationSignal::Constant(-1.0),
+        };
+        assert_eq!(t.at(Seconds(0.0)), Watts(2300.0));
+        let (lo, hi) = t.band();
+        assert_eq!(lo, Watts(2300.0));
+        assert_eq!(hi, Watts(4500.0));
+    }
+
+    #[test]
+    fn target_tracks_signal_over_time() {
+        let t = PowerTarget {
+            avg: Watts(1000.0),
+            reserve: Watts(200.0),
+            signal: RegulationSignal::Trace {
+                values: vec![0.0, 0.5, -0.5],
+                update_period: Seconds(4.0),
+            },
+        };
+        assert_eq!(t.at(Seconds(1.0)), Watts(1000.0));
+        assert_eq!(t.at(Seconds(5.0)), Watts(1100.0));
+        assert_eq!(t.at(Seconds(9.0)), Watts(900.0));
+    }
+}

@@ -1,0 +1,302 @@
+//! Job-schedule generation and the head-node daemon's file formats.
+//!
+//! Section 5.3: "Job submissions are generated as Poisson processes with
+//! job arrival rates that achieve a target node utilization. We relate a
+//! target utilization η to job type j's arrival rate λ_j and
+//! non-power-capped time to completion T_j over N nodes by
+//! Σ λ_j·T_j = η·N." With per-type node footprints n_j, each type is
+//! given an equal share of the utilized node-seconds:
+//! `λ_j·T_j·n_j = η·N / J`.
+//!
+//! Section 4.1: "this process reads power targets and a job submission
+//! schedule from files" — [`write_schedule`]/[`parse_schedule`] and
+//! [`write_power_targets`]/[`parse_power_targets`] define those formats
+//! (whitespace-separated columns, `#` comments).
+
+use anor_types::stats::poisson_arrivals;
+use anor_types::{AnorError, Catalog, JobTypeId, Result, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+
+/// One entry of a job submission schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSubmission {
+    /// When the job enters the queue.
+    pub time: Seconds,
+    /// Which job type it is.
+    pub type_id: JobTypeId,
+}
+
+/// Per-type arrival rates λ_j (jobs/second) achieving `utilization` on
+/// `total_nodes` nodes, splitting utilized node-seconds equally across
+/// the listed types.
+pub fn arrival_rates(
+    catalog: &Catalog,
+    types: &[JobTypeId],
+    utilization: f64,
+    total_nodes: u32,
+) -> Vec<f64> {
+    assert!(!types.is_empty(), "need at least one job type");
+    assert!(
+        (0.0..=1.0).contains(&utilization),
+        "utilization must be in [0, 1]"
+    );
+    let share = utilization * total_nodes as f64 / types.len() as f64;
+    types
+        .iter()
+        .map(|&id| {
+            let t = &catalog[id];
+            share / (t.time_uncapped.value() * t.nodes as f64)
+        })
+        .collect()
+}
+
+/// Generate a Poisson submission schedule over `[0, horizon)` at the
+/// target utilization, sorted by time.
+pub fn poisson_schedule(
+    catalog: &Catalog,
+    types: &[JobTypeId],
+    utilization: f64,
+    total_nodes: u32,
+    horizon: Seconds,
+    seed: u64,
+) -> Vec<JobSubmission> {
+    let rates = arrival_rates(catalog, types, utilization, total_nodes);
+    let mut out = Vec::new();
+    for (k, (&id, &rate)) in types.iter().zip(&rates).enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((k as u64 + 1) << 24));
+        for t in poisson_arrivals(&mut rng, rate, horizon.value()) {
+            out.push(JobSubmission {
+                time: Seconds(t),
+                type_id: id,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.time.value().total_cmp(&b.time.value()));
+    out
+}
+
+/// Expected node utilization of a schedule (utilized node-seconds over
+/// available node-seconds), using uncapped execution times.
+pub fn schedule_utilization(
+    catalog: &Catalog,
+    schedule: &[JobSubmission],
+    total_nodes: u32,
+    horizon: Seconds,
+) -> f64 {
+    let node_seconds: f64 = schedule
+        .iter()
+        .map(|s| {
+            let t = &catalog[s.type_id];
+            t.time_uncapped.value() * t.nodes as f64
+        })
+        .sum();
+    node_seconds / (total_nodes as f64 * horizon.value())
+}
+
+// ---------------------------------------------------------------------------
+// File formats
+// ---------------------------------------------------------------------------
+
+/// Write a schedule as `time job-type-name` lines.
+pub fn write_schedule(
+    w: &mut impl Write,
+    catalog: &Catalog,
+    schedule: &[JobSubmission],
+) -> Result<()> {
+    writeln!(w, "# time_s job_type")?;
+    for s in schedule {
+        writeln!(w, "{:.3} {}", s.time.value(), catalog[s.type_id].name)?;
+    }
+    Ok(())
+}
+
+/// Parse a schedule file produced by [`write_schedule`].
+pub fn parse_schedule(r: impl BufRead, catalog: &Catalog) -> Result<Vec<JobSubmission>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(t), Some(name)) = (parts.next(), parts.next()) else {
+            return Err(AnorError::schedule(format!(
+                "line {}: expected `time job_type`",
+                lineno + 1
+            )));
+        };
+        let time: f64 = t.parse().map_err(|_| {
+            AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1))
+        })?;
+        let spec = catalog.find(name).ok_or_else(|| {
+            AnorError::schedule(format!("line {}: unknown job type `{name}`", lineno + 1))
+        })?;
+        out.push(JobSubmission {
+            time: Seconds(time),
+            type_id: spec.id,
+        });
+    }
+    Ok(out)
+}
+
+/// Write a power-target trace as `time watts` lines.
+pub fn write_power_targets(w: &mut impl Write, targets: &[(Seconds, Watts)]) -> Result<()> {
+    writeln!(w, "# time_s target_w")?;
+    for (t, p) in targets {
+        writeln!(w, "{:.3} {:.3}", t.value(), p.value())?;
+    }
+    Ok(())
+}
+
+/// Parse a power-target file produced by [`write_power_targets`].
+pub fn parse_power_targets(r: impl BufRead) -> Result<Vec<(Seconds, Watts)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(t), Some(p)) = (parts.next(), parts.next()) else {
+            return Err(AnorError::schedule(format!(
+                "line {}: expected `time watts`",
+                lineno + 1
+            )));
+        };
+        let time: f64 = t.parse().map_err(|_| {
+            AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1))
+        })?;
+        let watts: f64 = p.parse().map_err(|_| {
+            AnorError::schedule(format!("line {}: bad watts `{p}`", lineno + 1))
+        })?;
+        out.push((Seconds(time), Watts(watts)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+    use std::io::BufReader;
+
+    #[test]
+    fn arrival_rates_hit_target_utilization() {
+        let cat = standard_catalog();
+        let types = cat.long_running();
+        let rates = arrival_rates(&cat, &types, 0.75, 1000);
+        // Σ λ_j·T_j·n_j should equal η·N.
+        let total: f64 = types
+            .iter()
+            .zip(&rates)
+            .map(|(&id, &r)| r * cat[id].time_uncapped.value() * cat[id].nodes as f64)
+            .sum();
+        assert!((total - 750.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn poisson_schedule_achieves_utilization() {
+        let cat = standard_catalog();
+        let types = cat.long_running();
+        let horizon = Seconds(100_000.0);
+        let sched = poisson_schedule(&cat, &types, 0.75, 100, horizon, 11);
+        let util = schedule_utilization(&cat, &sched, 100, horizon);
+        assert!(
+            (util - 0.75).abs() < 0.05,
+            "long-run offered utilization {util}"
+        );
+        // Sorted by time.
+        assert!(sched.windows(2).all(|w| w[0].time.value() <= w[1].time.value()));
+    }
+
+    #[test]
+    fn all_types_appear_in_long_schedules() {
+        let cat = standard_catalog();
+        let types = cat.long_running();
+        let sched = poisson_schedule(&cat, &types, 0.95, 16, Seconds(36_000.0), 3);
+        for &id in &types {
+            assert!(
+                sched.iter().any(|s| s.type_id == id),
+                "{} missing",
+                cat[id].name
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips_through_file_format() {
+        let cat = standard_catalog();
+        let types = cat.long_running();
+        let sched = poisson_schedule(&cat, &types, 0.5, 16, Seconds(3600.0), 7);
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &cat, &sched).unwrap();
+        let parsed = parse_schedule(BufReader::new(&buf[..]), &cat).unwrap();
+        assert_eq!(parsed.len(), sched.len());
+        for (a, b) in sched.iter().zip(&parsed) {
+            assert_eq!(a.type_id, b.type_id);
+            assert!((a.time.value() - b.time.value()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parse_schedule_rejects_garbage() {
+        let cat = standard_catalog();
+        assert!(parse_schedule(BufReader::new(&b"12.0"[..]), &cat).is_err());
+        assert!(parse_schedule(BufReader::new(&b"abc bt.D.81"[..]), &cat).is_err());
+        assert!(parse_schedule(BufReader::new(&b"1.0 nosuch.X.1"[..]), &cat).is_err());
+        // Comments and blanks are fine.
+        let ok = parse_schedule(
+            BufReader::new(&b"# header\n\n10.5 bt.D.81\n"[..]),
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(cat[ok[0].type_id].name, "bt.D.81");
+    }
+
+    #[test]
+    fn power_targets_round_trip() {
+        let targets = vec![
+            (Seconds(0.0), Watts(2300.0)),
+            (Seconds(4.0), Watts(3100.5)),
+            (Seconds(8.0), Watts(4500.0)),
+        ];
+        let mut buf = Vec::new();
+        write_power_targets(&mut buf, &targets).unwrap();
+        let parsed = parse_power_targets(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (a, b) in targets.iter().zip(&parsed) {
+            assert!((a.0.value() - b.0.value()).abs() < 1e-3);
+            assert!((a.1.value() - b.1.value()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parse_power_targets_rejects_garbage() {
+        assert!(parse_power_targets(BufReader::new(&b"1.0"[..])).is_err());
+        assert!(parse_power_targets(BufReader::new(&b"x y"[..])).is_err());
+        assert!(parse_power_targets(BufReader::new(&b"1.0 zz"[..])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn utilization_out_of_range_rejected() {
+        let cat = standard_catalog();
+        arrival_rates(&cat, &cat.long_running(), 1.5, 16);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cat = standard_catalog();
+        let t = cat.long_running();
+        let a = poisson_schedule(&cat, &t, 0.75, 16, Seconds(3600.0), 5);
+        let b = poisson_schedule(&cat, &t, 0.75, 16, Seconds(3600.0), 5);
+        assert_eq!(a, b);
+        let c = poisson_schedule(&cat, &t, 0.75, 16, Seconds(3600.0), 6);
+        assert_ne!(a, c);
+    }
+}

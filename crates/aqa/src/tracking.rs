@@ -1,0 +1,170 @@
+//! Power-tracking error accounting.
+//!
+//! Section 4.4.2: "We set a power-tracking constraint allowing no more
+//! than 30% error for at least 90% of the time. Error is calculated as
+//! distance between the measured power and the target power, divided by
+//! the reserve."
+
+use anor_types::stats::percentile;
+use anor_types::Watts;
+
+/// The probabilistic tracking constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingConstraint {
+    /// Maximum tolerated error as a fraction of reserve (paper: 0.30).
+    pub limit: f64,
+    /// Required fraction of time under the limit (paper: 0.90).
+    pub probability: f64,
+}
+
+impl Default for TrackingConstraint {
+    fn default() -> Self {
+        TrackingConstraint {
+            limit: 0.30,
+            probability: 0.90,
+        }
+    }
+}
+
+/// Accumulates (target, measured) pairs and reports error statistics.
+///
+/// ```
+/// use anor_aqa::{TrackingConstraint, TrackingRecorder};
+/// use anor_types::Watts;
+///
+/// let mut rec = TrackingRecorder::new(Watts(100_000.0)); // 100 kW reserve
+/// // The paper's example: a 10 kW miss against a 100 kW reserve = 10%.
+/// let err = rec.push(Watts(500_000.0), Watts(510_000.0));
+/// assert!((err - 0.10).abs() < 1e-12);
+/// assert!(rec.satisfies(&TrackingConstraint::default()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackingRecorder {
+    reserve: Watts,
+    errors: Vec<f64>,
+}
+
+impl TrackingRecorder {
+    /// Recorder for a commitment with the given reserve.
+    pub fn new(reserve: Watts) -> Self {
+        assert!(reserve.value() > 0.0, "reserve must be positive");
+        TrackingRecorder {
+            reserve,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Record one sample; returns the error it contributed.
+    /// Example from the paper: reserve 100 kW, |measured − target| =
+    /// 10 kW → error 10%.
+    pub fn push(&mut self, target: Watts, measured: Watts) -> f64 {
+        let e = (measured - target).abs() / self.reserve;
+        self.errors.push(e);
+        e
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Fraction of samples with error ≤ `limit` (1.0 when empty).
+    pub fn fraction_within(&self, limit: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 1.0;
+        }
+        self.errors.iter().filter(|&&e| e <= limit).count() as f64 / self.errors.len() as f64
+    }
+
+    /// The `p`-th percentile error (the paper reports "under 24% error at
+    /// least 90% of the time" = 90th percentile error 0.24).
+    pub fn percentile_error(&self, p: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        percentile(&self.errors, p)
+    }
+
+    /// Mean error across all samples.
+    pub fn mean_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Does the recorded history satisfy a tracking constraint?
+    pub fn satisfies(&self, c: &TrackingConstraint) -> bool {
+        self.fraction_within(c.limit) >= c.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // Reserve 100 kW, 10 kW miss -> 10% error.
+        let mut r = TrackingRecorder::new(Watts(100_000.0));
+        let e = r.push(Watts(500_000.0), Watts(510_000.0));
+        assert!((e - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let mut r = TrackingRecorder::new(Watts(100.0));
+        // 9 perfect samples, 1 terrible one: 90% within -> satisfied.
+        for _ in 0..9 {
+            r.push(Watts(1000.0), Watts(1000.0));
+        }
+        r.push(Watts(1000.0), Watts(1100.0)); // 100% error
+        let c = TrackingConstraint::default();
+        assert!(r.satisfies(&c));
+        // One more bad sample: 9/11 < 90% -> violated.
+        r.push(Watts(1000.0), Watts(900.0));
+        assert!(!r.satisfies(&c));
+    }
+
+    #[test]
+    fn percentile_and_mean() {
+        let mut r = TrackingRecorder::new(Watts(100.0));
+        for i in 1..=10 {
+            // Errors 0.01..=0.10.
+            r.push(Watts(0.0), Watts(i as f64));
+        }
+        assert!((r.mean_error() - 0.055).abs() < 1e-12);
+        assert!((r.percentile_error(90.0) - 0.091).abs() < 1e-9);
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn empty_recorder_is_vacuously_fine() {
+        let r = TrackingRecorder::new(Watts(10.0));
+        assert!(r.is_empty());
+        assert_eq!(r.fraction_within(0.3), 1.0);
+        assert_eq!(r.percentile_error(90.0), 0.0);
+        assert_eq!(r.mean_error(), 0.0);
+        assert!(r.satisfies(&TrackingConstraint::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reserve_rejected() {
+        TrackingRecorder::new(Watts(0.0));
+    }
+
+    #[test]
+    fn error_is_symmetric() {
+        let mut r = TrackingRecorder::new(Watts(50.0));
+        let over = r.push(Watts(100.0), Watts(120.0));
+        let under = r.push(Watts(100.0), Watts(80.0));
+        assert_eq!(over, under);
+        assert!((over - 0.4).abs() < 1e-12);
+    }
+}

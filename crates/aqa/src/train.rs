@@ -1,0 +1,231 @@
+//! AQA training: queue weights and unknown-job-type handling.
+//!
+//! Section 4.4.2: "AQA models job types as a collection of work queues.
+//! Each queue is assigned a weight of node allocations that is tuned over
+//! simulations of expected power-constraint and job-submission scenarios.
+//! ... AQA searches for queue weights and demand response bids (average
+//! power and reserve) that reduce electricity cost under constraints for
+//! QoS and power-tracking error."
+//!
+//! And for types not yet known when AQA is trained: "For each unknown job
+//! type in the user submission queue during AQA training, we simulate a
+//! known minimum execution time (which may be provided at launch time,
+//! similar to setting a job's time limit). We simulate the job's
+//! achievable power-demand range and maximum slowdown (i.e., at the
+//! minimum power cap) to be randomly sampled from those of known job
+//! types." [`UnknownJobSampler`] implements exactly that sampling.
+//!
+//! The weight search is evaluator-agnostic (like [`crate::bid`]): a
+//! caller-supplied closure judges each candidate weight vector, usually
+//! by running the tabular simulator.
+
+use anor_types::{Catalog, JobTypeId, JobTypeSpec, Result, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the evaluator reports about one candidate weight vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightEvaluation {
+    /// Does the QoS constraint hold for every queue?
+    pub qos_ok: bool,
+    /// Does the power-tracking constraint hold?
+    pub tracking_ok: bool,
+    /// Objective to minimize among feasible candidates (e.g. electricity
+    /// cost, or mean QoS degradation as a tiebreaker).
+    pub cost: f64,
+}
+
+/// A candidate generator for queue-weight vectors: the uniform vector
+/// plus `perturbations` random positive perturbations around it.
+pub fn weight_candidates(
+    n_queues: usize,
+    perturbations: usize,
+    spread: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(n_queues >= 1);
+    assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![vec![1.0; n_queues]];
+    for _ in 0..perturbations {
+        let w: Vec<f64> = (0..n_queues)
+            .map(|_| 1.0 + spread * (2.0 * rng.gen::<f64>() - 1.0))
+            .collect();
+        out.push(w);
+    }
+    out
+}
+
+/// Search candidate weight vectors for the cheapest feasible one.
+/// Returns `None` when nothing is feasible (the caller then falls back to
+/// uniform weights and flags the scenario).
+pub fn search_weights(
+    candidates: &[Vec<f64>],
+    mut evaluate: impl FnMut(&[f64]) -> WeightEvaluation,
+) -> Option<Vec<f64>> {
+    let mut best: Option<(f64, &Vec<f64>)> = None;
+    for cand in candidates {
+        let e = evaluate(cand);
+        if !(e.qos_ok && e.tracking_ok) {
+            continue;
+        }
+        if best.is_none_or(|(c, _)| e.cost < c) {
+            best = Some((e.cost, cand));
+        }
+    }
+    best.map(|(_, w)| w.clone())
+}
+
+/// Synthesizes stand-in specs for job types unknown at training time, per
+/// Section 4.4.2: the declared minimum execution time is kept, while the
+/// power-demand range and maximum slowdown are sampled from known types.
+#[derive(Debug)]
+pub struct UnknownJobSampler {
+    known: Vec<JobTypeSpec>,
+    rng: StdRng,
+}
+
+impl UnknownJobSampler {
+    /// Build over the known types of a catalog.
+    pub fn new(catalog: &Catalog, seed: u64) -> Result<Self> {
+        if catalog.is_empty() {
+            return Err(anor_types::AnorError::config(
+                "cannot sample unknown jobs from an empty catalog",
+            ));
+        }
+        Ok(UnknownJobSampler {
+            known: catalog.iter().cloned().collect(),
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Synthesize a spec for an unknown type. `declared_min_time` is the
+    /// user-provided minimum execution time (like a job time limit);
+    /// `nodes` its declared footprint.
+    pub fn sample(
+        &mut self,
+        name: &str,
+        declared_min_time: Seconds,
+        nodes: u32,
+    ) -> JobTypeSpec {
+        // Power-demand range donor and slowdown donor are drawn
+        // independently, as the paper samples each property.
+        let power_donor = self.known[self.rng.gen_range(0..self.known.len())].clone();
+        let slowdown_donor = &self.known[self.rng.gen_range(0..self.known.len())];
+        JobTypeSpec {
+            id: JobTypeId(0), // assigned when pushed into a catalog
+            name: name.to_string(),
+            nodes,
+            // Epoch granularity proportional to the declared time, so the
+            // synthetic stand-in produces plausible feedback cadence.
+            epochs: (declared_min_time.value() / 2.0).ceil().max(1.0) as u64,
+            time_uncapped: declared_min_time,
+            sensitivity: slowdown_donor.sensitivity,
+            cap_range: power_donor.cap_range,
+            max_draw: power_donor.max_draw,
+            noise_sigma: slowdown_donor.noise_sigma,
+            qos_limit: slowdown_donor.qos_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+
+    #[test]
+    fn candidates_include_uniform_and_stay_positive() {
+        let cands = weight_candidates(6, 10, 0.8, 3);
+        assert_eq!(cands.len(), 11);
+        assert!(cands[0].iter().all(|&w| w == 1.0));
+        for c in &cands {
+            assert_eq!(c.len(), 6);
+            assert!(c.iter().all(|&w| w > 0.0), "non-positive weight in {c:?}");
+        }
+    }
+
+    #[test]
+    fn search_picks_cheapest_feasible_vector() {
+        let cands = weight_candidates(3, 20, 0.5, 7);
+        // Feasibility rule: first queue's weight must exceed 1.0; cost =
+        // sum of weights.
+        let best = search_weights(&cands, |w| WeightEvaluation {
+            qos_ok: w[0] > 1.0,
+            tracking_ok: true,
+            cost: w.iter().sum(),
+        });
+        let best = best.expect("some candidate has w[0] > 1");
+        assert!(best[0] > 1.0);
+        // No cheaper feasible candidate exists.
+        for c in &cands {
+            if c[0] > 1.0 {
+                assert!(c.iter().sum::<f64>() >= best.iter().sum::<f64>() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn search_returns_none_when_all_infeasible() {
+        let cands = weight_candidates(2, 5, 0.3, 1);
+        assert!(search_weights(&cands, |_| WeightEvaluation {
+            qos_ok: false,
+            tracking_ok: true,
+            cost: 0.0,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn unknown_sampler_keeps_declared_time_and_borrows_properties() {
+        let catalog = standard_catalog();
+        let mut sampler = UnknownJobSampler::new(&catalog, 5).unwrap();
+        let spec = sampler.sample("mystery.X.64", Seconds(300.0), 2);
+        assert_eq!(spec.name, "mystery.X.64");
+        assert_eq!(spec.time_uncapped, Seconds(300.0));
+        assert_eq!(spec.nodes, 2);
+        // Sensitivity and draw must come from the known population.
+        assert!(catalog
+            .iter()
+            .any(|t| (t.sensitivity - spec.sensitivity).abs() < 1e-12));
+        assert!(catalog
+            .iter()
+            .any(|t| (t.max_draw.value() - spec.max_draw.value()).abs() < 1e-12));
+        assert!(spec.epochs >= 1);
+    }
+
+    #[test]
+    fn unknown_sampler_varies_across_draws() {
+        let catalog = standard_catalog();
+        let mut sampler = UnknownJobSampler::new(&catalog, 11).unwrap();
+        let draws: Vec<f64> = (0..50)
+            .map(|i| sampler.sample(&format!("u{i}"), Seconds(100.0), 1).sensitivity)
+            .collect();
+        let distinct = {
+            let mut d = draws.clone();
+            d.sort_by(f64::total_cmp);
+            d.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            d.len()
+        };
+        assert!(distinct >= 3, "sampling should cover several donors");
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        let empty = Catalog::new();
+        assert!(UnknownJobSampler::new(&empty, 1).is_err());
+    }
+
+    #[test]
+    fn synthetic_spec_integrates_with_catalog() {
+        let mut catalog = standard_catalog();
+        let mut sampler = UnknownJobSampler::new(&catalog, 9).unwrap();
+        let spec = sampler.sample("newapp.C.16", Seconds(250.0), 1);
+        let id = catalog.push(spec);
+        assert_eq!(catalog[id].name, "newapp.C.16");
+        // The synthesized curve is well-formed.
+        assert!(catalog[id]
+            .curve()
+            .is_monotone_decreasing_on(catalog[id].cap_range));
+    }
+}

@@ -1,0 +1,19 @@
+//! Criterion bench for the Fig. 5 substrate: evaluating a full
+//! misclassification quadrant (budget sweep × three budgeters).
+
+use anor_core::experiments::fig5::{quadrant, Direction, UnknownSize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn misclassify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("quadrant/underpredict_small", |b| {
+        b.iter(|| quadrant(Direction::Underpredict, UnknownSize::Small))
+    });
+    group.bench_function("quadrant/overpredict_large", |b| {
+        b.iter(|| quadrant(Direction::Overpredict, UnknownSize::Large))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, misclassify);
+criterion_main!(benches);

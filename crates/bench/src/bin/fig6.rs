@@ -1,0 +1,28 @@
+//! Regenerates Fig. 6: BT + SP co-scheduled under a shared 840 W budget
+//! (75% of TDP over 4 nodes), six budgeter configurations, measured on
+//! the emulated cluster over TCP.
+
+use anor_bench::{header, scaled};
+use anor_core::experiments::fig6;
+use anor_core::render::render_bars;
+
+fn main() {
+    header(
+        "Fig. 6",
+        "Measured slowdown (%) of BT and SP under a shared 840 W budget",
+    );
+    let trials = scaled(3, 1);
+    let bars = fig6::run(trials, 6).expect("emulated run failed");
+    for bar in &bars {
+        let rows: Vec<(String, f64, f64)> = bar
+            .jobs
+            .iter()
+            .map(|(name, y, e)| (name.clone(), *y, *e))
+            .collect();
+        println!("{}", render_bars(&bar.label, &rows));
+    }
+    println!(
+        "paper anchors: BT degrades when misclassified (either direction);\n\
+         feedback recovers most of the loss in both cases."
+    );
+}

@@ -1,0 +1,76 @@
+//! Reproduces the Section 5.2 QoS-constraint justification: "we measured
+//! the queue wait time and execution time of jobs from a month of
+//! real-world job queue data. The 90th percentile of job wait time
+//! divided by execution time is larger than 22, making our selected
+//! constraint [Q = 5 at 90%] more aggressive than the properties of that
+//! real-world queue trace."
+//!
+//! We do not have the Patel et al. trace, so we synthesize a month of
+//! arrivals on a saturated cluster (utilization ≈ 1, heavy-tailed load —
+//! the regime real academic clusters run in) and compute the same
+//! statistic with the tabular simulator.
+
+use anor_bench::{header, scaled};
+use anor_core::aqa::{poisson_schedule, PowerTarget, RegulationSignal};
+use anor_core::platform::PerformanceVariation;
+use anor_core::sim::{SimConfig, SimPowerPolicy, TabularSim};
+use anor_core::types::stats::percentile;
+use anor_core::types::{standard_catalog, Seconds, Watts};
+
+fn main() {
+    header(
+        "Section 5.2",
+        "Wait/execution ratio of a saturated synthetic month-long queue",
+    );
+    let nodes = 64u32;
+    // A (scaled) month of arrivals at an offered utilization slightly
+    // above capacity: queues grow, as on real oversubscribed clusters.
+    let horizon = scaled(Seconds(14.0 * 24.0 * 3600.0), Seconds(24.0 * 3600.0));
+    let catalog = standard_catalog();
+    let types = catalog.long_running();
+    let cfg = SimConfig {
+        total_nodes: nodes,
+        idle_power: Watts(90.0),
+        catalog: catalog.clone(),
+        types: types.clone(),
+        tick: Seconds(1.0),
+        policy: SimPowerPolicy::Uniform,
+        qos: Default::default(),
+        // Effectively disable QoS-forced starts: a saturated cluster
+        // cannot honor them anyway, and the paper's trace has no such
+        // mechanism.
+        qos_risk_threshold: 1e6,
+    };
+    let schedule = poisson_schedule(&catalog, &types, 1.0, nodes, horizon, 52);
+    // No demand response here: an effectively unconstrained target.
+    let target = PowerTarget {
+        avg: Watts(nodes as f64 * 280.0),
+        reserve: Watts(nodes as f64 * 28.0),
+        signal: RegulationSignal::Constant(0.0),
+    };
+    let mut sim = TabularSim::new(cfg, target, &PerformanceVariation::none(nodes as usize), schedule, None);
+    sim.run(horizon, horizon * 2.0);
+    // Wait / execution ratio per completed job.
+    let mut ratios = Vec::new();
+    for job in sim.jobs() {
+        let (Some(start), Some(end)) = (job.start, job.end) else {
+            continue;
+        };
+        let wait = (start - job.submit).value();
+        let exec = (end - start).value();
+        if exec > 0.0 {
+            ratios.push(wait / exec);
+        }
+    }
+    println!("jobs completed: {}", ratios.len());
+    for p in [50.0, 75.0, 90.0, 95.0] {
+        println!("p{p:<4.0} wait/exec ratio: {:>8.1}", percentile(&ratios, p));
+    }
+    let p90 = percentile(&ratios, 90.0);
+    println!();
+    println!(
+        "paper: the real-world trace's p90 ratio exceeds 22, so a Q = (T_so - T_min)/T_min <= 5\n\
+         constraint is aggressive by comparison. Our saturated synthetic month gives p90 = {p90:.1};\n\
+         values above ~5 confirm the same reading: demanding Q <= 5 at 90% is a *tight* QoS bar."
+    );
+}

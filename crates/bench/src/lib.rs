@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # anor-bench
+//!
+//! The benchmark harness: one `fig*` binary per figure of the paper's
+//! evaluation (regenerating the figure's rows/series as text tables) and
+//! a set of Criterion benches covering component performance and the
+//! design-choice ablations DESIGN.md calls out.
+//!
+//! Run a figure:
+//!
+//! ```text
+//! cargo run --release -p anor-bench --bin fig9
+//! ```
+//!
+//! Set `ANOR_QUICK=1` to shrink trial counts / horizons for smoke runs.
+
+/// True when the `ANOR_QUICK` environment variable requests a scaled-down
+/// run.
+pub fn quick_mode() -> bool {
+    std::env::var("ANOR_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Pick between the paper-scale and quick values.
+pub fn scaled<T>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Print a standard header for a figure binary.
+pub fn header(figure: &str, summary: &str) {
+    println!("=== {figure} ===");
+    println!("{summary}");
+    if quick_mode() {
+        println!("(ANOR_QUICK set: reduced trials/horizon)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_picks_by_env() {
+        // The env var is process-global; only assert consistency.
+        if quick_mode() {
+            assert_eq!(scaled(10, 2), 2);
+        } else {
+            assert_eq!(scaled(10, 2), 10);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `anor-job` — a standalone job-tier process.
+//!
+//! Runs one job end-to-end: simulated compute nodes under a GEOPM
+//! runtime, the per-job power modeler, and the endpoint process that
+//! connects to `anord` over TCP (Fig. 2's compute-node column). Virtual
+//! time is paced at `--speedup`× real time so hour-long benchmarks replay
+//! in seconds while the daemon interaction happens over real sockets.
+//!
+//! ```text
+//! anor-job --connect 127.0.0.1:5533 --job-id 1 --type bt.D.81 \
+//!          --announce is.D.32 --seed 3 --speedup 200
+//! ```
+//!
+//! On completion, prints the job's GEOPM-style report to stdout.
+
+use anor_cluster::{Args, JobEndpoint};
+use anor_geopm::JobRuntime;
+use anor_model::{ModelerConfig, PowerModeler};
+use anor_platform::Node;
+use anor_types::{standard_catalog, JobId, NodeId, Seconds};
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("anor-job: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env()?;
+    let connect: std::net::SocketAddr = args.required("connect")?.parse()?;
+    let job = JobId(args.get_or("job-id", 0u64)?);
+    let type_name = args.required("type")?.to_string();
+    let announced = args.get("announce").unwrap_or(&type_name).to_string();
+    let seed: u64 = args.get_or("seed", 1)?;
+    let speedup: f64 = args.get_or("speedup", 200.0)?;
+    let tick_ms: u64 = args.get_or("tick-ms", 5)?;
+    let dither = !args.flag("no-dither");
+
+    let catalog = standard_catalog();
+    let spec = catalog
+        .find(&type_name)
+        .ok_or_else(|| format!("unknown job type `{type_name}`"))?
+        .clone();
+    let nodes_wanted: u32 = args.get_or("nodes", spec.nodes)?;
+    let believed = catalog.find(&announced).unwrap_or(&spec).clone();
+
+    let nodes: Vec<Node> = (0..nodes_wanted).map(|i| Node::paper(NodeId(i))).collect();
+    let (mut runtime, modeler_side) = JobRuntime::launch(job, spec.clone(), nodes, seed)?;
+    let mut mcfg = ModelerConfig::paper();
+    if !dither {
+        mcfg.dither_fraction = 0.0;
+    }
+    let modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
+    let mut endpoint = JobEndpoint::connect(
+        connect,
+        job,
+        &announced,
+        nodes_wanted,
+        modeler_side,
+        modeler,
+    )?;
+
+    let dt = Seconds(0.5);
+    let mut now = Seconds::ZERO;
+    let real_tick = Duration::from_millis(tick_ms);
+    let virtual_per_tick = speedup * real_tick.as_secs_f64();
+    loop {
+        // Advance virtual time in dt steps to match the wall tick.
+        let mut advanced = 0.0;
+        let mut done = runtime.is_done();
+        while advanced < virtual_per_tick && !done {
+            done = runtime.step(dt)?;
+            now += dt;
+            advanced += dt.value();
+            endpoint.pump(now)?;
+        }
+        if done || endpoint.shutdown_requested() {
+            break;
+        }
+        std::thread::sleep(real_tick);
+    }
+    endpoint.finish(runtime.elapsed())?;
+    print!("{}", runtime.report().render());
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! `anord` — the standalone ANOR cluster power budgeter daemon.
+//!
+//! The head-node process of Fig. 2: listens for job-tier endpoint
+//! connections over TCP, reads power targets (a constant budget or a
+//! time/watts ladder file, Section 4.1), and continuously redistributes
+//! the busy-node power budget across connected jobs.
+//!
+//! ```text
+//! anord --listen 127.0.0.1:0 --policy even-slowdown --feedback \
+//!       --budget 840 --expect-jobs 2
+//! anord --listen 127.0.0.1:5533 --targets targets.txt --duration-secs 3600
+//! ```
+//!
+//! Prints `anord listening on <addr>` once ready (machine-readable for
+//! launchers), then a completion line per job.
+
+use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
+use anor_cluster::{Args, BudgetPolicy};
+use anor_types::{Seconds, Watts};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+fn parse_policy(name: &str) -> Result<BudgetPolicy, String> {
+    match name {
+        "uniform" => Ok(BudgetPolicy::Uniform),
+        "even-power" => Ok(BudgetPolicy::EvenPower),
+        "even-slowdown" => Ok(BudgetPolicy::EvenSlowdown),
+        other => Err(format!(
+            "unknown policy `{other}` (use uniform | even-power | even-slowdown)"
+        )),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("anord: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::from_env()?;
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    let policy = parse_policy(args.get("policy").unwrap_or("even-slowdown"))?;
+    let feedback = args.flag("feedback");
+    let tick_ms: u64 = args.get_or("tick-ms", 10)?;
+    let expect_jobs: usize = args.get_or("expect-jobs", 0)?;
+    let duration_secs: f64 = args.get_or("duration-secs", 0.0)?;
+    // Power objective: a constant budget or a targets file ladder.
+    let budget: f64 = args.get_or("budget", 0.0)?;
+    let targets: Vec<(Seconds, Watts)> = match args.get("targets") {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            anor_aqa::schedule::parse_power_targets(std::io::BufReader::new(file))?
+        }
+        None => Vec::new(),
+    };
+    if budget <= 0.0 && targets.is_empty() {
+        return Err("need --budget WATTS or --targets FILE".into());
+    }
+
+    let cfg = BudgeterConfig::new(policy, feedback);
+    let (mut daemon, addr) = ClusterBudgeter::bind_addr(cfg, listen)?;
+    println!("anord listening on {addr}");
+    std::io::stdout().flush()?;
+
+    let start = Instant::now();
+    let mut reported = 0usize;
+    loop {
+        let elapsed = start.elapsed().as_secs_f64();
+        if duration_secs > 0.0 && elapsed >= duration_secs {
+            break;
+        }
+        let target = if targets.is_empty() {
+            Watts(budget)
+        } else {
+            // Piecewise-constant ladder relative to daemon start.
+            targets
+                .iter()
+                .rev()
+                .find(|(t, _)| t.value() <= elapsed)
+                .map(|&(_, w)| w)
+                .unwrap_or(targets[0].1)
+        };
+        daemon.pump(target)?;
+        while reported < daemon.completed().len() {
+            let (job, elapsed_s) = daemon.completed()[reported];
+            println!("anord: {job} done after {elapsed_s:.1}");
+            std::io::stdout().flush()?;
+            reported += 1;
+        }
+        if expect_jobs > 0 && daemon.completed().len() >= expect_jobs {
+            println!("anord: all {expect_jobs} expected jobs completed");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(tick_ms));
+    }
+    Ok(())
+}

@@ -1,0 +1,627 @@
+//! The head-node cluster power budgeter daemon.
+//!
+//! Section 4: "The cluster-tier manager periodically reads cluster power
+//! targets..., receives messages from nodes running jobs, calculates how
+//! to distribute available power to jobs, and sends messages to inform
+//! each job-tier endpoint of the job's new power cap."
+//!
+//! The daemon listens on TCP; each job's endpoint process connects and
+//! introduces itself with `Hello { job, type_name, nodes }`. The budgeter
+//! builds its *believed* [`JobView`] from the announced type name — which
+//! may be wrong (misclassification) or unknown (then a configurable
+//! default assumption applies, Section 6.1.2). With feedback enabled,
+//! incoming `Model` messages replace the believed curve.
+
+use crate::codec::FramedStream;
+use anor_policy::{
+    Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter,
+};
+use anor_types::msg::{ClusterToJob, JobToCluster};
+use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+
+/// Which distribution rule the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Same cap on every node (performance-agnostic).
+    Uniform,
+    /// The γ-interpolating performance-unaware balancer.
+    EvenPower,
+    /// The model-driven even-slowdown balancer.
+    EvenSlowdown,
+}
+
+impl BudgetPolicy {
+    fn assign(&self, budget: Watts, jobs: &[JobView]) -> Vec<Watts> {
+        match self {
+            BudgetPolicy::Uniform => UniformBudgeter.assign(budget, jobs),
+            BudgetPolicy::EvenPower => EvenPowerBudgeter.assign(budget, jobs),
+            BudgetPolicy::EvenSlowdown => EvenSlowdownBudgeter::default().assign(budget, jobs),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BudgetPolicy::Uniform => "uniform",
+            BudgetPolicy::EvenPower => "even-power",
+            BudgetPolicy::EvenSlowdown => "even-slowdown",
+        }
+    }
+}
+
+/// Default identity assumed for job types the budgeter does not know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownDefault {
+    /// Assume the least power-sensitive known type (under-prediction).
+    LeastSensitive,
+    /// Assume the most power-sensitive known type (over-prediction).
+    MostSensitive,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct BudgeterConfig {
+    /// Distribution policy.
+    pub policy: BudgetPolicy,
+    /// Fold job-tier `Model` messages back into views?
+    pub feedback: bool,
+    /// Known job types (for resolving announced names).
+    pub catalog: Catalog,
+    /// Assumption for unknown names.
+    pub unknown_default: UnknownDefault,
+    /// Re-send a job's cap only when it moved by more than this.
+    pub recap_threshold: Watts,
+}
+
+impl BudgeterConfig {
+    /// A sensible default configuration over the standard catalog.
+    pub fn new(policy: BudgetPolicy, feedback: bool) -> Self {
+        BudgeterConfig {
+            policy,
+            feedback,
+            catalog: anor_types::standard_catalog(),
+            unknown_default: UnknownDefault::LeastSensitive,
+            recap_threshold: Watts(1.0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    view: JobView,
+    conn: usize,
+    last_cap: Option<Watts>,
+    samples_seen: u64,
+    models_seen: u64,
+    /// Highest per-node power ever observed for the job. With feedback
+    /// enabled this corrects a misclassified believed power window: a job
+    /// labelled as a low-power type that is seen drawing more clearly can
+    /// use more.
+    peak_node_power: Watts,
+    /// Consecutive samples with draw far below the assigned cap.
+    under_draw_streak: u32,
+    done: Option<Seconds>,
+}
+
+/// The budgeter daemon (pump-driven).
+#[derive(Debug)]
+pub struct ClusterBudgeter {
+    cfg: BudgeterConfig,
+    listener: TcpListener,
+    conns: Vec<Option<FramedStream>>,
+    jobs: HashMap<JobId, JobEntry>,
+    completed: Vec<(JobId, Seconds)>,
+}
+
+impl ClusterBudgeter {
+    /// Bind on an ephemeral localhost port. Returns the daemon and the
+    /// address endpoints should connect to.
+    pub fn bind(cfg: BudgeterConfig) -> Result<(Self, SocketAddr)> {
+        Self::bind_addr(cfg, "127.0.0.1:0")
+    }
+
+    /// Bind on an explicit address (the standalone `anord` daemon).
+    pub fn bind_addr(cfg: BudgeterConfig, addr: &str) -> Result<(Self, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok((
+            ClusterBudgeter {
+                cfg,
+                listener,
+                conns: Vec::new(),
+                jobs: HashMap::new(),
+                completed: Vec::new(),
+            },
+            addr,
+        ))
+    }
+
+    /// One control pass: accept connections, ingest messages, recompute
+    /// the assignment over active jobs for `busy_budget` (total CPU watts
+    /// for all job-occupied nodes), and send changed caps.
+    pub fn pump(&mut self, busy_budget: Watts) -> Result<()> {
+        self.accept_new()?;
+        self.ingest()?;
+        self.redistribute(busy_budget)
+    }
+
+    fn accept_new(&mut self) -> Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.conns.push(Some(FramedStream::new(stream)?)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn resolve_view(&self, job: JobId, type_name: &str, nodes: u32) -> JobView {
+        let spec = self.cfg.catalog.find(type_name).unwrap_or_else(|| {
+            match self.cfg.unknown_default {
+                UnknownDefault::LeastSensitive => self
+                    .cfg
+                    .catalog
+                    .least_sensitive()
+                    .expect("catalog must not be empty"),
+                UnknownDefault::MostSensitive => self
+                    .cfg
+                    .catalog
+                    .most_sensitive()
+                    .expect("catalog must not be empty"),
+            }
+        });
+        let mut view = JobView::from_spec(job, spec);
+        view.nodes = nodes;
+        view
+    }
+
+    fn ingest(&mut self) -> Result<()> {
+        for idx in 0..self.conns.len() {
+            let Some(stream) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            stream.flush_some()?;
+            // A misbehaving peer (malformed frames, oversized length
+            // prefix) must not take the daemon down: treat its protocol
+            // errors like a disconnect and drop only that connection.
+            let (frames, mut closed) = match stream.recv_frames() {
+                Ok(frames) => (frames, stream.is_closed()),
+                Err(AnorError::Protocol(_)) => (Vec::new(), true),
+                Err(e) => return Err(e),
+            };
+            for body in frames {
+                let msg = match JobToCluster::decode(body) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                };
+                match msg {
+                    JobToCluster::Hello {
+                        job,
+                        type_name,
+                        nodes,
+                    } => {
+                        let view = self.resolve_view(job, &type_name, nodes);
+                        self.jobs.insert(
+                            job,
+                            JobEntry {
+                                view,
+                                conn: idx,
+                                last_cap: None,
+                                samples_seen: 0,
+                                models_seen: 0,
+                                peak_node_power: Watts::ZERO,
+                                under_draw_streak: 0,
+                                done: None,
+                            },
+                        );
+                    }
+                    JobToCluster::Sample(s) => {
+                        if let Some(e) = self.jobs.get_mut(&s.job) {
+                            e.samples_seen += 1;
+                            let per_node = s.avg_power / e.view.nodes.max(1) as f64;
+                            e.peak_node_power = e.peak_node_power.max(per_node);
+                            if self.cfg.feedback {
+                                if per_node.value() > e.view.max_draw.value() + 1.0 {
+                                    // Observation contradicts the believed
+                                    // power window: widen it.
+                                    e.view.max_draw = per_node;
+                                }
+                                // Slack reclaim (Section 7.2): a job whose
+                                // draw sits far below its assigned cap
+                                // (setup/teardown, I/O stall) donates its
+                                // headroom back to the pool; a job pinned
+                                // at its cap probes upward so a shrunken
+                                // window can recover.
+                                if let Some(cap) = e.last_cap {
+                                    let ratio = per_node / cap;
+                                    if ratio < 0.7 {
+                                        e.under_draw_streak += 1;
+                                        if e.under_draw_streak >= 3 {
+                                            e.view.max_draw = (per_node * 1.05)
+                                                .max(e.view.cap_range.min);
+                                        }
+                                    } else {
+                                        e.under_draw_streak = 0;
+                                        if ratio > 0.98
+                                            && e.view.max_draw.value() <= cap.value() * 1.05
+                                        {
+                                            e.view.max_draw =
+                                                (e.view.max_draw + Watts(10.0))
+                                                    .min(e.view.cap_range.max);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    JobToCluster::Model { job, curve, .. } => {
+                        if let Some(e) = self.jobs.get_mut(&job) {
+                            e.models_seen += 1;
+                            if self.cfg.feedback {
+                                e.view = e.view.clone().with_curve(curve);
+                            }
+                        }
+                    }
+                    JobToCluster::Done { job, elapsed } => {
+                        if let Some(e) = self.jobs.get_mut(&job) {
+                            e.done = Some(elapsed);
+                        }
+                        self.completed.push((job, elapsed));
+                    }
+                }
+            }
+            if closed {
+                // Any job on this connection that never said Done is gone.
+                self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
+                self.conns[idx] = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn redistribute(&mut self, busy_budget: Watts) -> Result<()> {
+        let mut active: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, e)| e.done.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        active.sort_unstable();
+        let views: Vec<JobView> = active.iter().map(|id| self.jobs[id].view.clone()).collect();
+        let caps = self.cfg.policy.assign(busy_budget, &views);
+        for (id, cap) in active.iter().zip(caps) {
+            let entry = self.jobs.get_mut(id).expect("active job present");
+            let changed = entry
+                .last_cap
+                .is_none_or(|prev| (prev - cap).abs().value() > self.cfg.recap_threshold.value());
+            if !changed {
+                continue;
+            }
+            entry.last_cap = Some(cap);
+            let conn = entry.conn;
+            if let Some(stream) = self.conns[conn].as_mut() {
+                stream.send(ClusterToJob::SetPowerCap { cap }.encode())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Jobs currently registered and not done.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.values().filter(|e| e.done.is_none()).count()
+    }
+
+    /// The last cap sent per job, sorted by job id.
+    pub fn job_caps(&self) -> Vec<(JobId, Option<Watts>)> {
+        let mut v: Vec<(JobId, Option<Watts>)> = self
+            .jobs
+            .iter()
+            .map(|(&id, e)| (id, e.last_cap))
+            .collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Samples and models ingested for a job (telemetry for tests).
+    pub fn job_traffic(&self, job: JobId) -> Option<(u64, u64)> {
+        self.jobs.get(&job).map(|e| (e.samples_seen, e.models_seen))
+    }
+
+    /// The believed curve currently used for a job.
+    pub fn believed_view(&self, job: JobId) -> Option<&JobView> {
+        self.jobs.get(&job).map(|e| &e.view)
+    }
+
+    /// Completed jobs with their reported elapsed times.
+    pub fn completed(&self) -> &[(JobId, Seconds)] {
+        &self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::msg::EpochSample;
+    use anor_types::{Joules, PowerCurve};
+    use std::net::TcpStream;
+
+    fn connect(addr: SocketAddr) -> FramedStream {
+        FramedStream::new(TcpStream::connect(addr).unwrap()).unwrap()
+    }
+
+    fn hello(job: u64, name: &str, nodes: u32) -> bytes::Bytes {
+        JobToCluster::Hello {
+            job: JobId(job),
+            type_name: name.into(),
+            nodes,
+        }
+        .encode()
+    }
+
+    /// Pump the daemon until a predicate holds (bounded retries with tiny
+    /// sleeps — localhost TCP is fast but not instantaneous).
+    fn pump_until(
+        b: &mut ClusterBudgeter,
+        budget: Watts,
+        mut done: impl FnMut(&ClusterBudgeter) -> bool,
+    ) {
+        for _ in 0..1000 {
+            b.pump(budget).unwrap();
+            if done(b) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("budgeter pump_until timed out");
+    }
+
+    #[test]
+    fn hello_registers_job_and_cap_is_sent() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::EvenSlowdown,
+            false,
+        ))
+        .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(1, "bt.D.81", 2)).unwrap();
+        pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
+        // The endpoint should receive a SetPowerCap.
+        let mut got = Vec::new();
+        pump_until(&mut b, Watts(400.0), |_| {
+            client.flush_some().unwrap();
+            got.extend(client.recv_frames().unwrap());
+            !got.is_empty()
+        });
+        let ClusterToJob::SetPowerCap { cap } = ClusterToJob::decode(got.remove(0)).unwrap()
+        else {
+            panic!("expected a cap message");
+        };
+        // 400 W over 2 nodes -> 200 W/node.
+        assert!((cap.value() - 200.0).abs() < 2.0, "cap {cap}");
+    }
+
+    #[test]
+    fn two_jobs_split_budget_by_policy() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::EvenSlowdown,
+            false,
+        ))
+        .unwrap();
+        let mut bt = connect(addr);
+        let mut sp = connect(addr);
+        bt.send(hello(1, "bt.D.81", 2)).unwrap();
+        sp.send(hello(2, "sp.D.81", 2)).unwrap();
+        pump_until(&mut b, Watts(840.0), |b| b.active_jobs() == 2);
+        pump_until(&mut b, Watts(840.0), |b| {
+            b.job_caps().iter().all(|(_, c)| c.is_some())
+        });
+        let caps = b.job_caps();
+        let bt_cap = caps[0].1.unwrap();
+        let sp_cap = caps[1].1.unwrap();
+        assert!(
+            bt_cap.value() > sp_cap.value() + 10.0,
+            "even-slowdown steers power to BT: {bt_cap} vs {sp_cap}"
+        );
+        // Budget approximately spent.
+        let total = 2.0 * bt_cap.value() + 2.0 * sp_cap.value();
+        assert!((total - 840.0).abs() < 5.0, "total {total}");
+    }
+
+    #[test]
+    fn unknown_type_uses_configured_default() {
+        for (default, expect_most) in [
+            (UnknownDefault::LeastSensitive, false),
+            (UnknownDefault::MostSensitive, true),
+        ] {
+            let mut cfg = BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false);
+            cfg.unknown_default = default;
+            let (mut b, addr) = ClusterBudgeter::bind(cfg).unwrap();
+            let mut client = connect(addr);
+            client.send(hello(9, "mystery.X.1", 1)).unwrap();
+            pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+            let view = b.believed_view(JobId(9)).unwrap();
+            let cat = anor_types::standard_catalog();
+            let expected = if expect_most {
+                cat.most_sensitive().unwrap().curve()
+            } else {
+                cat.least_sensitive().unwrap().curve()
+            };
+            assert_eq!(view.curve, expected);
+            assert_eq!(view.nodes, 1, "nodes come from Hello, not the default");
+        }
+    }
+
+    #[test]
+    fn feedback_updates_view_only_when_enabled() {
+        for feedback in [false, true] {
+            let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+                BudgetPolicy::EvenSlowdown,
+                feedback,
+            ))
+            .unwrap();
+            let mut client = connect(addr);
+            client.send(hello(3, "is.D.32", 1)).unwrap();
+            pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+            let original = b.believed_view(JobId(3)).unwrap().curve;
+            let fitted = PowerCurve::new(3.0e-5, -0.02, 7.7);
+            client
+                .send(
+                    JobToCluster::Model {
+                        job: JobId(3),
+                        curve: fitted,
+                        samples: 24,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            pump_until(&mut b, Watts(200.0), |b| {
+                b.job_traffic(JobId(3)).unwrap().1 == 1
+            });
+            let now = b.believed_view(JobId(3)).unwrap().curve;
+            if feedback {
+                assert_eq!(now, fitted, "feedback on: model replaces view");
+            } else {
+                assert_eq!(now, original, "feedback off: model ignored");
+            }
+        }
+    }
+
+    #[test]
+    fn done_and_disconnect_deactivate_job() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::Uniform,
+            false,
+        ))
+        .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(5, "mg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        client
+            .send(
+                JobToCluster::Done {
+                    job: JobId(5),
+                    elapsed: Seconds(123.0),
+                }
+                .encode(),
+            )
+            .unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 0);
+        assert_eq!(b.completed(), &[(JobId(5), Seconds(123.0))]);
+        drop(client);
+        // Pumping after the disconnect is harmless.
+        b.pump(Watts(200.0)).unwrap();
+    }
+
+    #[test]
+    fn abrupt_disconnect_without_done_removes_job() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::Uniform,
+            false,
+        ))
+        .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(6, "cg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        drop(client);
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 0);
+    }
+
+    #[test]
+    fn samples_are_counted() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::Uniform,
+            false,
+        ))
+        .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(7, "lu.D.42", 1)).unwrap();
+        for i in 0..5u64 {
+            client
+                .send(
+                    JobToCluster::Sample(EpochSample {
+                        job: JobId(7),
+                        epoch_count: i,
+                        energy: Joules(10.0 * i as f64),
+                        avg_power: Watts(150.0),
+                        avg_cap: Watts(160.0),
+                        timestamp: Seconds(i as f64),
+                    })
+                    .encode(),
+                )
+                .unwrap();
+        }
+        pump_until(&mut b, Watts(200.0), |b| {
+            b.job_traffic(JobId(7)).is_some_and(|(s, _)| s == 5)
+        });
+    }
+
+    #[test]
+    fn malformed_peer_is_dropped_without_killing_the_daemon() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::EvenSlowdown,
+            false,
+        ))
+        .unwrap();
+        // A healthy job...
+        let mut good = connect(addr);
+        good.send(hello(1, "bt.D.81", 2)).unwrap();
+        pump_until(&mut b, Watts(500.0), |b| b.active_jobs() == 1);
+        // ...and a hostile peer sending garbage: a plausible length
+        // prefix followed by junk, then an oversized length prefix.
+        let mut evil = connect(addr);
+        let mut junk = bytes::BytesMut::new();
+        bytes::BufMut::put_u32(&mut junk, 3);
+        bytes::BufMut::put_slice(&mut junk, &[0xde, 0xad, 0xbe]);
+        bytes::BufMut::put_u32(&mut junk, u32::MAX);
+        evil.send(junk.freeze()).unwrap();
+        // The daemon keeps running and the healthy job stays active.
+        for _ in 0..100 {
+            evil.flush_some().unwrap();
+            b.pump(Watts(500.0)).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(b.active_jobs(), 1, "healthy job must survive");
+        // And the healthy job still gets budget updates.
+        pump_until(&mut b, Watts(560.0), |b| b.job_caps()[0].1.is_some());
+    }
+
+    #[test]
+    fn caps_resent_only_on_material_change() {
+        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
+            BudgetPolicy::Uniform,
+            false,
+        ))
+        .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(8, "mg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        let mut frames = Vec::new();
+        // Pump many times at the same budget: only one cap message.
+        for _ in 0..50 {
+            b.pump(Watts(200.0)).unwrap();
+            client.flush_some().unwrap();
+            frames.extend(client.recv_frames().unwrap());
+        }
+        assert_eq!(frames.len(), 1, "redundant caps must be elided");
+        // A real budget change triggers a resend.
+        for _ in 0..50 {
+            b.pump(Watts(260.0)).unwrap();
+            client.flush_some().unwrap();
+            frames.extend(client.recv_frames().unwrap());
+            if frames.len() == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(frames.len(), 2);
+    }
+}

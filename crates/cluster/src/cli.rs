@@ -1,0 +1,121 @@
+//! A minimal command-line argument parser for the daemon binaries.
+//!
+//! `--key value` and `--flag` styles only — enough for `anord` and
+//! `anor-job` without pulling an argument-parsing dependency into the
+//! workspace.
+
+use anor_types::{AnorError, Result};
+use std::collections::HashMap;
+
+/// Parsed arguments: `--key value` pairs and bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(AnorError::config(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            if key.is_empty() {
+                return Err(AnorError::config("empty option name"));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    out.values.insert(key.to_string(), value);
+                }
+                _ => out.flags.push(key.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process's own arguments.
+    pub fn from_env() -> Result<Args> {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| AnorError::config(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional option parsed to a type, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                AnorError::config(format!("option --{key}: cannot parse `{v}`"))
+            }),
+        }
+    }
+
+    /// Is a bare flag present?
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse("--listen 127.0.0.1:0 --feedback --policy even-slowdown");
+        assert_eq!(a.required("listen").unwrap(), "127.0.0.1:0");
+        assert_eq!(a.get("policy"), Some("even-slowdown"));
+        assert!(a.flag("feedback"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse("--nodes 4");
+        assert_eq!(a.get_or("nodes", 1u32).unwrap(), 4);
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert!(a.get_or::<u32>("nodes", 0).is_ok());
+        let bad = parse("--nodes four");
+        assert!(bad.get_or::<u32>("nodes", 0).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let a = parse("--other 1");
+        assert!(a.required("listen").is_err());
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(Args::parse(["oops".to_string()]).is_err());
+        assert!(Args::parse(["--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse("--verbose --nodes 2");
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get_or("nodes", 0u32).unwrap(), 2);
+    }
+}

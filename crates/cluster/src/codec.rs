@@ -1,0 +1,211 @@
+//! Non-blocking framed TCP streams.
+//!
+//! The cluster daemon and the job endpoints are *pumped* state machines
+//! driven by the experiment harness's virtual clock, so their sockets are
+//! non-blocking: reads drain whatever the kernel has, writes queue into
+//! an outbound buffer that is flushed opportunistically. This exercises a
+//! real sockets code path (localhost TCP) without tying experiment time
+//! to wall-clock time.
+
+use anor_types::msg::take_frame;
+use anor_types::Result;
+use bytes::{Bytes, BytesMut};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// A length-prefix-framed, non-blocking TCP stream.
+#[derive(Debug)]
+pub struct FramedStream {
+    stream: TcpStream,
+    inbuf: BytesMut,
+    outbuf: BytesMut,
+    closed: bool,
+}
+
+impl FramedStream {
+    /// Wrap a connected stream: switches it to non-blocking mode and
+    /// disables Nagle (control messages are tiny and latency-sensitive).
+    pub fn new(stream: TcpStream) -> Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(FramedStream {
+            stream,
+            inbuf: BytesMut::with_capacity(4096),
+            outbuf: BytesMut::with_capacity(4096),
+            closed: false,
+        })
+    }
+
+    /// Queue an encoded frame and try to flush.
+    pub fn send(&mut self, frame: Bytes) -> Result<()> {
+        self.outbuf.extend_from_slice(&frame);
+        self.flush_some()
+    }
+
+    /// Write as much buffered output as the socket accepts right now.
+    pub fn flush_some(&mut self) -> Result<()> {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    let _ = self.outbuf.split_to(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == ErrorKind::BrokenPipe
+                        || e.kind() == ErrorKind::ConnectionReset =>
+                {
+                    self.closed = true;
+                    return Ok(());
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the socket and return every complete frame body received.
+    pub fn recv_frames(&mut self) -> Result<Vec<Bytes>> {
+        let mut scratch = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                    self.closed = true;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut frames = Vec::new();
+        while let Some(body) = take_frame(&mut self.inbuf)? {
+            frames.push(body);
+        }
+        Ok(frames)
+    }
+
+    /// True once the peer closed or reset the connection.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending_out(&self) -> usize {
+        self.outbuf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::msg::{ClusterToJob, JobToCluster};
+    use anor_types::{JobId, Seconds, Watts};
+    use std::net::TcpListener;
+
+    fn pair() -> (FramedStream, FramedStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (
+            FramedStream::new(client).unwrap(),
+            FramedStream::new(server).unwrap(),
+        )
+    }
+
+    fn pump_until<F: FnMut() -> bool>(mut done: F) {
+        for _ in 0..1000 {
+            if done() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("pump_until timed out");
+    }
+
+    #[test]
+    fn messages_round_trip_over_tcp() {
+        let (mut client, mut server) = pair();
+        client
+            .send(ClusterToJob::SetPowerCap { cap: Watts(205.0) }.encode())
+            .unwrap();
+        let mut got = Vec::new();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            got.extend(server.recv_frames().unwrap());
+            !got.is_empty()
+        });
+        let msg = ClusterToJob::decode(got.remove(0)).unwrap();
+        assert_eq!(msg, ClusterToJob::SetPowerCap { cap: Watts(205.0) });
+    }
+
+    #[test]
+    fn many_frames_in_one_burst() {
+        let (mut client, mut server) = pair();
+        for i in 0..100u64 {
+            client
+                .send(
+                    JobToCluster::Done {
+                        job: JobId(i),
+                        elapsed: Seconds(i as f64),
+                    }
+                    .encode(),
+                )
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            got.extend(server.recv_frames().unwrap());
+            got.len() == 100
+        });
+        for (i, body) in got.into_iter().enumerate() {
+            let JobToCluster::Done { job, .. } = JobToCluster::decode(body).unwrap() else {
+                panic!("wrong message kind");
+            };
+            assert_eq!(job, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn closed_peer_detected() {
+        let (client, mut server) = pair();
+        drop(client);
+        pump_until(|| {
+            server.recv_frames().unwrap();
+            server.is_closed()
+        });
+    }
+
+    #[test]
+    fn recv_on_quiet_socket_is_empty_not_blocking() {
+        let (_client, mut server) = pair();
+        let start = std::time::Instant::now();
+        let frames = server.recv_frames().unwrap();
+        assert!(frames.is_empty());
+        assert!(start.elapsed().as_millis() < 100, "recv must not block");
+    }
+
+    #[test]
+    fn pending_out_drains() {
+        let (mut client, mut server) = pair();
+        client
+            .send(ClusterToJob::RequestSample.encode())
+            .unwrap();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            !server.recv_frames().unwrap().is_empty() || client.pending_out() == 0
+        });
+        assert_eq!(client.pending_out(), 0);
+    }
+}

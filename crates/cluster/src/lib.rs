@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # anor-cluster
+//!
+//! The end-to-end ANOR implementation for demand response (paper
+//! Section 4, Fig. 2): "A single cluster-tier process communicates over
+//! TCP with one job-tier power-modeling process per job, sending down
+//! power budgets and receiving power models. The power-modeling process
+//! sends power budgets to one GEOPM agent instance per job, over shared
+//! memory, and receives performance metrics back from the agent."
+//!
+//! * [`codec`] — non-blocking framed TCP streams over the
+//!   `anor-types::msg` wire protocol;
+//! * [`budgeter`] — the head-node cluster power budgeter daemon: accepts
+//!   job connections, tracks believed job views, redistributes the busy
+//!   power budget on every control pass, and (when feedback is enabled)
+//!   folds received `Model` messages back into its views;
+//! * [`endpoint`] — the per-job job-tier process bridging the GEOPM
+//!   endpoint to the budgeter over TCP, running the power modeler;
+//! * [`emulator`] — a 16-node emulated cluster harness that wires
+//!   simulated nodes, GEOPM runtimes, endpoint processes and the budgeter
+//!   daemon together under a virtual clock (the real-hardware
+//!   substitution documented in DESIGN.md).
+
+pub mod budgeter;
+pub mod cli;
+pub mod codec;
+pub mod emulator;
+pub mod endpoint;
+
+pub use budgeter::{BudgetPolicy, BudgeterConfig, ClusterBudgeter};
+pub use cli::Args;
+pub use codec::FramedStream;
+pub use emulator::{EmulatedCluster, EmulatorConfig, JobResult, JobSetup, RunReport};
+pub use endpoint::JobEndpoint;

@@ -1,0 +1,231 @@
+//! GEOPM agents.
+//!
+//! "GEOPM offers a software framework to define agents that periodically
+//! read signals and write controls in response to those signals while a
+//! job executes" (Section 4). The paper modified the stock
+//! `power_governor` agent to also write the application epoch count to
+//! the endpoint (Section 4.3); [`PowerGovernorAgent`] is that modified
+//! agent.
+
+use crate::platformio::{Control, PlatformIo, Signal};
+use anor_types::{Joules, Result, Seconds, Watts};
+
+/// The objective an agent receives from above (its policy): a node-level
+/// CPU power cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentPolicy {
+    /// CPU power cap to enforce on each node.
+    pub node_cap: Watts,
+}
+
+impl AgentPolicy {
+    /// Policy that leaves the node uncapped (cap at TDP).
+    pub fn uncapped(tdp: Watts) -> Self {
+        AgentPolicy { node_cap: tdp }
+    }
+}
+
+/// The summarized state an agent sends up: the paper's modified
+/// power_governor reports epoch count, energy, power and a timestamp
+/// (timestamps were added to reconcile tiers sampling at different rates,
+/// Section 7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AgentSample {
+    /// Application epochs completed (on this node, or min across nodes
+    /// once aggregated by the tree).
+    pub epoch_count: u64,
+    /// Cumulative CPU energy (summed across nodes once aggregated).
+    pub energy: Joules,
+    /// Average CPU power over the last control interval (summed across
+    /// nodes once aggregated).
+    pub power: Watts,
+    /// Average enforced cap over the interval (summed across nodes).
+    pub cap: Watts,
+    /// Node-local time of the observation.
+    pub timestamp: Seconds,
+}
+
+/// A periodic read-signals / write-controls loop bound to one node.
+pub trait Agent {
+    /// Enforce a new policy (called when the endpoint publishes one).
+    fn adjust(&mut self, io: &mut PlatformIo, policy: &AgentPolicy) -> Result<()>;
+
+    /// Summarize current state for the level above.
+    fn sample(&mut self, io: &PlatformIo) -> AgentSample;
+
+    /// Agent name, as it would appear in a GEOPM report header.
+    fn name(&self) -> &'static str;
+}
+
+/// The modified `power_governor` agent: enforces a node power cap and
+/// reports application epochs alongside energy/power telemetry.
+#[derive(Debug, Default, Clone)]
+pub struct PowerGovernorAgent {
+    /// Last cap written, to avoid redundant MSR writes (real MSR writes
+    /// are not free; GEOPM caches controls the same way).
+    enforced: Option<Watts>,
+    adjust_count: u64,
+}
+
+impl PowerGovernorAgent {
+    /// Fresh agent with no cap enforced yet.
+    pub fn new() -> Self {
+        PowerGovernorAgent::default()
+    }
+
+    /// How many times `adjust` actually wrote the control.
+    pub fn writes_issued(&self) -> u64 {
+        self.adjust_count
+    }
+}
+
+impl Agent for PowerGovernorAgent {
+    fn adjust(&mut self, io: &mut PlatformIo, policy: &AgentPolicy) -> Result<()> {
+        if self.enforced == Some(policy.node_cap) {
+            return Ok(());
+        }
+        io.write_control(Control::CpuPowerLimit, policy.node_cap.value())?;
+        self.enforced = Some(policy.node_cap);
+        self.adjust_count += 1;
+        Ok(())
+    }
+
+    fn sample(&mut self, io: &PlatformIo) -> AgentSample {
+        AgentSample {
+            epoch_count: io.read_signal(Signal::EpochCount) as u64,
+            energy: Joules(io.read_signal(Signal::CpuEnergy)),
+            power: Watts(io.read_signal(Signal::CpuPower)),
+            cap: Watts(io.read_signal(Signal::PowerCap)),
+            timestamp: Seconds(io.read_signal(Signal::Time)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "power_governor"
+    }
+}
+
+/// GEOPM's stock read-only agent: samples telemetry but never writes a
+/// control (used for characterization runs and as the do-nothing
+/// baseline — the "no power cap" rows of Figs. 6–8 are monitor-agent
+/// runs).
+#[derive(Debug, Default, Clone)]
+pub struct MonitorAgent;
+
+impl MonitorAgent {
+    /// Fresh monitor agent.
+    pub fn new() -> Self {
+        MonitorAgent
+    }
+}
+
+impl Agent for MonitorAgent {
+    fn adjust(&mut self, _io: &mut PlatformIo, _policy: &AgentPolicy) -> Result<()> {
+        // The monitor agent ignores policies entirely.
+        Ok(())
+    }
+
+    fn sample(&mut self, io: &PlatformIo) -> AgentSample {
+        AgentSample {
+            epoch_count: io.read_signal(Signal::EpochCount) as u64,
+            energy: Joules(io.read_signal(Signal::CpuEnergy)),
+            power: Watts(io.read_signal(Signal::CpuPower)),
+            cap: Watts(io.read_signal(Signal::PowerCap)),
+            timestamp: Seconds(io.read_signal(Signal::Time)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_platform::Node;
+    use anor_types::{standard_catalog, JobId, NodeId};
+
+    fn io_with_job() -> PlatformIo {
+        let mut node = Node::paper(NodeId(0));
+        let spec = standard_catalog().find("lu.D.42").unwrap().clone();
+        node.launch(JobId(1), spec, 9).unwrap();
+        PlatformIo::new(node)
+    }
+
+    #[test]
+    fn adjust_enforces_cap() {
+        let mut io = io_with_job();
+        let mut agent = PowerGovernorAgent::new();
+        agent
+            .adjust(&mut io, &AgentPolicy { node_cap: Watts(180.0) })
+            .unwrap();
+        assert_eq!(io.read_signal(Signal::PowerCap), 180.0);
+        io.advance(Seconds(1.0));
+        assert!(io.read_signal(Signal::CpuPower) <= 180.0 + 1e-9);
+    }
+
+    #[test]
+    fn redundant_adjust_elided() {
+        let mut io = io_with_job();
+        let mut agent = PowerGovernorAgent::new();
+        let p = AgentPolicy { node_cap: Watts(200.0) };
+        agent.adjust(&mut io, &p).unwrap();
+        agent.adjust(&mut io, &p).unwrap();
+        agent.adjust(&mut io, &p).unwrap();
+        assert_eq!(agent.writes_issued(), 1);
+        agent
+            .adjust(&mut io, &AgentPolicy { node_cap: Watts(220.0) })
+            .unwrap();
+        assert_eq!(agent.writes_issued(), 2);
+    }
+
+    #[test]
+    fn sample_reflects_signals() {
+        let mut io = io_with_job();
+        let mut agent = PowerGovernorAgent::new();
+        agent
+            .adjust(&mut io, &AgentPolicy { node_cap: Watts(250.0) })
+            .unwrap();
+        for _ in 0..10 {
+            io.advance(Seconds(1.0));
+        }
+        let s = agent.sample(&io);
+        assert!(s.energy.value() > 0.0);
+        assert!(s.power.value() > 0.0);
+        assert_eq!(s.cap, Watts(250.0));
+        assert_eq!(s.timestamp, Seconds(10.0));
+        assert_eq!(
+            s.epoch_count,
+            io.node().workload().unwrap().epochs_done()
+        );
+    }
+
+    #[test]
+    fn uncapped_policy_is_tdp() {
+        let p = AgentPolicy::uncapped(Watts(280.0));
+        assert_eq!(p.node_cap, Watts(280.0));
+    }
+
+    #[test]
+    fn agent_name_matches_geopm() {
+        assert_eq!(PowerGovernorAgent::new().name(), "power_governor");
+        assert_eq!(MonitorAgent::new().name(), "monitor");
+    }
+
+    #[test]
+    fn monitor_agent_never_touches_controls() {
+        let mut io = io_with_job();
+        let before = io.read_signal(Signal::PowerCap);
+        let mut agent = MonitorAgent::new();
+        agent
+            .adjust(&mut io, &AgentPolicy { node_cap: Watts(150.0) })
+            .unwrap();
+        assert_eq!(io.read_signal(Signal::PowerCap), before, "cap unchanged");
+        // Sampling still works.
+        io.advance(Seconds(2.0));
+        let s = agent.sample(&io);
+        assert!(s.energy.value() > 0.0);
+        assert_eq!(s.timestamp, Seconds(2.0));
+    }
+}

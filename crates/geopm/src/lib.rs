@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # anor-geopm
+//!
+//! A reimplementation of the subset of the GEOPM HPC runtime [Eastep et
+//! al., ISC 2017] that the paper's ANOR implementation builds on
+//! (Section 4): signals to monitor applications and hardware, controls
+//! for the platform, periodic *agents*, a hierarchical communication tree
+//! for multi-node jobs, and the *endpoint* interface through which a
+//! job-tier process writes new objectives and reads summarized state.
+//!
+//! Module map:
+//!
+//! * [`platformio`] — the signal/control abstraction over a simulated
+//!   node (`CPU_ENERGY` aggregated from package energy-status MSRs with
+//!   wrap handling, `CPU_POWER`, `EPOCH_COUNT`, and the
+//!   `CPU_POWER_LIMIT_CONTROL` control that maps to `PKG_POWER_LIMIT`);
+//! * [`agent`] — the [`agent::Agent`] trait and the modified
+//!   power-governor agent that enforces node power caps and reports epoch
+//!   counts (Section 4.3);
+//! * [`tree`] — the balanced agent communication tree that forwards caps
+//!   from the root agent to all nodes of a job and aggregates samples
+//!   back (epoch count = minimum across nodes, since an epoch completes
+//!   only when *all* processes reach the marker);
+//! * [`endpoint`] — the GEOPM endpoint interface: a shared-memory-style
+//!   mailbox pair through which the job-tier power modeler exchanges
+//!   policies and samples with the agent root;
+//! * [`report`] — per-job GEOPM-style reports with the "Application
+//!   Totals" section the paper uses to measure hardware-experiment
+//!   performance (Section 5.4);
+//! * [`runtime`] — [`runtime::JobRuntime`]: one job's complete job-tier
+//!   stack (nodes + agents + tree + endpoint), stepped in discrete time.
+
+pub mod agent;
+pub mod endpoint;
+pub mod platformio;
+pub mod report;
+pub mod runtime;
+pub mod trace;
+pub mod tree;
+
+pub use agent::{Agent, AgentPolicy, AgentSample, MonitorAgent, PowerGovernorAgent};
+pub use endpoint::{endpoint_pair, EndpointAgent, EndpointModeler};
+pub use platformio::{Control, PlatformIo, Signal};
+pub use report::JobReport;
+pub use runtime::JobRuntime;
+pub use trace::{parse_trace, TraceRow, TraceWriter};
+pub use tree::AgentTree;

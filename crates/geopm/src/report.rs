@@ -1,0 +1,196 @@
+//! GEOPM-style job reports.
+//!
+//! The paper measures hardware-experiment performance from "the
+//! Application Totals section of GEOPM reports that are generated for
+//! each job" (Section 5.4). [`JobReport`] captures that section and
+//! renders it in a GEOPM-like layout.
+
+use crate::agent::AgentSample;
+use anor_types::{JobId, Joules, Seconds, Watts};
+
+/// The per-job summary produced when a job's runtime tears down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Which job this report describes.
+    pub job: JobId,
+    /// Job-type name the job ran as.
+    pub type_name: String,
+    /// Agent that managed the job.
+    pub agent: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Application runtime (the "Application Totals" runtime row).
+    pub runtime: Seconds,
+    /// Total CPU package energy across all nodes.
+    pub energy: Joules,
+    /// Application epochs completed.
+    pub epoch_count: u64,
+}
+
+impl JobReport {
+    /// Assemble a report from the final aggregated sample.
+    pub fn from_final_sample(
+        job: JobId,
+        type_name: impl Into<String>,
+        agent: impl Into<String>,
+        nodes: u32,
+        runtime: Seconds,
+        final_sample: &AgentSample,
+    ) -> Self {
+        JobReport {
+            job,
+            type_name: type_name.into(),
+            agent: agent.into(),
+            nodes,
+            runtime,
+            energy: final_sample.energy,
+            epoch_count: final_sample.epoch_count,
+        }
+    }
+
+    /// Mean power over the application's runtime.
+    pub fn average_power(&self) -> Watts {
+        if self.runtime.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.energy / self.runtime
+        }
+    }
+
+    /// Render in a GEOPM-report-like text layout.
+    pub fn render(&self) -> String {
+        format!(
+            "##### geopm #####\n\
+             Agent: {}\n\
+             Job: {} ({})\n\
+             Hosts: {}\n\
+             Application Totals:\n\
+             \x20   runtime (s): {:.3}\n\
+             \x20   package-energy (J): {:.3}\n\
+             \x20   power (W): {:.3}\n\
+             \x20   epoch-count: {}\n",
+            self.agent,
+            self.job,
+            self.type_name,
+            self.nodes,
+            self.runtime.value(),
+            self.energy.value(),
+            self.average_power().value(),
+            self.epoch_count,
+        )
+    }
+}
+
+impl JobReport {
+    /// Parse a report rendered by [`JobReport::render`] (post-run
+    /// analysis tooling reads these files back).
+    pub fn parse(text: &str) -> anor_types::Result<JobReport> {
+        use anor_types::AnorError;
+        let mut agent = None;
+        let mut job = None;
+        let mut type_name = None;
+        let mut nodes = None;
+        let mut runtime = None;
+        let mut energy = None;
+        let mut epoch_count = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("Agent: ") {
+                agent = Some(v.to_string());
+            } else if let Some(v) = line.strip_prefix("Job: ") {
+                // "job-3 (bt.D.81)"
+                let mut parts = v.splitn(2, ' ');
+                let id = parts
+                    .next()
+                    .and_then(|p| p.strip_prefix("job-"))
+                    .and_then(|p| p.parse::<u64>().ok())
+                    .ok_or_else(|| AnorError::schedule(format!("bad Job line `{v}`")))?;
+                job = Some(JobId(id));
+                type_name = parts
+                    .next()
+                    .map(|p| p.trim_matches(|c| c == '(' || c == ')').to_string());
+            } else if let Some(v) = line.strip_prefix("Hosts: ") {
+                nodes = v.parse::<u32>().ok();
+            } else if let Some(v) = line.strip_prefix("runtime (s): ") {
+                runtime = v.parse::<f64>().ok();
+            } else if let Some(v) = line.strip_prefix("package-energy (J): ") {
+                energy = v.parse::<f64>().ok();
+            } else if let Some(v) = line.strip_prefix("epoch-count: ") {
+                epoch_count = v.parse::<u64>().ok();
+            }
+        }
+        match (agent, job, type_name, nodes, runtime, energy, epoch_count) {
+            (Some(agent), Some(job), Some(type_name), Some(nodes), Some(rt), Some(e), Some(ec)) => {
+                Ok(JobReport {
+                    job,
+                    type_name,
+                    agent,
+                    nodes,
+                    runtime: Seconds(rt),
+                    energy: Joules(e),
+                    epoch_count: ec,
+                })
+            }
+            _ => Err(AnorError::schedule("incomplete GEOPM report")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> JobReport {
+        let s = AgentSample {
+            epoch_count: 250,
+            energy: Joules(120_000.0),
+            power: Watts(0.0),
+            cap: Watts(0.0),
+            timestamp: Seconds(600.0),
+        };
+        JobReport::from_final_sample(JobId(3), "bt.D.81", "power_governor", 2, Seconds(600.0), &s)
+    }
+
+    #[test]
+    fn average_power_is_energy_over_runtime() {
+        let r = report();
+        assert!((r.average_power().value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_runtime_average_power_is_zero() {
+        let mut r = report();
+        r.runtime = Seconds(0.0);
+        assert_eq!(r.average_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let r = report();
+        let parsed = JobReport::parse(&r.render()).unwrap();
+        assert_eq!(parsed.job, r.job);
+        assert_eq!(parsed.type_name, r.type_name);
+        assert_eq!(parsed.agent, r.agent);
+        assert_eq!(parsed.nodes, r.nodes);
+        assert_eq!(parsed.epoch_count, r.epoch_count);
+        assert!((parsed.runtime.value() - r.runtime.value()).abs() < 1e-3);
+        assert!((parsed.energy.value() - r.energy.value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parse_rejects_incomplete_reports() {
+        assert!(JobReport::parse("##### geopm #####\nAgent: monitor\n").is_err());
+        assert!(JobReport::parse("").is_err());
+        assert!(JobReport::parse("Job: nonsense (x)\n").is_err());
+    }
+
+    #[test]
+    fn render_contains_application_totals() {
+        let text = report().render();
+        assert!(text.contains("Application Totals"));
+        assert!(text.contains("runtime (s): 600.000"));
+        assert!(text.contains("epoch-count: 250"));
+        assert!(text.contains("Agent: power_governor"));
+        assert!(text.contains("bt.D.81"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Model-drift detection for phase changes.
+//!
+//! Section 8: "some jobs may consist of multiple power-sensitivity
+//! profiles through the job's lifecycle... Future work may consider how
+//! to handle job phase changes across the management hierarchy." When a
+//! job enters a new phase, the epoch times the modeler observes stop
+//! matching its fitted curve; [`DriftDetector`] watches the normalized
+//! residual stream and flags a sustained shift, so the modeler can drop
+//! stale observations and refit on the new regime.
+
+use anor_types::{PowerCurve, Seconds, Watts};
+use std::collections::VecDeque;
+
+/// Sliding-window drift detector over model residuals.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    /// Number of recent residuals considered.
+    window: usize,
+    /// Median |relative residual| above which drift is declared.
+    threshold: f64,
+    residuals: VecDeque<f64>,
+}
+
+impl DriftDetector {
+    /// Detector with an explicit window and threshold.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 2, "window must hold at least 2 residuals");
+        assert!(threshold > 0.0, "threshold must be positive");
+        DriftDetector {
+            window,
+            threshold,
+            residuals: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Defaults tuned for the catalog's noise levels: an 8-epoch window
+    /// and a 15% sustained misprediction threshold (noise σ ≤ 0.12, so
+    /// the *median* residual of a well-fit model stays well under this).
+    pub fn paper() -> Self {
+        DriftDetector::new(8, 0.15)
+    }
+
+    /// Record one observation against the current model. Returns `true`
+    /// when drift is detected (the caller should reset the model's
+    /// observation history and start refitting).
+    pub fn observe(&mut self, curve: &PowerCurve, cap: Watts, per_epoch: Seconds) -> bool {
+        let predicted = curve.time_at(cap).value();
+        if predicted <= 0.0 {
+            return false;
+        }
+        let rel = (per_epoch.value() - predicted).abs() / predicted;
+        if self.residuals.len() == self.window {
+            self.residuals.pop_front();
+        }
+        self.residuals.push_back(rel);
+        self.is_drifted()
+    }
+
+    /// Current drift verdict over the filled window.
+    pub fn is_drifted(&self) -> bool {
+        if self.residuals.len() < self.window {
+            return false;
+        }
+        let mut sorted: Vec<f64> = self.residuals.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        median > self.threshold
+    }
+
+    /// Forget history (after the model was refit on the new phase).
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+
+    /// Residuals currently buffered.
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// True when no residuals are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::CapRange;
+
+    fn curve(sens: f64) -> PowerCurve {
+        PowerCurve::from_anchor(Seconds(2.0), sens, CapRange::paper_node())
+    }
+
+    #[test]
+    fn well_fit_model_never_drifts() {
+        let c = curve(0.5);
+        let mut d = DriftDetector::paper();
+        for i in 0..100 {
+            let cap = Watts(150.0 + (i % 10) as f64 * 13.0);
+            // Observations match the model within 5% noise.
+            let noisy = c.time_at(cap) * (1.0 + 0.05 * ((i % 3) as f64 - 1.0));
+            assert!(!d.observe(&c, cap, noisy), "false drift at obs {i}");
+        }
+    }
+
+    #[test]
+    fn phase_change_detected_quickly() {
+        let fitted = curve(0.1); // modeler learned the IS-like phase
+        let actual = curve(0.8); // job entered the EP-like phase
+        let mut d = DriftDetector::paper();
+        let mut detected_at = None;
+        for i in 0..50 {
+            let cap = Watts(160.0);
+            if d.observe(&fitted, cap, actual.time_at(cap)) {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("drift must be detected");
+        assert!(at < 16, "took {at} observations to detect");
+    }
+
+    #[test]
+    fn single_outlier_does_not_trigger() {
+        let c = curve(0.5);
+        let mut d = DriftDetector::paper();
+        for i in 0..20 {
+            let cap = Watts(200.0);
+            let t = if i == 10 {
+                c.time_at(cap) * 5.0 // one wild outlier
+            } else {
+                c.time_at(cap)
+            };
+            assert!(!d.observe(&c, cap, t), "outlier falsely triggered at {i}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_verdict() {
+        let fitted = curve(0.1);
+        let actual = curve(0.8);
+        let mut d = DriftDetector::paper();
+        for _ in 0..10 {
+            d.observe(&fitted, Watts(150.0), actual.time_at(Watts(150.0)));
+        }
+        assert!(d.is_drifted());
+        d.reset();
+        assert!(!d.is_drifted());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn window_must_fill_before_verdict() {
+        let fitted = curve(0.1);
+        let actual = curve(0.8);
+        let mut d = DriftDetector::new(8, 0.15);
+        for i in 0..7 {
+            assert!(!d.observe(&fitted, Watts(150.0), actual.time_at(Watts(150.0))),
+                "verdict before window filled at {i}");
+        }
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_window_rejected() {
+        DriftDetector::new(1, 0.1);
+    }
+}

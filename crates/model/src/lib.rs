@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # anor-model
+//!
+//! The job-tier power modeler (paper Section 4.2): "Each model relates a
+//! job's rate of progress to a CPU power cap. The modeler receives an
+//! epoch count from the GEOPM agent layer via the GEOPM endpoint
+//! interface. The modeler records the time since the last epoch update,
+//! and the average power cap applied over that time span. We fit
+//! `T = A·P² + B·P + C` for T seconds per epoch and power cap P watts
+//! below TDP. We re-train the model when at least 10 new epochs have been
+//! recorded. Jobs that report no epochs or that have yet to build a model
+//! use a default model."
+//!
+//! * [`fit`] — least-squares fitting: the paper's 3-parameter quadratic,
+//!   a 2-parameter *anchored* family `T = t₀·(1 + s·((Pmax−P)/span)²)`
+//!   usable with only two distinct cap levels, and R² scoring;
+//! * [`window`] — differencing of cumulative `(epoch_count, timestamp)`
+//!   samples into per-epoch observations tagged with the average cap over
+//!   the window (the timestamping fix of Section 7.2);
+//! * [`modeler`] — the retrain state machine with default-model fallback
+//!   and a small zero-mean cap *dither* that makes the model identifiable
+//!   when the budgeter would otherwise hold a job at a single cap level
+//!   (documented as a substitution in DESIGN.md).
+
+pub mod drift;
+pub mod epoch_detect;
+pub mod fit;
+pub mod modeler;
+pub mod window;
+
+pub use drift::DriftDetector;
+pub use epoch_detect::{detect_epoch_rate, detect_period};
+pub use fit::{fit_anchored, fit_linear, fit_quadratic, r_squared, FitResult};
+pub use modeler::{ModelSource, ModelerConfig, PowerModeler};
+pub use window::EpochWindow;

@@ -1,0 +1,219 @@
+//! Differencing cumulative endpoint samples into per-epoch observations.
+//!
+//! The endpoint delivers *cumulative* state: epoch count so far, a
+//! timestamp, and the cap in force. The modeler needs *per-epoch time at
+//! an average cap* pairs (Section 4.2: "the modeler records the time
+//! since the last epoch update, and the average power cap applied over
+//! that time span"). [`EpochWindow`] performs that differencing, carrying
+//! a time-weighted cap average across sample boundaries — the
+//! asynchronous-sampling bookkeeping Section 7.2 describes.
+
+use anor_types::{Seconds, Watts};
+
+/// One derived observation: `epochs` epochs completed over `elapsed`
+/// seconds at time-weighted average cap `avg_cap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochObservation {
+    /// Number of epochs the window covered.
+    pub epochs: u64,
+    /// Wall-clock the window covered.
+    pub elapsed: Seconds,
+    /// Time-weighted average cap over the window.
+    pub avg_cap: Watts,
+}
+
+impl EpochObservation {
+    /// Seconds per epoch over this window.
+    pub fn per_epoch(&self) -> Seconds {
+        self.elapsed / self.epochs as f64
+    }
+}
+
+/// Stateful differencer over a stream of cumulative samples.
+#[derive(Debug, Clone, Default)]
+pub struct EpochWindow {
+    last_count: Option<u64>,
+    last_ts: Seconds,
+    /// Time-weighted cap accumulator since the last epoch boundary:
+    /// Σ capᵢ·dtᵢ and Σ dtᵢ.
+    cap_time_integral: f64,
+    time_accum: f64,
+}
+
+impl EpochWindow {
+    /// Fresh window with no history.
+    pub fn new() -> Self {
+        EpochWindow::default()
+    }
+
+    /// Feed one cumulative sample `(epoch_count, timestamp, cap_in_force)`.
+    /// Returns an observation when at least one new epoch completed since
+    /// the previous sample; `None` while no epoch boundary has passed
+    /// (the cap exposure is still accumulated so the eventual observation
+    /// is correctly weighted).
+    pub fn push(
+        &mut self,
+        epoch_count: u64,
+        timestamp: Seconds,
+        cap: Watts,
+    ) -> Option<EpochObservation> {
+        // Samples cross a wire; non-finite values must not poison the
+        // accumulators (a NaN cap would make every later fit NaN).
+        if !timestamp.is_finite() || !cap.is_finite() || cap.value() < 0.0 {
+            return None;
+        }
+        let Some(prev) = self.last_count else {
+            // First sample establishes the baseline.
+            self.last_count = Some(epoch_count);
+            self.last_ts = timestamp;
+            return None;
+        };
+        let dt = (timestamp - self.last_ts).value();
+        if dt < 0.0 {
+            // Out-of-order timestamp (tiers sampling asynchronously);
+            // ignore, keeping the established baseline.
+            return None;
+        }
+        self.cap_time_integral += cap.value() * dt;
+        self.time_accum += dt;
+        self.last_ts = timestamp;
+        if epoch_count <= prev {
+            return None;
+        }
+        let epochs = epoch_count - prev;
+        let elapsed = Seconds(self.time_accum);
+        let avg_cap = if self.time_accum > 0.0 {
+            Watts(self.cap_time_integral / self.time_accum)
+        } else {
+            cap
+        };
+        self.last_count = Some(epoch_count);
+        self.cap_time_integral = 0.0;
+        self.time_accum = 0.0;
+        if elapsed.value() <= 0.0 {
+            // Degenerate: epochs with no measured time; unusable for
+            // fitting.
+            return None;
+        }
+        Some(EpochObservation {
+            epochs,
+            elapsed,
+            avg_cap,
+        })
+    }
+
+    /// Discard history (e.g. after a job migrates or the connection
+    /// resets).
+    pub fn reset(&mut self) {
+        *self = EpochWindow::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_only_establishes_baseline() {
+        let mut w = EpochWindow::new();
+        assert!(w.push(5, Seconds(10.0), Watts(200.0)).is_none());
+    }
+
+    #[test]
+    fn basic_differencing() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(200.0));
+        let obs = w.push(4, Seconds(8.0), Watts(200.0)).unwrap();
+        assert_eq!(obs.epochs, 4);
+        assert_eq!(obs.elapsed, Seconds(8.0));
+        assert_eq!(obs.avg_cap, Watts(200.0));
+        assert_eq!(obs.per_epoch(), Seconds(2.0));
+    }
+
+    #[test]
+    fn no_new_epochs_accumulates_exposure() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(150.0));
+        // Two quiet samples under different caps.
+        assert!(w.push(0, Seconds(2.0), Watts(150.0)).is_none());
+        assert!(w.push(0, Seconds(4.0), Watts(250.0)).is_none());
+        // Epoch completes after 2 more seconds at 250 W.
+        let obs = w.push(1, Seconds(6.0), Watts(250.0)).unwrap();
+        assert_eq!(obs.elapsed, Seconds(6.0));
+        // Weighted: (150·2 + 250·2 + 250·2)/6 = 216.67.
+        assert!((obs.avg_cap.value() - 1300.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_change_mid_window_is_time_weighted() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(140.0));
+        w.push(0, Seconds(9.0), Watts(140.0));
+        let obs = w.push(2, Seconds(10.0), Watts(280.0)).unwrap();
+        // 9 s at 140 W + 1 s at 280 W = avg 154 W.
+        assert!((obs.avg_cap.value() - 154.0).abs() < 1e-9);
+        assert_eq!(obs.epochs, 2);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_ignored() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(5.0), Watts(200.0));
+        assert!(w.push(3, Seconds(4.0), Watts(200.0)).is_none());
+        // Stream recovers with a later timestamp.
+        let obs = w.push(3, Seconds(7.0), Watts(200.0)).unwrap();
+        assert_eq!(obs.epochs, 3);
+        assert_eq!(obs.elapsed, Seconds(2.0));
+    }
+
+    #[test]
+    fn epoch_regression_treated_as_quiet() {
+        // A restarted agent reporting a lower count must not panic or
+        // emit a bogus observation.
+        let mut w = EpochWindow::new();
+        w.push(10, Seconds(0.0), Watts(200.0));
+        assert!(w.push(7, Seconds(1.0), Watts(200.0)).is_none());
+    }
+
+    #[test]
+    fn zero_elapsed_observation_suppressed() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(3.0), Watts(200.0));
+        assert!(w.push(5, Seconds(3.0), Watts(200.0)).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_rejected() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(200.0));
+        assert!(w.push(1, Seconds(f64::NAN), Watts(200.0)).is_none());
+        assert!(w.push(1, Seconds(2.0), Watts(f64::INFINITY)).is_none());
+        assert!(w.push(1, Seconds(2.0), Watts(-5.0)).is_none());
+        // The window is still healthy afterwards.
+        let obs = w.push(1, Seconds(2.0), Watts(200.0)).unwrap();
+        assert_eq!(obs.epochs, 1);
+        assert!(obs.avg_cap.is_finite());
+    }
+
+    #[test]
+    fn reset_clears_baseline() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(200.0));
+        w.reset();
+        assert!(w.push(100, Seconds(50.0), Watts(200.0)).is_none());
+        let obs = w.push(101, Seconds(52.0), Watts(200.0)).unwrap();
+        assert_eq!(obs.epochs, 1);
+        assert_eq!(obs.elapsed, Seconds(2.0));
+    }
+
+    #[test]
+    fn consecutive_windows_are_independent() {
+        let mut w = EpochWindow::new();
+        w.push(0, Seconds(0.0), Watts(160.0));
+        let a = w.push(2, Seconds(4.0), Watts(160.0)).unwrap();
+        let b = w.push(4, Seconds(10.0), Watts(240.0)).unwrap();
+        assert_eq!(a.per_epoch(), Seconds(2.0));
+        assert_eq!(b.per_epoch(), Seconds(3.0));
+        assert_eq!(b.avg_cap, Watts(240.0), "window 2 exposure only");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # anor-platform
+//!
+//! A discrete-time model of the paper's compute-node hardware: dual-socket
+//! Intel® Xeon® Gold 6152 nodes with 140 W TDP per package, controlled
+//! through RAPL model-specific registers via the msr-safe allowlist.
+//!
+//! The real system's power-management control loop only ever touches the
+//! hardware through two MSRs — it *reads* `PKG_ENERGY_STATUS` (a wrapping
+//! 32-bit energy accumulator) and *writes* `PKG_POWER_LIMIT` (Section 5.4
+//! of the paper). This crate reproduces exactly that interface:
+//!
+//! * [`msr`] — a simulated, allowlisted MSR register file with the RAPL
+//!   unit encodings (`RAPL_POWER_UNIT`, energy units of 1/2¹⁴ J, power
+//!   units of 1/8 W) and wrap-around semantics;
+//! * [`rapl`] — a package power domain that clamps enforced power to its
+//!   limit and accumulates energy into the MSR counter;
+//! * [`workload`] — synthetic NPB-shaped iterative applications whose
+//!   seconds-per-epoch follows the job type's ground-truth quadratic
+//!   power curve, with per-epoch measurement noise and a per-node
+//!   performance-variation coefficient;
+//! * [`node`] — a whole node: packages + workload + power accounting,
+//!   stepped in discrete time;
+//! * [`variation`] — generators for the per-node performance coefficients
+//!   of Section 6.4.
+
+pub mod msr;
+pub mod node;
+pub mod phases;
+pub mod rapl;
+pub mod variation;
+pub mod workload;
+
+pub use msr::{MsrFile, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT};
+pub use node::{Node, NodeConfig, NodeStepReport, Workload};
+pub use phases::{Phase, PhasedWorkload};
+pub use rapl::PackageDomain;
+pub use variation::PerformanceVariation;
+pub use workload::SyntheticWorkload;

@@ -1,0 +1,249 @@
+//! Multi-phase workloads.
+//!
+//! Section 8: "some jobs may consist of multiple power-sensitivity
+//! profiles through the job's lifecycle" — e.g. an I/O-bound setup phase
+//! followed by a compute-bound solve. [`PhasedWorkload`] runs a sequence
+//! of [`Phase`]s, each with its own power sensitivity and draw, over the
+//! epoochs of a base job type. The job tier sees the same epoch stream as
+//! for a single-phase job; what changes is that the power-performance
+//! relationship shifts mid-run, which is what the modeler's drift
+//! detection (in `anor-model`) has to catch.
+
+use crate::workload::SyntheticWorkload;
+use anor_types::{JobTypeSpec, Seconds, Watts};
+
+/// One contiguous region of a job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Fraction of the job's epochs spent in this phase (fractions are
+    /// normalized internally).
+    pub fraction: f64,
+    /// Power sensitivity during the phase (slowdown − 1 at min cap).
+    pub sensitivity: f64,
+    /// Natural per-node draw during the phase.
+    pub max_draw: Watts,
+}
+
+/// A workload whose power behaviour changes across phases.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    /// Per-phase synthetic workloads, pre-built with phase-specific specs.
+    segments: Vec<(u64, SyntheticWorkload)>, // (epoch budget, workload)
+    current: usize,
+    total_epochs: u64,
+    elapsed: Seconds,
+}
+
+impl PhasedWorkload {
+    /// Build over a base spec. Phase fractions are normalized; each phase
+    /// gets at least one epoch while epochs remain.
+    pub fn new(base: JobTypeSpec, phases: &[Phase], perf_coeff: f64, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let total: f64 = phases.iter().map(|p| p.fraction.max(0.0)).sum();
+        assert!(total > 0.0, "phase fractions must sum to a positive value");
+        let mut segments = Vec::with_capacity(phases.len());
+        let mut remaining = base.epochs;
+        for (i, phase) in phases.iter().enumerate() {
+            let is_last = i + 1 == phases.len();
+            let share = if is_last {
+                remaining
+            } else {
+                (((phase.fraction.max(0.0) / total) * base.epochs as f64).round() as u64)
+                    .clamp(1, remaining.saturating_sub((phases.len() - 1 - i) as u64))
+            };
+            remaining -= share;
+            let mut spec = base.clone();
+            spec.sensitivity = phase.sensitivity;
+            spec.max_draw = phase.max_draw;
+            spec.epochs = share.max(1);
+            // Per-epoch time is preserved: total time scales with share.
+            spec.time_uncapped = base.epoch_time_uncapped() * spec.epochs as f64;
+            segments.push((
+                share.max(1),
+                SyntheticWorkload::new(spec, perf_coeff, seed ^ ((i as u64 + 1) << 40)),
+            ));
+        }
+        PhasedWorkload {
+            segments,
+            current: 0,
+            total_epochs: base.epochs,
+            elapsed: Seconds::ZERO,
+        }
+    }
+
+    /// Index of the phase currently executing.
+    pub fn current_phase(&self) -> usize {
+        self.current.min(self.segments.len() - 1)
+    }
+
+    /// Advance by `dt` under a node cap; returns epochs crossed.
+    pub fn step(&mut self, cap: Watts, dt: Seconds) -> u64 {
+        if self.is_done() {
+            return 0;
+        }
+        self.elapsed += dt;
+        let mut crossed = 0;
+        let mut budget = dt;
+        while budget.value() > 0.0 && !self.is_done() {
+            let seg = &mut self.segments[self.current];
+            let before = seg.1.elapsed();
+            crossed += seg.1.step(cap, budget);
+            let used = seg.1.elapsed() - before;
+            budget -= used;
+            if seg.1.is_done() {
+                self.current += 1;
+                if budget.value() <= 1e-12 {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        crossed
+    }
+
+    /// Cumulative epochs completed across all phases.
+    pub fn epochs_done(&self) -> u64 {
+        self.segments.iter().map(|(_, w)| w.epochs_done()).sum()
+    }
+
+    /// Fractional completion in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.epochs_done() as f64 / self.total_epochs as f64).min(1.0)
+    }
+
+    /// All phases complete?
+    pub fn is_done(&self) -> bool {
+        self.current >= self.segments.len()
+    }
+
+    /// Wall-clock spent executing.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Per-node draw demanded right now (phase-dependent).
+    pub fn power_demand(&self) -> Watts {
+        if self.is_done() {
+            Watts::ZERO
+        } else {
+            self.segments[self.current].1.power_demand()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+
+    fn base() -> JobTypeSpec {
+        standard_catalog().find("bt").unwrap().clone()
+    }
+
+    fn two_phase(coeff: f64, seed: u64) -> PhasedWorkload {
+        PhasedWorkload::new(
+            base(),
+            &[
+                Phase {
+                    fraction: 0.5,
+                    sensitivity: 0.1, // IS-like phase
+                    max_draw: Watts(225.0),
+                },
+                Phase {
+                    fraction: 0.5,
+                    sensitivity: 0.8, // EP-like phase
+                    max_draw: Watts(278.0),
+                },
+            ],
+            coeff,
+            seed,
+        )
+    }
+
+    fn run_to_done(w: &mut PhasedWorkload, cap: Watts, dt: f64) -> f64 {
+        let mut t = 0.0;
+        while !w.is_done() {
+            w.step(cap, Seconds(dt));
+            t += dt;
+            assert!(t < 100_000.0, "phased workload never finished");
+        }
+        t
+    }
+
+    #[test]
+    fn completes_all_epochs_across_phases() {
+        let mut w = two_phase(1.0, 1);
+        run_to_done(&mut w, Watts(280.0), 0.5);
+        assert_eq!(w.epochs_done(), base().epochs);
+        assert_eq!(w.progress(), 1.0);
+        assert_eq!(w.power_demand(), Watts::ZERO);
+    }
+
+    #[test]
+    fn phase_transition_changes_power_demand() {
+        let mut w = two_phase(1.0, 2);
+        assert_eq!(w.current_phase(), 0);
+        assert_eq!(w.power_demand(), Watts(225.0));
+        // Run until the phase flips.
+        let mut guard = 0;
+        while w.current_phase() == 0 {
+            w.step(Watts(280.0), Seconds(1.0));
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert!(!w.is_done());
+        assert_eq!(w.power_demand(), Watts(278.0));
+    }
+
+    #[test]
+    fn capping_hurts_only_the_sensitive_phase() {
+        // Cap at 140 W: phase 1 (sens 0.1) barely slows, phase 2 (0.8)
+        // slows a lot. Total ~ 0.5*(1.1 + 1.8) = 1.45x of uncapped.
+        let mut free = two_phase(1.0, 3);
+        let mut capped = two_phase(1.0, 3);
+        let t_free = run_to_done(&mut free, Watts(280.0), 0.25);
+        let t_capped = run_to_done(&mut capped, Watts(140.0), 0.25);
+        let ratio = t_capped / t_free;
+        assert!(
+            (ratio - 1.45).abs() < 0.12,
+            "phased slowdown {ratio}, expected ~1.45"
+        );
+    }
+
+    #[test]
+    fn single_phase_degenerates_to_plain_workload() {
+        let phases = [Phase {
+            fraction: 1.0,
+            sensitivity: base().sensitivity,
+            max_draw: base().max_draw,
+        }];
+        let mut w = PhasedWorkload::new(base(), &phases, 1.0, 4);
+        let t = run_to_done(&mut w, Watts(280.0), 0.5);
+        let expect = base().time_uncapped.value();
+        assert!((t - expect).abs() / expect < 0.05, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn epoch_shares_respect_fractions() {
+        let w = PhasedWorkload::new(
+            base(),
+            &[
+                Phase { fraction: 0.25, sensitivity: 0.1, max_draw: Watts(200.0) },
+                Phase { fraction: 0.75, sensitivity: 0.7, max_draw: Watts(270.0) },
+            ],
+            1.0,
+            5,
+        );
+        let shares: Vec<u64> = w.segments.iter().map(|(n, _)| *n).collect();
+        assert_eq!(shares.iter().sum::<u64>(), base().epochs);
+        let frac0 = shares[0] as f64 / base().epochs as f64;
+        assert!((frac0 - 0.25).abs() < 0.05, "phase 0 share {frac0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        PhasedWorkload::new(base(), &[], 1.0, 1);
+    }
+}

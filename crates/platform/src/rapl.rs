@@ -1,0 +1,182 @@
+//! A RAPL package power domain.
+//!
+//! Each CPU package enforces its `PKG_POWER_LIMIT` and accumulates the
+//! energy it actually consumed into the wrapping `PKG_ENERGY_STATUS`
+//! counter. The enforcement model is the steady-state one the paper's
+//! control loops rely on: average package power over a control interval
+//! never exceeds the limit (real RAPL enforces this over a configurable
+//! time window; GEOPM samples far slower than that window).
+
+use crate::msr::{
+    self, MsrFile, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT,
+};
+use anor_types::{Joules, PackageId, Result, Seconds, Watts};
+
+/// One CPU package (socket) with RAPL monitoring and control.
+#[derive(Debug, Clone)]
+pub struct PackageDomain {
+    /// Which socket this is within its node.
+    pub id: PackageId,
+    /// Thermal design power — the maximum meaningful power limit.
+    pub tdp: Watts,
+    /// Lowest limit the platform accepts (70 W on the paper's system:
+    /// "the system's minimum-allowed power cap (70 W per CPU package)").
+    pub min_cap: Watts,
+    msr: MsrFile,
+    /// Total energy consumed, unwrapped (simulation-side bookkeeping).
+    energy_total: Joules,
+    /// Power drawn during the most recent step.
+    last_power: Watts,
+}
+
+impl PackageDomain {
+    /// A package with the paper platform's 140 W TDP and 70 W floor.
+    pub fn paper(id: PackageId) -> Self {
+        PackageDomain::new(id, Watts(140.0), Watts(70.0))
+    }
+
+    /// Build a package with the given TDP and minimum cap.
+    pub fn new(id: PackageId, tdp: Watts, min_cap: Watts) -> Self {
+        PackageDomain {
+            id,
+            tdp,
+            min_cap,
+            msr: MsrFile::rapl(tdp),
+            energy_total: Joules::ZERO,
+            last_power: Watts::ZERO,
+        }
+    }
+
+    /// The currently programmed power limit, as the hardware will enforce
+    /// it (clamped to `[min_cap, tdp]`).
+    pub fn power_limit(&self) -> Watts {
+        let raw = self
+            .msr
+            .read(MSR_PKG_POWER_LIMIT)
+            .expect("PKG_POWER_LIMIT always present");
+        let requested = msr::decode_power_limit(raw);
+        requested.clamp(self.min_cap, self.tdp)
+    }
+
+    /// Program a new power limit through the MSR interface. Out-of-range
+    /// requests are accepted into the register but clamped at enforcement
+    /// time, like real silicon.
+    pub fn set_power_limit(&mut self, limit: Watts) -> Result<()> {
+        let raw = msr::encode_power_limit(limit) | msr::PKG_POWER_LIMIT_ENABLE;
+        self.msr.write(MSR_PKG_POWER_LIMIT, raw)
+    }
+
+    /// Advance the package by `dt`, given the power the workload *wants*
+    /// to draw. Returns the power actually drawn (demand clamped to the
+    /// enforced limit) and updates the energy counter.
+    pub fn step(&mut self, demand: Watts, dt: Seconds) -> Watts {
+        let drawn = demand.max(Watts::ZERO).min(self.power_limit());
+        self.energy_total += drawn * dt;
+        self.last_power = drawn;
+        self.msr
+            .hw_store(MSR_PKG_ENERGY_STATUS, msr::encode_energy(self.energy_total));
+        drawn
+    }
+
+    /// Power drawn during the most recent [`PackageDomain::step`].
+    pub fn last_power(&self) -> Watts {
+        self.last_power
+    }
+
+    /// Read the raw energy-status counter the way GEOPM's `CPU_ENERGY`
+    /// signal does.
+    pub fn read_energy_counter(&self) -> u64 {
+        self.msr
+            .read(MSR_PKG_ENERGY_STATUS)
+            .expect("PKG_ENERGY_STATUS always present")
+    }
+
+    /// Unwrapped total energy (simulation-side; agents must use the
+    /// counter + [`msr::energy_delta`]).
+    pub fn energy_total(&self) -> Joules {
+        self.energy_total
+    }
+
+    /// Direct MSR access (exposed for the GEOPM PlatformIO layer).
+    pub fn msr(&self) -> &MsrFile {
+        &self.msr
+    }
+
+    /// Mutable MSR access.
+    pub fn msr_mut(&mut self) -> &mut MsrFile {
+        &mut self.msr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::energy_delta;
+
+    #[test]
+    fn defaults_to_tdp_limit() {
+        let p = PackageDomain::paper(PackageId(0));
+        assert_eq!(p.power_limit(), Watts(140.0));
+    }
+
+    #[test]
+    fn limit_enforcement_clamps_demand() {
+        let mut p = PackageDomain::paper(PackageId(0));
+        p.set_power_limit(Watts(100.0)).unwrap();
+        let drawn = p.step(Watts(130.0), Seconds(1.0));
+        assert_eq!(drawn, Watts(100.0));
+        // Demand below the limit passes through.
+        let drawn = p.step(Watts(80.0), Seconds(1.0));
+        assert_eq!(drawn, Watts(80.0));
+        assert_eq!(p.last_power(), Watts(80.0));
+    }
+
+    #[test]
+    fn limit_clamped_to_platform_floor_and_tdp() {
+        let mut p = PackageDomain::paper(PackageId(0));
+        p.set_power_limit(Watts(10.0)).unwrap();
+        assert_eq!(p.power_limit(), Watts(70.0), "floor applies");
+        p.set_power_limit(Watts(500.0)).unwrap();
+        assert_eq!(p.power_limit(), Watts(140.0), "TDP ceiling applies");
+    }
+
+    #[test]
+    fn energy_accumulates_and_counter_tracks() {
+        let mut p = PackageDomain::paper(PackageId(0));
+        let c0 = p.read_energy_counter();
+        for _ in 0..10 {
+            p.step(Watts(120.0), Seconds(1.0));
+        }
+        let c1 = p.read_energy_counter();
+        let measured = energy_delta(c0, c1);
+        assert!(
+            (measured.value() - 1200.0).abs() < 0.01,
+            "counter-derived energy {measured} vs 1200 J"
+        );
+        assert!((p.energy_total().value() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_demand_treated_as_zero() {
+        let mut p = PackageDomain::paper(PackageId(1));
+        let drawn = p.step(Watts(-5.0), Seconds(1.0));
+        assert_eq!(drawn, Watts::ZERO);
+        assert_eq!(p.energy_total(), Joules::ZERO);
+    }
+
+    #[test]
+    fn msr_interface_is_live() {
+        let mut p = PackageDomain::paper(PackageId(0));
+        p.set_power_limit(Watts(90.0)).unwrap();
+        let raw = p.msr().read(MSR_PKG_POWER_LIMIT).unwrap();
+        assert_eq!(msr::decode_power_limit(raw), Watts(90.0));
+        // Writing through the raw MSR changes enforcement too.
+        p.msr_mut()
+            .write(
+                MSR_PKG_POWER_LIMIT,
+                msr::encode_power_limit(Watts(110.0)) | msr::PKG_POWER_LIMIT_ENABLE,
+            )
+            .unwrap();
+        assert_eq!(p.power_limit(), Watts(110.0));
+    }
+}

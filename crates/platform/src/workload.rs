@@ -1,0 +1,304 @@
+//! Synthetic iterative workloads shaped like the NAS Parallel Benchmarks.
+//!
+//! Section 5.1: "We use benchmarks as placeholders to emulate different
+//! application phase characteristics" — each benchmark runs a main outer
+//! loop instrumented with one `geopm_prof_epoch()` call per iteration. The
+//! synthetic workload here advances through its epochs at a rate set by
+//! the job type's ground-truth quadratic power curve, scaled by
+//!
+//! * the node's *performance-variation coefficient* (a fixed multiplier
+//!   per node per simulation, Section 6.4), and
+//! * per-epoch multiplicative noise calibrated so offline model fits
+//!   reproduce the paper's R² figures (Section 5.1).
+
+use anor_types::stats::truncated_normal;
+use anor_types::{JobTypeSpec, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A running instance of a synthetic benchmark on one node.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    spec: JobTypeSpec,
+    /// Node-specific performance coefficient (1.0 = nominal; > 1 = slower).
+    perf_coeff: f64,
+    rng: StdRng,
+    epochs_done: u64,
+    /// Progress through the current epoch in `[0, 1)`.
+    frac: f64,
+    /// Noise multiplier for the current epoch (resampled at each boundary).
+    epoch_noise: f64,
+    /// Wall-clock spent executing (sum of `dt` across steps).
+    elapsed: Seconds,
+}
+
+impl SyntheticWorkload {
+    /// Start a workload for `spec` with a deterministic seed.
+    /// `perf_coeff > 1` means this node runs the job slower than nominal.
+    pub fn new(spec: JobTypeSpec, perf_coeff: f64, seed: u64) -> Self {
+        assert!(perf_coeff > 0.0, "performance coefficient must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = Self::sample_noise(&mut rng, spec.noise_sigma);
+        SyntheticWorkload {
+            spec,
+            perf_coeff,
+            rng,
+            epochs_done: 0,
+            frac: 0.0,
+            epoch_noise: noise,
+            elapsed: Seconds::ZERO,
+        }
+    }
+
+    fn sample_noise(rng: &mut StdRng, sigma: f64) -> f64 {
+        // Multiplicative, mean-1 noise; floored so an epoch can never take
+        // negative or implausibly small time.
+        truncated_normal(rng, 1.0, sigma, 0.2)
+    }
+
+    /// The job type being executed.
+    pub fn spec(&self) -> &JobTypeSpec {
+        &self.spec
+    }
+
+    /// Seconds one epoch takes at `cap` for this instance (ground truth ×
+    /// node coefficient × current epoch noise).
+    pub fn epoch_time_at(&self, cap: Watts) -> Seconds {
+        let eff = self.spec.effective_cap(cap);
+        self.spec.epoch_curve().time_at(eff) * self.perf_coeff * self.epoch_noise
+    }
+
+    /// Advance the workload by `dt` under a node power cap. Returns the
+    /// number of epoch boundaries crossed during this step.
+    pub fn step(&mut self, cap: Watts, dt: Seconds) -> u64 {
+        if self.is_done() {
+            return 0;
+        }
+        self.elapsed += dt;
+        let mut remaining = dt.value();
+        let mut crossed = 0;
+        while remaining > 0.0 && !self.is_done() {
+            let tau = self.epoch_time_at(cap).value().max(1e-9);
+            let to_boundary = (1.0 - self.frac) * tau;
+            if remaining >= to_boundary {
+                remaining -= to_boundary;
+                self.frac = 0.0;
+                self.epochs_done += 1;
+                crossed += 1;
+                let sigma = self.spec.noise_sigma;
+                self.epoch_noise = Self::sample_noise(&mut self.rng, sigma);
+            } else {
+                self.frac += remaining / tau;
+                remaining = 0.0;
+            }
+        }
+        crossed
+    }
+
+    /// Cumulative epochs completed on this node.
+    pub fn epochs_done(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// Fractional completion in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        let total = self.spec.epochs as f64;
+        ((self.epochs_done as f64 + self.frac) / total).min(1.0)
+    }
+
+    /// Has every epoch completed?
+    pub fn is_done(&self) -> bool {
+        self.epochs_done >= self.spec.epochs
+    }
+
+    /// Wall-clock time spent executing so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Run the remaining epochs to completion under a constant cap
+    /// without discrete-time stepping, returning total wall-clock. Fast
+    /// path for offline characterization sweeps (Fig. 3); statistically
+    /// identical to stepping because epoch noise is resampled per epoch
+    /// either way.
+    pub fn run_to_completion(&mut self, cap: Watts) -> Seconds {
+        // Finish the current partial epoch first.
+        if !self.is_done() && self.frac > 0.0 {
+            let tau = self.epoch_time_at(cap);
+            let rest = tau * (1.0 - self.frac);
+            self.elapsed += rest;
+            self.frac = 0.0;
+            self.epochs_done += 1;
+            let sigma = self.spec.noise_sigma;
+            self.epoch_noise = Self::sample_noise(&mut self.rng, sigma);
+        }
+        while !self.is_done() {
+            let tau = self.epoch_time_at(cap);
+            self.elapsed += tau;
+            self.epochs_done += 1;
+            let sigma = self.spec.noise_sigma;
+            self.epoch_noise = Self::sample_noise(&mut self.rng, sigma);
+        }
+        self.elapsed
+    }
+
+    /// Per-node power the workload wants to draw at the moment (its
+    /// natural draw; the package clamps this to the cap).
+    pub fn power_demand(&self) -> Watts {
+        if self.is_done() {
+            Watts::ZERO
+        } else {
+            self.spec.max_draw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+
+    fn workload(name: &str, coeff: f64, seed: u64) -> SyntheticWorkload {
+        let spec = standard_catalog().find(name).unwrap().clone();
+        SyntheticWorkload::new(spec, coeff, seed)
+    }
+
+    /// Run to completion under a constant cap; return total wall-clock.
+    fn run_to_done(w: &mut SyntheticWorkload, cap: Watts, dt: f64) -> f64 {
+        let mut t = 0.0;
+        while !w.is_done() {
+            w.step(cap, Seconds(dt));
+            t += dt;
+            assert!(t < 100_000.0, "workload never finished");
+        }
+        t
+    }
+
+    #[test]
+    fn uncapped_time_matches_spec() {
+        // Low-noise type: completion time should be close to the catalog's
+        // uncapped execution time.
+        let mut w = workload("bt.D.81", 1.0, 1);
+        let t = run_to_done(&mut w, Watts(280.0), 0.25);
+        let expect = w.spec().time_uncapped.value();
+        assert!(
+            (t - expect).abs() / expect < 0.05,
+            "uncapped bt took {t}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn capping_slows_sensitive_jobs() {
+        let mut fast = workload("bt.D.81", 1.0, 2);
+        let mut slow = workload("bt.D.81", 1.0, 2);
+        let t_fast = run_to_done(&mut fast, Watts(280.0), 0.5);
+        let t_slow = run_to_done(&mut slow, Watts(140.0), 0.5);
+        let ratio = t_slow / t_fast;
+        // BT's sensitivity is 0.75 -> expect ~1.75× slowdown.
+        assert!(
+            (ratio - 1.75).abs() < 0.15,
+            "bt slowdown at 140 W was {ratio}"
+        );
+    }
+
+    #[test]
+    fn capping_barely_affects_insensitive_jobs() {
+        let mut fast = workload("is.D.32", 1.0, 3);
+        let mut slow = workload("is.D.32", 1.0, 3);
+        let t_fast = run_to_done(&mut fast, Watts(280.0), 0.1);
+        let t_slow = run_to_done(&mut slow, Watts(140.0), 0.1);
+        let ratio = t_slow / t_fast;
+        assert!(ratio < 1.35, "is slowdown at 140 W was {ratio}");
+    }
+
+    #[test]
+    fn perf_coefficient_scales_runtime() {
+        let mut nominal = workload("mg.D.32", 1.0, 4);
+        let mut degraded = workload("mg.D.32", 1.3, 4);
+        let t1 = run_to_done(&mut nominal, Watts(280.0), 0.25);
+        let t2 = run_to_done(&mut degraded, Watts(280.0), 0.25);
+        let ratio = t2 / t1;
+        assert!((ratio - 1.3).abs() < 0.15, "coefficient ratio {ratio}");
+    }
+
+    #[test]
+    fn progress_is_monotone_and_bounded() {
+        let mut w = workload("ft.D.64", 1.0, 5);
+        let mut prev = 0.0;
+        while !w.is_done() {
+            w.step(Watts(200.0), Seconds(1.0));
+            let p = w.progress();
+            assert!(p >= prev && p <= 1.0, "progress went {prev} -> {p}");
+            prev = p;
+        }
+        assert_eq!(w.progress(), 1.0);
+        assert_eq!(w.epochs_done(), w.spec().epochs);
+    }
+
+    #[test]
+    fn step_after_done_is_inert() {
+        let mut w = workload("is.D.32", 1.0, 6);
+        run_to_done(&mut w, Watts(280.0), 0.1);
+        let e = w.epochs_done();
+        assert_eq!(w.step(Watts(280.0), Seconds(10.0)), 0);
+        assert_eq!(w.epochs_done(), e);
+        assert_eq!(w.power_demand(), Watts::ZERO);
+    }
+
+    #[test]
+    fn epochs_can_cross_multiple_boundaries_per_step() {
+        // is.D.32 has 40 epochs over ~20 s -> 0.5 s/epoch; a 5 s step
+        // should cross ~10 boundaries.
+        let mut w = workload("is.D.32", 1.0, 7);
+        let crossed = w.step(Watts(280.0), Seconds(5.0));
+        assert!((7..=13).contains(&crossed), "crossed {crossed}");
+    }
+
+    #[test]
+    fn power_demand_matches_spec_draw() {
+        let w = workload("sp.D.81", 1.0, 8);
+        assert_eq!(w.power_demand(), w.spec().max_draw);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = workload("cg.D.32", 1.0, 42);
+        let mut b = workload("cg.D.32", 1.0, 42);
+        for _ in 0..50 {
+            let ca = a.step(Watts(180.0), Seconds(0.7));
+            let cb = b.step(Watts(180.0), Seconds(0.7));
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(a.progress(), b.progress());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_coefficient_rejected() {
+        workload("cg.D.32", 0.0, 1);
+    }
+
+    #[test]
+    fn run_to_completion_matches_stepping_statistically() {
+        let mut fast = workload("mg.D.32", 1.0, 21);
+        let t_fast = fast.run_to_completion(Watts(200.0)).value();
+        assert!(fast.is_done());
+        let mut stepped = workload("mg.D.32", 1.0, 21);
+        let t_step = run_to_done(&mut stepped, Watts(200.0), 0.25);
+        // Same seed, same noise stream: identical up to tick quantization.
+        assert!(
+            (t_fast - t_step).abs() < 1.0,
+            "fast {t_fast} vs stepped {t_step}"
+        );
+    }
+
+    #[test]
+    fn run_to_completion_finishes_partial_epoch() {
+        let mut w = workload("mg.D.32", 1.0, 22);
+        w.step(Watts(200.0), Seconds(0.3)); // partway into epoch 1
+        let total = w.run_to_completion(Watts(200.0));
+        assert!(w.is_done());
+        assert_eq!(w.epochs_done(), w.spec().epochs);
+        assert!(total.value() > 100.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Facility-level power coordination across clusters.
+//!
+//! Section 8: "a facility with multiple clusters may wish to coordinate
+//! power demand across those clusters. Our proposed framework may be
+//! extended by treating the facility as a power provider to each member
+//! of the cluster tier... particularly useful for facilities that are
+//! bringing up next-generation clusters while previous-generation
+//! clusters are still operating under a shared power infrastructure that
+//! may not have the capacity to use both clusters at peak power demand
+//! concurrently."
+//!
+//! [`FacilityBudgeter`] distributes a facility budget across clusters by
+//! weighted water-filling: every cluster receives at least its floor
+//! (idle/infrastructure power), the remainder is split in weight
+//! proportion, and clusters cap out at the smaller of their capacity and
+//! their current demand — freed headroom recirculates to the others.
+
+use anor_types::Watts;
+
+/// What the facility knows about one member cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    /// Display name.
+    pub name: String,
+    /// Power the cluster needs even when fully throttled.
+    pub floor: Watts,
+    /// Maximum power the cluster's hardware can draw.
+    pub capacity: Watts,
+    /// Power the cluster currently wants (its bid / forecast demand).
+    pub demand: Watts,
+    /// Allocation weight (relative priority).
+    pub weight: f64,
+}
+
+impl ClusterView {
+    /// The most power this cluster can usefully take right now.
+    pub fn useful_max(&self) -> Watts {
+        self.capacity.min(self.demand).max(self.floor)
+    }
+}
+
+/// The facility-tier allocator.
+///
+/// ```
+/// use anor_policy::{ClusterView, FacilityBudgeter};
+/// use anor_types::Watts;
+///
+/// let clusters = [
+///     ClusterView { name: "old".into(), floor: Watts(100.0),
+///         capacity: Watts(1000.0), demand: Watts(200.0), weight: 1.0 },
+///     ClusterView { name: "new".into(), floor: Watts(100.0),
+///         capacity: Watts(2000.0), demand: Watts(2000.0), weight: 1.0 },
+/// ];
+/// let alloc = FacilityBudgeter.allocate(Watts(1800.0), &clusters);
+/// assert_eq!(alloc[0], Watts(200.0));  // old caps at its demand
+/// assert_eq!(alloc[1], Watts(1600.0)); // freed headroom flows to new
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FacilityBudgeter;
+
+impl FacilityBudgeter {
+    /// Split `budget` across `clusters`. Floors are always granted (the
+    /// facility cannot brown out a cluster); the surplus is water-filled
+    /// by weight up to each cluster's useful maximum.
+    pub fn allocate(&self, budget: Watts, clusters: &[ClusterView]) -> Vec<Watts> {
+        if clusters.is_empty() {
+            return Vec::new();
+        }
+        for c in clusters {
+            assert!(
+                c.floor.value() <= c.capacity.value(),
+                "{}: floor above capacity",
+                c.name
+            );
+            assert!(c.weight >= 0.0, "{}: negative weight", c.name);
+        }
+        let mut alloc: Vec<Watts> = clusters.iter().map(|c| c.floor).collect();
+        let floors: Watts = alloc.iter().copied().sum();
+        let mut surplus = (budget - floors).max(Watts::ZERO);
+        // Water-fill: distribute surplus among unsaturated clusters in
+        // weight proportion; iterate as clusters saturate.
+        let mut open: Vec<usize> = (0..clusters.len())
+            .filter(|&i| clusters[i].useful_max().value() > clusters[i].floor.value())
+            .collect();
+        for _ in 0..clusters.len() + 1 {
+            if surplus.value() <= 1e-9 || open.is_empty() {
+                break;
+            }
+            let total_w: f64 = open.iter().map(|&i| clusters[i].weight).sum();
+            if total_w <= 0.0 {
+                break;
+            }
+            let mut next_open = Vec::with_capacity(open.len());
+            let mut returned = Watts::ZERO;
+            for &i in &open {
+                let share = surplus * (clusters[i].weight / total_w);
+                let headroom = clusters[i].useful_max() - alloc[i];
+                if share.value() >= headroom.value() {
+                    alloc[i] += headroom;
+                    returned += share - headroom;
+                } else {
+                    alloc[i] += share;
+                    next_open.push(i);
+                }
+            }
+            surplus = returned;
+            open = next_open;
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(name: &str, floor: f64, capacity: f64, demand: f64, weight: f64) -> ClusterView {
+        ClusterView {
+            name: name.into(),
+            floor: Watts(floor),
+            capacity: Watts(capacity),
+            demand: Watts(demand),
+            weight,
+        }
+    }
+
+    fn total(alloc: &[Watts]) -> f64 {
+        alloc.iter().map(|w| w.value()).sum()
+    }
+
+    #[test]
+    fn equal_weights_split_surplus_evenly() {
+        let clusters = [
+            cluster("old", 100.0, 1000.0, 1000.0, 1.0),
+            cluster("new", 100.0, 1000.0, 1000.0, 1.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(1200.0), &clusters);
+        assert_eq!(alloc[0], Watts(600.0));
+        assert_eq!(alloc[1], Watts(600.0));
+    }
+
+    #[test]
+    fn budget_is_conserved_when_demand_exceeds_it() {
+        let clusters = [
+            cluster("a", 50.0, 800.0, 800.0, 1.0),
+            cluster("b", 50.0, 800.0, 800.0, 3.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(1000.0), &clusters);
+        assert!((total(&alloc) - 1000.0).abs() < 1e-6);
+        // Weight-3 cluster gets 3x the surplus.
+        let (sa, sb) = (alloc[0].value() - 50.0, alloc[1].value() - 50.0);
+        assert!((sb / sa - 3.0).abs() < 1e-6, "{sa} vs {sb}");
+    }
+
+    #[test]
+    fn saturated_cluster_frees_headroom() {
+        // Cluster "old" only demands 200 W; its unused share must flow to
+        // "new" — the paper's bring-up scenario.
+        let clusters = [
+            cluster("old", 100.0, 1500.0, 200.0, 1.0),
+            cluster("new", 100.0, 2000.0, 2000.0, 1.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(1800.0), &clusters);
+        assert_eq!(alloc[0], Watts(200.0), "old capped at its demand");
+        assert!((alloc[1].value() - 1600.0).abs() < 1e-6, "new gets the rest");
+    }
+
+    #[test]
+    fn floors_always_granted_even_over_budget() {
+        let clusters = [
+            cluster("a", 300.0, 1000.0, 1000.0, 1.0),
+            cluster("b", 300.0, 1000.0, 1000.0, 1.0),
+        ];
+        // Budget below the sum of floors: floors still granted (the
+        // facility must shed load elsewhere).
+        let alloc = FacilityBudgeter.allocate(Watts(400.0), &clusters);
+        assert_eq!(alloc[0], Watts(300.0));
+        assert_eq!(alloc[1], Watts(300.0));
+    }
+
+    #[test]
+    fn abundant_budget_caps_at_capacity() {
+        let clusters = [
+            cluster("a", 100.0, 900.0, 5000.0, 1.0),
+            cluster("b", 100.0, 700.0, 5000.0, 1.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(10_000.0), &clusters);
+        assert_eq!(alloc[0], Watts(900.0));
+        assert_eq!(alloc[1], Watts(700.0));
+    }
+
+    #[test]
+    fn zero_weight_cluster_gets_only_its_floor() {
+        let clusters = [
+            cluster("background", 100.0, 1000.0, 1000.0, 0.0),
+            cluster("production", 100.0, 1000.0, 1000.0, 1.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(1000.0), &clusters);
+        assert_eq!(alloc[0], Watts(100.0));
+        assert!((alloc[1].value() - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_facility() {
+        assert!(FacilityBudgeter.allocate(Watts(1000.0), &[]).is_empty());
+    }
+
+    #[test]
+    fn three_way_cascading_saturation() {
+        let clusters = [
+            cluster("tiny", 10.0, 100.0, 100.0, 1.0),
+            cluster("mid", 10.0, 500.0, 500.0, 1.0),
+            cluster("big", 10.0, 5000.0, 5000.0, 1.0),
+        ];
+        let alloc = FacilityBudgeter.allocate(Watts(3030.0), &clusters);
+        assert!((total(&alloc) - 3030.0).abs() < 1e-6);
+        assert_eq!(alloc[0], Watts(100.0), "tiny saturates");
+        assert_eq!(alloc[1], Watts(500.0), "mid saturates");
+        assert!((alloc[2].value() - 2430.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor above capacity")]
+    fn inverted_cluster_rejected() {
+        FacilityBudgeter.allocate(
+            Watts(100.0),
+            &[cluster("bad", 500.0, 100.0, 100.0, 1.0)],
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! What the cluster-tier budgeter believes about each running job.
+//!
+//! The budgeter never sees the application itself — only a power model
+//! delegated up from the job tier (Section 4.4: "We achieve that goal by
+//! delegating power-performance modeling to the job tier"). A [`JobView`]
+//! is that belief: it may come from the true precharacterization, from a
+//! *misclassified* type's curve, or from an online fit.
+
+use anor_types::{CapRange, JobId, JobTypeSpec, PowerCurve, Watts};
+
+/// The budgeter's view of one running job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// Which job this view describes.
+    pub job: JobId,
+    /// Compute nodes the job occupies.
+    pub nodes: u32,
+    /// Believed execution-time model (total or per-epoch — the budgeters
+    /// only use time *ratios*, which are scale-invariant).
+    pub curve: PowerCurve,
+    /// Platform cap range per node.
+    pub cap_range: CapRange,
+    /// Believed maximum per-node power the job can draw. Caps above this
+    /// are wasted headroom.
+    pub max_draw: Watts,
+}
+
+impl JobView {
+    /// Build the *true* view of a job from its type spec.
+    pub fn from_spec(job: JobId, spec: &JobTypeSpec) -> Self {
+        JobView {
+            job,
+            nodes: spec.nodes,
+            curve: spec.curve(),
+            cap_range: spec.cap_range,
+            max_draw: spec.max_draw,
+        }
+    }
+
+    /// Build a *misclassified* view: job dimensions (id, node count) of
+    /// `job_spec` but the power-performance identity of `assumed_spec` —
+    /// the scenario of Section 6.1.2.
+    pub fn misclassified(job: JobId, job_spec: &JobTypeSpec, assumed_spec: &JobTypeSpec) -> Self {
+        JobView {
+            job,
+            nodes: job_spec.nodes,
+            curve: assumed_spec.curve(),
+            cap_range: job_spec.cap_range,
+            max_draw: assumed_spec.max_draw,
+        }
+    }
+
+    /// Replace the believed curve with a freshly fitted one (the feedback
+    /// path: a `JobToCluster::Model` message updates the view). The
+    /// believed `max_draw` is retained; only the time model changes.
+    pub fn with_curve(mut self, curve: PowerCurve) -> Self {
+        self.curve = curve;
+        self
+    }
+
+    /// Highest useful per-node cap: the smaller of the platform max and
+    /// the job's believed draw.
+    pub fn p_max(&self) -> Watts {
+        self.max_draw.min(self.cap_range.max).max(self.cap_range.min)
+    }
+
+    /// Lowest enforceable per-node cap.
+    pub fn p_min(&self) -> Watts {
+        self.cap_range.min
+    }
+
+    /// The believed achievable power window per node.
+    pub fn power_window(&self) -> CapRange {
+        CapRange::new(self.p_min(), self.p_max())
+    }
+
+    /// Believed execution time at the job's maximum useful cap — the
+    /// reference for slowdown calculations.
+    pub fn t_ref(&self) -> f64 {
+        self.curve.time_at(self.p_max()).value()
+    }
+
+    /// Believed slowdown factor if this job's nodes are capped at `cap`.
+    pub fn believed_slowdown(&self, cap: Watts) -> f64 {
+        let eff = cap.clamp(self.p_min(), self.p_max());
+        self.curve.time_at(eff).value() / self.t_ref()
+    }
+
+    /// The per-node cap that holds believed slowdown to exactly `s`,
+    /// saturating at the achievable window's edges.
+    pub fn cap_for_slowdown(&self, s: f64) -> Watts {
+        debug_assert!(s >= 1.0, "slowdown below 1 is not achievable");
+        let target = anor_types::Seconds(self.t_ref() * s);
+        self.curve.power_for_time(target, self.power_window())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+
+    fn view(name: &str) -> JobView {
+        let cat = standard_catalog();
+        JobView::from_spec(JobId(1), cat.find(name).unwrap())
+    }
+
+    #[test]
+    fn from_spec_carries_dimensions() {
+        let v = view("bt.D.81");
+        assert_eq!(v.nodes, 2);
+        assert_eq!(v.max_draw, Watts(272.0));
+        assert_eq!(v.p_min(), Watts(140.0));
+        assert_eq!(v.p_max(), Watts(272.0));
+    }
+
+    #[test]
+    fn misclassified_mixes_identities() {
+        let cat = standard_catalog();
+        let v = JobView::misclassified(
+            JobId(2),
+            cat.find("ft.D.64").unwrap(),
+            cat.find("is.D.32").unwrap(),
+        );
+        // FT's node footprint, IS's power identity.
+        assert_eq!(v.nodes, 2);
+        assert_eq!(v.max_draw, cat.find("is").unwrap().max_draw);
+        let is_curve = cat.find("is").unwrap().curve();
+        assert_eq!(v.curve, is_curve);
+    }
+
+    #[test]
+    fn believed_slowdown_is_one_at_pmax() {
+        let v = view("lu.D.42");
+        assert!((v.believed_slowdown(v.p_max()) - 1.0).abs() < 1e-12);
+        // Caps above p_max don't speed the job up.
+        assert!((v.believed_slowdown(Watts(280.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_for_slowdown_round_trips() {
+        let v = view("bt.D.81");
+        for s in [1.05, 1.2, 1.4] {
+            let cap = v.cap_for_slowdown(s);
+            let achieved = v.believed_slowdown(cap);
+            assert!(
+                (achieved - s).abs() < 1e-6,
+                "s={s}: cap {cap} gives {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_for_slowdown_saturates_for_insensitive_jobs() {
+        // IS can barely slow down: big requested slowdowns hit p_min.
+        let v = view("is.D.32");
+        assert_eq!(v.cap_for_slowdown(2.0), v.p_min());
+        // And s = 1 needs full power.
+        assert_eq!(v.cap_for_slowdown(1.0), v.p_max());
+    }
+
+    #[test]
+    fn with_curve_swaps_model_only() {
+        let v = view("sp.D.81");
+        let new_curve = view("bt.D.81").curve;
+        let updated = v.clone().with_curve(new_curve);
+        assert_eq!(updated.nodes, v.nodes);
+        assert_eq!(updated.max_draw, v.max_draw);
+        assert_eq!(updated.curve, new_curve);
+    }
+}

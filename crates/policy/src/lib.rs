@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # anor-policy
+//!
+//! Cluster-tier power-budgeting policies (paper Sections 4.1, 4.4.3).
+//!
+//! A *power budgeter* decides how a cluster-wide power budget is split
+//! into per-node power caps for the currently running jobs. The paper
+//! evaluates:
+//!
+//! * a **uniform** baseline — the same cap on every active node (AQA's
+//!   rule: "power caps are applied uniformly across active nodes");
+//! * the **performance-unaware (even power caps)** balancer — one γ scales
+//!   every job between its achievable min and max power:
+//!   `p_cap = γ·(p_max − p_min) + p_min`;
+//! * the **performance-aware (even slowdown)** balancer — one expected
+//!   slowdown `s` is applied to every job through its power model:
+//!   `p_cap = P_j(s·T_j(p_max))`, with saturation at the platform's
+//!   minimum cap (the "level off" of Section 6.1.1).
+//!
+//! [`misclassify`] builds the Fig. 5/6 scenarios in which the budgeter's
+//! *believed* model for a job differs from its true behaviour, and
+//! evaluates the resulting slowdowns against ground truth.
+
+pub mod budgeter;
+pub mod facility;
+pub mod job_view;
+pub mod misclassify;
+pub mod slowdown;
+
+pub use budgeter::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, UniformBudgeter};
+pub use facility::{ClusterView, FacilityBudgeter};
+pub use job_view::JobView;
+pub use misclassify::{MisclassifyScenario, ScenarioOutcome};
+pub use slowdown::{slowdown_under_cap, slowdowns_under_caps};

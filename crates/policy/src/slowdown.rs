@@ -1,0 +1,73 @@
+//! Ground-truth slowdown evaluation.
+//!
+//! Budgeters pick caps from *believed* models; the paper's figures report
+//! the slowdown each job *actually* experiences, i.e. evaluated against
+//! the true power-performance curve. These helpers compute that, relative
+//! to each job's uncapped execution time (the reference in Figs. 4–8, 10).
+
+use crate::job_view::JobView;
+use anor_types::Watts;
+
+/// True slowdown a job suffers under a per-node cap, relative to its
+/// uncapped time. `truth` must be the job's true view.
+pub fn slowdown_under_cap(truth: &JobView, cap: Watts) -> f64 {
+    truth.believed_slowdown(cap)
+}
+
+/// True slowdowns for a whole assignment, in job order.
+pub fn slowdowns_under_caps(truths: &[JobView], caps: &[Watts]) -> Vec<f64> {
+    assert_eq!(truths.len(), caps.len(), "caps/jobs length mismatch");
+    truths
+        .iter()
+        .zip(caps)
+        .map(|(t, &c)| slowdown_under_cap(t, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::{standard_catalog, JobId};
+
+    #[test]
+    fn uncapped_slowdown_is_one() {
+        let cat = standard_catalog();
+        let v = JobView::from_spec(JobId(1), cat.find("bt").unwrap());
+        assert!((slowdown_under_cap(&v, Watts(280.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_increases_as_cap_decreases() {
+        let cat = standard_catalog();
+        let v = JobView::from_spec(JobId(1), cat.find("lu").unwrap());
+        let mut prev = 0.0;
+        for cap in [280.0, 240.0, 200.0, 160.0, 140.0] {
+            let s = slowdown_under_cap(&v, Watts(cap));
+            assert!(s >= prev, "slowdown not monotone at {cap}");
+            prev = s;
+        }
+        // LU's sensitivity is 0.70 -> ~1.7 at min cap.
+        assert!((prev - 1.70).abs() < 0.02, "lu min-cap slowdown {prev}");
+    }
+
+    #[test]
+    fn vector_form_matches_scalar() {
+        let cat = standard_catalog();
+        let truths: Vec<JobView> = ["bt", "sp"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| JobView::from_spec(JobId(i as u64), cat.find(n).unwrap()))
+            .collect();
+        let caps = [Watts(200.0), Watts(180.0)];
+        let v = slowdowns_under_caps(&truths, &caps);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], slowdown_under_cap(&truths[0], caps[0]));
+        assert_eq!(v[1], slowdown_under_cap(&truths[1], caps[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        slowdowns_under_caps(&[], &[Watts(1.0)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! End-of-tick history recording.
+//!
+//! Section 5.6: "Lastly, before starting the next iteration, we append
+//! the current state of all tables to a file." [`HistoryRow`] is one
+//! appended record; [`write_history_csv`] serializes a run's rows.
+
+use anor_types::{Seconds, Watts};
+use std::io::Write;
+
+/// A per-tick summary of the cluster tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryRow {
+    /// Simulated time at the end of the tick.
+    pub time: Seconds,
+    /// The instantaneous power target.
+    pub target: Watts,
+    /// Measured total cluster power.
+    pub measured: Watts,
+    /// Nodes executing a job.
+    pub busy_nodes: u32,
+    /// Jobs waiting in the queue.
+    pub pending_jobs: u32,
+    /// Jobs currently executing.
+    pub running_jobs: u32,
+    /// Jobs completed so far.
+    pub completed_jobs: u32,
+}
+
+/// Write rows as CSV with a header.
+pub fn write_history_csv(w: &mut impl Write, rows: &[HistoryRow]) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "time_s,target_w,measured_w,busy_nodes,pending_jobs,running_jobs,completed_jobs"
+    )?;
+    for r in rows {
+        writeln!(
+            w,
+            "{:.1},{:.1},{:.1},{},{},{},{}",
+            r.time.value(),
+            r.target.value(),
+            r.measured.value(),
+            r.busy_nodes,
+            r.pending_jobs,
+            r.running_jobs,
+            r.completed_jobs
+        )?;
+    }
+    Ok(())
+}
+
+/// Dump the *full* node and job tables (Section 5.6: "we append the
+/// current state of all tables to a file"). One `NODE` line per node and
+/// one `JOB` line per job, prefixed with the timestamp, so successive
+/// dumps can be appended to a single file and grepped apart.
+pub fn dump_tables(
+    w: &mut impl Write,
+    time: Seconds,
+    nodes: &[crate::table::NodeRow],
+    jobs: &[crate::table::JobRow],
+) -> std::io::Result<()> {
+    for (i, n) in nodes.iter().enumerate() {
+        writeln!(
+            w,
+            "NODE {:.1} {} {} {:.1} {:.1} {:.4} {:.4}",
+            time.value(),
+            i,
+            n.job.map_or(-1i64, |j| j.0 as i64),
+            n.cap.value(),
+            n.power.value(),
+            n.perf_coeff,
+            n.progress
+        )?;
+    }
+    for j in jobs {
+        writeln!(
+            w,
+            "JOB {:.1} {} {} {:.1} {} {} {}",
+            time.value(),
+            j.id.0,
+            j.type_id.0,
+            j.submit.value(),
+            j.start.map_or("-".to_string(), |t| format!("{:.1}", t.value())),
+            j.end.map_or("-".to_string(), |t| format!("{:.1}", t.value())),
+            j.nodes.len()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![
+            HistoryRow {
+                time: Seconds(1.0),
+                target: Watts(3000.0),
+                measured: Watts(2950.5),
+                busy_nodes: 12,
+                pending_jobs: 3,
+                running_jobs: 5,
+                completed_jobs: 7,
+            },
+            HistoryRow {
+                time: Seconds(2.0),
+                target: Watts(3100.0),
+                measured: Watts(3050.0),
+                busy_nodes: 14,
+                pending_jobs: 2,
+                running_jobs: 6,
+                completed_jobs: 7,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_history_csv(&mut buf, &rows).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time_s,target_w"));
+        assert!(lines[1].starts_with("1.0,3000.0,2950.5,12,3,5,7"));
+    }
+
+    #[test]
+    fn table_dump_covers_all_rows() {
+        use crate::table::{JobRow, NodeRow};
+        use anor_types::{JobId, JobTypeId, Watts};
+        let mut nodes = vec![NodeRow::idle(1.0, Watts(280.0)); 3];
+        nodes[0].job = Some(JobId(0));
+        nodes[0].progress = 0.25;
+        let mut job = JobRow::queued(JobId(0), JobTypeId(2), Seconds(1.0));
+        job.start = Some(Seconds(2.0));
+        job.nodes = vec![anor_types::NodeId(0)];
+        let queued = JobRow::queued(JobId(1), JobTypeId(3), Seconds(4.0));
+        let mut buf = Vec::new();
+        dump_tables(&mut buf, Seconds(10.0), &nodes, &[job, queued]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("NODE")).count(), 3);
+        assert_eq!(text.lines().filter(|l| l.starts_with("JOB")).count(), 2);
+        assert!(text.contains("NODE 10.0 0 0 280.0"), "{text}");
+        assert!(text.contains("JOB 10.0 0 2 1.0 2.0 - 1"), "{text}");
+        assert!(text.contains("JOB 10.0 1 3 4.0 - - 0"), "{text}");
+        // Idle nodes reference no job.
+        assert!(text.contains("NODE 10.0 1 -1"), "{text}");
+    }
+}

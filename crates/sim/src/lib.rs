@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # anor-sim
+//!
+//! The tabular cluster simulator of paper Section 5.6: "The simulator is
+//! implemented as a collection of tables that store the current state of
+//! nodes and jobs in the cluster... Each simulated second, the simulator
+//! updates the state of the node table, then updates the view of the
+//! cluster seen by the job scheduler and power manager, then schedules
+//! jobs and caps power... Lastly, before starting the next iteration, we
+//! append the current state of all tables to a file."
+//!
+//! It simulates a 1000-node cluster in demand-response scenarios with
+//! per-node performance variation (Section 6.4 / Fig. 11):
+//!
+//! * [`table`] — the node table (idle/job, power, cap, progress) and job
+//!   table (queue/start/end timestamps);
+//! * [`policy`] — the power-capping side of the simulated cluster tier:
+//!   uniform AQA capping or the even-slowdown balancer, with an optional
+//!   QoS-feedback exemption;
+//! * [`sim`] — the per-second update loop: node update → cluster view →
+//!   schedule + cap → history append;
+//! * [`history`] — the end-of-tick table appender.
+
+pub mod history;
+pub mod policy;
+pub mod sim;
+pub mod table;
+
+pub use history::{dump_tables, write_history_csv, HistoryRow};
+pub use policy::SimPowerPolicy;
+pub use sim::{SimConfig, SimOutcome, TabularSim};
+pub use table::{JobRow, NodeRow};

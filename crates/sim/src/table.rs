@@ -1,0 +1,200 @@
+//! The simulator's node and job tables.
+//!
+//! Section 5.6: "The node table indicates whether a given node is idle,
+//! or which job it is executing, and tracks the current power consumption
+//! and current cap applied to each node. The job table keeps track of
+//! timestamps for queue entry, job start, and job end, as well as the
+//! type of job... The simulator also tracks the minimum and maximum power
+//! and time of each job type, to simulate a simple linear
+//! power-performance relationship."
+
+use anor_types::{JobId, JobTypeId, JobTypeSpec, NodeId, QosDegradation, Seconds, Watts};
+
+/// One row of the node table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRow {
+    /// The executing job, or `None` when idle.
+    pub job: Option<JobId>,
+    /// Cap currently applied to the node.
+    pub cap: Watts,
+    /// Power the node consumed during the last tick.
+    pub power: Watts,
+    /// This node's performance-variation coefficient (> 1 = slower).
+    pub perf_coeff: f64,
+    /// Local progress of the node's share of its job, in `[0, 1]`.
+    pub progress: f64,
+}
+
+impl NodeRow {
+    /// A fresh idle node with the given coefficient.
+    pub fn idle(perf_coeff: f64, tdp_cap: Watts) -> Self {
+        NodeRow {
+            job: None,
+            cap: tdp_cap,
+            power: Watts::ZERO,
+            perf_coeff,
+            progress: 0.0,
+        }
+    }
+
+    /// Is the node free for scheduling?
+    pub fn is_idle(&self) -> bool {
+        self.job.is_none()
+    }
+}
+
+/// One row of the job table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRow {
+    /// Stable identifier.
+    pub id: JobId,
+    /// Which queue / type the job belongs to.
+    pub type_id: JobTypeId,
+    /// Queue-entry timestamp.
+    pub submit: Seconds,
+    /// Start timestamp (None while queued).
+    pub start: Option<Seconds>,
+    /// End timestamp (None while queued or running).
+    pub end: Option<Seconds>,
+    /// Nodes allocated to the job (empty while queued).
+    pub nodes: Vec<NodeId>,
+}
+
+impl JobRow {
+    /// A freshly submitted job.
+    pub fn queued(id: JobId, type_id: JobTypeId, submit: Seconds) -> Self {
+        JobRow {
+            id,
+            type_id,
+            submit,
+            start: None,
+            end: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Is the job still waiting in the queue?
+    pub fn is_pending(&self) -> bool {
+        self.start.is_none()
+    }
+
+    /// Is the job currently executing?
+    pub fn is_running(&self) -> bool {
+        self.start.is_some() && self.end.is_none()
+    }
+
+    /// Has the job completed?
+    pub fn is_done(&self) -> bool {
+        self.end.is_some()
+    }
+
+    /// QoS degradation of a completed job relative to its type's nominal
+    /// uncapped execution time.
+    pub fn qos(&self, spec: &JobTypeSpec) -> Option<QosDegradation> {
+        self.end
+            .map(|end| QosDegradation::from_timestamps(self.submit, end, spec.time_uncapped))
+    }
+}
+
+/// Linear rate-of-progress model (Section 5.6): progress per second at a
+/// given cap, interpolated between the type's fastest and slowest
+/// precharacterized rates, divided by the node's performance coefficient.
+pub fn progress_rate(spec: &JobTypeSpec, cap: Watts, perf_coeff: f64) -> f64 {
+    let t_fast = spec.time_uncapped.value();
+    let t_slow = t_fast * (1.0 + spec.sensitivity);
+    let r_fast = 1.0 / t_fast;
+    let r_slow = 1.0 / t_slow;
+    let window = anor_types::CapRange::new(spec.cap_range.min, spec.effective_cap(spec.cap_range.max));
+    let f = window.fraction(window.clamp(cap)).clamp(0.0, 1.0);
+    (r_slow + (r_fast - r_slow) * f) / perf_coeff
+}
+
+/// Per-node power draw while running a job under a cap.
+pub fn node_power(spec: &JobTypeSpec, cap: Watts) -> Watts {
+    spec.draw_at(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anor_types::standard_catalog;
+
+    #[test]
+    fn node_row_lifecycle() {
+        let mut n = NodeRow::idle(1.0, Watts(280.0));
+        assert!(n.is_idle());
+        n.job = Some(JobId(1));
+        assert!(!n.is_idle());
+    }
+
+    #[test]
+    fn job_row_state_machine() {
+        let mut j = JobRow::queued(JobId(1), JobTypeId(0), Seconds(10.0));
+        assert!(j.is_pending() && !j.is_running() && !j.is_done());
+        j.start = Some(Seconds(20.0));
+        assert!(!j.is_pending() && j.is_running() && !j.is_done());
+        j.end = Some(Seconds(120.0));
+        assert!(j.is_done() && !j.is_running());
+    }
+
+    #[test]
+    fn qos_uses_submit_to_end() {
+        let cat = standard_catalog();
+        let spec = cat.find("mg").unwrap(); // 120 s uncapped
+        let mut j = JobRow::queued(JobId(1), spec.id, Seconds(0.0));
+        j.start = Some(Seconds(120.0));
+        j.end = Some(Seconds(240.0));
+        let q = j.qos(spec).unwrap();
+        // Sojourn 240 s over a 120 s nominal -> Q = 1.
+        assert!((q.degradation() - 1.0).abs() < 1e-12);
+        // Pending job: no QoS yet.
+        let j2 = JobRow::queued(JobId(2), spec.id, Seconds(0.0));
+        assert!(j2.qos(spec).is_none());
+    }
+
+    #[test]
+    fn progress_rate_linear_in_cap() {
+        let cat = standard_catalog();
+        let spec = cat.find("bt").unwrap(); // 600 s, sens 0.75
+        let r_max = progress_rate(spec, Watts(272.0), 1.0);
+        let r_min = progress_rate(spec, Watts(140.0), 1.0);
+        assert!((r_max - 1.0 / 600.0).abs() < 1e-12);
+        assert!((r_min - 1.0 / 1050.0).abs() < 1e-12);
+        // Midpoint of the effective window is the mean rate.
+        let mid = progress_rate(spec, Watts(206.0), 1.0);
+        assert!((mid - 0.5 * (r_max + r_min)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_rate_saturates_beyond_window() {
+        let cat = standard_catalog();
+        let spec = cat.find("sp").unwrap(); // max draw 230 W
+        assert_eq!(
+            progress_rate(spec, Watts(280.0), 1.0),
+            progress_rate(spec, Watts(230.0), 1.0),
+            "caps above the job's draw do not speed it up"
+        );
+        assert_eq!(
+            progress_rate(spec, Watts(100.0), 1.0),
+            progress_rate(spec, Watts(140.0), 1.0)
+        );
+    }
+
+    #[test]
+    fn perf_coeff_divides_rate() {
+        let cat = standard_catalog();
+        let spec = cat.find("lu").unwrap();
+        let nominal = progress_rate(spec, Watts(268.0), 1.0);
+        let slow = progress_rate(spec, Watts(268.0), 1.25);
+        assert!((slow * 1.25 - nominal).abs() < 1e-15);
+    }
+
+    #[test]
+    fn node_power_tracks_cap_until_draw() {
+        let cat = standard_catalog();
+        let spec = cat.find("is").unwrap(); // draws 225 W max
+        assert_eq!(node_power(spec, Watts(280.0)), Watts(225.0));
+        assert_eq!(node_power(spec, Watts(180.0)), Watts(180.0));
+        assert_eq!(node_power(spec, Watts(100.0)), Watts(140.0), "platform floor");
+    }
+}

@@ -1,0 +1,51 @@
+//! Process-level test of the `anorsim` CLI: runs a small simulation and
+//! checks the summary, history CSV and table dumps it produces.
+
+use std::process::Command;
+
+#[test]
+fn anorsim_produces_summary_history_and_tables() {
+    let dir = std::env::temp_dir().join(format!("anorsim-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.csv");
+    let tables = dir.join("tables.txt");
+    let out = Command::new(env!("CARGO_BIN_EXE_anorsim"))
+        .args([
+            "--nodes", "80",
+            "--utilization", "0.6",
+            "--horizon-secs", "900",
+            "--variation-pct", "10",
+            "--policy", "even-slowdown",
+            "--history", history.to_str().unwrap(),
+            "--tables", tables.to_str().unwrap(),
+            "--tables-every", "300",
+        ])
+        .output()
+        .expect("run anorsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("tracking:"), "{stdout}");
+    assert!(stdout.contains("qos[all]"), "{stdout}");
+    // History CSV: header + one row per tick over the whole run.
+    let h = std::fs::read_to_string(&history).unwrap();
+    assert!(h.lines().count() > 900, "history rows: {}", h.lines().count());
+    assert!(h.starts_with("time_s,target_w"));
+    // Table dumps: 80 NODE lines per dump, 3 dumps within the horizon.
+    let t = std::fs::read_to_string(&tables).unwrap();
+    let node_lines = t.lines().filter(|l| l.starts_with("NODE")).count();
+    assert_eq!(node_lines % 80, 0, "node lines {node_lines}");
+    assert!(node_lines >= 240, "node lines {node_lines}");
+    assert!(t.lines().any(|l| l.starts_with("JOB")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn anorsim_rejects_bad_policy() {
+    let out = Command::new(env!("CARGO_BIN_EXE_anorsim"))
+        .args(["--nodes", "40", "--policy", "nonsense"])
+        .output()
+        .expect("run anorsim");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}

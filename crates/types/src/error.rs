@@ -1,0 +1,105 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by ANOR components.
+#[derive(Debug)]
+pub enum AnorError {
+    /// An underlying socket / file error (cluster daemon, schedule files).
+    Io(std::io::Error),
+    /// A malformed or unexpected wire-protocol message.
+    Protocol(String),
+    /// A model could not be fit or is unusable (non-monotone, too few
+    /// samples, singular normal equations).
+    Model(String),
+    /// Invalid configuration (bad cap ranges, empty catalogs, bad
+    /// utilization targets).
+    Config(String),
+    /// A malformed job-schedule or power-target file.
+    Schedule(String),
+    /// A platform register access outside the simulated MSR space.
+    Platform(String),
+}
+
+impl AnorError {
+    /// Convenience constructor for protocol errors.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        AnorError::Protocol(msg.into())
+    }
+
+    /// Convenience constructor for model errors.
+    pub fn model(msg: impl Into<String>) -> Self {
+        AnorError::Model(msg.into())
+    }
+
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        AnorError::Config(msg.into())
+    }
+
+    /// Convenience constructor for schedule-file errors.
+    pub fn schedule(msg: impl Into<String>) -> Self {
+        AnorError::Schedule(msg.into())
+    }
+
+    /// Convenience constructor for platform errors.
+    pub fn platform(msg: impl Into<String>) -> Self {
+        AnorError::Platform(msg.into())
+    }
+}
+
+impl fmt::Display for AnorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnorError::Io(e) => write!(f, "i/o error: {e}"),
+            AnorError::Protocol(m) => write!(f, "protocol error: {m}"),
+            AnorError::Model(m) => write!(f, "model error: {m}"),
+            AnorError::Config(m) => write!(f, "config error: {m}"),
+            AnorError::Schedule(m) => write!(f, "schedule error: {m}"),
+            AnorError::Platform(m) => write!(f, "platform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AnorError {
+    fn from(e: std::io::Error) -> Self {
+        AnorError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_variants() {
+        assert!(AnorError::protocol("bad tag").to_string().contains("bad tag"));
+        assert!(AnorError::model("singular").to_string().contains("model"));
+        assert!(AnorError::config("x").to_string().starts_with("config"));
+        assert!(AnorError::schedule("y").to_string().contains("schedule"));
+        assert!(AnorError::platform("z").to_string().contains("platform"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer gone");
+        let e = AnorError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("peer gone"));
+    }
+
+    #[test]
+    fn non_io_has_no_source() {
+        assert!(AnorError::protocol("x").source().is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Identifiers for jobs, nodes and CPU packages.
+//!
+//! All identifiers are small `Copy` newtypes over integers so they can be
+//! used as table indices in the tabular simulator and as map keys in the
+//! cluster daemon without allocation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a job instance for the lifetime of a cluster (monotonically
+/// assigned by the scheduler; never reused within one run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+/// Identifies one compute node in a cluster. Doubles as the row index into
+/// the tabular simulator's node table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifies a CPU package (socket) within a node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PackageId(pub u8);
+
+impl JobId {
+    /// The next job id in sequence.
+    #[inline]
+    pub fn next(self) -> JobId {
+        JobId(self.0 + 1)
+    }
+}
+
+impl NodeId {
+    /// Usable as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PackageId {
+    /// Usable as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl fmt::Display for PackageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkg-{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn job_id_sequencing() {
+        let a = JobId::default();
+        assert_eq!(a, JobId(0));
+        assert_eq!(a.next(), JobId(1));
+        assert_eq!(a.next().next(), JobId(2));
+    }
+
+    #[test]
+    fn ids_are_map_keys() {
+        let mut m = HashMap::new();
+        m.insert(NodeId(3), "busy");
+        assert_eq!(m.get(&NodeId(3)), Some(&"busy"));
+        assert_eq!(m.get(&NodeId(4)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(NodeId(2).to_string(), "node-2");
+        assert_eq!(PackageId(1).to_string(), "pkg-1");
+    }
+
+    #[test]
+    fn index_conversions() {
+        assert_eq!(NodeId(9).index(), 9usize);
+        assert_eq!(PackageId(1).index(), 1usize);
+        assert_eq!(JobId::from(5u64), JobId(5));
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+    }
+}

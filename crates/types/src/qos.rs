@@ -1,0 +1,150 @@
+//! Quality-of-service math.
+//!
+//! Section 5.2 defines a job's QoS degradation as
+//! `Q = (T_so − T_min) / T_min`, where `T_so` is the sojourn time (submit →
+//! completion) and `T_min` the execution time when the job is not power
+//! limited. The paper's experiments use a probabilistic constraint: every
+//! type must stay within `Q = 5` with 90% probability.
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// The QoS degradation of one completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosDegradation {
+    /// Sojourn time: submission to completion.
+    pub sojourn: Seconds,
+    /// Uncapped execution time of the job's type.
+    pub t_min: Seconds,
+}
+
+impl QosDegradation {
+    /// Build from the three timestamps the job table records.
+    pub fn from_timestamps(submit: Seconds, end: Seconds, t_min: Seconds) -> Self {
+        QosDegradation {
+            sojourn: end - submit,
+            t_min,
+        }
+    }
+
+    /// `Q = (T_so − T_min) / T_min`. Zero when the job ran immediately at
+    /// full speed; grows with queue wait and power-cap slowdown.
+    pub fn degradation(&self) -> f64 {
+        debug_assert!(self.t_min.value() > 0.0, "t_min must be positive");
+        (self.sojourn - self.t_min) / self.t_min
+    }
+
+    /// Does this job meet a degradation limit?
+    pub fn within(&self, limit: f64) -> bool {
+        self.degradation() <= limit
+    }
+}
+
+/// A probabilistic QoS constraint: `Q ≤ limit` with probability
+/// `probability` across a job population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosConstraint {
+    /// Degradation ceiling (paper: 5).
+    pub limit: f64,
+    /// Required fraction of jobs under the ceiling (paper: 0.90).
+    pub probability: f64,
+}
+
+impl Default for QosConstraint {
+    fn default() -> Self {
+        QosConstraint {
+            limit: 5.0,
+            probability: 0.90,
+        }
+    }
+}
+
+impl QosConstraint {
+    /// Check the constraint over a set of completed jobs. Empty input is
+    /// vacuously satisfied (no jobs have been harmed).
+    pub fn satisfied_by(&self, jobs: &[QosDegradation]) -> bool {
+        if jobs.is_empty() {
+            return true;
+        }
+        let ok = jobs.iter().filter(|j| j.within(self.limit)).count();
+        (ok as f64 / jobs.len() as f64) >= self.probability
+    }
+
+    /// The `probability`-th percentile of degradation over a population —
+    /// the quantity Fig. 11 plots (its y axis is the 90th-percentile QoS
+    /// degradation). Returns `None` on an empty population.
+    pub fn percentile_degradation(&self, jobs: &[QosDegradation]) -> Option<f64> {
+        if jobs.is_empty() {
+            return None;
+        }
+        let mut qs: Vec<f64> = jobs.iter().map(|j| j.degradation()).collect();
+        qs.sort_by(f64::total_cmp);
+        Some(crate::stats::percentile_sorted(&qs, self.probability * 100.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sojourn: f64, tmin: f64) -> QosDegradation {
+        QosDegradation {
+            sojourn: Seconds(sojourn),
+            t_min: Seconds(tmin),
+        }
+    }
+
+    #[test]
+    fn degradation_formula() {
+        // Runs immediately, uncapped: Q = 0.
+        assert_eq!(q(100.0, 100.0).degradation(), 0.0);
+        // Waits as long as it runs: Q = 1.
+        assert!((q(200.0, 100.0).degradation() - 1.0).abs() < 1e-12);
+        // The paper's limit case.
+        assert!((q(600.0, 100.0).degradation() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_timestamps() {
+        let d = QosDegradation::from_timestamps(Seconds(10.0), Seconds(130.0), Seconds(60.0));
+        assert_eq!(d.sojourn, Seconds(120.0));
+        assert!((d.degradation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_limit() {
+        assert!(q(500.0, 100.0).within(5.0));
+        assert!(q(600.0, 100.0).within(5.0));
+        assert!(!q(601.0, 100.0).within(5.0));
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = QosConstraint::default();
+        // 9 of 10 within the limit -> satisfied at 90%.
+        let mut jobs: Vec<_> = (0..9).map(|_| q(100.0, 100.0)).collect();
+        jobs.push(q(10_000.0, 100.0));
+        assert!(c.satisfied_by(&jobs));
+        // 8 of 10 -> violated.
+        jobs.push(q(10_000.0, 100.0));
+        jobs.remove(0);
+        assert!(!c.satisfied_by(&jobs));
+    }
+
+    #[test]
+    fn empty_population_is_vacuously_ok() {
+        let c = QosConstraint::default();
+        assert!(c.satisfied_by(&[]));
+        assert_eq!(c.percentile_degradation(&[]), None);
+    }
+
+    #[test]
+    fn percentile_degradation_matches_manual() {
+        let c = QosConstraint::default();
+        let jobs: Vec<_> = (1..=10).map(|i| q(100.0 * (1.0 + i as f64), 100.0)).collect();
+        // Degradations are 1..=10; 90th percentile by linear interpolation
+        // over 10 points is 9.1.
+        let p = c.percentile_degradation(&jobs).unwrap();
+        assert!((p - 9.1).abs() < 1e-9, "got {p}");
+    }
+}

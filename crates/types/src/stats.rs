@@ -1,0 +1,311 @@
+//! Small statistics toolbox.
+//!
+//! The evaluation needs normal performance-variation coefficients
+//! (Section 6.4), Poisson job-arrival processes (Section 5.3), running
+//! means/standard deviations for error bars, percentiles for QoS and
+//! tracking-error reporting, and confidence intervals for Fig. 10/11.
+//! Everything here is implemented over `rand::Rng` primitives so the
+//! workspace does not depend on `rand_distr`.
+
+use rand::Rng;
+
+/// Welford's online mean/variance accumulator. Numerically stable for the
+/// long sample streams the cluster daemon produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// the mean: `1.96·s/√n`. Fig. 10's error bars.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+    }
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation of a slice (0 with < 2 elements).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Percentile by linear interpolation over an **already sorted** slice,
+/// `p` in `[0, 100]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted slice (copies and sorts internally).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    percentile_sorted(&v, p)
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// A normal variate truncated below at `floor` (resampled, falling back to
+/// the floor after a bounded number of tries). Used for performance
+/// coefficients, which must stay positive.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, floor: f64) -> f64 {
+    for _ in 0..64 {
+        let x = normal(rng, mu, sigma);
+        if x > floor {
+            return x;
+        }
+    }
+    floor.max(mu)
+}
+
+/// An exponential variate with the given rate (events per unit time).
+/// Inter-arrival times of a Poisson process.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Arrival times of a homogeneous Poisson process with rate `rate` on
+/// `[0, horizon)`.
+pub fn poisson_arrivals<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if rate <= 0.0 || horizon <= 0.0 {
+        return out;
+    }
+    let mut t = exponential(rng, rate);
+    while t < horizon {
+        out.push(t);
+        t += exponential(rng, rate);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.std_dev() - std_dev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 5.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 3.0);
+        assert!((percentile_sorted(&xs, 90.0) - 4.6).abs() < 1e-12);
+        // Unsorted entry point sorts internally.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0, 2.0, 4.0], 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[42.0], 17.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 1.0, 0.15)).collect();
+        assert!((mean(&xs) - 1.0).abs() < 0.01, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 0.15).abs() < 0.01, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut rng, 1.0, 0.5, 0.05);
+            assert!(x > 0.049999);
+        }
+    }
+
+    #[test]
+    fn poisson_arrival_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let horizon = 10_000.0;
+        let arrivals = poisson_arrivals(&mut rng, 0.5, horizon);
+        let observed = arrivals.len() as f64 / horizon;
+        assert!(
+            (observed - 0.5).abs() < 0.03,
+            "observed rate {observed} far from 0.5"
+        );
+        // Sorted and in range.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| t >= 0.0 && t < horizon));
+    }
+
+    #[test]
+    fn poisson_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(poisson_arrivals(&mut rng, 0.0, 100.0).is_empty());
+        assert!(poisson_arrivals(&mut rng, 1.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..10 {
+            small.push(normal(&mut rng, 0.0, 1.0) + i as f64 * 0.0);
+        }
+        for _ in 0..1000 {
+            large.push(normal(&mut rng, 0.0, 1.0));
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        assert!((mean(&xs) - 0.5).abs() < 0.02);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+}

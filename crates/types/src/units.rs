@@ -1,0 +1,291 @@
+//! Strongly-typed physical units.
+//!
+//! Power management code mixes watts, joules and seconds constantly; the
+//! newtypes here make unit errors a compile-time problem while staying
+//! zero-cost (`repr(transparent)` over `f64`). Arithmetic is defined only
+//! where it is physically meaningful: `Watts × Seconds = Joules`,
+//! `Joules ÷ Seconds = Watts`, and same-unit addition/subtraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Construct from a raw `f64` magnitude.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                $name(v)
+            }
+
+            /// The raw magnitude.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the magnitude is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Same-unit division produces a dimensionless ratio.
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// A span of time in seconds.
+    Seconds,
+    "s"
+);
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Convert to a [`std::time::Duration`], saturating at zero.
+    pub fn to_duration(self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.0.max(0.0))
+    }
+
+    /// Construct from a [`std::time::Duration`].
+    pub fn from_duration(d: std::time::Duration) -> Self {
+        Seconds(d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts(100.0) * Seconds(10.0);
+        assert_eq!(e, Joules(1000.0));
+        let e = Seconds(10.0) * Watts(100.0);
+        assert_eq!(e, Joules(1000.0));
+    }
+
+    #[test]
+    fn joules_over_seconds_is_watts() {
+        assert_eq!(Joules(1000.0) / Seconds(10.0), Watts(100.0));
+    }
+
+    #[test]
+    fn joules_over_watts_is_seconds() {
+        assert_eq!(Joules(1000.0) / Watts(100.0), Seconds(10.0));
+    }
+
+    #[test]
+    fn same_unit_ratio_is_dimensionless() {
+        let r: f64 = Watts(50.0) / Watts(200.0);
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut w = Watts(10.0);
+        w += Watts(5.0);
+        assert_eq!(w, Watts(15.0));
+        w -= Watts(20.0);
+        assert_eq!(w, Watts(-5.0));
+        assert_eq!(w.abs(), Watts(5.0));
+        assert_eq!(-w, Watts(5.0));
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        assert_eq!(Watts(300.0).clamp(Watts(140.0), Watts(280.0)), Watts(280.0));
+        assert_eq!(Watts(100.0).clamp(Watts(140.0), Watts(280.0)), Watts(140.0));
+        assert_eq!(Watts(1.0).min(Watts(2.0)), Watts(1.0));
+        assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.0)].into_iter().sum();
+        assert_eq!(total, Watts(6.0));
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.1}", Watts(123.456)), "123.5 W");
+        assert_eq!(format!("{:.0}", Seconds(9.9)), "10 s");
+        assert_eq!(format!("{:.2}", Joules(1.0)), "1.00 J");
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let s = Seconds(1.5);
+        assert_eq!(Seconds::from_duration(s.to_duration()), s);
+        // Negative seconds saturate to a zero duration.
+        assert_eq!(Seconds(-1.0).to_duration(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn scalar_multiplication_both_sides() {
+        assert_eq!(Watts(10.0) * 2.0, Watts(20.0));
+        assert_eq!(2.0 * Watts(10.0), Watts(20.0));
+        assert_eq!(Watts(10.0) / 2.0, Watts(5.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Demand response: track a moving cluster power target through a
+//! 10-minute burst of job arrivals, printing the target/measured series
+//! and the AQA tracking-error verdict.
+//!
+//! ```text
+//! cargo run --release --example demand_response
+//! ```
+
+use anor::aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingConstraint, TrackingRecorder};
+use anor::cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor::types::{standard_catalog, Seconds, Watts};
+
+fn main() {
+    let catalog = standard_catalog();
+    let types = catalog.long_running();
+    let horizon = Seconds(600.0);
+    let submissions = poisson_schedule(&catalog, &types, 0.95, 16, horizon, 21);
+    let jobs: Vec<JobSetup> = submissions
+        .iter()
+        .map(|s| JobSetup::known(&catalog[s.type_id].name).at(s.time))
+        .collect();
+    println!(
+        "submitting {} jobs over {horizon:.0} at 95% target utilization\n",
+        jobs.len()
+    );
+
+    let reserve = Watts(900.0);
+    let target = PowerTarget {
+        avg: Watts(3200.0),
+        reserve,
+        signal: RegulationSignal::random_walk(Seconds(4.0), 0.35, Seconds(7200.0), 9),
+    };
+    let cluster = EmulatedCluster::new(EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false));
+    let report = cluster
+        .run_demand_response(&jobs, target, true)
+        .expect("run failed");
+
+    println!("{:>8} {:>10} {:>10}", "time_s", "target_w", "meas_w");
+    for (t, target, measured) in report.power_trace.iter().step_by(60) {
+        println!(
+            "{:>8.0} {:>10.0} {:>10.0}",
+            t.value(),
+            target.value(),
+            measured.value()
+        );
+    }
+
+    let mut recorder = TrackingRecorder::new(reserve);
+    for &(t, target, measured) in &report.power_trace {
+        if t.value() <= horizon.value() {
+            recorder.push(target, measured);
+        }
+    }
+    let constraint = TrackingConstraint::default();
+    println!();
+    println!(
+        "p90 tracking error: {:.1}% of reserve; within-30% fraction: {:.1}%",
+        recorder.percentile_error(90.0) * 100.0,
+        recorder.fraction_within(constraint.limit) * 100.0
+    );
+    println!(
+        "AQA constraint (<=30% error for >=90% of time): {}",
+        if recorder.satisfies(&constraint) {
+            "SATISFIED"
+        } else {
+            "violated (short window includes cold start)"
+        }
+    );
+}

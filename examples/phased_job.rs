@@ -1,0 +1,65 @@
+//! Phase changes and drift detection (Section 8): a job whose power
+//! sensitivity shifts mid-run, watched by a modeler with drift detection
+//! enabled — the fitted model follows the phases.
+//!
+//! ```text
+//! cargo run --release --example phased_job
+//! ```
+
+use anor::model::{DriftDetector, ModelerConfig, PowerModeler};
+use anor::platform::{Phase, PhasedWorkload};
+use anor::types::{standard_catalog, CapRange, PowerCurve, Seconds, Watts};
+
+fn main() {
+    let base = standard_catalog().find("bt").unwrap().clone();
+    let phases = [
+        Phase {
+            fraction: 0.5,
+            sensitivity: 0.10, // memory-bound setup: capping is nearly free
+            max_draw: Watts(225.0),
+        },
+        Phase {
+            fraction: 0.5,
+            sensitivity: 0.80, // compute-bound solve: capping hurts
+            max_draw: Watts(278.0),
+        },
+    ];
+    let mut workload = PhasedWorkload::new(base.clone(), &phases, 1.0, 7);
+    let default = PowerCurve::from_anchor(Seconds(2.4), 0.4, CapRange::paper_node());
+    let mut modeler = PowerModeler::with_default(ModelerConfig::paper(), default)
+        .with_drift_detection(DriftDetector::paper());
+
+    println!("two-phase job under a 200 W cap, modeler watching epochs\n");
+    println!(
+        "{:>8} {:>7} {:>8} {:>22} {:>8}",
+        "time_s", "phase", "epochs", "learned slowdown@140W", "refits"
+    );
+    let mut t = 0.0;
+    let mut epochs = 0u64;
+    let mut refits = 0u64;
+    let mut last_phase = 0;
+    while !workload.is_done() {
+        // The budgeter holds 200 W; the modeler dithers around it.
+        let cap = modeler.recommend_cap(Watts(200.0));
+        let crossed = workload.step(cap, Seconds(1.0));
+        t += 1.0;
+        epochs += crossed;
+        if modeler.observe(epochs, Seconds(t), cap) {
+            refits += 1;
+        }
+        let phase = workload.current_phase();
+        if phase != last_phase || (t as u64).is_multiple_of(120) {
+            let learned = modeler.curve().slowdown_at(Watts(140.0), Watts(280.0));
+            println!(
+                "{t:>8.0} {phase:>7} {epochs:>8} {learned:>22.2} {refits:>8}"
+            );
+            last_phase = phase;
+        }
+    }
+    let learned = modeler.curve().slowdown_at(Watts(140.0), Watts(280.0));
+    println!(
+        "\nfinal learned slowdown at min cap: {learned:.2} (phase 2 truth: 1.80)\n\
+         phase changes detected: {}",
+        modeler.phase_changes()
+    );
+}

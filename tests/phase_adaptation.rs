@@ -1,0 +1,103 @@
+//! Integration test for the Section 8 extension chain: a multi-phase
+//! workload (anor-platform) feeding the drift-detecting power modeler
+//! (anor-model) through realistic epoch streams, with recommendations
+//! that keep the dithered cap identifiable.
+
+use anor::model::{DriftDetector, ModelerConfig, PowerModeler};
+use anor::platform::{Phase, PhasedWorkload};
+use anor::types::{standard_catalog, CapRange, PowerCurve, Seconds, Watts};
+
+fn phases() -> [Phase; 2] {
+    [
+        Phase {
+            fraction: 0.5,
+            sensitivity: 0.10,
+            max_draw: Watts(225.0),
+        },
+        Phase {
+            fraction: 0.5,
+            sensitivity: 0.80,
+            max_draw: Watts(278.0),
+        },
+    ]
+}
+
+/// Run workload + modeler coupled at a fixed budget; return the learned
+/// slowdown at min cap once each phase has been absorbed.
+fn learn_through_phases(seed: u64) -> (f64, f64, u64) {
+    let base = standard_catalog().find("bt").unwrap().clone();
+    let mut workload = PhasedWorkload::new(base, &phases(), 1.0, seed);
+    let default = PowerCurve::from_anchor(Seconds(2.4), 0.4, CapRange::paper_node());
+    let mut modeler = PowerModeler::with_default(ModelerConfig::paper(), default)
+        .with_drift_detection(DriftDetector::paper());
+    let mut t = 0.0;
+    let mut epochs = 0u64;
+    let mut learned_phase1 = None;
+    while !workload.is_done() {
+        let cap = modeler.recommend_cap(Watts(200.0));
+        epochs += workload.step(cap, Seconds(1.0));
+        t += 1.0;
+        modeler.observe(epochs, Seconds(t), cap);
+        if workload.current_phase() == 0 && modeler.is_fitted() {
+            learned_phase1 =
+                Some(modeler.curve().slowdown_at(Watts(140.0), Watts(280.0)));
+        }
+    }
+    let learned_phase2 = modeler.curve().slowdown_at(Watts(140.0), Watts(280.0));
+    (
+        learned_phase1.expect("phase 1 was fitted"),
+        learned_phase2,
+        modeler.phase_changes(),
+    )
+}
+
+#[test]
+fn modeler_follows_the_job_through_a_phase_change() {
+    let (p1, p2, changes) = learn_through_phases(7);
+    // Phase 1 truth: 1.10; phase 2 truth: 1.80.
+    assert!((p1 - 1.10).abs() < 0.12, "phase 1 learned {p1}");
+    assert!((p2 - 1.80).abs() < 0.25, "phase 2 learned {p2}");
+    assert!(changes >= 1, "drift must have fired at the transition");
+}
+
+#[test]
+fn without_drift_detection_the_model_goes_stale() {
+    let base = standard_catalog().find("bt").unwrap().clone();
+    let mut workload = PhasedWorkload::new(base, &phases(), 1.0, 9);
+    let default = PowerCurve::from_anchor(Seconds(2.4), 0.4, CapRange::paper_node());
+    // Same setup, no drift detection.
+    let mut modeler = PowerModeler::with_default(ModelerConfig::paper(), default);
+    let mut t = 0.0;
+    let mut epochs = 0u64;
+    while !workload.is_done() {
+        let cap = modeler.recommend_cap(Watts(200.0));
+        epochs += workload.step(cap, Seconds(1.0));
+        t += 1.0;
+        modeler.observe(epochs, Seconds(t), cap);
+    }
+    let learned = modeler.curve().slowdown_at(Watts(140.0), Watts(280.0));
+    // The fit blends both phases (observations from phase 1 linger in
+    // the buffer), landing well below the phase-2 truth of 1.8.
+    assert!(
+        learned < 1.7,
+        "stale model should underestimate phase 2: {learned}"
+    );
+}
+
+#[test]
+fn phased_workload_total_time_matches_phase_mix() {
+    // Under a hard 140 W cap, phase 1 (sens 0.1) costs 1.1x and phase 2
+    // (sens 0.8) costs 1.8x, so the whole job costs ~1.45x its uncapped
+    // time.
+    let base = standard_catalog().find("bt").unwrap().clone();
+    let uncapped = base.time_uncapped.value();
+    let mut w = PhasedWorkload::new(base, &phases(), 1.0, 11);
+    let mut t = 0.0;
+    while !w.is_done() {
+        w.step(Watts(140.0), Seconds(0.5));
+        t += 0.5;
+        assert!(t < 10_000.0);
+    }
+    let ratio = t / uncapped;
+    assert!((ratio - 1.45).abs() < 0.12, "capped phase mix ratio {ratio}");
+}

@@ -1,0 +1,223 @@
+//! Property-based tests over the substrate crates: energy conservation
+//! in the node model, workload progress invariants, regulation-signal
+//! bounds, facility allocation conservation, epoch-window weighting and
+//! catalog-file round-trips.
+
+use anor::aqa::{RegulationSignal, TrackingRecorder};
+use anor::model::EpochWindow;
+use anor::platform::{Node, NodeConfig};
+use anor::policy::{ClusterView, FacilityBudgeter};
+use anor::types::catalog::{parse_catalog, write_catalog};
+use anor::types::{standard_catalog, Catalog, JobId, JobTypeSpec, NodeId, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Platform: energy conservation and cap enforcement
+    // ------------------------------------------------------------------
+
+    /// Over any sequence of caps and step lengths, the node's unwrapped
+    /// energy equals the integral of its reported power, and power never
+    /// exceeds the enforced cap (or idle power when no job runs).
+    #[test]
+    fn node_energy_is_integral_of_power(
+        steps in proptest::collection::vec((140.0f64..280.0, 0.1f64..5.0), 1..60),
+        job_idx in 0usize..8,
+    ) {
+        let catalog = standard_catalog();
+        let spec = catalog.iter().nth(job_idx).unwrap().clone();
+        let mut node = Node::new(NodeId(0), NodeConfig::paper(), 1.0);
+        node.launch(JobId(1), spec, 42).unwrap();
+        let mut integral = 0.0;
+        for (cap, dt) in steps {
+            node.set_power_cap(Watts(cap)).unwrap();
+            let r = node.step(Seconds(dt));
+            // Enforcement: never above the cap (within MSR quantization),
+            // never below zero.
+            prop_assert!(r.power.value() <= node.power_cap().value() + 0.5);
+            prop_assert!(r.power.value() >= 0.0);
+            integral += r.power.value() * dt;
+        }
+        let total = node.cpu_energy_total().value();
+        prop_assert!(
+            (total - integral).abs() < 1.0 + integral * 1e-6,
+            "energy {total} J vs ∫P dt = {integral} J"
+        );
+    }
+
+    /// Workload progress is monotone and epochs never exceed the spec's
+    /// count, for any interleaving of caps and step sizes.
+    #[test]
+    fn workload_progress_monotone(
+        steps in proptest::collection::vec((140.0f64..280.0, 0.05f64..3.0), 1..100),
+        seed in 0u64..1000,
+    ) {
+        let spec = standard_catalog().find("is.D.32").unwrap().clone();
+        let mut w = anor::platform::SyntheticWorkload::new(spec.clone(), 1.0, seed);
+        let mut prev = 0.0;
+        for (cap, dt) in steps {
+            w.step(Watts(cap), Seconds(dt));
+            let p = w.progress();
+            prop_assert!(p >= prev && p <= 1.0);
+            prev = p;
+            prop_assert!(w.epochs_done() <= spec.epochs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AQA: regulation bounds and tracking-error algebra
+    // ------------------------------------------------------------------
+
+    /// Every regulation signal stays within [-1, 1] at all times.
+    #[test]
+    fn regulation_signals_bounded(
+        t in 0.0f64..100_000.0,
+        amplitude in 0.0f64..3.0,
+        level in -3.0f64..3.0,
+        seed in 0u64..500,
+    ) {
+        let signals = [
+            RegulationSignal::Constant(level),
+            RegulationSignal::Sinusoid { period: Seconds(97.0), amplitude },
+            RegulationSignal::random_walk(Seconds(4.0), 0.4, Seconds(2000.0), seed),
+        ];
+        for s in signals {
+            let y = s.value(Seconds(t));
+            prop_assert!((-1.0..=1.0).contains(&y), "y = {y}");
+        }
+    }
+
+    /// Tracking error scales inversely with reserve and is symmetric.
+    #[test]
+    fn tracking_error_algebra(
+        target in 100.0f64..100_000.0,
+        miss in -5_000.0f64..5_000.0,
+        reserve in 10.0f64..10_000.0,
+    ) {
+        let mut r = TrackingRecorder::new(Watts(reserve));
+        let e = r.push(Watts(target), Watts(target + miss));
+        prop_assert!((e - miss.abs() / reserve).abs() < 1e-9);
+        let mut r2 = TrackingRecorder::new(Watts(reserve));
+        let e2 = r2.push(Watts(target), Watts(target - miss));
+        prop_assert!((e - e2).abs() < 1e-12, "asymmetric error");
+    }
+
+    // ------------------------------------------------------------------
+    // Facility allocation
+    // ------------------------------------------------------------------
+
+    /// Facility allocations always grant each cluster at least its floor,
+    /// never exceed its useful maximum, and never over-spend the budget
+    /// beyond the sum of floors.
+    #[test]
+    fn facility_allocation_invariants(
+        budget in 0.0f64..100_000.0,
+        specs in proptest::collection::vec(
+            (10.0f64..1000.0, 0.0f64..3000.0, 0.0f64..5000.0, 0.0f64..10.0),
+            1..8,
+        ),
+    ) {
+        let clusters: Vec<ClusterView> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(floor, extra_cap, demand, weight))| ClusterView {
+                name: format!("c{i}"),
+                floor: Watts(floor),
+                capacity: Watts(floor + extra_cap),
+                demand: Watts(demand),
+                weight,
+            })
+            .collect();
+        let alloc = FacilityBudgeter.allocate(Watts(budget), &clusters);
+        prop_assert_eq!(alloc.len(), clusters.len());
+        let floors: f64 = clusters.iter().map(|c| c.floor.value()).sum();
+        let total: f64 = alloc.iter().map(|w| w.value()).sum();
+        for (a, c) in alloc.iter().zip(&clusters) {
+            prop_assert!(a.value() >= c.floor.value() - 1e-9, "{} under floor", c.name);
+            prop_assert!(
+                a.value() <= c.useful_max().value() + 1e-6,
+                "{} over useful max",
+                c.name
+            );
+        }
+        prop_assert!(
+            total <= budget.max(floors) + 1e-6,
+            "over-spent: {total} vs budget {budget} (floors {floors})"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch window
+    // ------------------------------------------------------------------
+
+    /// The time-weighted average cap always lies within the min/max cap
+    /// observed during the window, and elapsed time adds up.
+    #[test]
+    fn epoch_window_weighted_average_bounded(
+        samples in proptest::collection::vec((0.1f64..10.0, 140.0f64..280.0), 2..40),
+    ) {
+        let mut w = EpochWindow::new();
+        let mut t = 0.0;
+        w.push(0, Seconds(0.0), Watts(samples[0].1));
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (dt, cap) in &samples {
+            t += dt;
+            lo = lo.min(*cap);
+            hi = hi.max(*cap);
+            // No epochs yet: pure exposure accumulation.
+            prop_assert!(w.push(0, Seconds(t), Watts(*cap)).is_none());
+        }
+        // One epoch completes now.
+        t += 1.0;
+        lo = lo.min(200.0);
+        hi = hi.max(200.0);
+        let obs = w.push(1, Seconds(t), Watts(200.0)).unwrap();
+        prop_assert!((obs.elapsed.value() - t).abs() < 1e-9);
+        prop_assert!(
+            obs.avg_cap.value() >= lo - 1e-9 && obs.avg_cap.value() <= hi + 1e-9,
+            "avg {} outside [{lo}, {hi}]",
+            obs.avg_cap
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog file format
+    // ------------------------------------------------------------------
+
+    /// Any well-formed catalog survives a write/parse round trip.
+    #[test]
+    fn catalog_round_trips(
+        rows in proptest::collection::vec(
+            (1u32..100, 1u64..10_000, 1.0f64..100_000.0, 0.0f64..3.0, 150.0f64..280.0),
+            1..10,
+        ),
+    ) {
+        let mut catalog = Catalog::new();
+        for (i, &(nodes, epochs, time, sens, draw)) in rows.iter().enumerate() {
+            catalog.push(JobTypeSpec {
+                id: anor::types::JobTypeId(0),
+                name: format!("app{i}.D.{nodes}"),
+                nodes,
+                epochs,
+                time_uncapped: Seconds(time),
+                sensitivity: sens,
+                cap_range: anor::types::CapRange::paper_node(),
+                max_draw: Watts(draw),
+                noise_sigma: 0.02,
+                qos_limit: 5.0,
+            });
+        }
+        let mut buf = Vec::new();
+        write_catalog(&mut buf, &catalog).unwrap();
+        let parsed = parse_catalog(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(parsed.len(), catalog.len());
+        for (a, b) in catalog.iter().zip(parsed.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.nodes, b.nodes);
+            prop_assert!((a.time_uncapped.value() - b.time_uncapped.value()).abs()
+                < 1e-9 * (1.0 + a.time_uncapped.value()));
+            prop_assert!((a.sensitivity - b.sensitivity).abs() < 1e-9);
+        }
+    }
+}
