@@ -117,15 +117,13 @@ pub fn choose_hourly_bid(cfg: &BiddingConfig) -> Result<Option<Bid>> {
     let (avg_range, reserve_range) = cfg.candidate_ranges();
     let candidates = candidate_grid(avg_range, reserve_range, cfg.grid_steps);
     let mut failure: Option<anor_types::AnorError> = None;
-    let chosen = search_bid(&candidates, &cfg.cost, |bid| {
-        match evaluate_bid(cfg, bid) {
-            Ok(e) => e,
-            Err(e) => {
-                failure = Some(e);
-                BidEvaluation {
-                    qos_ok: false,
-                    tracking_ok: false,
-                }
+    let chosen = search_bid(&candidates, &cfg.cost, |bid| match evaluate_bid(cfg, bid) {
+        Ok(e) => e,
+        Err(e) => {
+            failure = Some(e);
+            BidEvaluation {
+                qos_ok: false,
+                tracking_ok: false,
             }
         }
     });

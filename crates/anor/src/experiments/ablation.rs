@@ -105,7 +105,7 @@ mod tests {
         // With no dither and a static budget, the misclassified job sits
         // at one cap level; the model stays unidentifiable and recovery
         // is limited.
-        let points = dither_amplitude(&[0.0, 0.05], 7).unwrap();
+        let points = dither_amplitude(&[0.0, 0.05], 9).unwrap();
         let none = points[0];
         let paper = points[1];
         assert!(

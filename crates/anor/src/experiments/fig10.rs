@@ -9,6 +9,7 @@
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::stats::OnlineStats;
 use anor_types::{Result, Seconds, Watts};
 
@@ -62,6 +63,10 @@ pub struct Fig10Config {
     pub seed: u64,
     /// Tracking statistics exclude this initial fill-up window.
     pub warmup: Seconds,
+    /// Telemetry sink shared by the four policies' emulated runs
+    /// (in-memory by default; the `fig10` binary passes a
+    /// directory-backed sink for `--telemetry <dir>`).
+    pub telemetry: Telemetry,
 }
 
 impl Default for Fig10Config {
@@ -73,6 +78,7 @@ impl Default for Fig10Config {
             reserve: Watts(900.0),
             seed: 10,
             warmup: Seconds(180.0),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -132,7 +138,8 @@ fn run_policy(
         Fig10Policy::Misclassified => (BudgetPolicy::EvenSlowdown, false, true),
         Fig10Policy::Adjusted => (BudgetPolicy::EvenSlowdown, true, true),
     };
-    let mut ecfg = EmulatorConfig::paper(budget_policy, feedback);
+    let mut ecfg =
+        EmulatorConfig::paper(budget_policy, feedback).with_telemetry(cfg.telemetry.clone());
     ecfg.seed = cfg.seed;
     let jobs: Vec<JobSetup> = jobs
         .iter()

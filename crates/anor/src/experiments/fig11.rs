@@ -101,15 +101,11 @@ pub fn run(cfg: &Fig11Config) -> Result<Fig11Output> {
     // estimate if no candidate satisfies the constraints. The budgeter
     // tracks by capping *down*, so the average must sit below the
     // cluster's free-running power.
-    let fallback_avg = Watts(
-        cfg.nodes as f64
-            * (cfg.utilization * mean_draw + (1.0 - cfg.utilization) * 90.0),
-    ) * 0.85;
-    let mut bid_cfg = crate::bidding::BiddingConfig::new(
-        scfg_proto.clone(),
-        cfg.utilization,
-        cfg.seed ^ 0xb1dd,
-    );
+    let fallback_avg =
+        Watts(cfg.nodes as f64 * (cfg.utilization * mean_draw + (1.0 - cfg.utilization) * 90.0))
+            * 0.85;
+    let mut bid_cfg =
+        crate::bidding::BiddingConfig::new(scfg_proto.clone(), cfg.utilization, cfg.seed ^ 0xb1dd);
     bid_cfg.horizon = (cfg.horizon * 0.5).max(Seconds(1800.0));
     bid_cfg.grid_steps = 4;
     let bid = crate::bidding::choose_hourly_bid(&bid_cfg)?;
@@ -211,19 +207,12 @@ mod tests {
         // Across types on average, the ±30% level must degrade QoS more
         // than the 0% level.
         let mean_at = |x: f64| {
-            let ys: Vec<f64> = out
-                .series
-                .iter()
-                .filter_map(|s| s.y_at(x))
-                .collect();
+            let ys: Vec<f64> = out.series.iter().filter_map(|s| s.y_at(x)).collect();
             ys.iter().sum::<f64>() / ys.len() as f64
         };
         let q0 = mean_at(0.0);
         let q30 = mean_at(30.0);
-        assert!(
-            q30 > q0,
-            "±30% variation must degrade QoS: {q30} vs {q0}"
-        );
+        assert!(q30 > q0, "±30% variation must degrade QoS: {q30} vs {q0}");
         assert_eq!(out.tracking_ok_fraction.len(), 2);
     }
 }

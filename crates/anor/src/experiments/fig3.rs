@@ -20,8 +20,7 @@ pub fn run(runs: usize, seed: u64) -> Vec<Series> {
         let t_ref = mean(
             &(0..runs)
                 .map(|r| {
-                    let mut w =
-                        SyntheticWorkload::new(spec.clone(), 1.0, seed ^ (r as u64) << 8);
+                    let mut w = SyntheticWorkload::new(spec.clone(), 1.0, seed ^ (r as u64) << 8);
                     w.run_to_completion(Watts(280.0)).value()
                 })
                 .collect::<Vec<f64>>(),

@@ -5,8 +5,9 @@
 //! feedback, and SP's sensitivity over-estimated (classified as EP)
 //! without and with feedback. The paper uses 3 trials.
 
-use super::hw::{run_configs, HwBar, HwConfig};
+use super::hw::{run_configs, run_configs_with, HwBar, HwConfig};
 use anor_cluster::{BudgetPolicy, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::Result;
 
 /// The six configuration rows of the figure.
@@ -25,16 +26,36 @@ pub fn configs() -> Vec<HwConfig> {
         ]
     };
     vec![
-        HwConfig::new("Performance Agnostic", BudgetPolicy::Uniform, false, known()),
-        HwConfig::new("Performance Aware", BudgetPolicy::EvenSlowdown, false, known()),
-        HwConfig::new("Under-estimate bt", BudgetPolicy::EvenSlowdown, false, bt_as_is()),
+        HwConfig::new(
+            "Performance Agnostic",
+            BudgetPolicy::Uniform,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Performance Aware",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Under-estimate bt",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            bt_as_is(),
+        ),
         HwConfig::new(
             "Under-estimate bt, with feedback",
             BudgetPolicy::EvenSlowdown,
             true,
             bt_as_is(),
         ),
-        HwConfig::new("Over-estimate sp", BudgetPolicy::EvenSlowdown, false, sp_as_ep()),
+        HwConfig::new(
+            "Over-estimate sp",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            sp_as_ep(),
+        ),
         HwConfig::new(
             "Over-estimate sp, with feedback",
             BudgetPolicy::EvenSlowdown,
@@ -47,6 +68,11 @@ pub fn configs() -> Vec<HwConfig> {
 /// Run the figure with the paper's 3 trials (or fewer for quick runs).
 pub fn run(trials: usize, seed: u64) -> Result<Vec<HwBar>> {
     run_configs(&configs(), trials, seed)
+}
+
+/// [`run`] with an explicit telemetry sink shared by all trials.
+pub fn run_with(trials: usize, seed: u64, telemetry: &Telemetry) -> Result<Vec<HwBar>> {
+    run_configs_with(&configs(), trials, seed, telemetry)
 }
 
 #[cfg(test)]

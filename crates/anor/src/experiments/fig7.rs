@@ -2,8 +2,9 @@
 //! under the shared 840 W budget, with one instance potentially
 //! misclassified as IS. The paper uses 3 back-to-back trials.
 
-use super::hw::{run_configs, HwBar, HwConfig};
+use super::hw::{run_configs, run_configs_with, HwBar, HwConfig};
 use anor_cluster::{BudgetPolicy, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::Result;
 
 /// The four configuration rows of the figure.
@@ -16,9 +17,24 @@ pub fn configs() -> Vec<HwConfig> {
         ]
     };
     vec![
-        HwConfig::new("Performance Agnostic", BudgetPolicy::Uniform, false, known()),
-        HwConfig::new("Performance Aware", BudgetPolicy::EvenSlowdown, false, known()),
-        HwConfig::new("Under-estimate bt", BudgetPolicy::EvenSlowdown, false, one_as_is()),
+        HwConfig::new(
+            "Performance Agnostic",
+            BudgetPolicy::Uniform,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Performance Aware",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Under-estimate bt",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            one_as_is(),
+        ),
         HwConfig::new(
             "Under-estimate bt, with feedback",
             BudgetPolicy::EvenSlowdown,
@@ -31,6 +47,11 @@ pub fn configs() -> Vec<HwConfig> {
 /// Run with the requested number of trials (paper: 3).
 pub fn run(trials: usize, seed: u64) -> Result<Vec<HwBar>> {
     run_configs(&configs(), trials, seed)
+}
+
+/// [`run`] with an explicit telemetry sink shared by all trials.
+pub fn run_with(trials: usize, seed: u64, telemetry: &Telemetry) -> Result<Vec<HwBar>> {
+    run_configs_with(&configs(), trials, seed, telemetry)
 }
 
 #[cfg(test)]
@@ -62,11 +83,7 @@ mod tests {
             .iter()
             .find(|(n, _, _)| n.contains('='))
             .expect("misclassified job labelled with =");
-        let fed_job = fed
-            .jobs
-            .iter()
-            .find(|(n, _, _)| n.contains('='))
-            .unwrap();
+        let fed_job = fed.jobs.iter().find(|(n, _, _)| n.contains('=')).unwrap();
         assert!(
             mis_job.1 > mean_of(aware),
             "misclassified {} vs aware {}",

@@ -2,8 +2,9 @@
 //! under the shared 840 W budget, with one instance potentially
 //! misclassified as EP. The paper uses 6 back-to-back trials.
 
-use super::hw::{run_configs, HwBar, HwConfig};
+use super::hw::{run_configs, run_configs_with, HwBar, HwConfig};
 use anor_cluster::{BudgetPolicy, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::Result;
 
 /// The four configuration rows of the figure.
@@ -16,9 +17,24 @@ pub fn configs() -> Vec<HwConfig> {
         ]
     };
     vec![
-        HwConfig::new("Performance Agnostic", BudgetPolicy::Uniform, false, known()),
-        HwConfig::new("Performance Aware", BudgetPolicy::EvenSlowdown, false, known()),
-        HwConfig::new("Over-estimate sp", BudgetPolicy::EvenSlowdown, false, one_as_ep()),
+        HwConfig::new(
+            "Performance Agnostic",
+            BudgetPolicy::Uniform,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Performance Aware",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            known(),
+        ),
+        HwConfig::new(
+            "Over-estimate sp",
+            BudgetPolicy::EvenSlowdown,
+            false,
+            one_as_ep(),
+        ),
         HwConfig::new(
             "Over-estimate sp, with feedback",
             BudgetPolicy::EvenSlowdown,
@@ -31,6 +47,11 @@ pub fn configs() -> Vec<HwConfig> {
 /// Run with the requested number of trials (paper: 6).
 pub fn run(trials: usize, seed: u64) -> Result<Vec<HwBar>> {
     run_configs(&configs(), trials, seed)
+}
+
+/// [`run`] with an explicit telemetry sink shared by all trials.
+pub fn run_with(trials: usize, seed: u64, telemetry: &Telemetry) -> Result<Vec<HwBar>> {
+    run_configs_with(&configs(), trials, seed, telemetry)
 }
 
 #[cfg(test)]
@@ -46,8 +67,9 @@ mod tests {
         let aware = bar(&bars, "Performance Aware");
         let over = bar(&bars, "Over-estimate sp");
         let fed = bar(&bars, "Over-estimate sp, with feedback");
-        let correctly_classified =
-            |b: &super::super::hw::HwBar| b.jobs.iter().find(|(n, _, _)| !n.contains('=')).unwrap().1;
+        let correctly_classified = |b: &super::super::hw::HwBar| {
+            b.jobs.iter().find(|(n, _, _)| !n.contains('=')).unwrap().1
+        };
         let base = correctly_classified(aware);
         let hurt = correctly_classified(over);
         let recovered = correctly_classified(fed);

@@ -5,6 +5,7 @@
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::{Result, Seconds, Watts};
 
 /// Scenario parameters.
@@ -23,6 +24,10 @@ pub struct Fig9Config {
     /// Tracking statistics exclude this initial fill-up window (the
     /// paper's hour starts from a warm cluster).
     pub warmup: Seconds,
+    /// Telemetry sink for the emulated cluster (in-memory by default;
+    /// the `fig9` binary passes a directory-backed sink for
+    /// `--telemetry <dir>`).
+    pub telemetry: Telemetry,
 }
 
 impl Default for Fig9Config {
@@ -37,6 +42,7 @@ impl Default for Fig9Config {
             reserve: Watts(900.0),
             seed: 9,
             warmup: Seconds(180.0),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -57,7 +63,8 @@ pub struct Fig9Output {
 
 /// Run the scenario.
 pub fn run(cfg: &Fig9Config) -> Result<Fig9Output> {
-    let ecfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false);
+    let ecfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false)
+        .with_telemetry(cfg.telemetry.clone());
     let catalog = ecfg.catalog.clone();
     let types = catalog.long_running();
     let submissions = poisson_schedule(
@@ -139,9 +146,6 @@ mod tests {
             out.mean_relative_miss
         );
         // Trace stays within the horizon.
-        assert!(out
-            .trace
-            .iter()
-            .all(|(t, _, _)| t.value() <= 600.0 + 1e-9));
+        assert!(out.trace.iter().all(|(t, _, _)| t.value() <= 600.0 + 1e-9));
     }
 }

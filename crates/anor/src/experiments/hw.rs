@@ -6,6 +6,7 @@
 //! trials.
 
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_telemetry::Telemetry;
 use anor_types::stats::{mean, std_dev};
 use anor_types::{Result, Watts};
 
@@ -27,12 +28,7 @@ pub struct HwConfig {
 
 impl HwConfig {
     /// Convenience constructor.
-    pub fn new(
-        label: &str,
-        policy: BudgetPolicy,
-        feedback: bool,
-        jobs: [JobSetup; 2],
-    ) -> Self {
+    pub fn new(label: &str, policy: BudgetPolicy, feedback: bool, jobs: [JobSetup; 2]) -> Self {
         HwConfig {
             label: label.to_string(),
             policy,
@@ -54,12 +50,25 @@ pub struct HwBar {
 
 /// Run a set of configurations for `trials` repetitions each.
 pub fn run_configs(configs: &[HwConfig], trials: usize, seed: u64) -> Result<Vec<HwBar>> {
+    run_configs_with(configs, trials, seed, &Telemetry::new())
+}
+
+/// [`run_configs`] with an explicit telemetry sink shared by every
+/// trial's emulated cluster (the `--telemetry <dir>` path of the figure
+/// binaries).
+pub fn run_configs_with(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<Vec<HwBar>> {
     let mut bars = Vec::with_capacity(configs.len());
     for cfg in configs {
         // Per-job slowdown samples across trials.
         let mut samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.jobs.len()];
         for trial in 0..trials {
-            let mut ecfg = EmulatorConfig::paper(cfg.policy, cfg.feedback);
+            let mut ecfg =
+                EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
             ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
             let cluster = EmulatedCluster::new(ecfg);
             let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;

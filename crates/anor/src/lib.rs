@@ -7,9 +7,9 @@
 //! harness are thin wrappers over this crate.
 
 pub mod bidding;
-pub mod training;
 pub mod experiments;
 pub mod render;
+pub mod training;
 
 pub use anor_aqa as aqa;
 pub use anor_cluster as cluster;
@@ -18,4 +18,5 @@ pub use anor_model as model;
 pub use anor_platform as platform;
 pub use anor_policy as policy;
 pub use anor_sim as sim;
+pub use anor_telemetry as telemetry;
 pub use anor_types as types;

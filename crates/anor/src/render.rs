@@ -37,7 +37,10 @@ impl Series {
 
     /// Largest y in the series.
     pub fn y_max(&self) -> f64 {
-        self.points.iter().map(|&(_, y, _)| y).fold(f64::NAN, f64::max)
+        self.points
+            .iter()
+            .map(|&(_, y, _)| y)
+            .fold(f64::NAN, f64::max)
     }
 }
 
@@ -63,14 +66,8 @@ pub fn render_table(title: &str, x_label: &str, series: &[Series]) -> String {
     for &x in &xs {
         out.push_str(&format!("{x:>12.1}"));
         for s in series {
-            match s
-                .points
-                .iter()
-                .find(|(px, _, _)| (px - x).abs() < 1e-9)
-            {
-                Some(&(_, y, e)) if e > 0.0 => {
-                    out.push_str(&format!(" {:>14.4}±{:<7.4}", y, e))
-                }
+            match s.points.iter().find(|(px, _, _)| (px - x).abs() < 1e-9) {
+                Some(&(_, y, e)) if e > 0.0 => out.push_str(&format!(" {:>14.4}±{:<7.4}", y, e)),
                 Some(&(_, y, _)) => out.push_str(&format!(" {y:>22.4}")),
                 None => out.push_str(&format!(" {:>22}", "-")),
             }

@@ -190,7 +190,11 @@ mod tests {
 
     #[test]
     fn search_returns_none_when_infeasible() {
-        let grid = candidate_grid((Watts(1000.0), Watts(2000.0)), (Watts(100.0), Watts(200.0)), 3);
+        let grid = candidate_grid(
+            (Watts(1000.0), Watts(2000.0)),
+            (Watts(100.0), Watts(200.0)),
+            3,
+        );
         let got = search_bid(&grid, &CostModel::default(), |_| BidEvaluation {
             qos_ok: false,
             tracking_ok: true,
@@ -200,7 +204,11 @@ mod tests {
 
     #[test]
     fn evaluator_called_per_candidate() {
-        let grid = candidate_grid((Watts(1000.0), Watts(2000.0)), (Watts(100.0), Watts(200.0)), 3);
+        let grid = candidate_grid(
+            (Watts(1000.0), Watts(2000.0)),
+            (Watts(100.0), Watts(200.0)),
+            3,
+        );
         let mut calls = 0;
         search_bid(&grid, &CostModel::default(), |_| {
             calls += 1;

@@ -80,7 +80,8 @@ impl QueueScheduler {
             let better = match &best {
                 None => true,
                 Some((r, t, _)) => {
-                    ratio < r - 1e-12 || ((ratio - r).abs() <= 1e-12 && p.submit.value() < t.value())
+                    ratio < r - 1e-12
+                        || ((ratio - r).abs() <= 1e-12 && p.submit.value() < t.value())
                 }
             };
             if better {

@@ -47,7 +47,10 @@ impl RegulationSignal {
         horizon: Seconds,
         seed: u64,
     ) -> RegulationSignal {
-        assert!(update_period.value() > 0.0, "update period must be positive");
+        assert!(
+            update_period.value() > 0.0,
+            "update period must be positive"
+        );
         let n = (horizon.value() / update_period.value()).ceil() as usize + 1;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut y = 0.0f64;

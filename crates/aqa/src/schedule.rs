@@ -128,9 +128,9 @@ pub fn parse_schedule(r: impl BufRead, catalog: &Catalog) -> Result<Vec<JobSubmi
                 lineno + 1
             )));
         };
-        let time: f64 = t.parse().map_err(|_| {
-            AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1))
-        })?;
+        let time: f64 = t
+            .parse()
+            .map_err(|_| AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1)))?;
         let spec = catalog.find(name).ok_or_else(|| {
             AnorError::schedule(format!("line {}: unknown job type `{name}`", lineno + 1))
         })?;
@@ -167,12 +167,12 @@ pub fn parse_power_targets(r: impl BufRead) -> Result<Vec<(Seconds, Watts)>> {
                 lineno + 1
             )));
         };
-        let time: f64 = t.parse().map_err(|_| {
-            AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1))
-        })?;
-        let watts: f64 = p.parse().map_err(|_| {
-            AnorError::schedule(format!("line {}: bad watts `{p}`", lineno + 1))
-        })?;
+        let time: f64 = t
+            .parse()
+            .map_err(|_| AnorError::schedule(format!("line {}: bad time `{t}`", lineno + 1)))?;
+        let watts: f64 = p
+            .parse()
+            .map_err(|_| AnorError::schedule(format!("line {}: bad watts `{p}`", lineno + 1)))?;
         out.push((Seconds(time), Watts(watts)));
     }
     Ok(out)
@@ -210,7 +210,9 @@ mod tests {
             "long-run offered utilization {util}"
         );
         // Sorted by time.
-        assert!(sched.windows(2).all(|w| w[0].time.value() <= w[1].time.value()));
+        assert!(sched
+            .windows(2)
+            .all(|w| w[0].time.value() <= w[1].time.value()));
     }
 
     #[test]
@@ -249,11 +251,7 @@ mod tests {
         assert!(parse_schedule(BufReader::new(&b"abc bt.D.81"[..]), &cat).is_err());
         assert!(parse_schedule(BufReader::new(&b"1.0 nosuch.X.1"[..]), &cat).is_err());
         // Comments and blanks are fine.
-        let ok = parse_schedule(
-            BufReader::new(&b"# header\n\n10.5 bt.D.81\n"[..]),
-            &cat,
-        )
-        .unwrap();
+        let ok = parse_schedule(BufReader::new(&b"# header\n\n10.5 bt.D.81\n"[..]), &cat).unwrap();
         assert_eq!(ok.len(), 1);
         assert_eq!(cat[ok[0].type_id].name, "bt.D.81");
     }

@@ -5,6 +5,7 @@
 //! distance between the measured power and the target power, divided by
 //! the reserve."
 
+use anor_telemetry::{Histogram, Telemetry};
 use anor_types::stats::percentile;
 use anor_types::Watts;
 
@@ -42,6 +43,7 @@ impl Default for TrackingConstraint {
 pub struct TrackingRecorder {
     reserve: Watts,
     errors: Vec<f64>,
+    stream: Option<Histogram>,
 }
 
 impl TrackingRecorder {
@@ -51,7 +53,15 @@ impl TrackingRecorder {
         TrackingRecorder {
             reserve,
             errors: Vec::new(),
+            stream: None,
         }
+    }
+
+    /// Stream every recorded error into the `tracking_error` histogram
+    /// on `telemetry` as well (the end-of-run summary then shows the
+    /// same percentiles [`TrackingRecorder::percentile_error`] computes).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.stream = Some(telemetry.histogram("tracking_error", &[]));
     }
 
     /// Record one sample; returns the error it contributed.
@@ -60,6 +70,9 @@ impl TrackingRecorder {
     pub fn push(&mut self, target: Watts, measured: Watts) -> f64 {
         let e = (measured - target).abs() / self.reserve;
         self.errors.push(e);
+        if let Some(h) = &self.stream {
+            h.observe(e);
+        }
         e
     }
 
@@ -157,6 +170,35 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_reserve_rejected() {
         TrackingRecorder::new(Watts(0.0));
+    }
+
+    #[test]
+    fn percentile_error_endpoints_are_exact() {
+        let mut r = TrackingRecorder::new(Watts(100.0));
+        for i in 1..=10 {
+            r.push(Watts(0.0), Watts(i as f64)); // errors 0.01..=0.10
+        }
+        // p=0 is the minimum error, p=100 the maximum — no interpolation.
+        assert_eq!(r.percentile_error(0.0), 0.01);
+        assert_eq!(r.percentile_error(100.0), 0.10);
+        // Out-of-range ranks clamp to the endpoints.
+        assert_eq!(r.percentile_error(-5.0), 0.01);
+        assert_eq!(r.percentile_error(150.0), 0.10);
+    }
+
+    #[test]
+    fn attached_telemetry_streams_every_error() {
+        use anor_telemetry::Telemetry;
+        let telemetry = Telemetry::new();
+        let mut r = TrackingRecorder::new(Watts(100.0));
+        r.attach_telemetry(&telemetry);
+        for i in 1..=4 {
+            r.push(Watts(0.0), Watts(10.0 * i as f64));
+        }
+        let hist = telemetry.histogram("tracking_error", &[]);
+        assert_eq!(hist.count(), 4);
+        // Max streamed error is 40/100 = 0.4, same as the recorder's own view.
+        assert!((hist.quantile(1.0) - r.percentile_error(100.0)).abs() < 1e-12);
     }
 
     #[test]

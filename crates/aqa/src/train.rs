@@ -102,12 +102,7 @@ impl UnknownJobSampler {
     /// Synthesize a spec for an unknown type. `declared_min_time` is the
     /// user-provided minimum execution time (like a job time limit);
     /// `nodes` its declared footprint.
-    pub fn sample(
-        &mut self,
-        name: &str,
-        declared_min_time: Seconds,
-        nodes: u32,
-    ) -> JobTypeSpec {
+    pub fn sample(&mut self, name: &str, declared_min_time: Seconds, nodes: u32) -> JobTypeSpec {
         // Power-demand range donor and slowdown donor are drawn
         // independently, as the paper samples each property.
         let power_donor = self.known[self.rng.gen_range(0..self.known.len())].clone();
@@ -199,7 +194,11 @@ mod tests {
         let catalog = standard_catalog();
         let mut sampler = UnknownJobSampler::new(&catalog, 11).unwrap();
         let draws: Vec<f64> = (0..50)
-            .map(|i| sampler.sample(&format!("u{i}"), Seconds(100.0), 1).sensitivity)
+            .map(|i| {
+                sampler
+                    .sample(&format!("u{i}"), Seconds(100.0), 1)
+                    .sensitivity
+            })
             .collect();
         let distinct = {
             let mut d = draws.clone();

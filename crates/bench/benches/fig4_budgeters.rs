@@ -23,9 +23,7 @@ fn budgeters(c: &mut Criterion) {
             b.iter(|| EvenPowerBudgeter.assign(budget, std::hint::black_box(&jobs)))
         });
         group.bench_function(format!("even_slowdown/{n}_jobs"), |b| {
-            b.iter(|| {
-                EvenSlowdownBudgeter::default().assign(budget, std::hint::black_box(&jobs))
-            })
+            b.iter(|| EvenSlowdownBudgeter::default().assign(budget, std::hint::black_box(&jobs)))
         });
     }
     group.finish();

@@ -13,10 +13,8 @@ fn hw_emulation(c: &mut Criterion) {
         b.iter(|| {
             // IS is the shortest type (~20 s virtual), keeping the bench
             // iteration bounded while covering the full stack.
-            let cluster = EmulatedCluster::new(EmulatorConfig::paper(
-                BudgetPolicy::EvenSlowdown,
-                true,
-            ));
+            let cluster =
+                EmulatedCluster::new(EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, true));
             cluster
                 .run_static(
                     &[JobSetup::known("is.D.32"), JobSetup::known("is.D.32")],

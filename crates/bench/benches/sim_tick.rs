@@ -15,14 +15,7 @@ fn make_sim(nodes: u32) -> TabularSim {
     let scale = (nodes as f64 / 40.0).round().max(1.0) as u32;
     cfg.catalog = anor_core::types::standard_catalog().scale_nodes(scale);
     cfg.types = cfg.catalog.long_running();
-    let schedule = poisson_schedule(
-        &cfg.catalog,
-        &cfg.types,
-        0.75,
-        nodes,
-        Seconds(1800.0),
-        42,
-    );
+    let schedule = poisson_schedule(&cfg.catalog, &cfg.types, 0.75, nodes, Seconds(1800.0), 42);
     let target = PowerTarget {
         avg: Watts(nodes as f64 * 210.0),
         reserve: Watts(nodes as f64 * 25.0),

@@ -11,7 +11,10 @@ fn main() {
         "Misclassification-recovery fraction vs modeler design knobs",
     );
     println!("retrain threshold (paper: 10 new epochs):");
-    println!("{:>10} {:>16} {:>10}", "epochs", "bt_slowdown_%", "recovery");
+    println!(
+        "{:>10} {:>16} {:>10}",
+        "epochs", "bt_slowdown_%", "recovery"
+    );
     for p in ablation::retrain_threshold(&[5, 10, 20, 40], 42).expect("runs failed") {
         println!(
             "{:>10.0} {:>16.2} {:>10.2}",
@@ -20,7 +23,10 @@ fn main() {
     }
     println!();
     println!("dither amplitude (fraction of the 140 W cap span; paper impl: 0.05):");
-    println!("{:>10} {:>16} {:>10}", "fraction", "bt_slowdown_%", "recovery");
+    println!(
+        "{:>10} {:>16} {:>10}",
+        "fraction", "bt_slowdown_%", "recovery"
+    );
     for p in ablation::dither_amplitude(&[0.0, 0.02, 0.05, 0.10], 42).expect("runs failed") {
         println!(
             "{:>10.2} {:>16.2} {:>10.2}",

@@ -3,7 +3,7 @@
 //! Characterized / Misclassified / Adjusted policies, plus the tracking
 //! error summary of Section 6.3.
 
-use anor_bench::{header, scaled};
+use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
 use anor_core::experiments::fig10::{self, Fig10Config, Fig10Policy};
 use anor_types::Seconds;
 
@@ -12,8 +12,10 @@ fn main() {
         "Fig. 10",
         "Mean slowdown (%) per job type, 4 capping policies (95% CI)",
     );
+    let telemetry = telemetry_from_args();
     let cfg = Fig10Config {
         horizon: scaled(Seconds(3600.0), Seconds(900.0)),
+        telemetry: telemetry.clone(),
         ..Fig10Config::default()
     };
     let out = fig10::run(&cfg).expect("demand-response run failed");
@@ -44,4 +46,5 @@ fn main() {
             p90 * 100.0
         );
     }
+    finish_telemetry(&telemetry);
 }

@@ -2,7 +2,7 @@
 //! (75% of TDP over 4 nodes), six budgeter configurations, measured on
 //! the emulated cluster over TCP.
 
-use anor_bench::{header, scaled};
+use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
 use anor_core::experiments::fig6;
 use anor_core::render::render_bars;
 
@@ -11,8 +11,9 @@ fn main() {
         "Fig. 6",
         "Measured slowdown (%) of BT and SP under a shared 840 W budget",
     );
+    let telemetry = telemetry_from_args();
     let trials = scaled(3, 1);
-    let bars = fig6::run(trials, 6).expect("emulated run failed");
+    let bars = fig6::run_with(trials, 6, &telemetry).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -25,4 +26,5 @@ fn main() {
         "paper anchors: BT degrades when misclassified (either direction);\n\
          feedback recovers most of the loss in both cases."
     );
+    finish_telemetry(&telemetry);
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 7: two BT instances under the shared 840 W budget,
 //! one potentially misclassified as IS.
 
-use anor_bench::{header, scaled};
+use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
 use anor_core::experiments::fig7;
 use anor_core::render::render_bars;
 
@@ -10,8 +10,9 @@ fn main() {
         "Fig. 7",
         "Measured slowdown (%) of two BT instances (one possibly = IS)",
     );
+    let telemetry = telemetry_from_args();
     let trials = scaled(3, 1);
-    let bars = fig7::run(trials, 7).expect("emulated run failed");
+    let bars = fig7::run_with(trials, 7, &telemetry).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -24,4 +25,5 @@ fn main() {
         "paper anchors: with identical job types, agnostic ≈ precharacterized;\n\
          misclassifying one instance slows it; feedback recovers."
     );
+    finish_telemetry(&telemetry);
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 8: two SP instances under the shared 840 W budget,
 //! one potentially misclassified as EP.
 
-use anor_bench::{header, scaled};
+use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
 use anor_core::experiments::fig8;
 use anor_core::render::render_bars;
 
@@ -10,8 +10,9 @@ fn main() {
         "Fig. 8",
         "Measured slowdown (%) of two SP instances (one possibly = EP)",
     );
+    let telemetry = telemetry_from_args();
     let trials = scaled(6, 1);
-    let bars = fig8::run(trials, 8).expect("emulated run failed");
+    let bars = fig8::run_with(trials, 8, &telemetry).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -25,4 +26,5 @@ fn main() {
          misclassified instance's sibling sees a small slowdown; feedback\n\
          recovers part of it."
     );
+    finish_telemetry(&telemetry);
 }

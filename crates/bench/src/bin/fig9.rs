@@ -2,7 +2,7 @@
 //! power over an hour of job arrivals, plus the Section 6.3 tracking
 //! error summary.
 
-use anor_bench::{header, scaled};
+use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
 use anor_core::experiments::fig9::{self, Fig9Config};
 use anor_types::Seconds;
 
@@ -11,8 +11,10 @@ fn main() {
         "Fig. 9",
         "Power target vs measured power over a 1-hour schedule",
     );
+    let telemetry = telemetry_from_args();
     let cfg = Fig9Config {
         horizon: scaled(Seconds(3600.0), Seconds(600.0)),
+        telemetry: telemetry.clone(),
         ..Fig9Config::default()
     };
     let out = fig9::run(&cfg).expect("demand-response run failed");
@@ -40,4 +42,5 @@ fn main() {
         "          mean |measured-target|/target = {:.1}% (paper abstract: ~8%)",
         out.mean_relative_miss * 100.0
     );
+    finish_telemetry(&telemetry);
 }

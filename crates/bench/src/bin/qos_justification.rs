@@ -48,7 +48,13 @@ fn main() {
         reserve: Watts(nodes as f64 * 28.0),
         signal: RegulationSignal::Constant(0.0),
     };
-    let mut sim = TabularSim::new(cfg, target, &PerformanceVariation::none(nodes as usize), schedule, None);
+    let mut sim = TabularSim::new(
+        cfg,
+        target,
+        &PerformanceVariation::none(nodes as usize),
+        schedule,
+        None,
+    );
     sim.run(horizon, horizon * 2.0);
     // Wait / execution ratio per completed job.
     let mut ratios = Vec::new();

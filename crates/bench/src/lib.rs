@@ -39,6 +39,45 @@ pub fn header(figure: &str, summary: &str) {
     println!();
 }
 
+/// Build the run's [`Telemetry`](anor_telemetry::Telemetry) sink from a
+/// `--telemetry <dir>` command-line option: directory-backed when the
+/// option is present (events stream to `<dir>/events.jsonl`), in-memory
+/// otherwise. Unknown options are ignored so figure binaries stay
+/// permissive.
+pub fn telemetry_from_args() -> anor_telemetry::Telemetry {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            if let Some(dir) = args.next() {
+                match anor_telemetry::Telemetry::to_dir(&dir) {
+                    Ok(t) => return t,
+                    Err(e) => {
+                        eprintln!("--telemetry {dir}: {e}; falling back to in-memory telemetry");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    anor_telemetry::Telemetry::new()
+}
+
+/// Flush telemetry artifacts and, when directory-backed, print the
+/// end-of-run summary table and where the artifacts went.
+pub fn finish_telemetry(telemetry: &anor_telemetry::Telemetry) {
+    if let Some(dir) = telemetry.dir() {
+        let dir = dir.to_path_buf();
+        match telemetry.write_artifacts() {
+            Ok(summary) => {
+                println!();
+                println!("{summary}");
+                println!("telemetry artifacts written to {}", dir.display());
+            }
+            Err(e) => eprintln!("failed to write telemetry artifacts: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,12 +11,15 @@
 //!          --announce is.D.32 --seed 3 --speedup 200
 //! ```
 //!
-//! On completion, prints the job's GEOPM-style report to stdout.
+//! On completion, prints the job's GEOPM-style report to stdout. With
+//! `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
+//! Prometheus exposition plus summary table are written on exit.
 
 use anor_cluster::{Args, JobEndpoint};
 use anor_geopm::JobRuntime;
 use anor_model::{ModelerConfig, PowerModeler};
 use anor_platform::Node;
+use anor_telemetry::Telemetry;
 use anor_types::{standard_catalog, JobId, NodeId, Seconds};
 use std::time::Duration;
 
@@ -46,20 +49,27 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let nodes_wanted: u32 = args.get_or("nodes", spec.nodes)?;
     let believed = catalog.find(&announced).unwrap_or(&spec).clone();
 
+    let telemetry = match args.get("telemetry") {
+        Some(dir) => Telemetry::to_dir(dir)?,
+        None => Telemetry::new(),
+    };
     let nodes: Vec<Node> = (0..nodes_wanted).map(|i| Node::paper(NodeId(i))).collect();
     let (mut runtime, modeler_side) = JobRuntime::launch(job, spec.clone(), nodes, seed)?;
+    runtime.attach_telemetry(&telemetry);
     let mut mcfg = ModelerConfig::paper();
     if !dither {
         mcfg.dither_fraction = 0.0;
     }
-    let modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
-    let mut endpoint = JobEndpoint::connect(
+    let mut modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
+    modeler.attach_telemetry(&telemetry);
+    let mut endpoint = JobEndpoint::connect_with(
         connect,
         job,
         &announced,
         nodes_wanted,
         modeler_side,
         modeler,
+        telemetry.clone(),
     )?;
 
     let dt = Seconds(0.5);
@@ -83,5 +93,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     endpoint.finish(runtime.elapsed())?;
     print!("{}", runtime.report().render());
+    if telemetry.dir().is_some() {
+        let summary = telemetry.write_artifacts()?;
+        println!("{summary}");
+    }
     Ok(())
 }

@@ -11,11 +11,15 @@
 //! anord --listen 127.0.0.1:5533 --targets targets.txt --duration-secs 3600
 //! ```
 //!
+//! With `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
+//! Prometheus exposition plus summary table are written on exit.
+//!
 //! Prints `anord listening on <addr>` once ready (machine-readable for
 //! launchers), then a completion line per job.
 
 use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
 use anor_cluster::{Args, BudgetPolicy};
+use anor_telemetry::Telemetry;
 use anor_types::{Seconds, Watts};
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -59,8 +63,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Err("need --budget WATTS or --targets FILE".into());
     }
 
+    let telemetry = match args.get("telemetry") {
+        Some(dir) => Telemetry::to_dir(dir)?,
+        None => Telemetry::new(),
+    };
     let cfg = BudgeterConfig::new(policy, feedback);
-    let (mut daemon, addr) = ClusterBudgeter::bind_addr(cfg, listen)?;
+    let (mut daemon, addr) = ClusterBudgeter::bind_addr_with(cfg, telemetry.clone(), listen)?;
     println!("anord listening on {addr}");
     std::io::stdout().flush()?;
 
@@ -94,6 +102,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         std::thread::sleep(Duration::from_millis(tick_ms));
+    }
+    if telemetry.dir().is_some() {
+        let summary = telemetry.write_artifacts()?;
+        println!("{summary}");
     }
     Ok(())
 }

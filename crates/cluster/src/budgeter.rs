@@ -12,10 +12,9 @@
 //! default assumption applies, Section 6.1.2). With feedback enabled,
 //! incoming `Model` messages replace the believed curve.
 
-use crate::codec::FramedStream;
-use anor_policy::{
-    Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter,
-};
+use crate::codec::{FramedStream, TransportMetrics};
+use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter};
+use anor_telemetry::{Counter, Gauge, Histogram, Telemetry, Timer};
 use anor_types::msg::{ClusterToJob, JobToCluster};
 use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
 use std::collections::HashMap;
@@ -105,6 +104,31 @@ struct JobEntry {
     done: Option<Seconds>,
 }
 
+/// Cached metric handles for the daemon's own control loop (the
+/// transport series live in [`TransportMetrics`]).
+#[derive(Debug)]
+struct BudgeterMetrics {
+    rebalance: Histogram,
+    msgs_hello: Counter,
+    msgs_sample: Counter,
+    msgs_model: Counter,
+    msgs_done: Counter,
+    active_jobs: Gauge,
+}
+
+impl BudgeterMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        BudgeterMetrics {
+            rebalance: telemetry.histogram("budgeter_rebalance_seconds", &[]),
+            msgs_hello: telemetry.counter("budgeter_msgs_total", &[("kind", "hello")]),
+            msgs_sample: telemetry.counter("budgeter_msgs_total", &[("kind", "sample")]),
+            msgs_model: telemetry.counter("budgeter_msgs_total", &[("kind", "model")]),
+            msgs_done: telemetry.counter("budgeter_msgs_total", &[("kind", "done")]),
+            active_jobs: telemetry.gauge("budgeter_active_jobs", &[]),
+        }
+    }
+}
+
 /// The budgeter daemon (pump-driven).
 #[derive(Debug)]
 pub struct ClusterBudgeter {
@@ -113,6 +137,9 @@ pub struct ClusterBudgeter {
     conns: Vec<Option<FramedStream>>,
     jobs: HashMap<JobId, JobEntry>,
     completed: Vec<(JobId, Seconds)>,
+    telemetry: Telemetry,
+    transport: TransportMetrics,
+    metrics: BudgeterMetrics,
 }
 
 impl ClusterBudgeter {
@@ -124,9 +151,27 @@ impl ClusterBudgeter {
 
     /// Bind on an explicit address (the standalone `anord` daemon).
     pub fn bind_addr(cfg: BudgeterConfig, addr: &str) -> Result<(Self, SocketAddr)> {
+        Self::bind_addr_with(cfg, Telemetry::new(), addr)
+    }
+
+    /// Like [`ClusterBudgeter::bind`], recording into a shared
+    /// [`Telemetry`] handle instead of a private in-memory one.
+    pub fn bind_with(cfg: BudgeterConfig, telemetry: Telemetry) -> Result<(Self, SocketAddr)> {
+        Self::bind_addr_with(cfg, telemetry, "127.0.0.1:0")
+    }
+
+    /// Explicit address *and* explicit telemetry (the standalone daemon
+    /// with `--telemetry`).
+    pub fn bind_addr_with(
+        cfg: BudgeterConfig,
+        telemetry: Telemetry,
+        addr: &str,
+    ) -> Result<(Self, SocketAddr)> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let transport = TransportMetrics::new(&telemetry, "budgeter");
+        let metrics = BudgeterMetrics::new(&telemetry);
         Ok((
             ClusterBudgeter {
                 cfg,
@@ -134,9 +179,17 @@ impl ClusterBudgeter {
                 conns: Vec::new(),
                 jobs: HashMap::new(),
                 completed: Vec::new(),
+                telemetry,
+                transport,
+                metrics,
             },
             addr,
         ))
+    }
+
+    /// The telemetry handle this daemon records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// One control pass: accept connections, ingest messages, recompute
@@ -145,13 +198,18 @@ impl ClusterBudgeter {
     pub fn pump(&mut self, busy_budget: Watts) -> Result<()> {
         self.accept_new()?;
         self.ingest()?;
-        self.redistribute(busy_budget)
+        let out = self.redistribute(busy_budget);
+        self.metrics.active_jobs.set(self.active_jobs() as f64);
+        out
     }
 
     fn accept_new(&mut self) -> Result<()> {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => self.conns.push(Some(FramedStream::new(stream)?)),
+                Ok((stream, _)) => self.conns.push(Some(FramedStream::with_metrics(
+                    stream,
+                    self.transport.clone(),
+                )?)),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) => return Err(e.into()),
             }
@@ -159,20 +217,22 @@ impl ClusterBudgeter {
     }
 
     fn resolve_view(&self, job: JobId, type_name: &str, nodes: u32) -> JobView {
-        let spec = self.cfg.catalog.find(type_name).unwrap_or_else(|| {
-            match self.cfg.unknown_default {
-                UnknownDefault::LeastSensitive => self
-                    .cfg
-                    .catalog
-                    .least_sensitive()
-                    .expect("catalog must not be empty"),
-                UnknownDefault::MostSensitive => self
-                    .cfg
-                    .catalog
-                    .most_sensitive()
-                    .expect("catalog must not be empty"),
-            }
-        });
+        let spec =
+            self.cfg
+                .catalog
+                .find(type_name)
+                .unwrap_or_else(|| match self.cfg.unknown_default {
+                    UnknownDefault::LeastSensitive => self
+                        .cfg
+                        .catalog
+                        .least_sensitive()
+                        .expect("catalog must not be empty"),
+                    UnknownDefault::MostSensitive => self
+                        .cfg
+                        .catalog
+                        .most_sensitive()
+                        .expect("catalog must not be empty"),
+                });
         let mut view = JobView::from_spec(job, spec);
         view.nodes = nodes;
         view
@@ -206,6 +266,15 @@ impl ClusterBudgeter {
                         type_name,
                         nodes,
                     } => {
+                        self.metrics.msgs_hello.inc();
+                        self.telemetry.event(
+                            "budgeter_hello",
+                            &[
+                                ("job", job.0.into()),
+                                ("type", type_name.as_str().into()),
+                                ("nodes", u64::from(nodes).into()),
+                            ],
+                        );
                         let view = self.resolve_view(job, &type_name, nodes);
                         self.jobs.insert(
                             job,
@@ -222,6 +291,7 @@ impl ClusterBudgeter {
                         );
                     }
                     JobToCluster::Sample(s) => {
+                        self.metrics.msgs_sample.inc();
                         if let Some(e) = self.jobs.get_mut(&s.job) {
                             e.samples_seen += 1;
                             let per_node = s.avg_power / e.view.nodes.max(1) as f64;
@@ -243,17 +313,16 @@ impl ClusterBudgeter {
                                     if ratio < 0.7 {
                                         e.under_draw_streak += 1;
                                         if e.under_draw_streak >= 3 {
-                                            e.view.max_draw = (per_node * 1.05)
-                                                .max(e.view.cap_range.min);
+                                            e.view.max_draw =
+                                                (per_node * 1.05).max(e.view.cap_range.min);
                                         }
                                     } else {
                                         e.under_draw_streak = 0;
                                         if ratio > 0.98
                                             && e.view.max_draw.value() <= cap.value() * 1.05
                                         {
-                                            e.view.max_draw =
-                                                (e.view.max_draw + Watts(10.0))
-                                                    .min(e.view.cap_range.max);
+                                            e.view.max_draw = (e.view.max_draw + Watts(10.0))
+                                                .min(e.view.cap_range.max);
                                         }
                                     }
                                 }
@@ -261,14 +330,26 @@ impl ClusterBudgeter {
                         }
                     }
                     JobToCluster::Model { job, curve, .. } => {
+                        self.metrics.msgs_model.inc();
                         if let Some(e) = self.jobs.get_mut(&job) {
                             e.models_seen += 1;
+                            // The "per-job retrain count" the summary
+                            // table reports: every Model push is one
+                            // retrain at the job tier.
+                            self.telemetry
+                                .gauge("job_retrains", &[("job", &job.0.to_string())])
+                                .set(e.models_seen as f64);
                             if self.cfg.feedback {
                                 e.view = e.view.clone().with_curve(curve);
                             }
                         }
                     }
                     JobToCluster::Done { job, elapsed } => {
+                        self.metrics.msgs_done.inc();
+                        self.telemetry.event(
+                            "budgeter_job_done",
+                            &[("job", job.0.into()), ("elapsed_s", elapsed.value().into())],
+                        );
                         if let Some(e) = self.jobs.get_mut(&job) {
                             e.done = Some(elapsed);
                         }
@@ -295,6 +376,9 @@ impl ClusterBudgeter {
         if active.is_empty() {
             return Ok(());
         }
+        // Latency of an actual rebalance; empty passes are not observed
+        // so the percentiles describe real redistribution work.
+        let _timer = Timer::start(self.metrics.rebalance.clone());
         active.sort_unstable();
         let views: Vec<JobView> = active.iter().map(|id| self.jobs[id].view.clone()).collect();
         let caps = self.cfg.policy.assign(busy_budget, &views);
@@ -322,11 +406,8 @@ impl ClusterBudgeter {
 
     /// The last cap sent per job, sorted by job id.
     pub fn job_caps(&self) -> Vec<(JobId, Option<Watts>)> {
-        let mut v: Vec<(JobId, Option<Watts>)> = self
-            .jobs
-            .iter()
-            .map(|(&id, e)| (id, e.last_cap))
-            .collect();
+        let mut v: Vec<(JobId, Option<Watts>)> =
+            self.jobs.iter().map(|(&id, e)| (id, e.last_cap)).collect();
         v.sort_unstable_by_key(|(id, _)| *id);
         v
     }
@@ -386,11 +467,8 @@ mod tests {
 
     #[test]
     fn hello_registers_job_and_cap_is_sent() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::EvenSlowdown,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
         let mut client = connect(addr);
         client.send(hello(1, "bt.D.81", 2)).unwrap();
         pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
@@ -401,8 +479,7 @@ mod tests {
             got.extend(client.recv_frames().unwrap());
             !got.is_empty()
         });
-        let ClusterToJob::SetPowerCap { cap } = ClusterToJob::decode(got.remove(0)).unwrap()
-        else {
+        let ClusterToJob::SetPowerCap { cap } = ClusterToJob::decode(got.remove(0)).unwrap() else {
             panic!("expected a cap message");
         };
         // 400 W over 2 nodes -> 200 W/node.
@@ -411,11 +488,8 @@ mod tests {
 
     #[test]
     fn two_jobs_split_budget_by_policy() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::EvenSlowdown,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
         let mut bt = connect(addr);
         let mut sp = connect(addr);
         bt.send(hello(1, "bt.D.81", 2)).unwrap();
@@ -463,11 +537,9 @@ mod tests {
     #[test]
     fn feedback_updates_view_only_when_enabled() {
         for feedback in [false, true] {
-            let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-                BudgetPolicy::EvenSlowdown,
-                feedback,
-            ))
-            .unwrap();
+            let (mut b, addr) =
+                ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, feedback))
+                    .unwrap();
             let mut client = connect(addr);
             client.send(hello(3, "is.D.32", 1)).unwrap();
             pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -497,11 +569,8 @@ mod tests {
 
     #[test]
     fn done_and_disconnect_deactivate_job() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::Uniform,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
         let mut client = connect(addr);
         client.send(hello(5, "mg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -523,11 +592,8 @@ mod tests {
 
     #[test]
     fn abrupt_disconnect_without_done_removes_job() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::Uniform,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
         let mut client = connect(addr);
         client.send(hello(6, "cg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -537,11 +603,8 @@ mod tests {
 
     #[test]
     fn samples_are_counted() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::Uniform,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
         let mut client = connect(addr);
         client.send(hello(7, "lu.D.42", 1)).unwrap();
         for i in 0..5u64 {
@@ -566,11 +629,8 @@ mod tests {
 
     #[test]
     fn malformed_peer_is_dropped_without_killing_the_daemon() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::EvenSlowdown,
-            false,
-        ))
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
         // A healthy job...
         let mut good = connect(addr);
         good.send(hello(1, "bt.D.81", 2)).unwrap();
@@ -595,12 +655,59 @@ mod tests {
     }
 
     #[test]
-    fn caps_resent_only_on_material_change() {
-        let (mut b, addr) = ClusterBudgeter::bind(BudgeterConfig::new(
-            BudgetPolicy::Uniform,
-            false,
-        ))
+    fn telemetry_records_rebalances_messages_and_retrains() {
+        let telemetry = Telemetry::new();
+        let (mut b, addr) = ClusterBudgeter::bind_with(
+            BudgeterConfig::new(BudgetPolicy::EvenSlowdown, true),
+            telemetry.clone(),
+        )
         .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(11, "bt.D.81", 2)).unwrap();
+        pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
+        client
+            .send(
+                JobToCluster::Model {
+                    job: JobId(11),
+                    curve: PowerCurve::new(3.0e-5, -0.02, 7.7),
+                    samples: 24,
+                }
+                .encode(),
+            )
+            .unwrap();
+        pump_until(&mut b, Watts(400.0), |b| {
+            b.job_traffic(JobId(11)).unwrap().1 == 1
+        });
+        let h = telemetry.histogram("budgeter_rebalance_seconds", &[]);
+        assert!(h.count() >= 1, "rebalances must be timed");
+        assert_eq!(
+            telemetry
+                .counter("budgeter_msgs_total", &[("kind", "hello")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            telemetry.gauge("job_retrains", &[("job", "11")]).get(),
+            1.0,
+            "per-job retrain count published"
+        );
+        assert!(
+            telemetry
+                .counter("transport_frames_rx_total", &[("role", "budgeter")])
+                .get()
+                >= 2,
+            "accepted connections must count frames"
+        );
+        let lines = telemetry.memory_event_lines();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"budgeter_hello\"")));
+    }
+
+    #[test]
+    fn caps_resent_only_on_material_change() {
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
         let mut client = connect(addr);
         client.send(hello(8, "mg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);

@@ -61,9 +61,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                AnorError::config(format!("option --{key}: cannot parse `{v}`"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| AnorError::config(format!("option --{key}: cannot parse `{v}`"))),
         }
     }
 

@@ -7,11 +7,51 @@
 //! real sockets code path (localhost TCP) without tying experiment time
 //! to wall-clock time.
 
-use anor_types::msg::take_frame;
-use anor_types::Result;
+use anor_telemetry::{Counter, Telemetry};
+use anor_types::msg::{take_frame, MAX_FRAME_LEN};
+use anor_types::{AnorError, Result};
 use bytes::{Bytes, BytesMut};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
+
+/// Cached counter handles for one side of the wire protocol. Cloning is
+/// cheap (each counter is an `Arc`'d atomic); every [`FramedStream`] on
+/// the same role shares the same series.
+#[derive(Clone, Debug)]
+pub struct TransportMetrics {
+    frames_tx: Counter,
+    frames_rx: Counter,
+    bytes_tx: Counter,
+    bytes_rx: Counter,
+    reconnects: Counter,
+    oversize_rejected: Counter,
+}
+
+impl TransportMetrics {
+    /// Register the transport series under `role` (e.g. "budgeter",
+    /// "endpoint") so both ends of a localhost test stay distinguishable.
+    pub fn new(telemetry: &Telemetry, role: &str) -> Self {
+        let labels = &[("role", role)];
+        TransportMetrics {
+            frames_tx: telemetry.counter("transport_frames_tx_total", labels),
+            frames_rx: telemetry.counter("transport_frames_rx_total", labels),
+            bytes_tx: telemetry.counter("transport_bytes_tx_total", labels),
+            bytes_rx: telemetry.counter("transport_bytes_rx_total", labels),
+            reconnects: telemetry.counter("transport_reconnects_total", labels),
+            oversize_rejected: telemetry.counter("transport_oversize_rejected_total", labels),
+        }
+    }
+
+    /// Count a (re-)established connection on this role.
+    pub fn connection_opened(&self) {
+        self.reconnects.inc();
+    }
+
+    /// Frames rejected for an oversized length prefix so far.
+    pub fn oversize_rejected(&self) -> u64 {
+        self.oversize_rejected.get()
+    }
+}
 
 /// A length-prefix-framed, non-blocking TCP stream.
 #[derive(Debug)]
@@ -20,6 +60,7 @@ pub struct FramedStream {
     inbuf: BytesMut,
     outbuf: BytesMut,
     closed: bool,
+    metrics: Option<TransportMetrics>,
 }
 
 impl FramedStream {
@@ -33,11 +74,29 @@ impl FramedStream {
             inbuf: BytesMut::with_capacity(4096),
             outbuf: BytesMut::with_capacity(4096),
             closed: false,
+            metrics: None,
         })
+    }
+
+    /// Like [`FramedStream::new`], but counting frames/bytes into the
+    /// given transport series (also counts the connection itself).
+    pub fn with_metrics(stream: TcpStream, metrics: TransportMetrics) -> Result<Self> {
+        metrics.connection_opened();
+        let mut s = FramedStream::new(stream)?;
+        s.metrics = Some(metrics);
+        Ok(s)
+    }
+
+    /// Attach transport metrics to an already-wrapped stream.
+    pub fn set_metrics(&mut self, metrics: TransportMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Queue an encoded frame and try to flush.
     pub fn send(&mut self, frame: Bytes) -> Result<()> {
+        if let Some(m) = &self.metrics {
+            m.frames_tx.inc();
+        }
         self.outbuf.extend_from_slice(&frame);
         self.flush_some()
     }
@@ -51,6 +110,9 @@ impl FramedStream {
                     return Ok(());
                 }
                 Ok(n) => {
+                    if let Some(m) = &self.metrics {
+                        m.bytes_tx.add(n as u64);
+                    }
                     let _ = self.outbuf.split_to(n);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
@@ -77,7 +139,12 @@ impl FramedStream {
                     self.closed = true;
                     break;
                 }
-                Ok(n) => self.inbuf.extend_from_slice(&scratch[..n]),
+                Ok(n) => {
+                    if let Some(m) = &self.metrics {
+                        m.bytes_rx.add(n as u64);
+                    }
+                    self.inbuf.extend_from_slice(&scratch[..n]);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == ErrorKind::ConnectionReset => {
@@ -88,8 +155,36 @@ impl FramedStream {
             }
         }
         let mut frames = Vec::new();
-        while let Some(body) = take_frame(&mut self.inbuf)? {
-            frames.push(body);
+        loop {
+            // Reject a corrupt length prefix *here*, before `take_frame`
+            // is ever in a position to size a buffer from it, so the
+            // rejection is both typed and counted per transport role.
+            if self.inbuf.len() >= 4 {
+                let len = u32::from_be_bytes([
+                    self.inbuf[0],
+                    self.inbuf[1],
+                    self.inbuf[2],
+                    self.inbuf[3],
+                ]) as usize;
+                if len > MAX_FRAME_LEN {
+                    if let Some(m) = &self.metrics {
+                        m.oversize_rejected.inc();
+                        m.frames_rx.add(frames.len() as u64);
+                    }
+                    self.closed = true;
+                    return Err(AnorError::protocol(format!(
+                        "oversized frame length prefix {len} (max {MAX_FRAME_LEN}); \
+                         dropping connection"
+                    )));
+                }
+            }
+            match take_frame(&mut self.inbuf)? {
+                Some(body) => frames.push(body),
+                None => break,
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.frames_rx.add(frames.len() as u64);
         }
         Ok(frames)
     }
@@ -111,6 +206,8 @@ mod tests {
     use anor_types::msg::{ClusterToJob, JobToCluster};
     use anor_types::{JobId, Seconds, Watts};
     use std::net::TcpListener;
+
+    // `Telemetry` / `TransportMetrics` come through `super::*`.
 
     fn pair() -> (FramedStream, FramedStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -197,11 +294,85 @@ mod tests {
     }
 
     #[test]
+    fn metrics_count_frames_and_bytes_both_ways() {
+        let t = Telemetry::new();
+        let (client_raw, server_raw) = pair();
+        let mut client = client_raw;
+        client.set_metrics(TransportMetrics::new(&t, "endpoint"));
+        let mut server = server_raw;
+        server.set_metrics(TransportMetrics::new(&t, "budgeter"));
+        let frame = ClusterToJob::SetPowerCap { cap: Watts(190.0) }.encode();
+        let frame_len = frame.len() as u64;
+        client.send(frame).unwrap();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            !server.recv_frames().unwrap().is_empty()
+        });
+        let ep = &[("role", "endpoint")];
+        let bd = &[("role", "budgeter")];
+        assert_eq!(t.counter("transport_frames_tx_total", ep).get(), 1);
+        assert_eq!(t.counter("transport_bytes_tx_total", ep).get(), frame_len);
+        assert_eq!(t.counter("transport_frames_rx_total", bd).get(), 1);
+        assert_eq!(t.counter("transport_bytes_rx_total", bd).get(), frame_len);
+    }
+
+    #[test]
+    fn oversized_prefix_is_typed_error_and_counted() {
+        use bytes::BufMut;
+        let t = Telemetry::new();
+        let metrics = TransportMetrics::new(&t, "budgeter");
+        let (mut client, mut server) = pair();
+        server.set_metrics(metrics.clone());
+        let mut junk = BytesMut::new();
+        junk.put_u32(u32::MAX); // absurd length prefix
+        junk.put_slice(&[0u8; 16]);
+        client.send(junk.freeze()).unwrap();
+        let mut err = None;
+        pump_until(|| {
+            client.flush_some().unwrap();
+            match server.recv_frames() {
+                Ok(_) => false,
+                Err(e) => {
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        assert!(
+            matches!(err, Some(anor_types::AnorError::Protocol(_))),
+            "want a typed protocol error, got {err:?}"
+        );
+        assert!(server.is_closed(), "a corrupt peer drops the connection");
+        assert_eq!(metrics.oversize_rejected(), 1);
+        assert_eq!(
+            t.counter("transport_oversize_rejected_total", &[("role", "budgeter")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn with_metrics_counts_the_connection() {
+        let t = Telemetry::new();
+        let metrics = TransportMetrics::new(&t, "endpoint");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        for _ in 0..3 {
+            let stream = TcpStream::connect(addr).unwrap();
+            let _ = listener.accept().unwrap();
+            let _fs = FramedStream::with_metrics(stream, metrics.clone()).unwrap();
+        }
+        assert_eq!(
+            t.counter("transport_reconnects_total", &[("role", "endpoint")])
+                .get(),
+            3
+        );
+    }
+
+    #[test]
     fn pending_out_drains() {
         let (mut client, mut server) = pair();
-        client
-            .send(ClusterToJob::RequestSample.encode())
-            .unwrap();
+        client.send(ClusterToJob::RequestSample.encode()).unwrap();
         pump_until(|| {
             client.flush_some().unwrap();
             !server.recv_frames().unwrap().is_empty() || client.pending_out() == 0

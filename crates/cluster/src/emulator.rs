@@ -10,9 +10,10 @@
 use crate::budgeter::{BudgeterConfig, ClusterBudgeter};
 use crate::endpoint::JobEndpoint;
 use anor_aqa::{PowerTarget, TrackingRecorder};
+use anor_geopm::{JobReport, JobRuntime};
 use anor_model::{DriftDetector, ModelerConfig, PowerModeler};
 use anor_platform::{Node, PerformanceVariation, Phase};
-use anor_geopm::{JobReport, JobRuntime};
+use anor_telemetry::{Telemetry, Timer};
 use anor_types::{AnorError, Catalog, JobId, NodeId, Result, Seconds, Watts};
 
 pub use crate::budgeter::BudgetPolicy;
@@ -49,6 +50,10 @@ pub struct EmulatorConfig {
     /// job's nodes are held but draw only idle power before the
     /// application starts and after it finishes.
     pub setup_teardown: Seconds,
+    /// Telemetry handle shared by the budgeter, every endpoint and the
+    /// harness loop itself. Defaults to an in-memory handle; runners
+    /// pass `Telemetry::to_dir(..)` for `--telemetry <dir>`.
+    pub telemetry: Telemetry,
 }
 
 impl EmulatorConfig {
@@ -67,7 +72,14 @@ impl EmulatorConfig {
             retrain_epochs: None,
             dither_fraction: None,
             setup_teardown: Seconds::ZERO,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Record the run into `telemetry` (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -241,7 +253,8 @@ impl EmulatedCluster {
         if let Some(f) = self.cfg.dither_fraction {
             mcfg.dither_fraction = f;
         }
-        let modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
+        let mut modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
+        modeler.attach_telemetry(&self.cfg.telemetry);
         if self.cfg.feedback {
             // Feedback runs also watch for phase changes (Section 8).
             modeler.with_drift_detection(DriftDetector::paper())
@@ -277,12 +290,31 @@ impl EmulatedCluster {
             })
             .collect();
         // Budgeter daemon.
+        let telemetry = cfg.telemetry.clone();
+        let tick_hist = telemetry.histogram("emulator_tick_seconds", &[]);
+        let active_gauge = telemetry.gauge("emulator_active_jobs", &[]);
+        let free_gauge = telemetry.gauge("emulator_free_nodes", &[]);
+        let measured_gauge = telemetry.gauge("emulator_measured_watts", &[]);
         let mut bcfg = BudgeterConfig::new(cfg.policy, cfg.feedback);
         bcfg.catalog = cfg.catalog.clone();
-        let (mut budgeter, addr) = ClusterBudgeter::bind(bcfg)?;
+        let (mut budgeter, addr) = ClusterBudgeter::bind_with(bcfg, telemetry.clone())?;
+        telemetry.event(
+            "run_started",
+            &[
+                ("policy", cfg.policy.name().into()),
+                ("feedback", cfg.feedback.into()),
+                ("jobs", setups.len().into()),
+                ("nodes", u64::from(cfg.nodes).into()),
+            ],
+        );
         // Sort submissions by time (stable: preserves input order for ties).
         let mut order: Vec<usize> = (0..setups.len()).collect();
-        order.sort_by(|&a, &b| setups[a].submit.value().total_cmp(&setups[b].submit.value()));
+        order.sort_by(|&a, &b| {
+            setups[a]
+                .submit
+                .value()
+                .total_cmp(&setups[b].submit.value())
+        });
         let mut next_arrival = 0usize;
         let mut pending: Vec<usize> = Vec::new();
         let mut active: Vec<ActiveJob> = Vec::new();
@@ -295,13 +327,18 @@ impl EmulatedCluster {
             PowerMode::StaticBusyBudget(_) => Watts(1.0),
         };
         let mut tracking = TrackingRecorder::new(reserve);
+        tracking.attach_telemetry(&telemetry);
         let mut power_trace = Vec::new();
         let mut now = Seconds::ZERO;
         let mut done_count = 0usize;
         // Generous runaway guard: total serial work × slowdown margin.
         let total_work: f64 = setups
             .iter()
-            .map(|s| self.true_spec(s).map(|t| t.time_uncapped.value() * 3.0).unwrap_or(0.0))
+            .map(|s| {
+                self.true_spec(s)
+                    .map(|t| t.time_uncapped.value() * 3.0)
+                    .unwrap_or(0.0)
+            })
             .sum();
         let max_time = 7200.0
             + total_work
@@ -314,11 +351,22 @@ impl EmulatedCluster {
                     setups.len() - done_count
                 )));
             }
+            let tick_timer = Timer::start(tick_hist.clone());
             // 1. Arrivals.
             while next_arrival < order.len()
                 && setups[order[next_arrival]].submit.value() <= now.value()
             {
-                pending.push(order[next_arrival]);
+                let idx = order[next_arrival];
+                telemetry.event(
+                    "job_submitted",
+                    &[
+                        ("t_virtual", now.value().into()),
+                        ("job", (idx as u64).into()),
+                        ("type", setups[idx].true_type.as_str().into()),
+                        ("announced", setups[idx].announced.as_str().into()),
+                    ],
+                );
+                pending.push(idx);
                 next_arrival += 1;
             }
             // 2. Start pending jobs when nodes are free (FCFS).
@@ -342,7 +390,7 @@ impl EmulatedCluster {
                         continue;
                     }
                     let job_id = JobId(idx as u64);
-                    let (runtime, modeler_side) = match &setup.phases {
+                    let (mut runtime, modeler_side) = match &setup.phases {
                         Some(phases) => JobRuntime::launch_phased(
                             job_id,
                             spec.clone(),
@@ -357,19 +405,26 @@ impl EmulatedCluster {
                             cfg.seed ^ (idx as u64),
                         )?,
                     };
-                    let believed = cfg
-                        .catalog
-                        .find(&setup.announced)
-                        .unwrap_or(&spec)
-                        .clone();
-                    let endpoint = JobEndpoint::connect(
+                    runtime.attach_telemetry(&telemetry);
+                    let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
+                    let endpoint = JobEndpoint::connect_with(
                         addr,
                         job_id,
                         &setup.announced,
                         spec.nodes,
                         modeler_side,
                         self.modeler_for(&believed),
+                        telemetry.clone(),
                     )?;
+                    telemetry.event(
+                        "job_started",
+                        &[
+                            ("t_virtual", now.value().into()),
+                            ("job", job_id.0.into()),
+                            ("type", setup.true_type.as_str().into()),
+                            ("nodes", u64::from(spec.nodes).into()),
+                        ],
+                    );
                     active.push(ActiveJob {
                         runtime,
                         endpoint,
@@ -395,7 +450,7 @@ impl EmulatedCluster {
                 let mut spec = spec.clone();
                 spec.nodes = h.nodes.len() as u32;
                 let job_id = JobId(idx as u64);
-                let (runtime, modeler_side) = match &setup.phases {
+                let (mut runtime, modeler_side) = match &setup.phases {
                     Some(phases) => JobRuntime::launch_phased(
                         job_id,
                         spec.clone(),
@@ -407,15 +462,26 @@ impl EmulatedCluster {
                         JobRuntime::launch(job_id, spec.clone(), h.nodes, cfg.seed ^ (idx as u64))?
                     }
                 };
+                runtime.attach_telemetry(&telemetry);
                 let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
-                let endpoint = JobEndpoint::connect(
+                let endpoint = JobEndpoint::connect_with(
                     addr,
                     job_id,
                     &setup.announced,
                     spec.nodes,
                     modeler_side,
                     self.modeler_for(&believed),
+                    telemetry.clone(),
                 )?;
+                telemetry.event(
+                    "job_started",
+                    &[
+                        ("t_virtual", now.value().into()),
+                        ("job", job_id.0.into()),
+                        ("type", setup.true_type.as_str().into()),
+                        ("nodes", u64::from(spec.nodes).into()),
+                    ],
+                );
                 active.push(ActiveJob {
                     runtime,
                     endpoint,
@@ -445,9 +511,14 @@ impl EmulatedCluster {
             }
             // 5. Cluster power accounting and budgeting.
             let busy_power: Watts = active.iter().map(|a| a.runtime.power()).sum();
-            let held_nodes: usize = starting.iter().chain(&finishing).map(|h| h.nodes.len()).sum();
+            let held_nodes: usize = starting
+                .iter()
+                .chain(&finishing)
+                .map(|h| h.nodes.len())
+                .sum();
             let idle_power = cfg.idle_power * (pool.len() + held_nodes) as f64;
             let measured = busy_power + idle_power;
+            measured_gauge.set(measured.value());
             let busy_budget = match &mode {
                 PowerMode::StaticBusyBudget(b) => *b,
                 PowerMode::Target(t) => {
@@ -473,6 +544,19 @@ impl EmulatedCluster {
                     reports[a.setup_idx] = Some(a.runtime.report());
                     let setup = &setups[a.setup_idx];
                     let spec = self.true_spec(setup)?;
+                    telemetry.event(
+                        "job_done",
+                        &[
+                            ("t_virtual", now.value().into()),
+                            ("job", (a.setup_idx as u64).into()),
+                            ("type", setup.true_type.as_str().into()),
+                            ("elapsed_s", elapsed.value().into()),
+                            (
+                                "slowdown",
+                                (elapsed.value() / spec.time_uncapped.value()).into(),
+                            ),
+                        ],
+                    );
                     results[a.setup_idx] = Some(JobResult {
                         job: JobId(a.setup_idx as u64),
                         true_type: setup.true_type.clone(),
@@ -500,8 +584,21 @@ impl EmulatedCluster {
                 }
             }
             active = still_active;
+            active_gauge.set(active.len() as f64);
+            free_gauge.set(pool.len() as f64);
+            drop(tick_timer);
         }
-        let jobs = results.into_iter().map(|r| r.expect("all jobs finished")).collect();
+        telemetry.event(
+            "run_finished",
+            &[
+                ("t_virtual", now.value().into()),
+                ("jobs", setups.len().into()),
+            ],
+        );
+        let jobs = results
+            .into_iter()
+            .map(|r| r.expect("all jobs finished"))
+            .collect();
         let reports = reports
             .into_iter()
             .map(|r| r.expect("all jobs reported"))
@@ -613,7 +710,10 @@ mod tests {
             .unwrap()
             .mean_slowdown("bt.D.81")
             .unwrap();
-        assert!(mis > known + 0.01, "misclassification must hurt BT: {mis} vs {known}");
+        assert!(
+            mis > known + 0.01,
+            "misclassification must hurt BT: {mis} vs {known}"
+        );
         assert!(fed < mis, "feedback must recover: {fed} vs {mis}");
     }
 
@@ -654,7 +754,10 @@ mod tests {
             .iter()
             .map(|j| j.start.value())
             .fold(0.0f64, f64::max);
-        assert!(max_start > 60.0, "ninth job must wait for nodes: {max_start}");
+        assert!(
+            max_start > 60.0,
+            "ninth job must wait for nodes: {max_start}"
+        );
     }
 
     #[test]
@@ -730,7 +833,11 @@ mod tests {
         // App elapsed stays ~20 s, but the second job starts only after
         // the first's app time + both holds (~>35 s in).
         for job in &report.jobs {
-            assert!((15.0..30.0).contains(&job.elapsed.value()), "{:?}", job.elapsed);
+            assert!(
+                (15.0..30.0).contains(&job.elapsed.value()),
+                "{:?}",
+                job.elapsed
+            );
         }
         let second_start = report.jobs[1].start.value();
         assert!(
@@ -742,6 +849,50 @@ mod tests {
             .run_static(&[JobSetup::known("is.D.32")], Watts(10_000.0))
             .unwrap();
         assert_eq!(report.jobs.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_captures_lifecycle_and_rebalances() {
+        let telemetry = Telemetry::new();
+        let mut cfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, true);
+        cfg = cfg.with_telemetry(telemetry.clone());
+        let c = EmulatedCluster::new(cfg);
+        c.run_static(
+            &[JobSetup::known("bt.D.81"), JobSetup::known("sp.D.81")],
+            Watts(840.0),
+        )
+        .unwrap();
+        let lines = telemetry.memory_event_lines();
+        for needed in [
+            "\"event\":\"run_started\"",
+            "\"event\":\"job_submitted\"",
+            "\"event\":\"job_started\"",
+            "\"event\":\"job_done\"",
+            "\"event\":\"run_finished\"",
+        ] {
+            assert!(
+                lines.iter().any(|l| l.contains(needed)),
+                "missing {needed} in event log"
+            );
+        }
+        assert!(
+            telemetry
+                .histogram("budgeter_rebalance_seconds", &[])
+                .count()
+                >= 1,
+            "budgeter rebalances must flow into the shared handle"
+        );
+        assert!(
+            telemetry.histogram("emulator_tick_seconds", &[]).count() >= 10,
+            "tick durations must be observed"
+        );
+        assert!(
+            telemetry
+                .counter("transport_frames_rx_total", &[("role", "budgeter")])
+                .get()
+                >= 2,
+            "endpoint traffic must be counted"
+        );
     }
 
     #[test]

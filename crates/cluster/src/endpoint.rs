@@ -7,12 +7,33 @@
 //! the budgeter become agent policies — optionally dithered while the
 //! model is under-identified.
 
-use crate::codec::FramedStream;
+use crate::codec::{FramedStream, TransportMetrics};
 use anor_geopm::{AgentPolicy, EndpointModeler};
 use anor_model::{ModelSource, PowerModeler};
+use anor_telemetry::{Counter, Telemetry};
 use anor_types::msg::{ClusterToJob, EpochSample, JobToCluster};
 use anor_types::{JobId, Result, Seconds, Watts};
 use std::net::{SocketAddr, TcpStream};
+
+/// Cached counters for one endpoint's budgeter round-trips.
+#[derive(Debug)]
+struct EndpointMetrics {
+    telemetry: Telemetry,
+    policies_applied: Counter,
+    samples_forwarded: Counter,
+    models_pushed: Counter,
+}
+
+impl EndpointMetrics {
+    fn new(telemetry: Telemetry) -> Self {
+        EndpointMetrics {
+            policies_applied: telemetry.counter("endpoint_policies_applied_total", &[]),
+            samples_forwarded: telemetry.counter("endpoint_samples_forwarded_total", &[]),
+            models_pushed: telemetry.counter("endpoint_models_pushed_total", &[]),
+            telemetry,
+        }
+    }
+}
 
 /// The job-tier process for one job (pump-driven).
 #[derive(Debug)]
@@ -30,6 +51,7 @@ pub struct JobEndpoint {
     last_sample_sent_at: Option<Seconds>,
     models_sent: u64,
     shutdown_requested: bool,
+    metrics: EndpointMetrics,
 }
 
 impl JobEndpoint {
@@ -43,7 +65,32 @@ impl JobEndpoint {
         endpoint: EndpointModeler,
         modeler: PowerModeler,
     ) -> Result<Self> {
-        let mut stream = FramedStream::new(TcpStream::connect(addr)?)?;
+        Self::connect_with(
+            addr,
+            job,
+            announced_type,
+            nodes,
+            endpoint,
+            modeler,
+            Telemetry::new(),
+        )
+    }
+
+    /// Like [`JobEndpoint::connect`], recording transport and round-trip
+    /// series into a shared [`Telemetry`] handle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with(
+        addr: SocketAddr,
+        job: JobId,
+        announced_type: &str,
+        nodes: u32,
+        endpoint: EndpointModeler,
+        modeler: PowerModeler,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
+        endpoint.attach_telemetry(&telemetry);
+        let transport = TransportMetrics::new(&telemetry, "endpoint");
+        let mut stream = FramedStream::with_metrics(TcpStream::connect(addr)?, transport)?;
         stream.send(
             JobToCluster::Hello {
                 job,
@@ -66,6 +113,7 @@ impl JobEndpoint {
             last_sample_sent_at: None,
             models_sent: 0,
             shutdown_requested: false,
+            metrics: EndpointMetrics::new(telemetry),
         })
     }
 
@@ -103,6 +151,7 @@ impl JobEndpoint {
                         .encode(),
                     )?;
                     self.models_sent += 1;
+                    self.metrics.models_pushed.inc();
                 }
                 self.forward_sample(now, false)?;
             }
@@ -122,6 +171,14 @@ impl JobEndpoint {
         if let Some(budget) = self.budget_cap {
             let cap = self.modeler.recommend_cap(budget);
             self.endpoint.write_policy(AgentPolicy { node_cap: cap });
+            self.metrics.policies_applied.inc();
+            self.metrics
+                .telemetry
+                .gauge(
+                    "endpoint_node_cap_watts",
+                    &[("job", &self.job.0.to_string())],
+                )
+                .set(cap.value());
         }
     }
 
@@ -137,6 +194,7 @@ impl JobEndpoint {
             return Ok(());
         }
         self.last_sample_sent_at = Some(now);
+        self.metrics.samples_forwarded.inc();
         self.stream.send(
             JobToCluster::Sample(EpochSample {
                 job: self.job,
@@ -216,8 +274,7 @@ mod tests {
         cfg.dither_hold_epochs = 0;
         let default = PowerCurve::from_anchor(Seconds(0.5), 0.1, CapRange::paper_node());
         let pm = PowerModeler::with_default(cfg, default);
-        let je =
-            JobEndpoint::connect(addr, JobId(1), "bt.D.81", 2, modeler_side, pm).unwrap();
+        let je = JobEndpoint::connect(addr, JobId(1), "bt.D.81", 2, modeler_side, pm).unwrap();
         let (stream, _) = listener.accept().unwrap();
         Harness {
             endpoint: je,
@@ -247,7 +304,11 @@ mod tests {
         let msgs = drain(&mut h.server);
         assert!(matches!(
             msgs[0],
-            JobToCluster::Hello { job: JobId(1), nodes: 2, .. }
+            JobToCluster::Hello {
+                job: JobId(1),
+                nodes: 2,
+                ..
+            }
         ));
     }
 
@@ -351,7 +412,10 @@ mod tests {
             h.endpoint.models_sent() >= 1,
             "a retrain must push a Model message"
         );
-        assert!(matches!(h.endpoint.model_source(), ModelSource::Fitted { .. }));
+        assert!(matches!(
+            h.endpoint.model_source(),
+            ModelSource::Fitted { .. }
+        ));
     }
 
     #[test]
@@ -380,6 +444,79 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         panic!("shutdown never observed");
+    }
+
+    #[test]
+    fn telemetry_counts_policies_samples_and_transport() {
+        let telemetry = Telemetry::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (modeler_side, agent) = endpoint_pair();
+        let mut cfg = ModelerConfig::paper();
+        cfg.dither_fraction = 0.0;
+        let default = PowerCurve::from_anchor(Seconds(0.5), 0.1, CapRange::paper_node());
+        let pm = PowerModeler::with_default(cfg, default);
+        let mut je = JobEndpoint::connect_with(
+            addr,
+            JobId(4),
+            "bt.D.81",
+            2,
+            modeler_side,
+            pm,
+            telemetry.clone(),
+        )
+        .unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = FramedStream::new(stream).unwrap();
+        server
+            .send(ClusterToJob::SetPowerCap { cap: Watts(190.0) }.encode())
+            .unwrap();
+        agent.write_sample(AgentSample {
+            epoch_count: 1,
+            energy: Joules(100.0),
+            power: Watts(350.0),
+            cap: Watts(380.0),
+            timestamp: Seconds(1.0),
+        });
+        for i in 0..100 {
+            server.flush_some().unwrap();
+            je.pump(Seconds(i as f64 * 0.1)).unwrap();
+            if je.budget_cap().is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            telemetry
+                .counter("endpoint_policies_applied_total", &[])
+                .get()
+                >= 1
+        );
+        assert!(
+            telemetry
+                .counter("endpoint_samples_forwarded_total", &[])
+                .get()
+                >= 1
+        );
+        assert!(
+            telemetry
+                .counter("transport_frames_tx_total", &[("role", "endpoint")])
+                .get()
+                >= 2,
+            "hello + sample at least"
+        );
+        assert_eq!(
+            telemetry
+                .counter("transport_reconnects_total", &[("role", "endpoint")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            telemetry
+                .gauge("endpoint_node_cap_watts", &[("job", "4")])
+                .get(),
+            190.0
+        );
     }
 
     #[test]

@@ -65,12 +65,18 @@ fn daemon_and_two_job_processes_complete_a_shared_budget_run() {
         KillOnDrop(
             Command::new(env!("CARGO_BIN_EXE_anor-job"))
                 .args([
-                    "--connect", &addr,
-                    "--job-id", id,
-                    "--type", "is.D.32",
-                    "--seed", seed,
-                    "--speedup", "400",
-                    "--tick-ms", "2",
+                    "--connect",
+                    &addr,
+                    "--job-id",
+                    id,
+                    "--type",
+                    "is.D.32",
+                    "--seed",
+                    seed,
+                    "--speedup",
+                    "400",
+                    "--tick-ms",
+                    "2",
                 ])
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit())
@@ -83,8 +89,8 @@ fn daemon_and_two_job_processes_complete_a_shared_budget_run() {
 
     // 3. Jobs exit successfully and print GEOPM-style reports.
     for job in [&mut job1, &mut job2] {
-        let status = wait_with_timeout(&mut job.0, Duration::from_secs(60))
-            .expect("job process timed out");
+        let status =
+            wait_with_timeout(&mut job.0, Duration::from_secs(60)).expect("job process timed out");
         assert!(status.success(), "job exited with {status}");
     }
     for job in [job1, job2] {
@@ -177,18 +183,22 @@ fn daemon_follows_a_targets_file_ladder() {
     let mut job = KillOnDrop(
         Command::new(env!("CARGO_BIN_EXE_anor-job"))
             .args([
-                "--connect", &addr,
-                "--job-id", "1",
-                "--type", "is.D.32",
-                "--speedup", "400",
-                "--tick-ms", "2",
+                "--connect",
+                &addr,
+                "--job-id",
+                "1",
+                "--type",
+                "is.D.32",
+                "--speedup",
+                "400",
+                "--tick-ms",
+                "2",
             ])
             .stdout(Stdio::null())
             .spawn()
             .expect("spawn anor-job"),
     );
-    let status =
-        wait_with_timeout(&mut job.0, Duration::from_secs(60)).expect("job timed out");
+    let status = wait_with_timeout(&mut job.0, Duration::from_secs(60)).expect("job timed out");
     assert!(status.success());
     let status =
         wait_with_timeout(&mut daemon.0, Duration::from_secs(60)).expect("daemon timed out");

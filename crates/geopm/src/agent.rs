@@ -158,7 +158,12 @@ mod tests {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
         agent
-            .adjust(&mut io, &AgentPolicy { node_cap: Watts(180.0) })
+            .adjust(
+                &mut io,
+                &AgentPolicy {
+                    node_cap: Watts(180.0),
+                },
+            )
             .unwrap();
         assert_eq!(io.read_signal(Signal::PowerCap), 180.0);
         io.advance(Seconds(1.0));
@@ -169,13 +174,20 @@ mod tests {
     fn redundant_adjust_elided() {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
-        let p = AgentPolicy { node_cap: Watts(200.0) };
+        let p = AgentPolicy {
+            node_cap: Watts(200.0),
+        };
         agent.adjust(&mut io, &p).unwrap();
         agent.adjust(&mut io, &p).unwrap();
         agent.adjust(&mut io, &p).unwrap();
         assert_eq!(agent.writes_issued(), 1);
         agent
-            .adjust(&mut io, &AgentPolicy { node_cap: Watts(220.0) })
+            .adjust(
+                &mut io,
+                &AgentPolicy {
+                    node_cap: Watts(220.0),
+                },
+            )
             .unwrap();
         assert_eq!(agent.writes_issued(), 2);
     }
@@ -185,7 +197,12 @@ mod tests {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
         agent
-            .adjust(&mut io, &AgentPolicy { node_cap: Watts(250.0) })
+            .adjust(
+                &mut io,
+                &AgentPolicy {
+                    node_cap: Watts(250.0),
+                },
+            )
             .unwrap();
         for _ in 0..10 {
             io.advance(Seconds(1.0));
@@ -195,10 +212,7 @@ mod tests {
         assert!(s.power.value() > 0.0);
         assert_eq!(s.cap, Watts(250.0));
         assert_eq!(s.timestamp, Seconds(10.0));
-        assert_eq!(
-            s.epoch_count,
-            io.node().workload().unwrap().epochs_done()
-        );
+        assert_eq!(s.epoch_count, io.node().workload().unwrap().epochs_done());
     }
 
     #[test]
@@ -219,7 +233,12 @@ mod tests {
         let before = io.read_signal(Signal::PowerCap);
         let mut agent = MonitorAgent::new();
         agent
-            .adjust(&mut io, &AgentPolicy { node_cap: Watts(150.0) })
+            .adjust(
+                &mut io,
+                &AgentPolicy {
+                    node_cap: Watts(150.0),
+                },
+            )
             .unwrap();
         assert_eq!(io.read_signal(Signal::PowerCap), before, "cap unchanged");
         // Sampling still works.

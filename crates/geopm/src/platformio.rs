@@ -105,9 +105,7 @@ impl PlatformIo {
         match control {
             Control::CpuPowerLimit => {
                 if !value.is_finite() || value < 0.0 {
-                    return Err(AnorError::platform(format!(
-                        "invalid power limit {value}"
-                    )));
+                    return Err(AnorError::platform(format!("invalid power limit {value}")));
                 }
                 self.node.set_power_cap(Watts(value))
             }

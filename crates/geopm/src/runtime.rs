@@ -17,6 +17,7 @@ use crate::platformio::PlatformIo;
 use crate::report::JobReport;
 use crate::tree::AgentTree;
 use anor_platform::{Node, Phase};
+use anor_telemetry::{Histogram, Telemetry, Timer};
 use anor_types::{JobId, JobTypeSpec, Result, Seconds, Watts};
 
 /// The job-tier runtime for a single (possibly multi-node) job.
@@ -32,6 +33,7 @@ pub struct JobRuntime {
     last_sample: AgentSample,
     elapsed: Seconds,
     done: bool,
+    step_hist: Option<Histogram>,
 }
 
 impl JobRuntime {
@@ -93,9 +95,16 @@ impl JobRuntime {
                 last_sample: AgentSample::default(),
                 elapsed: Seconds::ZERO,
                 done: false,
+                step_hist: None,
             },
             modeler,
         )
+    }
+
+    /// Time every control-loop iteration ([`JobRuntime::step`]) into
+    /// `runtime_step_seconds` on the given telemetry handle.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.step_hist = Some(telemetry.histogram("runtime_step_seconds", &[]));
     }
 
     /// The job id.
@@ -119,6 +128,7 @@ impl JobRuntime {
         if self.done {
             return Ok(true);
         }
+        let _timer = self.step_hist.clone().map(Timer::start);
         // 1. Policy propagation (only on change, in tree broadcast order).
         if let Some((policy, seq)) = self.endpoint.read_policy() {
             if seq != self.last_policy_seq {
@@ -211,8 +221,7 @@ mod tests {
 
     #[test]
     fn multi_node_job_runs_to_completion() {
-        let (mut rt, modeler) =
-            JobRuntime::launch(JobId(1), spec("is.D.32"), nodes(2), 5).unwrap();
+        let (mut rt, modeler) = JobRuntime::launch(JobId(1), spec("is.D.32"), nodes(2), 5).unwrap();
         assert_eq!(rt.node_count(), 2);
         let mut steps = 0;
         while !rt.step(Seconds(0.5)).unwrap() {
@@ -229,9 +238,10 @@ mod tests {
 
     #[test]
     fn policy_from_endpoint_caps_all_nodes() {
-        let (mut rt, modeler) =
-            JobRuntime::launch(JobId(2), spec("bt.D.81"), nodes(2), 1).unwrap();
-        modeler.write_policy(AgentPolicy { node_cap: Watts(180.0) });
+        let (mut rt, modeler) = JobRuntime::launch(JobId(2), spec("bt.D.81"), nodes(2), 1).unwrap();
+        modeler.write_policy(AgentPolicy {
+            node_cap: Watts(180.0),
+        });
         rt.step(Seconds(1.0)).unwrap();
         // Job draws 180 W per node -> 360 W total.
         let p = rt.power().value();
@@ -243,15 +253,18 @@ mod tests {
 
     #[test]
     fn repeated_same_policy_writes_once() {
-        let (mut rt, modeler) =
-            JobRuntime::launch(JobId(3), spec("bt.D.81"), nodes(2), 2).unwrap();
-        modeler.write_policy(AgentPolicy { node_cap: Watts(200.0) });
+        let (mut rt, modeler) = JobRuntime::launch(JobId(3), spec("bt.D.81"), nodes(2), 2).unwrap();
+        modeler.write_policy(AgentPolicy {
+            node_cap: Watts(200.0),
+        });
         for _ in 0..5 {
             rt.step(Seconds(0.5)).unwrap();
         }
         // The policy sequence only advanced once, so each agent adjusted once.
         assert!(rt.agents.iter().all(|a| a.writes_issued() == 1));
-        modeler.write_policy(AgentPolicy { node_cap: Watts(220.0) });
+        modeler.write_policy(AgentPolicy {
+            node_cap: Watts(220.0),
+        });
         rt.step(Seconds(0.5)).unwrap();
         assert!(rt.agents.iter().all(|a| a.writes_issued() == 2));
     }
@@ -261,8 +274,7 @@ mod tests {
         // One slow node (coeff 1.5 would need custom nodes) — emulate by
         // checking min-aggregation: with identical nodes counts match the
         // per-node count.
-        let (mut rt, modeler) =
-            JobRuntime::launch(JobId(4), spec("mg.D.32"), nodes(3), 3).unwrap();
+        let (mut rt, modeler) = JobRuntime::launch(JobId(4), spec("mg.D.32"), nodes(3), 3).unwrap();
         for _ in 0..20 {
             rt.step(Seconds(1.0)).unwrap();
         }
@@ -313,6 +325,17 @@ mod tests {
         assert_eq!(nodes.len(), 2);
         assert!(nodes.iter().all(|n| n.is_idle()));
         assert!(!modeler.agent_attached());
+    }
+
+    #[test]
+    fn attached_telemetry_times_every_step() {
+        let telemetry = Telemetry::new();
+        let (mut rt, _m) = JobRuntime::launch(JobId(9), spec("is.D.32"), nodes(1), 17).unwrap();
+        rt.attach_telemetry(&telemetry);
+        for _ in 0..5 {
+            rt.step(Seconds(0.5)).unwrap();
+        }
+        assert_eq!(telemetry.histogram("runtime_step_seconds", &[]).count(), 5);
     }
 
     #[test]

@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn header_and_comments_required() {
-        let raw = b"#comment\nTIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n1.0|2.0|3.0|4|280.0\n";
+        let raw =
+            b"#comment\nTIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n1.0|2.0|3.0|4|280.0\n";
         let rows = parse_trace(BufReader::new(&raw[..])).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].epoch_count, 4);
@@ -184,6 +185,67 @@ mod tests {
         // Non-numeric field.
         let bad = b"TIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\nx|2.0|3.0|4|280.0\n";
         assert!(parse_trace(BufReader::new(&bad[..])).is_err());
+    }
+
+    #[test]
+    fn header_only_trace_parses_to_no_rows() {
+        let raw = b"# geopm_version: anor-geopm 0.1\n# agent: power_governor\nTIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n";
+        let rows = parse_trace(BufReader::new(&raw[..])).unwrap();
+        assert!(rows.is_empty());
+        // So does a completely empty input (no header to object to).
+        assert!(parse_trace(BufReader::new(&b""[..])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_row_mid_file_names_the_line() {
+        // A valid row followed by a truncated one: the error must carry
+        // the 1-based line number of the bad row, and earlier rows must
+        // not leak out.
+        let raw =
+            b"TIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n1.0|2.0|3.0|4|280.0\n2.0|4.0|3.0\n";
+        let err = parse_trace(BufReader::new(&raw[..])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "got: {msg}");
+        assert!(msg.contains("expected 5 columns, found 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn non_numeric_column_names_column_and_line() {
+        let raw = b"TIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n1.0|oops|3.0|4|280.0\n";
+        let msg = parse_trace(BufReader::new(&raw[..]))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            msg.contains("CPU_ENERGY") && msg.contains("line 2"),
+            "got: {msg}"
+        );
+        // A float in the integer EPOCH_COUNT column is also rejected.
+        let raw = b"TIME|CPU_ENERGY|CPU_POWER|EPOCH_COUNT|POWER_CAP\n1.0|2.0|3.0|4.5|280.0\n";
+        let msg = parse_trace(BufReader::new(&raw[..]))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("EPOCH_COUNT"), "got: {msg}");
+    }
+
+    #[test]
+    fn rows_after_writer_roundtrip_match_rewritten_values() {
+        // Serialize, parse, re-serialize by hand: the parsed values must
+        // reproduce the original text at the writer's precision.
+        let raw = traced_run();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        let rows = parse_trace(BufReader::new(&raw[..])).unwrap();
+        let data_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("TIME"))
+            .collect();
+        assert_eq!(data_lines.len(), rows.len());
+        for (line, row) in data_lines.iter().zip(&rows) {
+            let rewritten = format!(
+                "{:.3}|{:.6}|{:.3}|{}|{:.1}",
+                row.time, row.energy, row.power, row.epoch_count, row.power_cap
+            );
+            assert_eq!(*line, rewritten);
+        }
     }
 
     #[test]

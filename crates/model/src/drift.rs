@@ -156,8 +156,10 @@ mod tests {
         let actual = curve(0.8);
         let mut d = DriftDetector::new(8, 0.15);
         for i in 0..7 {
-            assert!(!d.observe(&fitted, Watts(150.0), actual.time_at(Watts(150.0))),
-                "verdict before window filled at {i}");
+            assert!(
+                !d.observe(&fitted, Watts(150.0), actual.time_at(Watts(150.0))),
+                "verdict before window filled at {i}"
+            );
         }
         assert_eq!(d.len(), 7);
     }

@@ -58,7 +58,11 @@ pub fn detect_period(
     // within 15% of the global maximum.
     let mut pick = None;
     for (i, &r) in corr.iter().enumerate() {
-        let left = if i == 0 { f64::NEG_INFINITY } else { corr[i - 1] };
+        let left = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            corr[i - 1]
+        };
         let right = corr.get(i + 1).copied().unwrap_or(f64::NEG_INFINITY);
         if r >= 0.85 * r_max && r >= left && r >= right {
             pick = Some((min_lag + i, r));

@@ -121,10 +121,7 @@ pub fn fit_quadratic(points: &[(Watts, Seconds)]) -> Result<FitResult> {
         .iter()
         .map(|&(p, t)| (Watts((p.value() - mean) / scale), t))
         .collect();
-    let coeffs = least_squares(
-        &shifted,
-        &[&|q: f64| q * q, &|q: f64| q, &|_q: f64| 1.0],
-    )?;
+    let coeffs = least_squares(&shifted, &[&|q: f64| q * q, &|q: f64| q, &|_q: f64| 1.0])?;
     // Undo the substitution q = (P-mean)/scale:
     // a' q^2 + b' q + c' = a'(P-mean)^2/scale^2 + b'(P-mean)/scale + c'.
     let (ap, bp, cp) = (coeffs[0], coeffs[1], coeffs[2]);
@@ -155,7 +152,9 @@ pub fn fit_anchored(points: &[(Watts, Seconds)], range: CapRange) -> Result<FitR
     let coeffs = least_squares(points, &[&|_p: f64| 1.0, &x])?;
     let (t0, v) = (coeffs[0], coeffs[1].max(0.0));
     if !(t0.is_finite() && t0 > 0.0) {
-        return Err(AnorError::model(format!("non-physical anchored fit t0={t0}")));
+        return Err(AnorError::model(format!(
+            "non-physical anchored fit t0={t0}"
+        )));
     }
     let s = v / t0;
     let curve = PowerCurve::from_anchor(Seconds(t0), s, range);

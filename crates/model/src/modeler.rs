@@ -21,7 +21,19 @@
 use crate::drift::DriftDetector;
 use crate::fit::{self, FitResult};
 use crate::window::EpochWindow;
+use anor_telemetry::{Counter, Histogram, Telemetry};
 use anor_types::{CapRange, PowerCurve, Seconds, Watts};
+
+/// Cached metric handles (attached via
+/// [`PowerModeler::attach_telemetry`]).
+#[derive(Debug, Clone)]
+struct Instruments {
+    retrains: Counter,
+    /// `1 - R²` of each accepted fit — 0 is a perfect fit.
+    fit_residual: Histogram,
+    dither_flips: Counter,
+    phase_changes: Counter,
+}
 
 /// Provenance of the modeler's current curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +99,7 @@ pub struct PowerModeler {
     /// Set after a drift reset; drift checks pause until the next
     /// successful refit (the stale curve would re-trigger forever).
     awaiting_refit: bool,
+    instruments: Option<Instruments>,
 }
 
 impl PowerModeler {
@@ -105,7 +118,19 @@ impl PowerModeler {
             drift: None,
             phase_changes: 0,
             awaiting_refit: false,
+            instruments: None,
         }
+    }
+
+    /// Record retrains, fit residuals, dither-level transitions and
+    /// phase changes into `telemetry`.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.instruments = Some(Instruments {
+            retrains: telemetry.counter("model_retrains_total", &[]),
+            fit_residual: telemetry.histogram("model_fit_residual", &[]),
+            dither_flips: telemetry.counter("model_dither_flips_total", &[]),
+            phase_changes: telemetry.counter("model_phase_changes_total", &[]),
+        });
     }
 
     /// Enable phase-change (drift) detection: when recent observations
@@ -147,13 +172,17 @@ impl PowerModeler {
                 self.epochs_since_fit = 0;
                 self.phase_changes += 1;
                 self.awaiting_refit = true;
+                if let Some(i) = &self.instruments {
+                    i.phase_changes.inc();
+                }
                 d.reset();
             }
         }
         if self.obs.len() == self.cfg.max_observations {
             self.obs.remove(0);
         }
-        self.obs.push((observation.avg_cap, observation.per_epoch()));
+        self.obs
+            .push((observation.avg_cap, observation.per_epoch()));
         self.epochs_since_fit += observation.epochs;
         self.epochs_seen += observation.epochs;
         if self.epochs_since_fit >= self.cfg.retrain_epochs {
@@ -175,6 +204,10 @@ impl PowerModeler {
                     observations: self.obs.len(),
                     r2: f.r2,
                 };
+                if let Some(i) = &self.instruments {
+                    i.retrains.inc();
+                    i.fit_residual.observe((1.0 - f.r2).max(0.0));
+                }
                 self.epochs_since_fit = 0;
                 self.awaiting_refit = false;
                 if let Some(d) = &mut self.drift {
@@ -225,6 +258,9 @@ impl PowerModeler {
         if self.epochs_seen - self.epochs_at_flip >= self.cfg.dither_hold_epochs {
             self.dither_phase = !self.dither_phase;
             self.epochs_at_flip = self.epochs_seen;
+            if let Some(i) = &self.instruments {
+                i.dither_flips.inc();
+            }
         }
         let sign = if self.dither_phase { 1.0 } else { -1.0 };
         self.cfg.cap_range.clamp(budget + amp * sign)
@@ -423,11 +459,11 @@ mod tests {
         let mut count = 0u64;
         m.observe(count, Seconds(t), Watts(170.0));
         let feed_curve = |m: &mut PowerModeler,
-                              curve: &PowerCurve,
-                              cap: Watts,
-                              epochs: u64,
-                              t: &mut f64,
-                              count: &mut u64| {
+                          curve: &PowerCurve,
+                          cap: Watts,
+                          epochs: u64,
+                          t: &mut f64,
+                          count: &mut u64| {
             for _ in 0..epochs {
                 *t += curve.time_at(cap).value();
                 *count += 1;
@@ -438,7 +474,10 @@ mod tests {
         feed_curve(&mut m, &phase_a, Watts(250.0), 12, &mut t, &mut count);
         assert!(m.is_fitted());
         let learned_a = m.curve().slowdown_at(Watts(140.0), Watts(280.0));
-        assert!((learned_a - 1.1).abs() < 0.05, "phase A slowdown {learned_a}");
+        assert!(
+            (learned_a - 1.1).abs() < 0.05,
+            "phase A slowdown {learned_a}"
+        );
         assert_eq!(m.phase_changes(), 0);
         // Job enters phase B: drift fires, history resets, model refits.
         feed_curve(&mut m, &phase_b, Watts(170.0), 25, &mut t, &mut count);
@@ -448,6 +487,32 @@ mod tests {
         assert!(
             (learned_b - 1.8).abs() < 0.15,
             "phase B slowdown {learned_b}, expected ~1.8"
+        );
+    }
+
+    #[test]
+    fn attached_telemetry_counts_retrains_residuals_and_flips() {
+        let telemetry = Telemetry::new();
+        let mut c = cfg();
+        c.dither_hold_epochs = 0;
+        let mut m = PowerModeler::with_default(c, default_is_like());
+        m.attach_telemetry(&telemetry);
+        m.recommend_cap(Watts(200.0));
+        m.recommend_cap(Watts(200.0));
+        let t = feed(&mut m, Watts(170.0), 12, 0.0, 0);
+        feed(&mut m, Watts(250.0), 12, t, 12);
+        assert!(m.is_fitted());
+        assert!(telemetry.counter("model_retrains_total", &[]).get() >= 1);
+        let residuals = telemetry.histogram("model_fit_residual", &[]);
+        assert!(residuals.count() >= 1);
+        assert!(
+            residuals.max() < 0.05,
+            "clean synthetic data fits tightly, residual {}",
+            residuals.max()
+        );
+        assert!(
+            telemetry.counter("model_dither_flips_total", &[]).get() >= 1,
+            "dither transitions must be counted"
         );
     }
 

@@ -69,7 +69,10 @@ impl MsrFile {
         );
         regs.insert(MSR_PKG_ENERGY_STATUS, (Access::ReadOnly, 0));
         // POWER_INFO: TDP in power units in bits [14:0].
-        regs.insert(MSR_PKG_POWER_INFO, (Access::ReadOnly, encode_power_limit(tdp)));
+        regs.insert(
+            MSR_PKG_POWER_INFO,
+            (Access::ReadOnly, encode_power_limit(tdp)),
+        );
         MsrFile { regs }
     }
 
@@ -89,9 +92,9 @@ impl MsrFile {
             None => Err(AnorError::platform(format!(
                 "MSR {addr:#x} not in allowlist"
             ))),
-            Some((Access::ReadOnly, _)) => Err(AnorError::platform(format!(
-                "MSR {addr:#x} is read-only"
-            ))),
+            Some((Access::ReadOnly, _)) => {
+                Err(AnorError::platform(format!("MSR {addr:#x} is read-only")))
+            }
             Some((Access::ReadWrite, v)) => {
                 *v = value;
                 Ok(())
@@ -173,15 +176,14 @@ pub fn parse_allowlist(r: impl std::io::BufRead) -> Result<Vec<(u32, u64)>> {
             )));
         };
         let parse_hex = |s: &str, what: &str| -> Result<u64> {
-            u64::from_str_radix(s.trim_start_matches("0x").trim_start_matches("0X"), 16)
-                .map_err(|_| {
-                    AnorError::platform(format!(
-                        "allowlist line {}: bad {what} `{s}`",
-                        lineno + 1
-                    ))
-                })
+            u64::from_str_radix(s.trim_start_matches("0x").trim_start_matches("0X"), 16).map_err(
+                |_| AnorError::platform(format!("allowlist line {}: bad {what} `{s}`", lineno + 1)),
+            )
         };
-        out.push((parse_hex(addr, "address")? as u32, parse_hex(mask, "write mask")?));
+        out.push((
+            parse_hex(addr, "address")? as u32,
+            parse_hex(mask, "write mask")?,
+        ));
     }
     Ok(out)
 }

@@ -284,7 +284,10 @@ impl Node {
     /// Raw package energy counters, in package order (what GEOPM's
     /// `CPU_ENERGY` signal aggregates).
     pub fn energy_counters(&self) -> Vec<u64> {
-        self.packages.iter().map(|p| p.read_energy_counter()).collect()
+        self.packages
+            .iter()
+            .map(|p| p.read_energy_counter())
+            .collect()
     }
 
     /// Unwrapped total CPU energy consumed by this node.

@@ -229,8 +229,16 @@ mod tests {
         let w = PhasedWorkload::new(
             base(),
             &[
-                Phase { fraction: 0.25, sensitivity: 0.1, max_draw: Watts(200.0) },
-                Phase { fraction: 0.75, sensitivity: 0.7, max_draw: Watts(270.0) },
+                Phase {
+                    fraction: 0.25,
+                    sensitivity: 0.1,
+                    max_draw: Watts(200.0),
+                },
+                Phase {
+                    fraction: 0.75,
+                    sensitivity: 0.7,
+                    max_draw: Watts(270.0),
+                },
             ],
             1.0,
             5,

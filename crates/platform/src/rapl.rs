@@ -7,9 +7,7 @@
 //! never exceeds the limit (real RAPL enforces this over a configurable
 //! time window; GEOPM samples far slower than that window).
 
-use crate::msr::{
-    self, MsrFile, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT,
-};
+use crate::msr::{self, MsrFile, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
 use anor_types::{Joules, PackageId, Result, Seconds, Watts};
 
 /// One CPU package (socket) with RAPL monitoring and control.

@@ -1,0 +1,62 @@
+//! Property tests for the RAPL energy-counter arithmetic: `energy_delta`
+//! must reconstruct the consumed energy across the 32-bit counter wrap,
+//! ignore stray high bits, and invert `encode_energy` to within one tick.
+
+use anor_platform::msr::{decode_energy, encode_energy, energy_delta, ENERGY_UNIT_JOULES};
+use anor_types::Joules;
+use proptest::prelude::*;
+
+const WRAP: u64 = 1 << 32;
+
+proptest! {
+    /// Advancing the counter by `delta` ticks — wrapping or not — always
+    /// reads back as exactly `delta` ticks of energy.
+    #[test]
+    fn delta_survives_wrap(prev in 0u64..WRAP, delta in 0u64..WRAP) {
+        let curr = (prev + delta) % WRAP;
+        let j = energy_delta(prev, curr);
+        let expected = delta as f64 * ENERGY_UNIT_JOULES;
+        prop_assert!(
+            (j.value() - expected).abs() < 1e-9,
+            "prev {prev} + {delta} ticks -> {j:?}, expected {expected} J"
+        );
+    }
+
+    /// Bits above the 32-bit counter width are masked off on both sides.
+    #[test]
+    fn high_bits_ignored(
+        prev in 0u64..WRAP,
+        curr in 0u64..WRAP,
+        hi_a in 0u64..1024,
+        hi_b in 0u64..1024,
+    ) {
+        let masked = energy_delta(prev, curr);
+        let noisy = energy_delta(prev | (hi_a << 32), curr | (hi_b << 32));
+        prop_assert_eq!(masked.value(), noisy.value());
+    }
+
+    /// An unchanged counter means zero joules, wherever it sits.
+    #[test]
+    fn identical_readings_are_zero(raw in 0u64..WRAP) {
+        prop_assert_eq!(energy_delta(raw, raw).value(), 0.0);
+    }
+
+    /// `decode_energy` inverts `encode_energy` to within one tick's
+    /// truncation for any energy the counter can hold.
+    #[test]
+    fn encode_decode_roundtrip(j in 0.0f64..((WRAP - 1) as f64 * ENERGY_UNIT_JOULES)) {
+        let back = decode_energy(encode_energy(Joules(j)));
+        prop_assert!(
+            j - back.value() < ENERGY_UNIT_JOULES && back.value() <= j + 1e-9,
+            "{j} J -> {back:?}"
+        );
+    }
+}
+
+/// The boundary case proptest ranges rarely hit exactly: one tick across
+/// the wrap.
+#[test]
+fn one_tick_across_the_wrap() {
+    let j = energy_delta(WRAP - 1, 0);
+    assert!((j.value() - ENERGY_UNIT_JOULES).abs() < 1e-15);
+}

@@ -46,9 +46,7 @@ impl Budgeter for UniformBudgeter {
             return Vec::new();
         }
         let per_node = budget / total_nodes(jobs);
-        jobs.iter()
-            .map(|j| j.cap_range.clamp(per_node))
-            .collect()
+        jobs.iter().map(|j| j.cap_range.clamp(per_node)).collect()
     }
 
     fn name(&self) -> &'static str {

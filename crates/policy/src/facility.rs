@@ -162,7 +162,10 @@ mod tests {
         ];
         let alloc = FacilityBudgeter.allocate(Watts(1800.0), &clusters);
         assert_eq!(alloc[0], Watts(200.0), "old capped at its demand");
-        assert!((alloc[1].value() - 1600.0).abs() < 1e-6, "new gets the rest");
+        assert!(
+            (alloc[1].value() - 1600.0).abs() < 1e-6,
+            "new gets the rest"
+        );
     }
 
     #[test]
@@ -222,9 +225,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "floor above capacity")]
     fn inverted_cluster_rejected() {
-        FacilityBudgeter.allocate(
-            Watts(100.0),
-            &[cluster("bad", 500.0, 100.0, 100.0, 1.0)],
-        );
+        FacilityBudgeter.allocate(Watts(100.0), &[cluster("bad", 500.0, 100.0, 100.0, 1.0)]);
     }
 }

@@ -61,7 +61,9 @@ impl JobView {
     /// Highest useful per-node cap: the smaller of the platform max and
     /// the job's believed draw.
     pub fn p_max(&self) -> Watts {
-        self.max_draw.min(self.cap_range.max).max(self.cap_range.min)
+        self.max_draw
+            .min(self.cap_range.max)
+            .max(self.cap_range.min)
     }
 
     /// Lowest enforceable per-node cap.

@@ -100,7 +100,11 @@ mod tests {
 
     /// Fig. 5's cast: EP (high sensitivity), FT (medium, the unknown), IS
     /// (low sensitivity).
-    fn fig5_jobs(cat: &anor_types::Catalog, ft_nodes: u32, known_nodes: u32) -> MisclassifyScenario {
+    fn fig5_jobs(
+        cat: &anor_types::Catalog,
+        ft_nodes: u32,
+        known_nodes: u32,
+    ) -> MisclassifyScenario {
         let ep = cat.find("ep").unwrap();
         let ft = cat.find("ft").unwrap();
         let is = cat.find("is").unwrap();
@@ -170,8 +174,7 @@ mod tests {
         let budgeter = EvenSlowdownBudgeter::default();
         let harm = |ft_nodes: u32, known_nodes: u32, budget: f64| -> f64 {
             let jobs = [(ep, known_nodes), (ft, ft_nodes), (is, known_nodes)];
-            let ideal =
-                MisclassifyScenario::fully_known(&jobs).evaluate(&budgeter, Watts(budget));
+            let ideal = MisclassifyScenario::fully_known(&jobs).evaluate(&budgeter, Watts(budget));
             let over =
                 MisclassifyScenario::with_unknown(&jobs, 1, ep).evaluate(&budgeter, Watts(budget));
             over.slowdowns[0] - ideal.slowdowns[0]

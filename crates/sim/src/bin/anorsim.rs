@@ -10,11 +10,15 @@
 //! anorsim --nodes 1000 --utilization 0.75 --variation-pct 15 \
 //!         --horizon-secs 7200 --history run.csv --tables tables.txt
 //! ```
+//!
+//! With `--telemetry <dir>`, per-tick timing and table-size metrics
+//! stream to JSONL/Prometheus/summary artifacts in the directory.
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal};
 use anor_cluster::Args;
 use anor_platform::PerformanceVariation;
 use anor_sim::{dump_tables, write_history_csv, SimConfig, SimPowerPolicy, TabularSim};
+use anor_telemetry::Telemetry;
 use anor_types::{QosDegradation, Seconds, Watts};
 use std::io::Write;
 
@@ -63,12 +67,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&id| cfg.catalog[id].max_draw.value())
         .sum::<f64>()
         / cfg.types.len() as f64;
-    let avg = Watts(
-        args.get_or(
-            "avg-watts",
-            0.88 * nodes as f64 * (utilization * mean_draw + (1.0 - utilization) * 90.0),
-        )?,
-    );
+    let avg = Watts(args.get_or(
+        "avg-watts",
+        0.88 * nodes as f64 * (utilization * mean_draw + (1.0 - utilization) * 90.0),
+    )?);
     let reserve = Watts(args.get_or("reserve-watts", avg.value() * 0.12)?);
     let schedule = poisson_schedule(&cfg.catalog, &cfg.types, utilization, nodes, horizon, seed);
     let target = PowerTarget {
@@ -78,7 +80,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
     let variation =
         PerformanceVariation::with_level_percent(nodes as usize, variation_pct, seed ^ 0xfe);
+    let telemetry = match args.get("telemetry") {
+        Some(dir) => Telemetry::to_dir(dir)?,
+        None => Telemetry::new(),
+    };
     let mut sim = TabularSim::new(cfg.clone(), target, &variation, schedule, None);
+    sim.attach_telemetry(&telemetry);
     sim.record_history(true);
 
     let tables_path = args.get("tables").map(String::from);
@@ -125,7 +132,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // Summary to stdout.
     let out = sim.outcome();
-    println!("completed {} jobs, {} unfinished", out.completed, out.unfinished);
+    println!(
+        "completed {} jobs, {} unfinished",
+        out.completed, out.unfinished
+    );
     println!(
         "tracking: p90 error {:.1}% of reserve, within-30% {:.1}%",
         out.tracking_p90 * 100.0,
@@ -153,5 +163,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         cfg.qos.limit,
         cfg.qos.probability * 100.0
     );
+    if telemetry.dir().is_some() {
+        let summary = telemetry.write_artifacts()?;
+        println!("{summary}");
+    }
     Ok(())
 }

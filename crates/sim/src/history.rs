@@ -79,8 +79,10 @@ pub fn dump_tables(
             j.id.0,
             j.type_id.0,
             j.submit.value(),
-            j.start.map_or("-".to_string(), |t| format!("{:.1}", t.value())),
-            j.end.map_or("-".to_string(), |t| format!("{:.1}", t.value())),
+            j.start
+                .map_or("-".to_string(), |t| format!("{:.1}", t.value())),
+            j.end
+                .map_or("-".to_string(), |t| format!("{:.1}", t.value())),
             j.nodes.len()
         )?;
     }

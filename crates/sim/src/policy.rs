@@ -127,11 +127,7 @@ mod tests {
     #[test]
     fn all_flagged_means_everyone_uncapped() {
         let jobs = views(&["bt.D.81", "sp.D.81"]);
-        let caps = SimPowerPolicy::EvenSlowdownQosAware.assign(
-            Watts(100.0),
-            &jobs,
-            &[true, true],
-        );
+        let caps = SimPowerPolicy::EvenSlowdownQosAware.assign(Watts(100.0), &jobs, &[true, true]);
         assert_eq!(caps[0], jobs[0].p_max());
         assert_eq!(caps[1], jobs[1].p_max());
     }

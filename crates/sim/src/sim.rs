@@ -21,6 +21,7 @@ use crate::table::{node_power, progress_rate, JobRow, NodeRow};
 use anor_aqa::{JobSubmission, PendingView, PowerTarget, QueueScheduler, TrackingRecorder};
 use anor_platform::PerformanceVariation;
 use anor_policy::JobView;
+use anor_telemetry::{Gauge, Histogram, Telemetry, Timer};
 use anor_types::{
     Catalog, JobId, JobTypeId, NodeId, QosConstraint, QosDegradation, Seconds, Watts,
 };
@@ -82,6 +83,17 @@ pub struct SimOutcome {
     pub tracking_within_30: f64,
 }
 
+/// Cached telemetry handles for the per-tick hot path.
+#[derive(Debug, Clone)]
+struct SimInstruments {
+    tick: Histogram,
+    jobs_rows: Gauge,
+    pending_jobs: Gauge,
+    running_jobs: Gauge,
+    history_rows: Gauge,
+    measured_watts: Gauge,
+}
+
 /// The simulator.
 #[derive(Debug)]
 pub struct TabularSim {
@@ -100,6 +112,8 @@ pub struct TabularSim {
     completed: u32,
     measured_power: Watts,
     tracking_frozen: bool,
+    instruments: Option<SimInstruments>,
+    telemetry: Option<Telemetry>,
 }
 
 impl TabularSim {
@@ -121,7 +135,11 @@ impl TabularSim {
                 cfg.catalog[id].name
             );
         }
-        let tdp = cfg.catalog.iter().next().map_or(Watts(280.0), |t| t.cap_range.max);
+        let tdp = cfg
+            .catalog
+            .iter()
+            .next()
+            .map_or(Watts(280.0), |t| t.cap_range.max);
         let nodes = (0..cfg.total_nodes)
             .map(|i| NodeRow::idle(variation.coeff(NodeId(i)), tdp))
             .collect();
@@ -144,9 +162,28 @@ impl TabularSim {
             completed: 0,
             measured_power: Watts::ZERO,
             tracking_frozen: false,
+            instruments: None,
+            telemetry: None,
             cfg,
             target,
         }
+    }
+
+    /// Report per-tick wall time (`sim_tick_seconds`), table sizes
+    /// (`sim_jobs_rows`, `sim_pending_jobs`, `sim_running_jobs`,
+    /// `sim_history_rows`) and measured power (`sim_measured_watts`)
+    /// into `telemetry`. The tracking-error stream is attached too.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.instruments = Some(SimInstruments {
+            tick: telemetry.histogram("sim_tick_seconds", &[]),
+            jobs_rows: telemetry.gauge("sim_jobs_rows", &[]),
+            pending_jobs: telemetry.gauge("sim_pending_jobs", &[]),
+            running_jobs: telemetry.gauge("sim_running_jobs", &[]),
+            history_rows: telemetry.gauge("sim_history_rows", &[]),
+            measured_watts: telemetry.gauge("sim_measured_watts", &[]),
+        });
+        self.tracking.attach_telemetry(telemetry);
+        self.telemetry = Some(telemetry.clone());
     }
 
     /// Enable per-tick history retention (off by default to keep long
@@ -183,6 +220,9 @@ impl TabularSim {
     /// a warm cluster).
     pub fn reset_tracking(&mut self) {
         self.tracking = TrackingRecorder::new(self.target.reserve.max(Watts(1.0)));
+        if let Some(t) = &self.telemetry {
+            self.tracking.attach_telemetry(t);
+        }
     }
 
     /// Stop recording tracking errors from now on (e.g. during a drain
@@ -224,6 +264,10 @@ impl TabularSim {
 
     /// Advance one tick.
     pub fn step(&mut self) {
+        let _timer = self
+            .instruments
+            .as_ref()
+            .map(|i| Timer::start(i.tick.clone()));
         let dt = self.cfg.tick;
         self.time += dt;
         // --- Stage 1: node update (uses caps set during the previous
@@ -298,6 +342,13 @@ impl TabularSim {
                 completed_jobs: self.completed,
             });
         }
+        if let Some(i) = &self.instruments {
+            i.jobs_rows.set(self.jobs.len() as f64);
+            i.pending_jobs.set(self.pending.len() as f64);
+            i.running_jobs.set(self.running.len() as f64);
+            i.history_rows.set(self.history.len() as f64);
+            i.measured_watts.set(measured.value());
+        }
     }
 
     /// Queue wait at which a pending job must start regardless of power.
@@ -320,11 +371,7 @@ impl TabularSim {
             .iter()
             .next()
             .map_or(Watts(140.0), |t| t.cap_range.min);
-        let mut busy_nodes: u32 = self
-            .nodes
-            .iter()
-            .filter(|n| !n.is_idle())
-            .count() as u32;
+        let mut busy_nodes: u32 = self.nodes.iter().filter(|n| !n.is_idle()).count() as u32;
         loop {
             let idle = self.nodes.iter().filter(|n| n.is_idle()).count() as u32;
             if idle == 0 || self.pending.is_empty() {
@@ -356,8 +403,7 @@ impl TabularSim {
             let spec = &self.cfg.catalog[row.type_id];
             let busy_after = busy_nodes + spec.nodes;
             let idle_after = self.cfg.total_nodes - busy_after;
-            let floor_after = min_cap * busy_after as f64
-                + self.cfg.idle_power * idle_after as f64;
+            let floor_after = min_cap * busy_after as f64 + self.cfg.idle_power * idle_after as f64;
             let wait = (self.time - row.submit).value();
             let forced = wait >= self.forced_start_wait(row.type_id);
             if !forced && floor_after.value() > target_now.value() {
@@ -449,12 +495,8 @@ impl TabularSim {
 
     /// Summarize the run.
     pub fn outcome(&self) -> SimOutcome {
-        let mut qos_by_type: Vec<(JobTypeId, Vec<QosDegradation>)> = self
-            .cfg
-            .types
-            .iter()
-            .map(|&id| (id, Vec::new()))
-            .collect();
+        let mut qos_by_type: Vec<(JobTypeId, Vec<QosDegradation>)> =
+            self.cfg.types.iter().map(|&id| (id, Vec::new())).collect();
         let mut unfinished = 0;
         for row in &self.jobs {
             match row.qos(&self.cfg.catalog[row.type_id]) {
@@ -506,7 +548,12 @@ mod tests {
         }
     }
 
-    fn quick_schedule(cfg: &SimConfig, utilization: f64, horizon: f64, seed: u64) -> Vec<JobSubmission> {
+    fn quick_schedule(
+        cfg: &SimConfig,
+        utilization: f64,
+        horizon: f64,
+        seed: u64,
+    ) -> Vec<JobSubmission> {
         poisson_schedule(
             &cfg.catalog,
             &cfg.types,
@@ -592,9 +639,18 @@ mod tests {
         let cfg = small_cfg(SimPowerPolicy::Uniform);
         let bt = cfg.catalog.find("bt").unwrap().id;
         let sched = vec![
-            JobSubmission { time: Seconds(0.0), type_id: bt },
-            JobSubmission { time: Seconds(1.0), type_id: bt },
-            JobSubmission { time: Seconds(2.0), type_id: bt },
+            JobSubmission {
+                time: Seconds(0.0),
+                type_id: bt,
+            },
+            JobSubmission {
+                time: Seconds(1.0),
+                type_id: bt,
+            },
+            JobSubmission {
+                time: Seconds(2.0),
+                type_id: bt,
+            },
         ];
         // Admission floor: idle 16×90 = 1440 W; each busy node adds at
         // least 50 W (140 W min cap vs 90 W idle). A 1600 W target admits
@@ -620,7 +676,10 @@ mod tests {
         let mut cfg = small_cfg(SimPowerPolicy::Uniform);
         cfg.qos_risk_threshold = 0.01; // force-start almost immediately
         let mg = cfg.catalog.find("mg").unwrap().id;
-        let sched = vec![JobSubmission { time: Seconds(0.0), type_id: mg }];
+        let sched = vec![JobSubmission {
+            time: Seconds(0.0),
+            type_id: mg,
+        }];
         // Target below idle power: no job would ever be admissible.
         let mut sim = TabularSim::new(
             cfg,
@@ -639,13 +698,8 @@ mod tests {
             let cfg = small_cfg(SimPowerPolicy::Uniform);
             let sched = quick_schedule(&cfg, 0.75, 2400.0, seed);
             let variation = PerformanceVariation::with_sigma(16, sigma, seed ^ 0xfeed);
-            let mut sim = TabularSim::new(
-                cfg.clone(),
-                flat_target(4200.0),
-                &variation,
-                sched,
-                None,
-            );
+            let mut sim =
+                TabularSim::new(cfg.clone(), flat_target(4200.0), &variation, sched, None);
             sim.run(Seconds(2400.0), Seconds(2400.0));
             let out = sim.outcome();
             let all: Vec<QosDegradation> = out
@@ -709,18 +763,15 @@ mod tests {
     fn multi_node_job_waits_for_slowest_node() {
         let cfg = small_cfg(SimPowerPolicy::Uniform);
         let ft = cfg.catalog.find("ft").unwrap().id; // 2 nodes, 180 s
-        let sched = vec![JobSubmission { time: Seconds(0.0), type_id: ft }];
+        let sched = vec![JobSubmission {
+            time: Seconds(0.0),
+            type_id: ft,
+        }];
         // Node 1 is 1.5x slower than node 0.
         let mut coeffs = PerformanceVariation::none(16);
         // Build a variation with one slow node via with_sigma replacement:
         // simplest is to construct nodes manually through the public API.
-        let mut sim = TabularSim::new(
-            cfg,
-            flat_target(4500.0),
-            &coeffs,
-            sched.clone(),
-            None,
-        );
+        let mut sim = TabularSim::new(cfg, flat_target(4500.0), &coeffs, sched.clone(), None);
         sim.run(Seconds(400.0), Seconds(0.0));
         let nominal = (sim.jobs()[0].end.unwrap() - sim.jobs()[0].start.unwrap()).value();
         // Now the same run with heavy variation: completion gated by the
@@ -740,6 +791,37 @@ mod tests {
             varied + 2.0 >= nominal * worst.min(1.0),
             "varied {varied} vs nominal {nominal} (worst coeff {worst})"
         );
+    }
+
+    #[test]
+    fn attached_telemetry_times_ticks_and_tracks_table_sizes() {
+        let cfg = small_cfg(SimPowerPolicy::Uniform);
+        let mg = cfg.catalog.find("mg").unwrap().id;
+        let sched = vec![JobSubmission {
+            time: Seconds(0.0),
+            type_id: mg,
+        }];
+        let telemetry = Telemetry::new();
+        let mut sim = TabularSim::new(
+            cfg,
+            flat_target(4500.0),
+            &PerformanceVariation::none(16),
+            sched,
+            None,
+        );
+        sim.attach_telemetry(&telemetry);
+        for _ in 0..20 {
+            sim.step();
+        }
+        assert_eq!(telemetry.histogram("sim_tick_seconds", &[]).count(), 20);
+        assert_eq!(telemetry.gauge("sim_jobs_rows", &[]).get(), 1.0);
+        assert_eq!(telemetry.gauge("sim_running_jobs", &[]).get(), 1.0);
+        // Tracking errors stream into the shared registry too.
+        assert_eq!(telemetry.histogram("tracking_error", &[]).count(), 20);
+        // reset_tracking keeps streaming into the same histogram.
+        sim.reset_tracking();
+        sim.step();
+        assert_eq!(telemetry.histogram("tracking_error", &[]).count(), 21);
     }
 
     #[test]

@@ -104,7 +104,8 @@ pub fn progress_rate(spec: &JobTypeSpec, cap: Watts, perf_coeff: f64) -> f64 {
     let t_slow = t_fast * (1.0 + spec.sensitivity);
     let r_fast = 1.0 / t_fast;
     let r_slow = 1.0 / t_slow;
-    let window = anor_types::CapRange::new(spec.cap_range.min, spec.effective_cap(spec.cap_range.max));
+    let window =
+        anor_types::CapRange::new(spec.cap_range.min, spec.effective_cap(spec.cap_range.max));
     let f = window.fraction(window.clamp(cap)).clamp(0.0, 1.0);
     (r_slow + (r_fast - r_slow) * f) / perf_coeff
 }
@@ -195,6 +196,10 @@ mod tests {
         let spec = cat.find("is").unwrap(); // draws 225 W max
         assert_eq!(node_power(spec, Watts(280.0)), Watts(225.0));
         assert_eq!(node_power(spec, Watts(180.0)), Watts(180.0));
-        assert_eq!(node_power(spec, Watts(100.0)), Watts(140.0), "platform floor");
+        assert_eq!(
+            node_power(spec, Watts(100.0)),
+            Watts(140.0),
+            "platform floor"
+        );
     }
 }

@@ -11,25 +11,41 @@ fn anorsim_produces_summary_history_and_tables() {
     let tables = dir.join("tables.txt");
     let out = Command::new(env!("CARGO_BIN_EXE_anorsim"))
         .args([
-            "--nodes", "80",
-            "--utilization", "0.6",
-            "--horizon-secs", "900",
-            "--variation-pct", "10",
-            "--policy", "even-slowdown",
-            "--history", history.to_str().unwrap(),
-            "--tables", tables.to_str().unwrap(),
-            "--tables-every", "300",
+            "--nodes",
+            "80",
+            "--utilization",
+            "0.6",
+            "--horizon-secs",
+            "900",
+            "--variation-pct",
+            "10",
+            "--policy",
+            "even-slowdown",
+            "--history",
+            history.to_str().unwrap(),
+            "--tables",
+            tables.to_str().unwrap(),
+            "--tables-every",
+            "300",
         ])
         .output()
         .expect("run anorsim");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("completed"), "{stdout}");
     assert!(stdout.contains("tracking:"), "{stdout}");
     assert!(stdout.contains("qos[all]"), "{stdout}");
     // History CSV: header + one row per tick over the whole run.
     let h = std::fs::read_to_string(&history).unwrap();
-    assert!(h.lines().count() > 900, "history rows: {}", h.lines().count());
+    assert!(
+        h.lines().count() > 900,
+        "history rows: {}",
+        h.lines().count()
+    );
     assert!(h.starts_with("time_s,target_w"));
     // Table dumps: 80 NODE lines per dump, 3 dumps within the horizon.
     let t = std::fs::read_to_string(&tables).unwrap();

@@ -1,0 +1,196 @@
+//! Renderers over registry snapshots: Prometheus-style text exposition
+//! and the human-facing end-of-run summary table.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Prometheus text exposition (counters as `_total` convention is the
+/// caller's naming responsibility; histograms expand to
+/// `_bucket`/`_sum`/`_count` series).
+pub fn prometheus(snapshots: &[Snapshot]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for snap in snapshots {
+        let id = snap.id();
+        if last_name != Some(id.name.as_str()) {
+            let kind = match snap {
+                Snapshot::Counter { .. } => "counter",
+                Snapshot::Gauge { .. } => "gauge",
+                Snapshot::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", id.name);
+            last_name = Some(id.name.as_str());
+        }
+        match snap {
+            Snapshot::Counter { value, .. } => {
+                let _ = writeln!(out, "{} {value}", id.render());
+            }
+            Snapshot::Gauge { value, .. } => {
+                let _ = writeln!(out, "{} {value}", id.render());
+            }
+            Snapshot::Histogram {
+                count,
+                sum,
+                buckets,
+                ..
+            } => {
+                for (edge, cum) in buckets {
+                    let mut labels: Vec<(String, String)> = id.labels.clone();
+                    let le = if edge.is_finite() {
+                        format!("{edge}")
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    labels.push(("le".to_string(), le));
+                    let body: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    let _ = writeln!(out, "{}_bucket{{{}}} {cum}", id.name, body.join(","));
+                }
+                let base = id.render();
+                let insert = |suffix: &str| -> String {
+                    match base.find('{') {
+                        Some(pos) => format!("{}{}{}", &base[..pos], suffix, &base[pos..]),
+                        None => format!("{base}{suffix}"),
+                    }
+                };
+                let _ = writeln!(out, "{} {sum}", insert("_sum"));
+                let _ = writeln!(out, "{} {count}", insert("_count"));
+            }
+        }
+    }
+    out
+}
+
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-4..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The end-of-run summary table printed by runners.
+pub fn summary(snapshots: &[Snapshot], events_written: u64, events_dropped: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry summary ==");
+
+    let counters: Vec<_> = snapshots
+        .iter()
+        .filter_map(|s| match s {
+            Snapshot::Counter { id, value } => Some((id, *value)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        for (id, value) in counters {
+            let _ = writeln!(out, "  {:<58} {value:>12}", id.render());
+        }
+    }
+
+    let gauges: Vec<_> = snapshots
+        .iter()
+        .filter_map(|s| match s {
+            Snapshot::Gauge { id, value } => Some((id, *value)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        for (id, value) in gauges {
+            let _ = writeln!(out, "  {:<58} {:>12}", id.render(), human(value));
+        }
+    }
+
+    let hists: Vec<_> = snapshots
+        .iter()
+        .filter_map(|s| match s {
+            Snapshot::Histogram {
+                id,
+                count,
+                mean,
+                p50,
+                p90,
+                p99,
+                max,
+                ..
+            } => Some((id, *count, *mean, *p50, *p90, *p99, *max)),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- histograms --\n  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "series", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for (id, count, mean, p50, p90, p99, max) in hists {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                id.render(),
+                count,
+                human(mean),
+                human(p50),
+                human(p90),
+                human(p99),
+                human(max)
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "-- events --\n  written {events_written}, dropped {events_dropped}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("transport_frames_total", &[("dir", "rx")])
+            .add(42);
+        r.gauge("sim_jobs_running", &[]).set(12.0);
+        let h = r.histogram_with_bounds(
+            "budgeter_rebalance_seconds",
+            &[],
+            vec![0.001, 0.01, 0.1, 1.0],
+        );
+        h.observe(0.004);
+        h.observe(0.02);
+        h.observe(0.5);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE transport_frames_total counter"));
+        assert!(text.contains("transport_frames_total{dir=\"rx\"} 42"));
+        assert!(text.contains("# TYPE sim_jobs_running gauge"));
+        assert!(text.contains("sim_jobs_running 12"));
+        assert!(text.contains("budgeter_rebalance_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("budgeter_rebalance_seconds_count 3"));
+    }
+
+    #[test]
+    fn summary_lists_all_sections() {
+        let text = summary(&sample_registry().snapshot(), 10, 0);
+        assert!(text.contains("-- counters --"));
+        assert!(text.contains("-- gauges --"));
+        assert!(text.contains("-- histograms --"));
+        assert!(text.contains("transport_frames_total{dir=\"rx\"}"));
+        assert!(text.contains("budgeter_rebalance_seconds"));
+        assert!(text.contains("written 10, dropped 0"));
+    }
+}

@@ -1,0 +1,502 @@
+//! Structured event sinks: the JSONL event log and its reader.
+//!
+//! Events are flat JSON objects, one per line:
+//!
+//! ```json
+//! {"ts":1.042,"event":"job_started","job":"1","nodes":81}
+//! ```
+//!
+//! `ts` is seconds since telemetry start (wall clock); emitters on a
+//! virtual clock add their own `t_virtual` field. The hand-rolled
+//! writer/parser below covers exactly this flat shape — no nesting, no
+//! arrays — which keeps the crate dependency-free while still giving
+//! experiments a machine-readable trail.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A field value in a structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    F64(f64),
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view, when the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A parsed event from the JSONL log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Seconds since telemetry start.
+    pub ts: f64,
+    /// The event name.
+    pub event: String,
+    /// Remaining fields, sorted by key.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl Event {
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(Value::as_f64)
+    }
+
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Value::as_str)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        // JSON has no NaN/Inf; encode as null.
+        Value::F64(_) => out.push_str("null"),
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Serialize one event line (no trailing newline).
+pub fn render_line(ts: f64, event: &str, fields: &[(&str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, "{{\"ts\":{ts:.6},\"event\":\"");
+    escape_into(&mut out, event);
+    out.push('"');
+    for (k, v) in fields {
+        out.push_str(",\"");
+        escape_into(&mut out, k);
+        out.push_str("\":");
+        value_into(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+/// Where serialized event lines go.
+#[derive(Debug)]
+pub enum EventSink {
+    /// Append to a JSONL file.
+    File(BufWriter<File>),
+    /// Keep in memory (default; bounded by [`MEMORY_EVENT_CAP`]).
+    Memory(Vec<String>),
+}
+
+/// Cap on buffered in-memory events; beyond it lines are counted but
+/// dropped so an unconfigured `Telemetry` can't grow without bound.
+pub const MEMORY_EVENT_CAP: usize = 65_536;
+
+/// Shared, thread-safe event writer.
+#[derive(Debug)]
+pub struct EventLog {
+    sink: Mutex<EventSink>,
+    dropped: Mutex<u64>,
+    written: Mutex<u64>,
+}
+
+impl EventLog {
+    pub fn memory() -> Self {
+        EventLog {
+            sink: Mutex::new(EventSink::Memory(Vec::new())),
+            dropped: Mutex::new(0),
+            written: Mutex::new(0),
+        }
+    }
+
+    pub fn file(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(EventLog {
+            sink: Mutex::new(EventSink::File(BufWriter::new(file))),
+            dropped: Mutex::new(0),
+            written: Mutex::new(0),
+        })
+    }
+
+    pub fn push(&self, line: String) {
+        let mut sink = self.sink.lock();
+        match &mut *sink {
+            EventSink::File(w) => {
+                let ok = writeln!(w, "{line}").is_ok();
+                drop(sink);
+                if ok {
+                    *self.written.lock() += 1;
+                } else {
+                    *self.dropped.lock() += 1;
+                }
+            }
+            EventSink::Memory(lines) => {
+                if lines.len() < MEMORY_EVENT_CAP {
+                    lines.push(line);
+                    drop(sink);
+                    *self.written.lock() += 1;
+                } else {
+                    drop(sink);
+                    *self.dropped.lock() += 1;
+                }
+            }
+        }
+    }
+
+    pub fn flush(&self) -> std::io::Result<()> {
+        if let EventSink::File(w) = &mut *self.sink.lock() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    pub fn written(&self) -> u64 {
+        *self.written.lock()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// In-memory lines (empty for file sinks); for tests.
+    pub fn memory_lines(&self) -> Vec<String> {
+        match &*self.sink.lock() {
+            EventSink::Memory(lines) => lines.clone(),
+            EventSink::File(_) => Vec::new(),
+        }
+    }
+}
+
+fn bad(line_no: usize, msg: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("events.jsonl line {line_no}: {msg}"),
+    )
+}
+
+/// Parse one flat JSON object line.
+pub fn parse_line(line: &str, line_no: usize) -> std::io::Result<Event> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields: BTreeMap<String, Value> = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn expect(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        want: char,
+        line_no: usize,
+    ) -> std::io::Result<()> {
+        skip_ws(chars);
+        match chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            other => Err(bad(line_no, &format!("expected `{want}`, got {other:?}"))),
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        line_no: usize,
+    ) -> std::io::Result<String> {
+        expect(chars, '"', line_no)?;
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = chars
+                                .next()
+                                .ok_or_else(|| bad(line_no, "truncated \\u escape"))?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| bad(line_no, "bad \\u escape"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| bad(line_no, "bad \\u code point"))?,
+                        );
+                    }
+                    other => return Err(bad(line_no, &format!("bad escape {other:?}"))),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err(bad(line_no, "unterminated string")),
+            }
+        }
+    }
+
+    expect(&mut chars, '{', line_no)?;
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        return Err(bad(line_no, "event object is empty"));
+    }
+    loop {
+        let key = parse_string(&mut chars, line_no)?;
+        expect(&mut chars, ':', line_no)?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => Value::Str(parse_string(&mut chars, line_no)?),
+            Some((_, 't')) | Some((_, 'f')) | Some((_, 'n')) => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap().1);
+                }
+                match word.as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    "null" => Value::F64(f64::NAN),
+                    other => return Err(bad(line_no, &format!("bad literal `{other}`"))),
+                }
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while matches!(
+                    chars.peek(),
+                    Some((_, c)) if c.is_ascii_digit()
+                        || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                ) {
+                    num.push(chars.next().unwrap().1);
+                }
+                let v: f64 = num
+                    .parse()
+                    .map_err(|_| bad(line_no, &format!("bad number `{num}`")))?;
+                if v.fract() == 0.0 && v.abs() < 9.0e15 && !num.contains(['.', 'e', 'E']) {
+                    if num.starts_with('-') {
+                        Value::I64(v as i64)
+                    } else {
+                        Value::U64(v as u64)
+                    }
+                } else {
+                    Value::F64(v)
+                }
+            }
+            None => return Err(bad(line_no, "truncated object")),
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => {
+                return Err(bad(
+                    line_no,
+                    &format!("expected `,` or `}}`, got {other:?}"),
+                ))
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(bad(line_no, "trailing bytes after object"));
+    }
+
+    let ts = fields
+        .remove("ts")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| bad(line_no, "missing numeric `ts`"))?;
+    let event = match fields.remove("event") {
+        Some(Value::Str(s)) => s,
+        _ => return Err(bad(line_no, "missing string `event`")),
+    };
+    Ok(Event { ts, event, fields })
+}
+
+/// Read every event from a JSONL file.
+pub fn read_events(path: &Path) -> std::io::Result<Vec<Event>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(&line, i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let line = render_line(
+            1.25,
+            "job_done",
+            &[
+                ("job", 7u64.into()),
+                ("type", "bt.D.81".into()),
+                ("elapsed_s", 12.5f64.into()),
+                ("ok", true.into()),
+            ],
+        );
+        let ev = parse_line(&line, 1).unwrap();
+        assert_eq!(ev.event, "job_done");
+        assert!((ev.ts - 1.25).abs() < 1e-9);
+        assert_eq!(ev.num("job"), Some(7.0));
+        assert_eq!(ev.str("type"), Some("bt.D.81"));
+        assert_eq!(ev.num("elapsed_s"), Some(12.5));
+        assert_eq!(ev.fields["ok"], Value::Bool(true));
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let nasty = "he said \"hi\\there\"\n\tok\u{1}";
+        let line = render_line(0.0, nasty, &[("k", nasty.into())]);
+        let ev = parse_line(&line, 1).unwrap();
+        assert_eq!(ev.event, nasty);
+        assert_eq!(ev.str("k"), Some(nasty));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        for bad_line in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            "{\"ts\":1.0}",
+            "{\"event\":\"x\"}",
+            "{\"ts\":\"nope\",\"event\":\"x\"}",
+            "{\"ts\":1,\"event\":\"x\"} trailing",
+            "{\"ts\":1,\"event\":\"x\",\"v\":12..5}",
+        ] {
+            assert!(parse_line(bad_line, 1).is_err(), "accepted: {bad_line:?}");
+        }
+    }
+
+    #[test]
+    fn memory_sink_caps_and_counts_drops() {
+        let log = EventLog::memory();
+        for i in 0..(MEMORY_EVENT_CAP + 10) {
+            log.push(format!("{{\"ts\":{i},\"event\":\"e\"}}"));
+        }
+        assert_eq!(log.written(), MEMORY_EVENT_CAP as u64);
+        assert_eq!(log.dropped(), 10);
+        assert_eq!(log.memory_lines().len(), MEMORY_EVENT_CAP);
+    }
+
+    #[test]
+    fn file_sink_round_trips_through_reader() {
+        let dir = std::env::temp_dir().join(format!(
+            "anor-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log = EventLog::file(&path).unwrap();
+        log.push(render_line(0.5, "a", &[("n", 1u64.into())]));
+        log.push(render_line(1.5, "b", &[("s", "x".into())]));
+        log.flush().unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, "a");
+        assert_eq!(events[1].str("s"), Some("x"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,10 +12,9 @@
 use crate::curve::CapRange;
 use crate::jobtype::{JobTypeId, JobTypeSpec};
 use crate::units::{Seconds, Watts};
-use serde::{Deserialize, Serialize};
 
 /// An ordered collection of job types, indexed by [`JobTypeId`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Catalog {
     types: Vec<JobTypeSpec>,
 }
@@ -223,7 +222,10 @@ pub fn standard_catalog() -> Catalog {
 /// a `caprange MIN MAX` line, then one row per type of
 /// `name nodes epochs time_s sensitivity max_draw_w noise qos_limit`.
 pub fn write_catalog(w: &mut impl std::io::Write, catalog: &Catalog) -> crate::Result<()> {
-    writeln!(w, "# name nodes epochs time_s sensitivity max_draw_w noise qos")?;
+    writeln!(
+        w,
+        "# name nodes epochs time_s sensitivity max_draw_w noise qos"
+    )?;
     if let Some(first) = catalog.iter().next() {
         writeln!(
             w,
@@ -262,9 +264,7 @@ pub fn parse_catalog(r: impl std::io::BufRead) -> crate::Result<Catalog> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let bad = |what: &str| {
-            AnorError::config(format!("catalog line {}: {what}", lineno + 1))
-        };
+        let bad = |what: &str| AnorError::config(format!("catalog line {}: {what}", lineno + 1));
         if fields[0] == "caprange" {
             if fields.len() != 3 {
                 return Err(bad("caprange needs MIN MAX"));
@@ -367,7 +367,9 @@ mod tests {
         assert_eq!(long.len(), 6);
         assert!(!long.contains(&"is.D.32"));
         assert!(!long.contains(&"ep.D.43"));
-        for n in ["bt.D.81", "cg.D.32", "ft.D.64", "lu.D.42", "mg.D.32", "sp.D.81"] {
+        for n in [
+            "bt.D.81", "cg.D.32", "ft.D.64", "lu.D.42", "mg.D.32", "sp.D.81",
+        ] {
             assert!(long.contains(&n), "{n} missing from long-running set");
         }
     }
@@ -425,7 +427,10 @@ mod tests {
         // Comments and blank lines are fine; custom cap range applies.
         let cat = parse("# hi\n\ncaprange 100 200\nmy.A.1 1 10 50 0.3 180 0.01 5\n").unwrap();
         assert_eq!(cat.len(), 1);
-        assert_eq!(cat.find("my.A.1").unwrap().cap_range, CapRange::new(Watts(100.0), Watts(200.0)));
+        assert_eq!(
+            cat.find("my.A.1").unwrap().cap_range,
+            CapRange::new(Watts(100.0), Watts(200.0))
+        );
     }
 
     #[test]

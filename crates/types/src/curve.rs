@@ -7,14 +7,13 @@
 //! (`p_cap = P_j(s · T_j(p_max))`, Section 4.4.3).
 
 use crate::units::{Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An inclusive range of achievable power caps `[min, max]` for one node.
 ///
 /// In the paper's test platform this is 140 W – 280 W per node (two 70 W –
 /// 140 W TDP packages).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapRange {
     /// Lowest cap the platform will enforce.
     pub min: Watts,
@@ -92,7 +91,7 @@ impl CapRange {
 /// let cap = curve.power_for_time(Seconds(120.0), range);
 /// assert!((curve.time_at(cap).value() - 120.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerCurve {
     /// Quadratic coefficient (s/W²).
     pub a: f64,

@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(AnorError::protocol("bad tag").to_string().contains("bad tag"));
+        assert!(AnorError::protocol("bad tag")
+            .to_string()
+            .contains("bad tag"));
         assert!(AnorError::model("singular").to_string().contains("model"));
         assert!(AnorError::config("x").to_string().starts_with("config"));
         assert!(AnorError::schedule("y").to_string().contains("schedule"));

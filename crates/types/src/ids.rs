@@ -4,27 +4,20 @@
 //! used as table indices in the tabular simulator and as map keys in the
 //! cluster daemon without allocation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a job instance for the lifetime of a cluster (monotonically
 /// assigned by the scheduler; never reused within one run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 /// Identifies one compute node in a cluster. Doubles as the row index into
 /// the tabular simulator's node table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 /// Identifies a CPU package (socket) within a node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PackageId(pub u8);
 
 impl JobId {

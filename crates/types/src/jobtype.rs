@@ -8,13 +8,10 @@
 
 use crate::curve::{CapRange, PowerCurve};
 use crate::units::{Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a job type within a [`crate::catalog::Catalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobTypeId(pub u16);
 
 impl JobTypeId {
@@ -33,7 +30,7 @@ impl fmt::Display for JobTypeId {
 
 /// Coarse power-sensitivity class, used when discussing misclassification
 /// scenarios (Section 6.1.2: "low, medium, and high power sensitivity").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SensitivityClass {
     /// Performance barely responds to the cap (IS, SP in the paper).
     Low,
@@ -54,7 +51,7 @@ impl fmt::Display for SensitivityClass {
 }
 
 /// Everything the framework knows about one job type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobTypeSpec {
     /// Catalog index.
     pub id: JobTypeId,

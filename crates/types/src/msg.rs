@@ -17,7 +17,6 @@ use crate::error::AnorError;
 use crate::ids::JobId;
 use crate::units::{Joules, Seconds, Watts};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Upper bound on a sane frame, to reject corrupt length prefixes before
 /// allocating.
@@ -25,7 +24,7 @@ pub const MAX_FRAME_LEN: usize = 64 * 1024;
 
 /// One job-progress observation flowing up from the GEOPM agent through
 /// the job-tier modeler to the cluster tier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochSample {
     /// Job the sample belongs to.
     pub job: JobId,
@@ -45,7 +44,7 @@ pub struct EpochSample {
 }
 
 /// Messages the cluster tier sends to a job-tier endpoint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClusterToJob {
     /// New per-node power budget for the job (Fig. 2: "Job Power Budgets").
     SetPowerCap {
@@ -59,7 +58,7 @@ pub enum ClusterToJob {
 }
 
 /// Messages a job-tier endpoint sends to the cluster tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobToCluster {
     /// First message on a fresh connection: identify the job.
     Hello {
@@ -379,7 +378,10 @@ mod tests {
         buf.extend_from_slice(&ClusterToJob::Shutdown.encode());
         let a = take_frame(&mut buf).unwrap().unwrap();
         let b = take_frame(&mut buf).unwrap().unwrap();
-        assert_eq!(ClusterToJob::decode(a).unwrap(), ClusterToJob::RequestSample);
+        assert_eq!(
+            ClusterToJob::decode(a).unwrap(),
+            ClusterToJob::RequestSample
+        );
         assert_eq!(ClusterToJob::decode(b).unwrap(), ClusterToJob::Shutdown);
         assert!(take_frame(&mut buf).unwrap().is_none());
     }

@@ -7,10 +7,9 @@
 //! type must stay within `Q = 5` with 90% probability.
 
 use crate::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// The QoS degradation of one completed job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosDegradation {
     /// Sojourn time: submission to completion.
     pub sojourn: Seconds,
@@ -42,7 +41,7 @@ impl QosDegradation {
 
 /// A probabilistic QoS constraint: `Q ≤ limit` with probability
 /// `probability` across a job population.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosConstraint {
     /// Degradation ceiling (paper: 5).
     pub limit: f64,
@@ -79,7 +78,10 @@ impl QosConstraint {
         }
         let mut qs: Vec<f64> = jobs.iter().map(|j| j.degradation()).collect();
         qs.sort_by(f64::total_cmp);
-        Some(crate::stats::percentile_sorted(&qs, self.probability * 100.0))
+        Some(crate::stats::percentile_sorted(
+            &qs,
+            self.probability * 100.0,
+        ))
     }
 }
 
@@ -141,7 +143,9 @@ mod tests {
     #[test]
     fn percentile_degradation_matches_manual() {
         let c = QosConstraint::default();
-        let jobs: Vec<_> = (1..=10).map(|i| q(100.0 * (1.0 + i as f64), 100.0)).collect();
+        let jobs: Vec<_> = (1..=10)
+            .map(|i| q(100.0 * (1.0 + i as f64), 100.0))
+            .collect();
         // Degradations are 1..=10; 90th percentile by linear interpolation
         // over 10 points is 9.1.
         let p = c.percentile_degradation(&jobs).unwrap();

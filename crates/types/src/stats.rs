@@ -103,13 +103,18 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     var.sqrt()
 }
 
-/// Percentile by linear interpolation over an **already sorted** slice,
-/// `p` in `[0, 100]`. Panics on an empty slice.
+/// Percentile by linear interpolation over an **already sorted** slice.
+/// `p` outside `[0, 100]` is clamped; the endpoints return the exact
+/// minimum/maximum with no interpolation arithmetic. Panics on an empty
+/// slice or a NaN `p` (use [`percentile`] for the lenient entry point).
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    let p = p.clamp(0.0, 100.0);
-    if sorted.len() == 1 {
+    assert!(!p.is_nan(), "percentile rank must not be NaN");
+    if sorted.len() == 1 || p <= 0.0 {
         return sorted[0];
+    }
+    if p >= 100.0 {
+        return sorted[sorted.len() - 1];
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -119,7 +124,11 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Percentile of an unsorted slice (copies and sorts internally).
+/// Returns 0 when empty, matching [`mean`]/[`std_dev`] conventions.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
     let mut v = xs.to_vec();
     v.sort_by(f64::total_cmp);
     percentile_sorted(&v, p)
@@ -246,6 +255,30 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_lenient_on_empty() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_exact() {
+        // Endpoints must be the exact min/max — no interpolation noise —
+        // including out-of-range and negative inputs.
+        let xs = [0.3, -7.25, 12.5, 1e-9, 4.0];
+        assert_eq!(percentile(&xs, 0.0), -7.25);
+        assert_eq!(percentile(&xs, -10.0), -7.25);
+        assert_eq!(percentile(&xs, 100.0), 12.5);
+        assert_eq!(percentile(&xs, 250.0), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn percentile_nan_rank_panics() {
+        percentile_sorted(&[1.0, 2.0], f64::NAN);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! cargo run --release --example demand_response
 //! ```
 
-use anor::aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingConstraint, TrackingRecorder};
+use anor::aqa::{
+    poisson_schedule, PowerTarget, RegulationSignal, TrackingConstraint, TrackingRecorder,
+};
 use anor::cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
 use anor::types::{standard_catalog, Seconds, Watts};
 

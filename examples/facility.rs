@@ -33,7 +33,13 @@ fn cluster(nodes: u32, utilization: f64, horizon: f64, seed: u64) -> TabularSim 
         reserve: Watts(nodes as f64 * 50.0),
         signal: RegulationSignal::Constant(0.0),
     };
-    TabularSim::new(cfg, target, &PerformanceVariation::none(nodes as usize), schedule, None)
+    TabularSim::new(
+        cfg,
+        target,
+        &PerformanceVariation::none(nodes as usize),
+        schedule,
+        None,
+    )
 }
 
 fn main() {
@@ -43,9 +49,7 @@ fn main() {
     let mut new = cluster(32, 0.9, 3600.0, 5);
     let envelope = Watts(13_000.0); // < 2 × 32 × 280 W peak demand
     let facility = FacilityBudgeter;
-    println!(
-        "shared envelope {envelope:.0} for two 32-node clusters (peak demand 17.9 kW)\n"
-    );
+    println!("shared envelope {envelope:.0} for two 32-node clusters (peak demand 17.9 kW)\n");
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
         "time_s", "old_alloc_w", "new_alloc_w", "old_meas_w", "new_meas_w"

@@ -48,7 +48,10 @@ fn main() {
                     cost.hourly_cost(&bid)
                 );
             }
-            None => println!("{hour:>6} {util:>12.2} {:>12} {:>12} {:>10}", "-", "-", "decline"),
+            None => println!(
+                "{hour:>6} {util:>12.2} {:>12} {:>12} {:>10}",
+                "-", "-", "decline"
+            ),
         }
     }
     println!(

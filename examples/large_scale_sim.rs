@@ -17,7 +17,10 @@ fn main() {
     let catalog = standard_catalog().scale_nodes(5);
     let types = catalog.long_running();
     println!("tabular simulation: {nodes} nodes, 6 job types, 75% utilization\n");
-    println!("{:>12} {:>14} {:>12} {:>12}", "variation", "p90 QoS", "jobs done", "trk p90");
+    println!(
+        "{:>12} {:>14} {:>12} {:>12}",
+        "variation", "p90 QoS", "jobs done", "trk p90"
+    );
     for level in [0.0, 15.0, 30.0] {
         let cfg = SimConfig {
             total_nodes: nodes,

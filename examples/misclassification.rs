@@ -10,13 +10,8 @@ use anor::cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
 use anor::types::Watts;
 
 fn run(label: &str, jobs: &[JobSetup], feedback: bool) -> f64 {
-    let cluster = EmulatedCluster::new(EmulatorConfig::paper(
-        BudgetPolicy::EvenSlowdown,
-        feedback,
-    ));
-    let report = cluster
-        .run_static(jobs, Watts(840.0))
-        .expect("run failed");
+    let cluster = EmulatedCluster::new(EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, feedback));
+    let report = cluster.run_static(jobs, Watts(840.0)).expect("run failed");
     let bt = (report.mean_slowdown("bt.D.81").unwrap() - 1.0) * 100.0;
     println!("{label:<42} BT slowdown {bt:>5.1}%");
     bt

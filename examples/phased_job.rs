@@ -50,9 +50,7 @@ fn main() {
         let phase = workload.current_phase();
         if phase != last_phase || (t as u64).is_multiple_of(120) {
             let learned = modeler.curve().slowdown_at(Watts(140.0), Watts(280.0));
-            println!(
-                "{t:>8.0} {phase:>7} {epochs:>8} {learned:>22.2} {refits:>8}"
-            );
+            println!("{t:>8.0} {phase:>7} {epochs:>8} {learned:>22.2} {refits:>8}");
             last_phase = phase;
         }
     }

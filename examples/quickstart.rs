@@ -16,7 +16,10 @@ fn main() {
     println!("ANOR quickstart: BT + SP sharing {budget:.0}\n");
     for (label, policy) in [
         ("performance-agnostic (uniform caps)", BudgetPolicy::Uniform),
-        ("performance-aware (even slowdown)", BudgetPolicy::EvenSlowdown),
+        (
+            "performance-aware (even slowdown)",
+            BudgetPolicy::EvenSlowdown,
+        ),
     ] {
         let cluster = EmulatedCluster::new(EmulatorConfig::paper(policy, false));
         let report = cluster.run_static(&jobs, budget).expect("run failed");

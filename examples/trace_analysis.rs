@@ -33,12 +33,7 @@ fn main() {
     let dt = Seconds(0.1);
     let mut last_epochs = 0u64;
     let mut phase_high = true;
-    while io
-        .node()
-        .workload()
-        .map(|w| !w.is_done())
-        .unwrap_or(false)
-    {
+    while io.node().workload().map(|w| !w.is_done()).unwrap_or(false) {
         let epochs = io.read_signal(anor::geopm::Signal::EpochCount) as u64;
         if epochs != last_epochs {
             // Epoch boundary: the application alternates compute/sync

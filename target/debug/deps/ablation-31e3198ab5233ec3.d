@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-31e3198ab5233ec3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-31e3198ab5233ec3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

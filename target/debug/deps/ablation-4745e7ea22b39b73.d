@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4745e7ea22b39b73.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4745e7ea22b39b73: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-bf31d18a32917113.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-bf31d18a32917113: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anor-1d9b6d45495c641a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor-1d9b6d45495c641a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anor-451f5663a45e3b1b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanor-451f5663a45e3b1b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanor-451f5663a45e3b1b.rmeta: src/lib.rs
+
+src/lib.rs:

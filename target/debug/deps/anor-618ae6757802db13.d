@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor-618ae6757802db13.d: src/lib.rs
+
+/root/repo/target/debug/deps/anor-618ae6757802db13: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor-67e519530118889c.d: src/lib.rs
+
+/root/repo/target/debug/deps/anor-67e519530118889c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anor-b124fe9ba4f28b35.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor-b124fe9ba4f28b35.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

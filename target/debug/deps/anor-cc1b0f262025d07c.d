@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anor-cc1b0f262025d07c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanor-cc1b0f262025d07c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanor-cc1b0f262025d07c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/anor_aqa-1eb0e6aad251a6a4.d: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_aqa-1eb0e6aad251a6a4.rmeta: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs Cargo.toml
+
+crates/aqa/src/lib.rs:
+crates/aqa/src/bid.rs:
+crates/aqa/src/queue.rs:
+crates/aqa/src/regulation.rs:
+crates/aqa/src/schedule.rs:
+crates/aqa/src/tracking.rs:
+crates/aqa/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

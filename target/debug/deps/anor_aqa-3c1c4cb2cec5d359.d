@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anor_aqa-3c1c4cb2cec5d359.d: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/debug/deps/libanor_aqa-3c1c4cb2cec5d359.rlib: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/debug/deps/libanor_aqa-3c1c4cb2cec5d359.rmeta: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+crates/aqa/src/lib.rs:
+crates/aqa/src/bid.rs:
+crates/aqa/src/queue.rs:
+crates/aqa/src/regulation.rs:
+crates/aqa/src/schedule.rs:
+crates/aqa/src/tracking.rs:
+crates/aqa/src/train.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/anor_aqa-4772f68da411ec75.d: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/debug/deps/anor_aqa-4772f68da411ec75: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+crates/aqa/src/lib.rs:
+crates/aqa/src/bid.rs:
+crates/aqa/src/queue.rs:
+crates/aqa/src/regulation.rs:
+crates/aqa/src/schedule.rs:
+crates/aqa/src/tracking.rs:
+crates/aqa/src/train.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anor_aqa-bcb54f450b2c990c.d: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/debug/deps/libanor_aqa-bcb54f450b2c990c.rlib: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/debug/deps/libanor_aqa-bcb54f450b2c990c.rmeta: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+crates/aqa/src/lib.rs:
+crates/aqa/src/bid.rs:
+crates/aqa/src/queue.rs:
+crates/aqa/src/regulation.rs:
+crates/aqa/src/schedule.rs:
+crates/aqa/src/tracking.rs:
+crates/aqa/src/train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anor_bench-5a601fce18bb49ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libanor_bench-5a601fce18bb49ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libanor_bench-5a601fce18bb49ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

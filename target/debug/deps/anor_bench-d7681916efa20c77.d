@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_bench-d7681916efa20c77.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/anor_bench-d7681916efa20c77: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anor_cluster-473859b49aa14854.d: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+/root/repo/target/debug/deps/anor_cluster-473859b49aa14854: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/budgeter.rs:
+crates/cluster/src/cli.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/emulator.rs:
+crates/cluster/src/endpoint.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/anor_cluster-608fc6db55d86c67.d: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+/root/repo/target/debug/deps/libanor_cluster-608fc6db55d86c67.rlib: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+/root/repo/target/debug/deps/libanor_cluster-608fc6db55d86c67.rmeta: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/budgeter.rs:
+crates/cluster/src/cli.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/emulator.rs:
+crates/cluster/src/endpoint.rs:

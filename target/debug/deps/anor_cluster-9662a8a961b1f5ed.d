@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anor_cluster-9662a8a961b1f5ed.d: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_cluster-9662a8a961b1f5ed.rmeta: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/budgeter.rs:
+crates/cluster/src/cli.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/emulator.rs:
+crates/cluster/src/endpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/anor_cluster-aa3bb0f05aa11eb2.d: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+/root/repo/target/debug/deps/libanor_cluster-aa3bb0f05aa11eb2.rlib: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+/root/repo/target/debug/deps/libanor_cluster-aa3bb0f05aa11eb2.rmeta: crates/cluster/src/lib.rs crates/cluster/src/budgeter.rs crates/cluster/src/cli.rs crates/cluster/src/codec.rs crates/cluster/src/emulator.rs crates/cluster/src/endpoint.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/budgeter.rs:
+crates/cluster/src/cli.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/emulator.rs:
+crates/cluster/src/endpoint.rs:

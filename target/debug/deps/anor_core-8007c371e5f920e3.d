@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/anor_core-8007c371e5f920e3.d: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs
+
+/root/repo/target/debug/deps/libanor_core-8007c371e5f920e3.rlib: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs
+
+/root/repo/target/debug/deps/libanor_core-8007c371e5f920e3.rmeta: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs
+
+crates/anor/src/lib.rs:
+crates/anor/src/bidding.rs:
+crates/anor/src/experiments/mod.rs:
+crates/anor/src/experiments/ablation.rs:
+crates/anor/src/experiments/fig10.rs:
+crates/anor/src/experiments/fig11.rs:
+crates/anor/src/experiments/fig3.rs:
+crates/anor/src/experiments/fig4.rs:
+crates/anor/src/experiments/fig5.rs:
+crates/anor/src/experiments/fig6.rs:
+crates/anor/src/experiments/fig7.rs:
+crates/anor/src/experiments/fig8.rs:
+crates/anor/src/experiments/fig9.rs:
+crates/anor/src/experiments/hw.rs:
+crates/anor/src/experiments/multihour.rs:
+crates/anor/src/render.rs:
+crates/anor/src/training.rs:

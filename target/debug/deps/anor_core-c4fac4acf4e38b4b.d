@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/anor_core-c4fac4acf4e38b4b.d: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs
+
+/root/repo/target/debug/deps/anor_core-c4fac4acf4e38b4b: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs
+
+crates/anor/src/lib.rs:
+crates/anor/src/bidding.rs:
+crates/anor/src/experiments/mod.rs:
+crates/anor/src/experiments/ablation.rs:
+crates/anor/src/experiments/fig10.rs:
+crates/anor/src/experiments/fig11.rs:
+crates/anor/src/experiments/fig3.rs:
+crates/anor/src/experiments/fig4.rs:
+crates/anor/src/experiments/fig5.rs:
+crates/anor/src/experiments/fig6.rs:
+crates/anor/src/experiments/fig7.rs:
+crates/anor/src/experiments/fig8.rs:
+crates/anor/src/experiments/fig9.rs:
+crates/anor/src/experiments/hw.rs:
+crates/anor/src/experiments/multihour.rs:
+crates/anor/src/render.rs:
+crates/anor/src/training.rs:

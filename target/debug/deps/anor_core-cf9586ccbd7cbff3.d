@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/anor_core-cf9586ccbd7cbff3.d: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_core-cf9586ccbd7cbff3.rmeta: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs crates/anor/src/training.rs Cargo.toml
+
+crates/anor/src/lib.rs:
+crates/anor/src/bidding.rs:
+crates/anor/src/experiments/mod.rs:
+crates/anor/src/experiments/ablation.rs:
+crates/anor/src/experiments/fig10.rs:
+crates/anor/src/experiments/fig11.rs:
+crates/anor/src/experiments/fig3.rs:
+crates/anor/src/experiments/fig4.rs:
+crates/anor/src/experiments/fig5.rs:
+crates/anor/src/experiments/fig6.rs:
+crates/anor/src/experiments/fig7.rs:
+crates/anor/src/experiments/fig8.rs:
+crates/anor/src/experiments/fig9.rs:
+crates/anor/src/experiments/hw.rs:
+crates/anor/src/experiments/multihour.rs:
+crates/anor/src/render.rs:
+crates/anor/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

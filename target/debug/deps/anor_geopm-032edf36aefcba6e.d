@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anor_geopm-032edf36aefcba6e.d: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/debug/deps/libanor_geopm-032edf36aefcba6e.rlib: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/debug/deps/libanor_geopm-032edf36aefcba6e.rmeta: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+crates/geopm/src/lib.rs:
+crates/geopm/src/agent.rs:
+crates/geopm/src/endpoint.rs:
+crates/geopm/src/platformio.rs:
+crates/geopm/src/report.rs:
+crates/geopm/src/runtime.rs:
+crates/geopm/src/trace.rs:
+crates/geopm/src/tree.rs:

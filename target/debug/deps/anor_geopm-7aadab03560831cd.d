@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/anor_geopm-7aadab03560831cd.d: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/debug/deps/anor_geopm-7aadab03560831cd: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+crates/geopm/src/lib.rs:
+crates/geopm/src/agent.rs:
+crates/geopm/src/endpoint.rs:
+crates/geopm/src/platformio.rs:
+crates/geopm/src/report.rs:
+crates/geopm/src/runtime.rs:
+crates/geopm/src/trace.rs:
+crates/geopm/src/tree.rs:

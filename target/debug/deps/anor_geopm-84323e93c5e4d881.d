@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/anor_geopm-84323e93c5e4d881.d: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/debug/deps/anor_geopm-84323e93c5e4d881: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+crates/geopm/src/lib.rs:
+crates/geopm/src/agent.rs:
+crates/geopm/src/endpoint.rs:
+crates/geopm/src/platformio.rs:
+crates/geopm/src/report.rs:
+crates/geopm/src/runtime.rs:
+crates/geopm/src/trace.rs:
+crates/geopm/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/anor_geopm-e506e0472861a993.d: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_geopm-e506e0472861a993.rmeta: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs Cargo.toml
+
+crates/geopm/src/lib.rs:
+crates/geopm/src/agent.rs:
+crates/geopm/src/endpoint.rs:
+crates/geopm/src/platformio.rs:
+crates/geopm/src/report.rs:
+crates/geopm/src/runtime.rs:
+crates/geopm/src/trace.rs:
+crates/geopm/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

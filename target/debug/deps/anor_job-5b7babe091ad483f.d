@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anor_job-5b7babe091ad483f.d: crates/cluster/src/bin/anor_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_job-5b7babe091ad483f.rmeta: crates/cluster/src/bin/anor_job.rs Cargo.toml
+
+crates/cluster/src/bin/anor_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

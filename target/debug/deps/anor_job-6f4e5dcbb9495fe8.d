@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-6f4e5dcbb9495fe8.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-6f4e5dcbb9495fe8: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

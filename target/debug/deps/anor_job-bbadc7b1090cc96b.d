@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-bbadc7b1090cc96b.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-bbadc7b1090cc96b: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

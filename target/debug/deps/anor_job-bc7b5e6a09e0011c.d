@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-bc7b5e6a09e0011c.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-bc7b5e6a09e0011c: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

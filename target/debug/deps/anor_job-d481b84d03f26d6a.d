@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-d481b84d03f26d6a.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-d481b84d03f26d6a: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

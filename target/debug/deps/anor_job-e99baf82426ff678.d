@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-e99baf82426ff678.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-e99baf82426ff678: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

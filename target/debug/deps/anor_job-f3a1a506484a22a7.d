@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_job-f3a1a506484a22a7.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/debug/deps/anor_job-f3a1a506484a22a7: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

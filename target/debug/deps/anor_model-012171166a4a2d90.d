@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anor_model-012171166a4a2d90.d: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/debug/deps/anor_model-012171166a4a2d90: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/drift.rs:
+crates/model/src/epoch_detect.rs:
+crates/model/src/fit.rs:
+crates/model/src/modeler.rs:
+crates/model/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anor_model-62989fc68cc7e0c8.d: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_model-62989fc68cc7e0c8.rmeta: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/drift.rs:
+crates/model/src/epoch_detect.rs:
+crates/model/src/fit.rs:
+crates/model/src/modeler.rs:
+crates/model/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

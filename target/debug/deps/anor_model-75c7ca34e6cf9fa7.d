@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anor_model-75c7ca34e6cf9fa7.d: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/debug/deps/anor_model-75c7ca34e6cf9fa7: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/drift.rs:
+crates/model/src/epoch_detect.rs:
+crates/model/src/fit.rs:
+crates/model/src/modeler.rs:
+crates/model/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anor_platform-50e8464ff9a5e419.d: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/libanor_platform-50e8464ff9a5e419.rlib: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/libanor_platform-50e8464ff9a5e419.rmeta: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/phases.rs:
+crates/platform/src/rapl.rs:
+crates/platform/src/variation.rs:
+crates/platform/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/anor_platform-6b3937c89f7faf72.d: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_platform-6b3937c89f7faf72.rmeta: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/phases.rs:
+crates/platform/src/rapl.rs:
+crates/platform/src/variation.rs:
+crates/platform/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

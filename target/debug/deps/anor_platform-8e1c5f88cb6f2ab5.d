@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/anor_platform-8e1c5f88cb6f2ab5.d: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/anor_platform-8e1c5f88cb6f2ab5: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/phases.rs:
+crates/platform/src/rapl.rs:
+crates/platform/src/variation.rs:
+crates/platform/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anor_policy-029797c933b8f12f.d: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+/root/repo/target/debug/deps/anor_policy-029797c933b8f12f: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/budgeter.rs:
+crates/policy/src/facility.rs:
+crates/policy/src/job_view.rs:
+crates/policy/src/misclassify.rs:
+crates/policy/src/slowdown.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anor_policy-47434aa8a6d74b0c.d: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_policy-47434aa8a6d74b0c.rmeta: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs Cargo.toml
+
+crates/policy/src/lib.rs:
+crates/policy/src/budgeter.rs:
+crates/policy/src/facility.rs:
+crates/policy/src/job_view.rs:
+crates/policy/src/misclassify.rs:
+crates/policy/src/slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/anor_policy-888e69ad410bb9a6.d: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+/root/repo/target/debug/deps/libanor_policy-888e69ad410bb9a6.rlib: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+/root/repo/target/debug/deps/libanor_policy-888e69ad410bb9a6.rmeta: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/budgeter.rs:
+crates/policy/src/facility.rs:
+crates/policy/src/job_view.rs:
+crates/policy/src/misclassify.rs:
+crates/policy/src/slowdown.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/anor_sim-021bcadd17ae3906.d: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libanor_sim-021bcadd17ae3906.rlib: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libanor_sim-021bcadd17ae3906.rmeta: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/history.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anor_sim-b1f9331822da182e.d: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_sim-b1f9331822da182e.rmeta: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/history.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anor_sim-f771ae973168613c.d: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_sim-f771ae973168613c.rmeta: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/history.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

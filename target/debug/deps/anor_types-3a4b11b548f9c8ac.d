@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/anor_types-3a4b11b548f9c8ac.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_types-3a4b11b548f9c8ac.rmeta: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/curve.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/jobtype.rs:
+crates/types/src/msg.rs:
+crates/types/src/qos.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anor_types-5685a22d4c243f68.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/anor_types-5685a22d4c243f68: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/curve.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/jobtype.rs:
+crates/types/src/msg.rs:
+crates/types/src/qos.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

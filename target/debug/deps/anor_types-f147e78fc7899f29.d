@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/anor_types-f147e78fc7899f29.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/libanor_types-f147e78fc7899f29.rlib: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/libanor_types-f147e78fc7899f29.rmeta: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/curve.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/jobtype.rs:
+crates/types/src/msg.rs:
+crates/types/src/qos.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-0a8da750aa187726.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-0a8da750aa187726: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-2c063661cd5ae604.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-2c063661cd5ae604: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-368af01bc274746c.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-368af01bc274746c: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anord-530f76fbb6d67623.d: crates/cluster/src/bin/anord.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanord-530f76fbb6d67623.rmeta: crates/cluster/src/bin/anord.rs Cargo.toml
+
+crates/cluster/src/bin/anord.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

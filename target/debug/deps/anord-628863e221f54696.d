@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anord-628863e221f54696.d: crates/cluster/src/bin/anord.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanord-628863e221f54696.rmeta: crates/cluster/src/bin/anord.rs Cargo.toml
+
+crates/cluster/src/bin/anord.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

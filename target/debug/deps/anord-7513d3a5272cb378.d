@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-7513d3a5272cb378.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-7513d3a5272cb378: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-c566fe1707dcd6f9.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-c566fe1707dcd6f9: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

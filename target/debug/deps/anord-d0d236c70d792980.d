@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anord-d0d236c70d792980.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/debug/deps/anord-d0d236c70d792980: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

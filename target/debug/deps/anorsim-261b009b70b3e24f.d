@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anorsim-261b009b70b3e24f.d: crates/sim/src/bin/anorsim.rs
+
+/root/repo/target/debug/deps/anorsim-261b009b70b3e24f: crates/sim/src/bin/anorsim.rs
+
+crates/sim/src/bin/anorsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anorsim-492c02f17510b88c.d: crates/sim/src/bin/anorsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanorsim-492c02f17510b88c.rmeta: crates/sim/src/bin/anorsim.rs Cargo.toml
+
+crates/sim/src/bin/anorsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anorsim-716ac2a9c765220c.d: crates/sim/src/bin/anorsim.rs
+
+/root/repo/target/debug/deps/anorsim-716ac2a9c765220c: crates/sim/src/bin/anorsim.rs
+
+crates/sim/src/bin/anorsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anorsim-a55b2f2393e58b1f.d: crates/sim/src/bin/anorsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanorsim-a55b2f2393e58b1f.rmeta: crates/sim/src/bin/anorsim.rs Cargo.toml
+
+crates/sim/src/bin/anorsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anorsim-b1725603e66af4b4.d: crates/sim/src/bin/anorsim.rs
+
+/root/repo/target/debug/deps/anorsim-b1725603e66af4b4: crates/sim/src/bin/anorsim.rs
+
+crates/sim/src/bin/anorsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anorsim-b7ddbb09d5046e09.d: crates/sim/src/bin/anorsim.rs
+
+/root/repo/target/debug/deps/anorsim-b7ddbb09d5046e09: crates/sim/src/bin/anorsim.rs
+
+crates/sim/src/bin/anorsim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anorsim_cli-17d5dc8e8604f2dd.d: crates/sim/tests/anorsim_cli.rs
+
+/root/repo/target/debug/deps/anorsim_cli-17d5dc8e8604f2dd: crates/sim/tests/anorsim_cli.rs
+
+crates/sim/tests/anorsim_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_anorsim=/root/repo/target/debug/anorsim

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anorsim_cli-860222d1b09d7db9.d: crates/sim/tests/anorsim_cli.rs
+
+/root/repo/target/debug/deps/anorsim_cli-860222d1b09d7db9: crates/sim/tests/anorsim_cli.rs
+
+crates/sim/tests/anorsim_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_anorsim=/root/repo/target/debug/anorsim

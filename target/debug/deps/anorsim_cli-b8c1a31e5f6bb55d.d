@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anorsim_cli-b8c1a31e5f6bb55d.d: crates/sim/tests/anorsim_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanorsim_cli-b8c1a31e5f6bb55d.rmeta: crates/sim/tests/anorsim_cli.rs Cargo.toml
+
+crates/sim/tests/anorsim_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_anorsim=placeholder:anorsim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-980eb439841f6a01.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-980eb439841f6a01.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

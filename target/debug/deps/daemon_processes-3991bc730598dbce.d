@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daemon_processes-3991bc730598dbce.d: crates/cluster/tests/daemon_processes.rs
+
+/root/repo/target/debug/deps/daemon_processes-3991bc730598dbce: crates/cluster/tests/daemon_processes.rs
+
+crates/cluster/tests/daemon_processes.rs:
+
+# env-dep:CARGO_BIN_EXE_anor-job=/root/repo/target/debug/anor-job
+# env-dep:CARGO_BIN_EXE_anord=/root/repo/target/debug/anord

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/daemon_processes-79f3b07d120074e7.d: crates/cluster/tests/daemon_processes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaemon_processes-79f3b07d120074e7.rmeta: crates/cluster/tests/daemon_processes.rs Cargo.toml
+
+crates/cluster/tests/daemon_processes.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_anor-job=placeholder:anor-job
+# env-dep:CARGO_BIN_EXE_anord=placeholder:anord
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

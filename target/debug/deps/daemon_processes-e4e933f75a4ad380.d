@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daemon_processes-e4e933f75a4ad380.d: crates/cluster/tests/daemon_processes.rs
+
+/root/repo/target/debug/deps/daemon_processes-e4e933f75a4ad380: crates/cluster/tests/daemon_processes.rs
+
+crates/cluster/tests/daemon_processes.rs:
+
+# env-dep:CARGO_BIN_EXE_anor-job=/root/repo/target/debug/anor-job
+# env-dep:CARGO_BIN_EXE_anord=/root/repo/target/debug/anord

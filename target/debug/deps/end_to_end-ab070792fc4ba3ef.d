@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab070792fc4ba3ef.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab070792fc4ba3ef: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e9ec25e8c4c55c2c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e9ec25e8c4c55c2c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

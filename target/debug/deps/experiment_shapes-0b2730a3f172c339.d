@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-0b2730a3f172c339.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-0b2730a3f172c339: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-c622498f30e7b8e7.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-c622498f30e7b8e7: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/facility_coordination-abbf51715b4e6624.d: tests/facility_coordination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfacility_coordination-abbf51715b4e6624.rmeta: tests/facility_coordination.rs Cargo.toml
+
+tests/facility_coordination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facility_coordination-bafe823e6fb27027.d: tests/facility_coordination.rs
+
+/root/repo/target/debug/deps/facility_coordination-bafe823e6fb27027: tests/facility_coordination.rs
+
+tests/facility_coordination.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facility_coordination-f3bc7e1bed229755.d: tests/facility_coordination.rs
+
+/root/repo/target/debug/deps/facility_coordination-f3bc7e1bed229755: tests/facility_coordination.rs
+
+tests/facility_coordination.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8f9769b49e19dda3.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8f9769b49e19dda3: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

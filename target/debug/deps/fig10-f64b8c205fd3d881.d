@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f64b8c205fd3d881.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f64b8c205fd3d881: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-0c1ff51b2a24d530.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-0c1ff51b2a24d530: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-abfe2141eaeaf3d8.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-abfe2141eaeaf3d8: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b147fc390247c673.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-b147fc390247c673: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

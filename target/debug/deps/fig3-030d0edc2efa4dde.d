@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-030d0edc2efa4dde.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-030d0edc2efa4dde: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-9dd7a680a0cbd036.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-9dd7a680a0cbd036: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f78692c58298c355.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-f78692c58298c355: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

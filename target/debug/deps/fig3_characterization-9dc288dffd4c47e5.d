@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_characterization-9dc288dffd4c47e5.d: crates/bench/benches/fig3_characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_characterization-9dc288dffd4c47e5.rmeta: crates/bench/benches/fig3_characterization.rs Cargo.toml
+
+crates/bench/benches/fig3_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

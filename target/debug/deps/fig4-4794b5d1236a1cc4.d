@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4794b5d1236a1cc4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4794b5d1236a1cc4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-a05f325edb7d9f12.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-a05f325edb7d9f12: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

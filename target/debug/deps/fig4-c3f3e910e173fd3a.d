@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c3f3e910e173fd3a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c3f3e910e173fd3a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

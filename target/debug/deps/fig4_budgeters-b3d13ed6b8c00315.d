@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_budgeters-b3d13ed6b8c00315.d: crates/bench/benches/fig4_budgeters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_budgeters-b3d13ed6b8c00315.rmeta: crates/bench/benches/fig4_budgeters.rs Cargo.toml
+
+crates/bench/benches/fig4_budgeters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

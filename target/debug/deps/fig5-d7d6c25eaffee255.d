@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-d7d6c25eaffee255.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-d7d6c25eaffee255: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e3a4816716e233e4.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e3a4816716e233e4: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

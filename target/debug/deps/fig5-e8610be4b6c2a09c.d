@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e8610be4b6c2a09c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e8610be4b6c2a09c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

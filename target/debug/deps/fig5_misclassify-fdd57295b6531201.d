@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_misclassify-fdd57295b6531201.d: crates/bench/benches/fig5_misclassify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_misclassify-fdd57295b6531201.rmeta: crates/bench/benches/fig5_misclassify.rs Cargo.toml
+
+crates/bench/benches/fig5_misclassify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

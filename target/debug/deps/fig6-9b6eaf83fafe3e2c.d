@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9b6eaf83fafe3e2c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9b6eaf83fafe3e2c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

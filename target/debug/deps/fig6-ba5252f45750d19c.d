@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ba5252f45750d19c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ba5252f45750d19c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

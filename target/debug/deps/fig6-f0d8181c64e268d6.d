@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f0d8181c64e268d6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f0d8181c64e268d6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

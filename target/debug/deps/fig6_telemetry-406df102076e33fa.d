@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_telemetry-406df102076e33fa.d: crates/bench/tests/fig6_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_telemetry-406df102076e33fa.rmeta: crates/bench/tests/fig6_telemetry.rs Cargo.toml
+
+crates/bench/tests/fig6_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_telemetry-43d5e49d77bf2f68.d: crates/bench/tests/fig6_telemetry.rs
+
+/root/repo/target/debug/deps/fig6_telemetry-43d5e49d77bf2f68: crates/bench/tests/fig6_telemetry.rs
+
+crates/bench/tests/fig6_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-812563e9c6017c89.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-812563e9c6017c89: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-9f40cc2f2d0f53d0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-9f40cc2f2d0f53d0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b51e254621c5faf0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b51e254621c5faf0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4f5ec9e932d805f3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-4f5ec9e932d805f3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5c3ea974844f0a90.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5c3ea974844f0a90: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d2e18a9143404614.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d2e18a9143404614: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-58da7ce88c75aec2.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-58da7ce88c75aec2: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6425ea81b43daa4a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-6425ea81b43daa4a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-91311d1046e7029d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-91311d1046e7029d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

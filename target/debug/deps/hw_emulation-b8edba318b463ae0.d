@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_emulation-b8edba318b463ae0.d: crates/bench/benches/hw_emulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_emulation-b8edba318b463ae0.rmeta: crates/bench/benches/hw_emulation.rs Cargo.toml
+
+crates/bench/benches/hw_emulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

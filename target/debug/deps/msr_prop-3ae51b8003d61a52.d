@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msr_prop-3ae51b8003d61a52.d: crates/platform/tests/msr_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsr_prop-3ae51b8003d61a52.rmeta: crates/platform/tests/msr_prop.rs Cargo.toml
+
+crates/platform/tests/msr_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

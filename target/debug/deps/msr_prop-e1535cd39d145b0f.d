@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msr_prop-e1535cd39d145b0f.d: crates/platform/tests/msr_prop.rs
+
+/root/repo/target/debug/deps/msr_prop-e1535cd39d145b0f: crates/platform/tests/msr_prop.rs
+
+crates/platform/tests/msr_prop.rs:

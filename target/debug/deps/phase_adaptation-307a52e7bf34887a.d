@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-307a52e7bf34887a.d: tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/phase_adaptation-307a52e7bf34887a: tests/phase_adaptation.rs
+
+tests/phase_adaptation.rs:

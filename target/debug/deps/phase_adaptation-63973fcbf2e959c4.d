@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-63973fcbf2e959c4.d: tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/phase_adaptation-63973fcbf2e959c4: tests/phase_adaptation.rs
+
+tests/phase_adaptation.rs:

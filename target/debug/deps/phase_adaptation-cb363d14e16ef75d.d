@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phase_adaptation-cb363d14e16ef75d.d: tests/phase_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphase_adaptation-cb363d14e16ef75d.rmeta: tests/phase_adaptation.rs Cargo.toml
+
+tests/phase_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-acef6dcdf1c4411f.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-acef6dcdf1c4411f: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d812123e26525427.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d812123e26525427: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_justification-1faf2bd9f4650772.d: crates/bench/src/bin/qos_justification.rs
+
+/root/repo/target/debug/deps/qos_justification-1faf2bd9f4650772: crates/bench/src/bin/qos_justification.rs
+
+crates/bench/src/bin/qos_justification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_justification-32baf6d197f4afb9.d: crates/bench/src/bin/qos_justification.rs
+
+/root/repo/target/debug/deps/qos_justification-32baf6d197f4afb9: crates/bench/src/bin/qos_justification.rs
+
+crates/bench/src/bin/qos_justification.rs:

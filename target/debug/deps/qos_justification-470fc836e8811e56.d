@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_justification-470fc836e8811e56.d: crates/bench/src/bin/qos_justification.rs
+
+/root/repo/target/debug/deps/qos_justification-470fc836e8811e56: crates/bench/src/bin/qos_justification.rs
+
+crates/bench/src/bin/qos_justification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qos_justification-97dd6023cd973e96.d: crates/bench/src/bin/qos_justification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqos_justification-97dd6023cd973e96.rmeta: crates/bench/src/bin/qos_justification.rs Cargo.toml
+
+crates/bench/src/bin/qos_justification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

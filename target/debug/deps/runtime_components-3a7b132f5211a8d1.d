@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_components-3a7b132f5211a8d1.d: crates/bench/benches/runtime_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_components-3a7b132f5211a8d1.rmeta: crates/bench/benches/runtime_components.rs Cargo.toml
+
+crates/bench/benches/runtime_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

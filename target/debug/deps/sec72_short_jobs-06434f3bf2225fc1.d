@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec72_short_jobs-06434f3bf2225fc1.d: crates/bench/src/bin/sec72_short_jobs.rs
+
+/root/repo/target/debug/deps/sec72_short_jobs-06434f3bf2225fc1: crates/bench/src/bin/sec72_short_jobs.rs
+
+crates/bench/src/bin/sec72_short_jobs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec72_short_jobs-85c649d24a3f35fe.d: crates/bench/src/bin/sec72_short_jobs.rs
+
+/root/repo/target/debug/deps/sec72_short_jobs-85c649d24a3f35fe: crates/bench/src/bin/sec72_short_jobs.rs
+
+crates/bench/src/bin/sec72_short_jobs.rs:

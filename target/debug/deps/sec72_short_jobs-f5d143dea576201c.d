@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec72_short_jobs-f5d143dea576201c.d: crates/bench/src/bin/sec72_short_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec72_short_jobs-f5d143dea576201c.rmeta: crates/bench/src/bin/sec72_short_jobs.rs Cargo.toml
+
+crates/bench/src/bin/sec72_short_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

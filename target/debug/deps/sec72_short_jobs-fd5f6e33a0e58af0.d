@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec72_short_jobs-fd5f6e33a0e58af0.d: crates/bench/src/bin/sec72_short_jobs.rs
+
+/root/repo/target/debug/deps/sec72_short_jobs-fd5f6e33a0e58af0: crates/bench/src/bin/sec72_short_jobs.rs
+
+crates/bench/src/bin/sec72_short_jobs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_invariants-54d0ffa10edd7f67.d: tests/sim_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_invariants-54d0ffa10edd7f67.rmeta: tests/sim_invariants.rs Cargo.toml
+
+tests/sim_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-809c4611e84698e0.d: tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-809c4611e84698e0: tests/sim_invariants.rs
+
+tests/sim_invariants.rs:

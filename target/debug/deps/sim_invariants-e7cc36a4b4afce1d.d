@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-e7cc36a4b4afce1d.d: tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-e7cc36a4b4afce1d: tests/sim_invariants.rs
+
+tests/sim_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_tick-535425d03c6caf12.d: crates/bench/benches/sim_tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_tick-535425d03c6caf12.rmeta: crates/bench/benches/sim_tick.rs Cargo.toml
+
+crates/bench/benches/sim_tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

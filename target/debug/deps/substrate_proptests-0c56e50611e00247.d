@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_proptests-0c56e50611e00247.d: tests/substrate_proptests.rs
+
+/root/repo/target/debug/deps/substrate_proptests-0c56e50611e00247: tests/substrate_proptests.rs
+
+tests/substrate_proptests.rs:

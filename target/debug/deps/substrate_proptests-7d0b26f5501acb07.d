@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_proptests-7d0b26f5501acb07.d: tests/substrate_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_proptests-7d0b26f5501acb07.rmeta: tests/substrate_proptests.rs Cargo.toml
+
+tests/substrate_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_proptests-bec9374d66e60aca.d: tests/substrate_proptests.rs
+
+/root/repo/target/debug/deps/substrate_proptests-bec9374d66e60aca: tests/substrate_proptests.rs
+
+tests/substrate_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/daemon_files-3c95b7b328c2b992.d: examples/daemon_files.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdaemon_files-3c95b7b328c2b992.rmeta: examples/daemon_files.rs Cargo.toml
+
+examples/daemon_files.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

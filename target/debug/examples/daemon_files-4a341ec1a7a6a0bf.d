@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/daemon_files-4a341ec1a7a6a0bf.d: examples/daemon_files.rs
+
+/root/repo/target/debug/examples/daemon_files-4a341ec1a7a6a0bf: examples/daemon_files.rs
+
+examples/daemon_files.rs:

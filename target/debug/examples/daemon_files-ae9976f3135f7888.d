@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/daemon_files-ae9976f3135f7888.d: examples/daemon_files.rs
+
+/root/repo/target/debug/examples/daemon_files-ae9976f3135f7888: examples/daemon_files.rs
+
+examples/daemon_files.rs:

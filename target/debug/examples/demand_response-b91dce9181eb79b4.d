@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/demand_response-b91dce9181eb79b4.d: examples/demand_response.rs
+
+/root/repo/target/debug/examples/demand_response-b91dce9181eb79b4: examples/demand_response.rs
+
+examples/demand_response.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/demand_response-e05d29a01bc0dfc4.d: examples/demand_response.rs
+
+/root/repo/target/debug/examples/demand_response-e05d29a01bc0dfc4: examples/demand_response.rs
+
+examples/demand_response.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/demand_response-e6c5ba191705707f.d: examples/demand_response.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdemand_response-e6c5ba191705707f.rmeta: examples/demand_response.rs Cargo.toml
+
+examples/demand_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/facility-4414d3c764e67650.d: examples/facility.rs
+
+/root/repo/target/debug/examples/facility-4414d3c764e67650: examples/facility.rs
+
+examples/facility.rs:

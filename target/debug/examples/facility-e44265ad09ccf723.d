@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/facility-e44265ad09ccf723.d: examples/facility.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfacility-e44265ad09ccf723.rmeta: examples/facility.rs Cargo.toml
+
+examples/facility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/facility-ff056c06b8dc0bd6.d: examples/facility.rs
+
+/root/repo/target/debug/examples/facility-ff056c06b8dc0bd6: examples/facility.rs
+
+examples/facility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hourly_bidding-5135a63c76eaf54c.d: examples/hourly_bidding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhourly_bidding-5135a63c76eaf54c.rmeta: examples/hourly_bidding.rs Cargo.toml
+
+examples/hourly_bidding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hourly_bidding-b4c2a6c699096511.d: examples/hourly_bidding.rs
+
+/root/repo/target/debug/examples/hourly_bidding-b4c2a6c699096511: examples/hourly_bidding.rs
+
+examples/hourly_bidding.rs:

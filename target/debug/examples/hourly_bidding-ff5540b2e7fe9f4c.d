@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hourly_bidding-ff5540b2e7fe9f4c.d: examples/hourly_bidding.rs
+
+/root/repo/target/debug/examples/hourly_bidding-ff5540b2e7fe9f4c: examples/hourly_bidding.rs
+
+examples/hourly_bidding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale_sim-46f0df7c3a4ac3f6.d: examples/large_scale_sim.rs
+
+/root/repo/target/debug/examples/large_scale_sim-46f0df7c3a4ac3f6: examples/large_scale_sim.rs
+
+examples/large_scale_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_scale_sim-64bf3aa0440aa03d.d: examples/large_scale_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_scale_sim-64bf3aa0440aa03d.rmeta: examples/large_scale_sim.rs Cargo.toml
+
+examples/large_scale_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

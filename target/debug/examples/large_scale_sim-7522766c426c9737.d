@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale_sim-7522766c426c9737.d: examples/large_scale_sim.rs
+
+/root/repo/target/debug/examples/large_scale_sim-7522766c426c9737: examples/large_scale_sim.rs
+
+examples/large_scale_sim.rs:

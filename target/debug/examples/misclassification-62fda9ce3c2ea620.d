@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/misclassification-62fda9ce3c2ea620.d: examples/misclassification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmisclassification-62fda9ce3c2ea620.rmeta: examples/misclassification.rs Cargo.toml
+
+examples/misclassification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/misclassification-92a7d941bbfbbdcd.d: examples/misclassification.rs
+
+/root/repo/target/debug/examples/misclassification-92a7d941bbfbbdcd: examples/misclassification.rs
+
+examples/misclassification.rs:

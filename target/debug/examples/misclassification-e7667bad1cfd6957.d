@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/misclassification-e7667bad1cfd6957.d: examples/misclassification.rs
+
+/root/repo/target/debug/examples/misclassification-e7667bad1cfd6957: examples/misclassification.rs
+
+examples/misclassification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phased_job-45c92d3b24c91902.d: examples/phased_job.rs
+
+/root/repo/target/debug/examples/phased_job-45c92d3b24c91902: examples/phased_job.rs
+
+examples/phased_job.rs:

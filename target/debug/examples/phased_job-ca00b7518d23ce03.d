@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phased_job-ca00b7518d23ce03.d: examples/phased_job.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphased_job-ca00b7518d23ce03.rmeta: examples/phased_job.rs Cargo.toml
+
+examples/phased_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

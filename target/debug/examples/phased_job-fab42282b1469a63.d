@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phased_job-fab42282b1469a63.d: examples/phased_job.rs
+
+/root/repo/target/debug/examples/phased_job-fab42282b1469a63: examples/phased_job.rs
+
+examples/phased_job.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b005a8d2ef805ed5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b005a8d2ef805ed5: examples/quickstart.rs
+
+examples/quickstart.rs:

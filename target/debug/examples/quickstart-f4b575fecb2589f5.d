@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f4b575fecb2589f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f4b575fecb2589f5: examples/quickstart.rs
+
+examples/quickstart.rs:

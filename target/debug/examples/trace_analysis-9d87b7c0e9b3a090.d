@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_analysis-9d87b7c0e9b3a090.d: examples/trace_analysis.rs
+
+/root/repo/target/debug/examples/trace_analysis-9d87b7c0e9b3a090: examples/trace_analysis.rs
+
+examples/trace_analysis.rs:

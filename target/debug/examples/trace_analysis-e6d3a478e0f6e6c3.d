@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_analysis-e6d3a478e0f6e6c3.d: examples/trace_analysis.rs
+
+/root/repo/target/debug/examples/trace_analysis-e6d3a478e0f6e6c3: examples/trace_analysis.rs
+
+examples/trace_analysis.rs:

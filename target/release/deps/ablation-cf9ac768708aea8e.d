@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-cf9ac768708aea8e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-cf9ac768708aea8e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

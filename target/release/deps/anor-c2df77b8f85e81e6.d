@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anor-c2df77b8f85e81e6.d: src/lib.rs
+
+/root/repo/target/release/deps/libanor-c2df77b8f85e81e6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanor-c2df77b8f85e81e6.rmeta: src/lib.rs
+
+src/lib.rs:

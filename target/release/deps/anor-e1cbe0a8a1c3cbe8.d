@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anor-e1cbe0a8a1c3cbe8.d: src/lib.rs
+
+/root/repo/target/release/deps/libanor-e1cbe0a8a1c3cbe8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanor-e1cbe0a8a1c3cbe8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/anor_aqa-d2e92c1db77c3891.d: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/release/deps/libanor_aqa-d2e92c1db77c3891.rlib: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+/root/repo/target/release/deps/libanor_aqa-d2e92c1db77c3891.rmeta: crates/aqa/src/lib.rs crates/aqa/src/bid.rs crates/aqa/src/queue.rs crates/aqa/src/regulation.rs crates/aqa/src/schedule.rs crates/aqa/src/tracking.rs crates/aqa/src/train.rs
+
+crates/aqa/src/lib.rs:
+crates/aqa/src/bid.rs:
+crates/aqa/src/queue.rs:
+crates/aqa/src/regulation.rs:
+crates/aqa/src/schedule.rs:
+crates/aqa/src/tracking.rs:
+crates/aqa/src/train.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/anor_core-1abfffbd746f2973.d: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/training.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs
+
+/root/repo/target/release/deps/libanor_core-1abfffbd746f2973.rlib: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/training.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs
+
+/root/repo/target/release/deps/libanor_core-1abfffbd746f2973.rmeta: crates/anor/src/lib.rs crates/anor/src/bidding.rs crates/anor/src/training.rs crates/anor/src/experiments/mod.rs crates/anor/src/experiments/ablation.rs crates/anor/src/experiments/fig10.rs crates/anor/src/experiments/fig11.rs crates/anor/src/experiments/fig3.rs crates/anor/src/experiments/fig4.rs crates/anor/src/experiments/fig5.rs crates/anor/src/experiments/fig6.rs crates/anor/src/experiments/fig7.rs crates/anor/src/experiments/fig8.rs crates/anor/src/experiments/fig9.rs crates/anor/src/experiments/hw.rs crates/anor/src/experiments/multihour.rs crates/anor/src/render.rs
+
+crates/anor/src/lib.rs:
+crates/anor/src/bidding.rs:
+crates/anor/src/training.rs:
+crates/anor/src/experiments/mod.rs:
+crates/anor/src/experiments/ablation.rs:
+crates/anor/src/experiments/fig10.rs:
+crates/anor/src/experiments/fig11.rs:
+crates/anor/src/experiments/fig3.rs:
+crates/anor/src/experiments/fig4.rs:
+crates/anor/src/experiments/fig5.rs:
+crates/anor/src/experiments/fig6.rs:
+crates/anor/src/experiments/fig7.rs:
+crates/anor/src/experiments/fig8.rs:
+crates/anor/src/experiments/fig9.rs:
+crates/anor/src/experiments/hw.rs:
+crates/anor/src/experiments/multihour.rs:
+crates/anor/src/render.rs:

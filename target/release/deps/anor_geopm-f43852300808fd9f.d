@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/anor_geopm-f43852300808fd9f.d: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/release/deps/libanor_geopm-f43852300808fd9f.rlib: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+/root/repo/target/release/deps/libanor_geopm-f43852300808fd9f.rmeta: crates/geopm/src/lib.rs crates/geopm/src/agent.rs crates/geopm/src/endpoint.rs crates/geopm/src/platformio.rs crates/geopm/src/report.rs crates/geopm/src/runtime.rs crates/geopm/src/trace.rs crates/geopm/src/tree.rs
+
+crates/geopm/src/lib.rs:
+crates/geopm/src/agent.rs:
+crates/geopm/src/endpoint.rs:
+crates/geopm/src/platformio.rs:
+crates/geopm/src/report.rs:
+crates/geopm/src/runtime.rs:
+crates/geopm/src/trace.rs:
+crates/geopm/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anor_job-56ef49677966c1af.d: crates/cluster/src/bin/anor_job.rs
+
+/root/repo/target/release/deps/anor_job-56ef49677966c1af: crates/cluster/src/bin/anor_job.rs
+
+crates/cluster/src/bin/anor_job.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/anor_model-ba3f54d3d2cc5344.d: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libanor_model-ba3f54d3d2cc5344.rlib: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libanor_model-ba3f54d3d2cc5344.rmeta: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/drift.rs:
+crates/model/src/epoch_detect.rs:
+crates/model/src/fit.rs:
+crates/model/src/modeler.rs:
+crates/model/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/anor_model-d574ef242ae219b5.d: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libanor_model-d574ef242ae219b5.rlib: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libanor_model-d574ef242ae219b5.rmeta: crates/model/src/lib.rs crates/model/src/drift.rs crates/model/src/epoch_detect.rs crates/model/src/fit.rs crates/model/src/modeler.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/drift.rs:
+crates/model/src/epoch_detect.rs:
+crates/model/src/fit.rs:
+crates/model/src/modeler.rs:
+crates/model/src/window.rs:

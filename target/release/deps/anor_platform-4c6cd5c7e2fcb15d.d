@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/anor_platform-4c6cd5c7e2fcb15d.d: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+/root/repo/target/release/deps/libanor_platform-4c6cd5c7e2fcb15d.rlib: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+/root/repo/target/release/deps/libanor_platform-4c6cd5c7e2fcb15d.rmeta: crates/platform/src/lib.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/phases.rs crates/platform/src/rapl.rs crates/platform/src/variation.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/phases.rs:
+crates/platform/src/rapl.rs:
+crates/platform/src/variation.rs:
+crates/platform/src/workload.rs:

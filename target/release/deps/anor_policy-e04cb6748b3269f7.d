@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/anor_policy-e04cb6748b3269f7.d: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+/root/repo/target/release/deps/libanor_policy-e04cb6748b3269f7.rlib: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+/root/repo/target/release/deps/libanor_policy-e04cb6748b3269f7.rmeta: crates/policy/src/lib.rs crates/policy/src/budgeter.rs crates/policy/src/facility.rs crates/policy/src/job_view.rs crates/policy/src/misclassify.rs crates/policy/src/slowdown.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/budgeter.rs:
+crates/policy/src/facility.rs:
+crates/policy/src/job_view.rs:
+crates/policy/src/misclassify.rs:
+crates/policy/src/slowdown.rs:

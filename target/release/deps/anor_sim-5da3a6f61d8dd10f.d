@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/anor_sim-5da3a6f61d8dd10f.d: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libanor_sim-5da3a6f61d8dd10f.rlib: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libanor_sim-5da3a6f61d8dd10f.rmeta: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/history.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/table.rs:

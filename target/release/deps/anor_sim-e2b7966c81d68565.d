@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/anor_sim-e2b7966c81d68565.d: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libanor_sim-e2b7966c81d68565.rlib: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libanor_sim-e2b7966c81d68565.rmeta: crates/sim/src/lib.rs crates/sim/src/history.rs crates/sim/src/policy.rs crates/sim/src/sim.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/history.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/table.rs:

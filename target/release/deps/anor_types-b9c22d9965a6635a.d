@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/anor_types-b9c22d9965a6635a.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/release/deps/libanor_types-b9c22d9965a6635a.rlib: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/release/deps/libanor_types-b9c22d9965a6635a.rmeta: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/curve.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/jobtype.rs crates/types/src/msg.rs crates/types/src/qos.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/curve.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/jobtype.rs:
+crates/types/src/msg.rs:
+crates/types/src/qos.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anord-f9fa701f237433e9.d: crates/cluster/src/bin/anord.rs
+
+/root/repo/target/release/deps/anord-f9fa701f237433e9: crates/cluster/src/bin/anord.rs
+
+crates/cluster/src/bin/anord.rs:

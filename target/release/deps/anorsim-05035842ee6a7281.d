@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anorsim-05035842ee6a7281.d: crates/sim/src/bin/anorsim.rs
+
+/root/repo/target/release/deps/anorsim-05035842ee6a7281: crates/sim/src/bin/anorsim.rs
+
+crates/sim/src/bin/anorsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-158f90736693e712.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-158f90736693e712: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

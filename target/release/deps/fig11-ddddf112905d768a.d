@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-ddddf112905d768a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-ddddf112905d768a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-09ea164908da2295.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-09ea164908da2295: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

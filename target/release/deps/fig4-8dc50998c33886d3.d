@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-8dc50998c33886d3.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-8dc50998c33886d3: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-4a0c0bce7d8e7712.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-4a0c0bce7d8e7712: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0270eb949b4d11dc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0270eb949b4d11dc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

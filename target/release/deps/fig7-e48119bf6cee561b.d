@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-e48119bf6cee561b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-e48119bf6cee561b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c9f6ff7551e77b04.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c9f6ff7551e77b04: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-90e14f4d9a7228e5.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-90e14f4d9a7228e5: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qos_justification-217d9d92cb8e7a8f.d: crates/bench/src/bin/qos_justification.rs
+
+/root/repo/target/release/deps/qos_justification-217d9d92cb8e7a8f: crates/bench/src/bin/qos_justification.rs
+
+crates/bench/src/bin/qos_justification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec72_short_jobs-02355c0d3414ada0.d: crates/bench/src/bin/sec72_short_jobs.rs
+
+/root/repo/target/release/deps/sec72_short_jobs-02355c0d3414ada0: crates/bench/src/bin/sec72_short_jobs.rs
+
+crates/bench/src/bin/sec72_short_jobs.rs:

@@ -106,7 +106,10 @@ fn moving_target_is_tracked_through_the_daemon() {
         .collect();
     let min = measured.iter().cloned().fold(f64::MAX, f64::min);
     let max = measured.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max - min > 150.0, "measured power never moved: {min}..{max}");
+    assert!(
+        max - min > 150.0,
+        "measured power never moved: {min}..{max}"
+    );
 }
 
 #[test]

@@ -30,7 +30,13 @@ fn make_cluster(nodes: u32, utilization: f64, horizon: f64, seed: u64) -> Tabula
         reserve: Watts(nodes as f64 * 50.0),
         signal: RegulationSignal::Constant(0.0),
     };
-    TabularSim::new(cfg, target, &PerformanceVariation::none(nodes as usize), schedule, None)
+    TabularSim::new(
+        cfg,
+        target,
+        &PerformanceVariation::none(nodes as usize),
+        schedule,
+        None,
+    )
 }
 
 #[test]
@@ -72,7 +78,10 @@ fn facility_shares_one_envelope_between_two_clusters() {
     }
     // Early on, both clusters hold allocations above their floors.
     let early_old: f64 = old_allocs[60..120].iter().sum::<f64>() / 60.0;
-    assert!(early_old > 16.0 * 90.0 + 50.0, "old early alloc {early_old}");
+    assert!(
+        early_old > 16.0 * 90.0 + 50.0,
+        "old early alloc {early_old}"
+    );
     // After the old cluster drains, its demand collapses to ~idle and the
     // freed headroom flows to the new cluster.
     let late_old: f64 = old_allocs[1500..].iter().sum::<f64>() / 300.0;

@@ -32,14 +32,7 @@ fn target(nodes: u32) -> PowerTarget {
 
 fn run_sim(nodes: u32, policy: SimPowerPolicy, sigma: f64, seed: u64) -> TabularSim {
     let cfg = config(nodes, policy);
-    let schedule = poisson_schedule(
-        &cfg.catalog,
-        &cfg.types,
-        0.75,
-        nodes,
-        Seconds(1500.0),
-        seed,
-    );
+    let schedule = poisson_schedule(&cfg.catalog, &cfg.types, 0.75, nodes, Seconds(1500.0), seed);
     let variation = PerformanceVariation::with_sigma(nodes as usize, sigma, seed ^ 0xabc);
     let mut sim = TabularSim::new(cfg, target(nodes), &variation, schedule, None);
     sim.record_history(true);
@@ -68,8 +61,7 @@ fn every_policy_preserves_job_and_node_accounting() {
             let node_job = sim.nodes()[i].job;
             if *count == 0 {
                 assert!(
-                    node_job.is_none()
-                        || sim.jobs()[node_job.unwrap().0 as usize].is_done(),
+                    node_job.is_none() || sim.jobs()[node_job.unwrap().0 as usize].is_done(),
                     "{policy:?}: node {i} references a non-running job"
                 );
             }
@@ -77,7 +69,10 @@ fn every_policy_preserves_job_and_node_accounting() {
         // Job lifecycle timestamps are ordered.
         for job in sim.jobs() {
             if let Some(start) = job.start {
-                assert!(start.value() >= job.submit.value(), "{policy:?}: start < submit");
+                assert!(
+                    start.value() >= job.submit.value(),
+                    "{policy:?}: start < submit"
+                );
                 if let Some(end) = job.end {
                     assert!(end.value() > start.value(), "{policy:?}: end <= start");
                 }

@@ -1,0 +1,341 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! `Bytes`/`BytesMut` here are plain `Vec<u8>`s with a logical start
+//! offset, which keeps `advance`/`get_*` O(1) amortized (the buffer
+//! compacts lazily) while preserving the upstream API shape the
+//! workspace codec uses: big-endian `get_*`/`put_*`, `split_to`,
+//! `freeze`, `extend_from_slice`, and slice deref.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a contiguous byte buffer (upstream `bytes::Buf`).
+///
+/// `get_*` methods panic when fewer than the required bytes remain,
+/// matching upstream semantics; callers bounds-check via `remaining()`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "Buf::copy_to_slice: {} bytes needed, {} remaining",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Append-only writer (upstream `bytes::BufMut`), big-endian `put_*`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Immutable byte buffer. Unlike upstream there is no refcounted
+/// sharing; `Clone` copies, which is fine at frame sizes (< 64 KiB).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    off: usize,
+}
+
+impl Bytes {
+    pub const fn new() -> Self {
+        Bytes {
+            data: Vec::new(),
+            off: 0,
+        }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            off: 0,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.remaining(), "Bytes::split_to out of bounds");
+        let head = Bytes::copy_from_slice(&self.chunk()[..at]);
+        self.off += at;
+        head
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "Bytes::advance out of bounds");
+        self.off += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.chunk() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, off: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(src: BytesMut) -> Self {
+        src.freeze()
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    off: usize,
+}
+
+impl BytesMut {
+    pub const fn new() -> Self {
+        BytesMut {
+            data: Vec::new(),
+            off: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            off: 0,
+        }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.off = 0;
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.remaining(), "BytesMut::split_to out of bounds");
+        let head = BytesMut {
+            data: self.chunk()[..at].to_vec(),
+            off: 0,
+        };
+        self.advance(at);
+        head
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            off: self.off,
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "BytesMut::advance out of bounds");
+        self.off += cnt;
+        // Lazy compaction keeps long-lived socket buffers bounded.
+        if self.off == self.data.len() {
+            self.data.clear();
+            self.off = 0;
+        } else if self.off >= 4096 && self.off * 2 >= self.data.len() {
+            self.data.drain(..self.off);
+            self.off = 0;
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let off = self.off;
+        &mut self.data[off..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.chunk() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            off: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_be() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(42);
+        buf.put_f64(3.5);
+        buf.put_slice(b"ok");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_f64(), 3.5);
+        assert_eq!(&b[..], b"ok");
+    }
+
+    #[test]
+    fn split_and_compact() {
+        let mut buf = BytesMut::from(&b"hello world"[..]);
+        let head = buf.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&buf[..], b"world");
+        buf.advance(5);
+        assert!(buf.is_empty());
+        assert_eq!(buf.data.len(), 0, "fully-drained buffer compacts");
+    }
+}
