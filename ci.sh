@@ -16,4 +16,15 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trace smoke: fig6 --trace + anor-trace"
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+ANOR_QUICK=1 ./target/release/fig6 --trace "$TRACE_DIR" >/dev/null
+REPORT="$(./target/release/anor-trace "$TRACE_DIR")"
+echo "$REPORT" | grep -E "complete chains: [1-9][0-9]*" >/dev/null \
+    || { echo "trace smoke: no complete decision->actuation->observation chain"; \
+         echo "$REPORT"; exit 1; }
+echo "$REPORT" | grep -E ", 0 malformed," >/dev/null \
+    || { echo "trace smoke: malformed trace events"; echo "$REPORT"; exit 1; }
+
 echo "CI OK"

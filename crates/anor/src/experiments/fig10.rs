@@ -9,7 +9,7 @@
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::OnlineStats;
 use anor_types::{Result, Seconds, Watts};
 
@@ -67,6 +67,9 @@ pub struct Fig10Config {
     /// (in-memory by default; the `fig10` binary passes a
     /// directory-backed sink for `--telemetry <dir>`).
     pub telemetry: Telemetry,
+    /// Optional causal tracer shared by the four policies' runs (the
+    /// `--trace <dir>` path of the `fig10` binary).
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for Fig10Config {
@@ -79,6 +82,7 @@ impl Default for Fig10Config {
             seed: 10,
             warmup: Seconds(180.0),
             telemetry: Telemetry::new(),
+            tracer: None,
         }
     }
 }
@@ -140,6 +144,9 @@ fn run_policy(
     };
     let mut ecfg =
         EmulatorConfig::paper(budget_policy, feedback).with_telemetry(cfg.telemetry.clone());
+    if let Some(t) = &cfg.tracer {
+        ecfg = ecfg.with_tracer(t.clone());
+    }
     ecfg.seed = cfg.seed;
     let jobs: Vec<JobSetup> = jobs
         .iter()

@@ -2,9 +2,9 @@
 //! under the shared 840 W budget, with one instance potentially
 //! misclassified as EP. The paper uses 6 back-to-back trials.
 
-use super::hw::{run_configs, run_configs_with, HwBar, HwConfig};
+use super::hw::{run_configs, run_configs_traced, run_configs_with, HwBar, HwConfig};
 use anor_cluster::{BudgetPolicy, JobSetup};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::Result;
 
 /// The four configuration rows of the figure.
@@ -52,6 +52,17 @@ pub fn run(trials: usize, seed: u64) -> Result<Vec<HwBar>> {
 /// [`run`] with an explicit telemetry sink shared by all trials.
 pub fn run_with(trials: usize, seed: u64, telemetry: &Telemetry) -> Result<Vec<HwBar>> {
     run_configs_with(&configs(), trials, seed, telemetry)
+}
+
+/// [`run_with`] plus an optional causal tracer shared by all trials
+/// (the `--trace <dir>` path).
+pub fn run_traced(
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+) -> Result<Vec<HwBar>> {
+    run_configs_traced(&configs(), trials, seed, telemetry, tracer)
 }
 
 #[cfg(test)]

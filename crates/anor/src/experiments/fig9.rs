@@ -5,7 +5,7 @@
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::{Result, Seconds, Watts};
 
 /// Scenario parameters.
@@ -28,6 +28,9 @@ pub struct Fig9Config {
     /// the `fig9` binary passes a directory-backed sink for
     /// `--telemetry <dir>`).
     pub telemetry: Telemetry,
+    /// Optional causal tracer (the `--trace <dir>` path of the `fig9`
+    /// binary).
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for Fig9Config {
@@ -43,6 +46,7 @@ impl Default for Fig9Config {
             seed: 9,
             warmup: Seconds(180.0),
             telemetry: Telemetry::new(),
+            tracer: None,
         }
     }
 }
@@ -63,8 +67,11 @@ pub struct Fig9Output {
 
 /// Run the scenario.
 pub fn run(cfg: &Fig9Config) -> Result<Fig9Output> {
-    let ecfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false)
+    let mut ecfg = EmulatorConfig::paper(BudgetPolicy::EvenSlowdown, false)
         .with_telemetry(cfg.telemetry.clone());
+    if let Some(t) = &cfg.tracer {
+        ecfg = ecfg.with_tracer(t.clone());
+    }
     let catalog = ecfg.catalog.clone();
     let types = catalog.long_running();
     let submissions = poisson_schedule(

@@ -6,7 +6,7 @@
 //! trials.
 
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::{mean, std_dev};
 use anor_types::{Result, Watts};
 
@@ -62,6 +62,19 @@ pub fn run_configs_with(
     seed: u64,
     telemetry: &Telemetry,
 ) -> Result<Vec<HwBar>> {
+    run_configs_traced(configs, trials, seed, telemetry, None)
+}
+
+/// [`run_configs_with`] plus an optional causal [`Tracer`] shared by
+/// every trial's budgeter, endpoints and runtimes (the `--trace <dir>`
+/// path of the figure binaries).
+pub fn run_configs_traced(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+) -> Result<Vec<HwBar>> {
     let mut bars = Vec::with_capacity(configs.len());
     for cfg in configs {
         // Per-job slowdown samples across trials.
@@ -69,6 +82,9 @@ pub fn run_configs_with(
         for trial in 0..trials {
             let mut ecfg =
                 EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
+            if let Some(t) = tracer {
+                ecfg = ecfg.with_tracer(t.clone());
+            }
             ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
             let cluster = EmulatedCluster::new(ecfg);
             let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;

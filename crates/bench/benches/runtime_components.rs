@@ -36,6 +36,7 @@ fn platform_step(c: &mut Criterion) {
                 power: Watts(200.0),
                 cap: Watts(210.0),
                 timestamp: Seconds(i as f64),
+                cause: 0,
             })
             .collect();
         b.iter(|| AgentTree::aggregate(std::hint::black_box(&samples)))
@@ -48,6 +49,7 @@ fn platform_step(c: &mut Criterion) {
             avg_power: Watts(201.0),
             avg_cap: Watts(210.0),
             timestamp: Seconds(77.7),
+            cause: 7,
         });
         b.iter(|| {
             let frame = msg.encode();
@@ -57,7 +59,10 @@ fn platform_step(c: &mut Criterion) {
         })
     });
     group.bench_function("codec_cap_roundtrip", |b| {
-        let msg = ClusterToJob::SetPowerCap { cap: Watts(195.5) };
+        let msg = ClusterToJob::SetPowerCap {
+            cap: Watts(195.5),
+            cause: 7,
+        };
         b.iter(|| {
             let frame = msg.encode();
             let mut body = frame.clone();

@@ -1,0 +1,108 @@
+//! `anor-trace` — offline causal-trace analyzer.
+//!
+//! Point it at a `--trace <dir>` output directory (or directly at a
+//! `trace.jsonl` / postmortem file) and it joins the events into
+//! per-decision causal chains, then reports completeness, orphans and
+//! the control-loop latency percentiles.
+//!
+//! ```text
+//! anor-trace /tmp/fig6-trace
+//! anor-trace /tmp/fig6-trace/trace.jsonl
+//! ```
+
+use anor_bench::analyze::analyze;
+use anor_telemetry::{read_trace, TraceEvent};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: anor-trace <trace-dir | trace.jsonl> [more files...]");
+    eprintln!("  Joins ANOR causal-trace JSONL into per-decision chains and");
+    eprintln!("  prints control-loop latency percentiles, orphaned decisions");
+    eprintln!("  and malformed-event counts.");
+    ExitCode::FAILURE
+}
+
+/// Expand an argument into the trace files it denotes: a file is taken
+/// as-is; a directory contributes its `trace.jsonl` plus any
+/// `postmortem-*.jsonl` dumps.
+fn expand(path: &Path) -> Vec<PathBuf> {
+    if path.is_file() {
+        return vec![path.to_path_buf()];
+    }
+    let mut files = Vec::new();
+    let main = path.join("trace.jsonl");
+    if main.is_file() {
+        files.push(main);
+    }
+    if let Ok(entries) = std::fs::read_dir(path) {
+        let mut dumps: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("postmortem-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        dumps.sort();
+        files.extend(dumps);
+    }
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        return usage();
+    }
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut malformed = 0u64;
+    let mut files_read = 0usize;
+    for arg in &args {
+        let path = Path::new(arg);
+        let files = expand(path);
+        if files.is_empty() {
+            eprintln!("anor-trace: no trace files under {arg}");
+            return ExitCode::FAILURE;
+        }
+        for file in files {
+            match read_trace(&file) {
+                Ok(scan) => {
+                    println!(
+                        "read {}: {} event(s), {} malformed, {} unrelated line(s)",
+                        file.display(),
+                        scan.events.len(),
+                        scan.malformed,
+                        scan.other
+                    );
+                    events.extend(scan.events);
+                    malformed += scan.malformed;
+                    files_read += 1;
+                }
+                Err(e) => {
+                    eprintln!("anor-trace: {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    // Events from multiple files interleave; order by timestamp so
+    // "first occurrence" per stage is chronological.
+    events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    let report = analyze(&events);
+    println!();
+    println!(
+        "{} file(s), {} event(s), {} malformed event(s)",
+        files_read,
+        events.len(),
+        malformed
+    );
+    println!();
+    print!("{}", report.render());
+    if malformed > 0 {
+        eprintln!("anor-trace: {malformed} malformed event(s) encountered");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

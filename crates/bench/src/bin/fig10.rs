@@ -3,7 +3,9 @@
 //! Characterized / Misclassified / Adjusted policies, plus the tracking
 //! error summary of Section 6.3.
 
-use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig10::{self, Fig10Config, Fig10Policy};
 use anor_types::Seconds;
 
@@ -13,9 +15,11 @@ fn main() {
         "Mean slowdown (%) per job type, 4 capping policies (95% CI)",
     );
     let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let cfg = Fig10Config {
         horizon: scaled(Seconds(3600.0), Seconds(900.0)),
         telemetry: telemetry.clone(),
+        tracer: tracer.clone(),
         ..Fig10Config::default()
     };
     let out = fig10::run(&cfg).expect("demand-response run failed");
@@ -47,4 +51,5 @@ fn main() {
         );
     }
     finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

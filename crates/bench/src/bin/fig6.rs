@@ -2,7 +2,9 @@
 //! (75% of TDP over 4 nodes), six budgeter configurations, measured on
 //! the emulated cluster over TCP.
 
-use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig6;
 use anor_core::render::render_bars;
 
@@ -12,8 +14,10 @@ fn main() {
         "Measured slowdown (%) of BT and SP under a shared 840 W budget",
     );
     let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let trials = scaled(3, 1);
-    let bars = fig6::run_with(trials, 6, &telemetry).expect("emulated run failed");
+    let bars =
+        fig6::run_traced(trials, 6, &telemetry, tracer.as_ref()).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -27,4 +31,5 @@ fn main() {
          feedback recovers most of the loss in both cases."
     );
     finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Fig. 7: two BT instances under the shared 840 W budget,
 //! one potentially misclassified as IS.
 
-use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig7;
 use anor_core::render::render_bars;
 
@@ -11,8 +13,10 @@ fn main() {
         "Measured slowdown (%) of two BT instances (one possibly = IS)",
     );
     let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let trials = scaled(3, 1);
-    let bars = fig7::run_with(trials, 7, &telemetry).expect("emulated run failed");
+    let bars =
+        fig7::run_traced(trials, 7, &telemetry, tracer.as_ref()).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -26,4 +30,5 @@ fn main() {
          misclassifying one instance slows it; feedback recovers."
     );
     finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

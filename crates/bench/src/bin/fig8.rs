@@ -1,7 +1,9 @@
 //! Regenerates Fig. 8: two SP instances under the shared 840 W budget,
 //! one potentially misclassified as EP.
 
-use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig8;
 use anor_core::render::render_bars;
 
@@ -11,8 +13,10 @@ fn main() {
         "Measured slowdown (%) of two SP instances (one possibly = EP)",
     );
     let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let trials = scaled(6, 1);
-    let bars = fig8::run_with(trials, 8, &telemetry).expect("emulated run failed");
+    let bars =
+        fig8::run_traced(trials, 8, &telemetry, tracer.as_ref()).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -27,4 +31,5 @@ fn main() {
          recovers part of it."
     );
     finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

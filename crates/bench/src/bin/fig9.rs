@@ -2,7 +2,9 @@
 //! power over an hour of job arrivals, plus the Section 6.3 tracking
 //! error summary.
 
-use anor_bench::{finish_telemetry, header, scaled, telemetry_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig9::{self, Fig9Config};
 use anor_types::Seconds;
 
@@ -12,9 +14,11 @@ fn main() {
         "Power target vs measured power over a 1-hour schedule",
     );
     let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let cfg = Fig9Config {
         horizon: scaled(Seconds(3600.0), Seconds(600.0)),
         telemetry: telemetry.clone(),
+        tracer: tracer.clone(),
         ..Fig9Config::default()
     };
     let out = fig9::run(&cfg).expect("demand-response run failed");
@@ -43,4 +47,5 @@ fn main() {
         out.mean_relative_miss * 100.0
     );
     finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

@@ -14,6 +14,8 @@
 //!
 //! Set `ANOR_QUICK=1` to shrink trial counts / horizons for smoke runs.
 
+pub mod analyze;
+
 /// True when the `ANOR_QUICK` environment variable requests a scaled-down
 /// run.
 pub fn quick_mode() -> bool {
@@ -75,6 +77,46 @@ pub fn finish_telemetry(telemetry: &anor_telemetry::Telemetry) {
             }
             Err(e) => eprintln!("failed to write telemetry artifacts: {e}"),
         }
+    }
+}
+
+/// Build the run's causal [`Tracer`](anor_telemetry::Tracer) from a
+/// `--trace <dir>` command-line option: directory-backed when present
+/// (events stream to `<dir>/trace.jsonl`, flight-recorder postmortems
+/// land beside it), absent otherwise. Unknown options are ignored so
+/// figure binaries stay permissive.
+pub fn tracer_from_args() -> Option<anor_telemetry::Tracer> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            if let Some(dir) = args.next() {
+                match anor_telemetry::Tracer::to_dir(&dir) {
+                    Ok(t) => return Some(t),
+                    Err(e) => {
+                        eprintln!("--trace {dir}: {e}; tracing disabled");
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Flush the tracer and print where the trace went and how to analyze it.
+pub fn finish_tracer(tracer: &Option<anor_telemetry::Tracer>) {
+    let Some(t) = tracer else { return };
+    if let Err(e) = t.flush() {
+        eprintln!("failed to flush trace sink: {e}");
+    }
+    if let Some(dir) = t.dir() {
+        println!();
+        println!(
+            "trace written to {} ({} event(s)); analyze with: anor-trace {}",
+            dir.join("trace.jsonl").display(),
+            t.recorded(),
+            dir.display()
+        );
     }
 }
 

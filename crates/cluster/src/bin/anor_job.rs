@@ -13,13 +13,15 @@
 //!
 //! On completion, prints the job's GEOPM-style report to stdout. With
 //! `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
-//! Prometheus exposition plus summary table are written on exit.
+//! Prometheus exposition plus summary table are written on exit. With
+//! `--trace <dir>`, cap receipts, policy/MSR writes and sample sends are
+//! recorded to `<dir>/trace.jsonl` for `anor-trace`.
 
 use anor_cluster::{Args, JobEndpoint};
 use anor_geopm::JobRuntime;
 use anor_model::{ModelerConfig, PowerModeler};
 use anor_platform::Node;
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::{standard_catalog, JobId, NodeId, Seconds};
 use std::time::Duration;
 
@@ -62,6 +64,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut modeler = PowerModeler::with_precharacterized(mcfg, believed.epoch_curve());
     modeler.attach_telemetry(&telemetry);
+    let tracer = match args.get("trace") {
+        Some(dir) => Some(Tracer::to_dir(dir)?),
+        None => None,
+    };
     let mut endpoint = JobEndpoint::connect_with(
         connect,
         job,
@@ -71,6 +77,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         modeler,
         telemetry.clone(),
     )?;
+    if let Some(t) = &tracer {
+        runtime.attach_tracer(t);
+        endpoint.attach_tracer(t);
+    }
 
     let dt = Seconds(0.5);
     let mut now = Seconds::ZERO;
@@ -96,6 +106,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if telemetry.dir().is_some() {
         let summary = telemetry.write_artifacts()?;
         println!("{summary}");
+    }
+    if let Some(t) = &tracer {
+        t.flush()?;
+        if let Some(dir) = t.dir() {
+            println!(
+                "anor-job: trace written to {}",
+                dir.join("trace.jsonl").display()
+            );
+        }
     }
     Ok(())
 }

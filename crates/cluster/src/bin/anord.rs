@@ -12,14 +12,16 @@
 //! ```
 //!
 //! With `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
-//! Prometheus exposition plus summary table are written on exit.
+//! Prometheus exposition plus summary table are written on exit. With
+//! `--trace <dir>`, each rebalance decision and every cap/sample hop is
+//! recorded to `<dir>/trace.jsonl` for `anor-trace`.
 //!
 //! Prints `anord listening on <addr>` once ready (machine-readable for
 //! launchers), then a completion line per job.
 
 use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
 use anor_cluster::{Args, BudgetPolicy};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::{Seconds, Watts};
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -67,8 +69,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => Telemetry::to_dir(dir)?,
         None => Telemetry::new(),
     };
+    let tracer = match args.get("trace") {
+        Some(dir) => Some(Tracer::to_dir(dir)?),
+        None => None,
+    };
     let cfg = BudgeterConfig::new(policy, feedback);
     let (mut daemon, addr) = ClusterBudgeter::bind_addr_with(cfg, telemetry.clone(), listen)?;
+    if let Some(t) = &tracer {
+        daemon.attach_tracer(t);
+    }
     println!("anord listening on {addr}");
     std::io::stdout().flush()?;
 
@@ -106,6 +115,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if telemetry.dir().is_some() {
         let summary = telemetry.write_artifacts()?;
         println!("{summary}");
+    }
+    if let Some(t) = &tracer {
+        t.flush()?;
+        if let Some(dir) = t.dir() {
+            println!(
+                "anord: trace written to {}",
+                dir.join("trace.jsonl").display()
+            );
+        }
     }
     Ok(())
 }

@@ -14,7 +14,7 @@
 
 use crate::codec::{FramedStream, TransportMetrics};
 use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter};
-use anor_telemetry::{Counter, Gauge, Histogram, Telemetry, Timer};
+use anor_telemetry::{CauseId, Counter, Gauge, Histogram, Telemetry, Timer, TraceStage, Tracer};
 use anor_types::msg::{ClusterToJob, JobToCluster};
 use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
 use std::collections::HashMap;
@@ -140,6 +140,7 @@ pub struct ClusterBudgeter {
     telemetry: Telemetry,
     transport: TransportMetrics,
     metrics: BudgeterMetrics,
+    tracer: Option<Tracer>,
 }
 
 impl ClusterBudgeter {
@@ -182,6 +183,7 @@ impl ClusterBudgeter {
                 telemetry,
                 transport,
                 metrics,
+                tracer: None,
             },
             addr,
         ))
@@ -190,6 +192,12 @@ impl ClusterBudgeter {
     /// The telemetry handle this daemon records into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Trace every rebalance decision, cap send, and inbound sample into
+    /// `tracer`; on peer failures the flight recorder is dumped to disk.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 
     /// One control pass: accept connections, ingest messages, recompute
@@ -216,26 +224,24 @@ impl ClusterBudgeter {
         }
     }
 
-    fn resolve_view(&self, job: JobId, type_name: &str, nodes: u32) -> JobView {
-        let spec =
-            self.cfg
-                .catalog
-                .find(type_name)
-                .unwrap_or_else(|| match self.cfg.unknown_default {
-                    UnknownDefault::LeastSensitive => self
-                        .cfg
-                        .catalog
-                        .least_sensitive()
-                        .expect("catalog must not be empty"),
-                    UnknownDefault::MostSensitive => self
-                        .cfg
-                        .catalog
-                        .most_sensitive()
-                        .expect("catalog must not be empty"),
-                });
+    fn resolve_view(&self, job: JobId, type_name: &str, nodes: u32) -> Result<JobView> {
+        let fallback = || match self.cfg.unknown_default {
+            UnknownDefault::LeastSensitive => self.cfg.catalog.least_sensitive(),
+            UnknownDefault::MostSensitive => self.cfg.catalog.most_sensitive(),
+        };
+        let spec = match self.cfg.catalog.find(type_name).or_else(fallback) {
+            Some(spec) => spec,
+            None => {
+                // An empty catalog cannot resolve anything — a daemon
+                // configuration error, not grounds for a panic mid-pump.
+                return Err(AnorError::config(
+                    "budgeter catalog is empty; cannot resolve any job type",
+                ));
+            }
+        };
         let mut view = JobView::from_spec(job, spec);
         view.nodes = nodes;
-        view
+        Ok(view)
     }
 
     fn ingest(&mut self) -> Result<()> {
@@ -249,13 +255,27 @@ impl ClusterBudgeter {
             // errors like a disconnect and drop only that connection.
             let (frames, mut closed) = match stream.recv_frames() {
                 Ok(frames) => (frames, stream.is_closed()),
-                Err(AnorError::Protocol(_)) => (Vec::new(), true),
+                Err(AnorError::Protocol(e)) => {
+                    if let Some(t) = &self.tracer {
+                        t.record_detail(TraceStage::TransportError, CauseId::NONE, &e);
+                        t.dump_postmortem("budgeter-protocol-error");
+                    }
+                    (Vec::new(), true)
+                }
                 Err(e) => return Err(e),
             };
             for body in frames {
                 let msg = match JobToCluster::decode(body) {
                     Ok(m) => m,
-                    Err(_) => {
+                    Err(e) => {
+                        if let Some(t) = &self.tracer {
+                            t.record_detail(
+                                TraceStage::TransportError,
+                                CauseId::NONE,
+                                &format!("malformed frame: {e}"),
+                            );
+                            t.dump_postmortem("budgeter-malformed-frame");
+                        }
                         closed = true;
                         break;
                     }
@@ -275,7 +295,7 @@ impl ClusterBudgeter {
                                 ("nodes", u64::from(nodes).into()),
                             ],
                         );
-                        let view = self.resolve_view(job, &type_name, nodes);
+                        let view = self.resolve_view(job, &type_name, nodes)?;
                         self.jobs.insert(
                             job,
                             JobEntry {
@@ -292,6 +312,14 @@ impl ClusterBudgeter {
                     }
                     JobToCluster::Sample(s) => {
                         self.metrics.msgs_sample.inc();
+                        if let Some(t) = &self.tracer {
+                            t.record_job(
+                                TraceStage::SampleRx,
+                                CauseId(s.cause),
+                                s.job.0,
+                                Some(s.avg_power.value()),
+                            );
+                        }
                         if let Some(e) = self.jobs.get_mut(&s.job) {
                             e.samples_seen += 1;
                             let per_node = s.avg_power / e.view.nodes.max(1) as f64;
@@ -329,8 +357,13 @@ impl ClusterBudgeter {
                             }
                         }
                     }
-                    JobToCluster::Model { job, curve, .. } => {
+                    JobToCluster::Model {
+                        job, curve, cause, ..
+                    } => {
                         self.metrics.msgs_model.inc();
+                        if let Some(t) = &self.tracer {
+                            t.record_job(TraceStage::ModelRx, CauseId(cause), job.0, None);
+                        }
                         if let Some(e) = self.jobs.get_mut(&job) {
                             e.models_seen += 1;
                             // The "per-job retrain count" the summary
@@ -359,6 +392,22 @@ impl ClusterBudgeter {
             }
             if closed {
                 // Any job on this connection that never said Done is gone.
+                let abandoned: Vec<JobId> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, e)| e.conn == idx && e.done.is_none())
+                    .map(|(&id, _)| id)
+                    .collect();
+                if !abandoned.is_empty() {
+                    if let Some(t) = &self.tracer {
+                        t.record_detail(
+                            TraceStage::Disconnect,
+                            CauseId::NONE,
+                            &format!("conn {idx} lost with {} active job(s)", abandoned.len()),
+                        );
+                        t.dump_postmortem("endpoint-disconnect");
+                    }
+                }
                 self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
                 self.conns[idx] = None;
             }
@@ -382,18 +431,55 @@ impl ClusterBudgeter {
         active.sort_unstable();
         let views: Vec<JobView> = active.iter().map(|id| self.jobs[id].view.clone()).collect();
         let caps = self.cfg.policy.assign(busy_budget, &views);
-        for (id, cap) in active.iter().zip(caps) {
-            let entry = self.jobs.get_mut(id).expect("active job present");
-            let changed = entry
-                .last_cap
-                .is_none_or(|prev| (prev - cap).abs().value() > self.cfg.recap_threshold.value());
-            if !changed {
-                continue;
+        // Which caps moved enough to resend?
+        let changed: Vec<(JobId, Watts)> = active
+            .iter()
+            .zip(caps)
+            .filter(|(id, cap)| {
+                self.jobs.get(id).is_some_and(|e| {
+                    e.last_cap.is_none_or(|prev| {
+                        (prev - *cap).abs().value() > self.cfg.recap_threshold.value()
+                    })
+                })
+            })
+            .map(|(id, cap)| (*id, cap))
+            .collect();
+        if changed.is_empty() {
+            return Ok(());
+        }
+        // One decision id covers every cap this rebalance re-issues; a
+        // pass that re-sends nothing mints nothing (no phantom orphans).
+        let cause = match &self.tracer {
+            Some(t) => {
+                let c = t.next_cause();
+                t.record_full(
+                    TraceStage::Decision,
+                    c,
+                    None,
+                    Some(busy_budget.value()),
+                    Some(format!("{} cap(s) re-issued", changed.len())),
+                );
+                c
             }
+            None => CauseId::NONE,
+        };
+        for (id, cap) in changed {
+            let Some(entry) = self.jobs.get_mut(&id) else {
+                continue;
+            };
             entry.last_cap = Some(cap);
             let conn = entry.conn;
             if let Some(stream) = self.conns[conn].as_mut() {
-                stream.send(ClusterToJob::SetPowerCap { cap }.encode())?;
+                if let Some(t) = &self.tracer {
+                    t.record_job(TraceStage::CapTx, cause, id.0, Some(cap.value()));
+                }
+                stream.send(
+                    ClusterToJob::SetPowerCap {
+                        cap,
+                        cause: cause.0,
+                    }
+                    .encode(),
+                )?;
             }
         }
         Ok(())
@@ -479,7 +565,8 @@ mod tests {
             got.extend(client.recv_frames().unwrap());
             !got.is_empty()
         });
-        let ClusterToJob::SetPowerCap { cap } = ClusterToJob::decode(got.remove(0)).unwrap() else {
+        let ClusterToJob::SetPowerCap { cap, .. } = ClusterToJob::decode(got.remove(0)).unwrap()
+        else {
             panic!("expected a cap message");
         };
         // 400 W over 2 nodes -> 200 W/node.
@@ -551,6 +638,7 @@ mod tests {
                         job: JobId(3),
                         curve: fitted,
                         samples: 24,
+                        cause: 0,
                     }
                     .encode(),
                 )
@@ -617,6 +705,7 @@ mod tests {
                         avg_power: Watts(150.0),
                         avg_cap: Watts(160.0),
                         timestamp: Seconds(i as f64),
+                        cause: 0,
                     })
                     .encode(),
                 )
@@ -671,6 +760,7 @@ mod tests {
                     job: JobId(11),
                     curve: PowerCurve::new(3.0e-5, -0.02, 7.7),
                     samples: 24,
+                    cause: 0,
                 }
                 .encode(),
             )

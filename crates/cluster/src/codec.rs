@@ -234,7 +234,13 @@ mod tests {
     fn messages_round_trip_over_tcp() {
         let (mut client, mut server) = pair();
         client
-            .send(ClusterToJob::SetPowerCap { cap: Watts(205.0) }.encode())
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(205.0),
+                    cause: 0,
+                }
+                .encode(),
+            )
             .unwrap();
         let mut got = Vec::new();
         pump_until(|| {
@@ -243,7 +249,13 @@ mod tests {
             !got.is_empty()
         });
         let msg = ClusterToJob::decode(got.remove(0)).unwrap();
-        assert_eq!(msg, ClusterToJob::SetPowerCap { cap: Watts(205.0) });
+        assert_eq!(
+            msg,
+            ClusterToJob::SetPowerCap {
+                cap: Watts(205.0),
+                cause: 0
+            }
+        );
     }
 
     #[test]
@@ -301,7 +313,11 @@ mod tests {
         client.set_metrics(TransportMetrics::new(&t, "endpoint"));
         let mut server = server_raw;
         server.set_metrics(TransportMetrics::new(&t, "budgeter"));
-        let frame = ClusterToJob::SetPowerCap { cap: Watts(190.0) }.encode();
+        let frame = ClusterToJob::SetPowerCap {
+            cap: Watts(190.0),
+            cause: 0,
+        }
+        .encode();
         let frame_len = frame.len() as u64;
         client.send(frame).unwrap();
         pump_until(|| {

@@ -13,7 +13,7 @@ use anor_aqa::{PowerTarget, TrackingRecorder};
 use anor_geopm::{JobReport, JobRuntime};
 use anor_model::{DriftDetector, ModelerConfig, PowerModeler};
 use anor_platform::{Node, PerformanceVariation, Phase};
-use anor_telemetry::{Telemetry, Timer};
+use anor_telemetry::{Telemetry, Timer, Tracer};
 use anor_types::{AnorError, Catalog, JobId, NodeId, Result, Seconds, Watts};
 
 pub use crate::budgeter::BudgetPolicy;
@@ -54,6 +54,10 @@ pub struct EmulatorConfig {
     /// harness loop itself. Defaults to an in-memory handle; runners
     /// pass `Telemetry::to_dir(..)` for `--telemetry <dir>`.
     pub telemetry: Telemetry,
+    /// Causal tracer shared by the budgeter, every endpoint/runtime and
+    /// the per-job modelers. `None` disables tracing entirely; runners
+    /// pass `Tracer::to_dir(..)` for `--trace <dir>`.
+    pub tracer: Option<Tracer>,
 }
 
 impl EmulatorConfig {
@@ -73,12 +77,19 @@ impl EmulatorConfig {
             dither_fraction: None,
             setup_teardown: Seconds::ZERO,
             telemetry: Telemetry::new(),
+            tracer: None,
         }
     }
 
     /// Record the run into `telemetry` (builder style).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Causally trace the run into `tracer` (builder style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -298,6 +309,9 @@ impl EmulatedCluster {
         let mut bcfg = BudgeterConfig::new(cfg.policy, cfg.feedback);
         bcfg.catalog = cfg.catalog.clone();
         let (mut budgeter, addr) = ClusterBudgeter::bind_with(bcfg, telemetry.clone())?;
+        if let Some(t) = &cfg.tracer {
+            budgeter.attach_tracer(t);
+        }
         telemetry.event(
             "run_started",
             &[
@@ -407,7 +421,7 @@ impl EmulatedCluster {
                     };
                     runtime.attach_telemetry(&telemetry);
                     let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
-                    let endpoint = JobEndpoint::connect_with(
+                    let mut endpoint = JobEndpoint::connect_with(
                         addr,
                         job_id,
                         &setup.announced,
@@ -416,6 +430,10 @@ impl EmulatedCluster {
                         self.modeler_for(&believed),
                         telemetry.clone(),
                     )?;
+                    if let Some(t) = &cfg.tracer {
+                        runtime.attach_tracer(t);
+                        endpoint.attach_tracer(t);
+                    }
                     telemetry.event(
                         "job_started",
                         &[
@@ -464,7 +482,7 @@ impl EmulatedCluster {
                 };
                 runtime.attach_telemetry(&telemetry);
                 let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
-                let endpoint = JobEndpoint::connect_with(
+                let mut endpoint = JobEndpoint::connect_with(
                     addr,
                     job_id,
                     &setup.announced,
@@ -473,6 +491,10 @@ impl EmulatedCluster {
                     self.modeler_for(&believed),
                     telemetry.clone(),
                 )?;
+                if let Some(t) = &cfg.tracer {
+                    runtime.attach_tracer(t);
+                    endpoint.attach_tracer(t);
+                }
                 telemetry.event(
                     "job_started",
                     &[

@@ -10,9 +10,9 @@
 use crate::codec::{FramedStream, TransportMetrics};
 use anor_geopm::{AgentPolicy, EndpointModeler};
 use anor_model::{ModelSource, PowerModeler};
-use anor_telemetry::{Counter, Telemetry};
+use anor_telemetry::{CauseId, Counter, Telemetry, TraceStage, Tracer};
 use anor_types::msg::{ClusterToJob, EpochSample, JobToCluster};
-use anor_types::{JobId, Result, Seconds, Watts};
+use anor_types::{AnorError, JobId, Result, Seconds, Watts};
 use std::net::{SocketAddr, TcpStream};
 
 /// Cached counters for one endpoint's budgeter round-trips.
@@ -52,6 +52,11 @@ pub struct JobEndpoint {
     models_sent: u64,
     shutdown_requested: bool,
     metrics: EndpointMetrics,
+    tracer: Option<Tracer>,
+    /// Cause of the budget cap currently in force (0 = untraced).
+    budget_cause: u64,
+    /// Postmortem already dumped for a lost budgeter connection.
+    disconnect_dumped: bool,
 }
 
 impl JobEndpoint {
@@ -114,23 +119,82 @@ impl JobEndpoint {
             models_sent: 0,
             shutdown_requested: false,
             metrics: EndpointMetrics::new(telemetry),
+            tracer: None,
+            budget_cause: 0,
+            disconnect_dumped: false,
         })
+    }
+
+    /// Trace cap receipt, policy writes, sample forwarding and retrains
+    /// into `tracer` (also threads it into the owned modeler).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.modeler.attach_tracer(tracer);
+        self.tracer = Some(tracer.clone());
     }
 
     /// One pass of the endpoint's control loop at virtual time `now`.
     pub fn pump(&mut self, now: Seconds) -> Result<()> {
         self.stream.flush_some()?;
-        // Inbound budgeter messages.
-        for body in self.stream.recv_frames()? {
-            match ClusterToJob::decode(body)? {
-                ClusterToJob::SetPowerCap { cap } => {
+        // Inbound budgeter messages. A malformed frame or corrupt length
+        // prefix from the budgeter must not kill the job: the endpoint
+        // dumps its flight recorder, keeps the last-known cap, and carries
+        // on driving the agent.
+        let frames = match self.stream.recv_frames() {
+            Ok(frames) => frames,
+            Err(AnorError::Protocol(e)) => {
+                if let Some(t) = &self.tracer {
+                    t.record_detail(TraceStage::TransportError, CauseId::NONE, &e);
+                    t.dump_postmortem("endpoint-protocol-error");
+                }
+                Vec::new()
+            }
+            Err(e) => return Err(e),
+        };
+        for body in frames {
+            let msg = match ClusterToJob::decode(body) {
+                Ok(m) => m,
+                Err(e) => {
+                    if let Some(t) = &self.tracer {
+                        t.record_detail(
+                            TraceStage::TransportError,
+                            CauseId::NONE,
+                            &format!("malformed budgeter frame: {e}"),
+                        );
+                        t.dump_postmortem("endpoint-malformed-frame");
+                    }
+                    continue;
+                }
+            };
+            match msg {
+                ClusterToJob::SetPowerCap { cap, cause } => {
+                    if let Some(t) = &self.tracer {
+                        t.record_job(
+                            TraceStage::CapRx,
+                            CauseId(cause),
+                            self.job.0,
+                            Some(cap.value()),
+                        );
+                    }
                     self.budget_cap = Some(cap);
+                    self.budget_cause = cause;
+                    self.modeler.set_cause(cause);
                     // Apply promptly on change.
                     self.apply_policy();
                     self.last_policy_at = Some(now);
                 }
                 ClusterToJob::RequestSample => self.forward_sample(now, true)?,
                 ClusterToJob::Shutdown => self.shutdown_requested = true,
+            }
+        }
+        if self.stream.is_closed() && !self.disconnect_dumped {
+            self.disconnect_dumped = true;
+            if let Some(t) = &self.tracer {
+                t.record_detail(
+                    TraceStage::Disconnect,
+                    CauseId(self.budget_cause),
+                    "budgeter connection lost",
+                );
+                t.dump_postmortem("budgeter-disconnect");
             }
         }
         // Fresh agent samples -> modeler (+ model push on retrain).
@@ -147,6 +211,7 @@ impl JobEndpoint {
                             job: self.job,
                             curve: self.modeler.curve(),
                             samples: self.modeler.observation_count() as u32,
+                            cause: self.modeler.cause(),
                         }
                         .encode(),
                     )?;
@@ -170,7 +235,16 @@ impl JobEndpoint {
     fn apply_policy(&mut self) {
         if let Some(budget) = self.budget_cap {
             let cap = self.modeler.recommend_cap(budget);
-            self.endpoint.write_policy(AgentPolicy { node_cap: cap });
+            self.endpoint
+                .write_policy(AgentPolicy::caused(cap, self.budget_cause));
+            if let Some(t) = &self.tracer {
+                t.record_job(
+                    TraceStage::PolicyWrite,
+                    CauseId(self.budget_cause),
+                    self.job.0,
+                    Some(cap.value()),
+                );
+            }
             self.metrics.policies_applied.inc();
             self.metrics
                 .telemetry
@@ -195,6 +269,14 @@ impl JobEndpoint {
         }
         self.last_sample_sent_at = Some(now);
         self.metrics.samples_forwarded.inc();
+        if let Some(t) = &self.tracer {
+            t.record_job(
+                TraceStage::SampleTx,
+                CauseId(s.cause),
+                self.job.0,
+                Some(s.power.value()),
+            );
+        }
         self.stream.send(
             JobToCluster::Sample(EpochSample {
                 job: self.job,
@@ -203,6 +285,7 @@ impl JobEndpoint {
                 avg_power: s.power,
                 avg_cap: s.cap / self.nodes as f64,
                 timestamp: s.timestamp,
+                cause: s.cause,
             })
             .encode(),
         )
@@ -316,7 +399,13 @@ mod tests {
     fn cap_from_budgeter_reaches_agent_policy() {
         let mut h = harness(false);
         h.server
-            .send(ClusterToJob::SetPowerCap { cap: Watts(190.0) }.encode())
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(190.0),
+                    cause: 0,
+                }
+                .encode(),
+            )
             .unwrap();
         // Give TCP a moment, then pump.
         for i in 0..100 {
@@ -336,7 +425,13 @@ mod tests {
     fn dither_alternates_around_budget() {
         let mut h = harness(true);
         h.server
-            .send(ClusterToJob::SetPowerCap { cap: Watts(200.0) }.encode())
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(200.0),
+                    cause: 0,
+                }
+                .encode(),
+            )
             .unwrap();
         let mut caps = Vec::new();
         let mut t = 0.0;
@@ -374,6 +469,7 @@ mod tests {
             power: Watts(380.0),
             cap: Watts(400.0), // summed over 2 nodes
             timestamp: Seconds(4.0),
+            cause: 0,
         });
         h.endpoint.pump(Seconds(5.0)).unwrap();
         let msgs = drain(&mut h.server);
@@ -404,6 +500,7 @@ mod tests {
                     power: Watts(cap2),
                     cap: Watts(cap2),
                     timestamp: Seconds(t),
+                    cause: 0,
                 });
                 h.endpoint.pump(Seconds(t)).unwrap();
             }
@@ -469,7 +566,13 @@ mod tests {
         let (stream, _) = listener.accept().unwrap();
         let mut server = FramedStream::new(stream).unwrap();
         server
-            .send(ClusterToJob::SetPowerCap { cap: Watts(190.0) }.encode())
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(190.0),
+                    cause: 0,
+                }
+                .encode(),
+            )
             .unwrap();
         agent.write_sample(AgentSample {
             epoch_count: 1,
@@ -477,6 +580,7 @@ mod tests {
             power: Watts(350.0),
             cap: Watts(380.0),
             timestamp: Seconds(1.0),
+            cause: 0,
         });
         for i in 0..100 {
             server.flush_some().unwrap();

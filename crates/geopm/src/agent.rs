@@ -16,12 +16,28 @@ use anor_types::{Joules, Result, Seconds, Watts};
 pub struct AgentPolicy {
     /// CPU power cap to enforce on each node.
     pub node_cap: Watts,
+    /// Causal-trace id of the budgeter decision this policy descends
+    /// from (`0` = untraced).
+    pub cause: u64,
 }
 
 impl AgentPolicy {
     /// Policy that leaves the node uncapped (cap at TDP).
     pub fn uncapped(tdp: Watts) -> Self {
-        AgentPolicy { node_cap: tdp }
+        AgentPolicy {
+            node_cap: tdp,
+            cause: 0,
+        }
+    }
+
+    /// An untraced cap policy.
+    pub fn capped(node_cap: Watts) -> Self {
+        AgentPolicy { node_cap, cause: 0 }
+    }
+
+    /// A cap policy carrying the decision that produced it.
+    pub fn caused(node_cap: Watts, cause: u64) -> Self {
+        AgentPolicy { node_cap, cause }
     }
 }
 
@@ -43,6 +59,9 @@ pub struct AgentSample {
     pub cap: Watts,
     /// Node-local time of the observation.
     pub timestamp: Seconds,
+    /// Causal-trace id of the cap in force when the sample was taken
+    /// (`0` = no traced cap yet).
+    pub cause: u64,
 }
 
 /// A periodic read-signals / write-controls loop bound to one node.
@@ -64,6 +83,10 @@ pub struct PowerGovernorAgent {
     /// Last cap written, to avoid redundant MSR writes (real MSR writes
     /// are not free; GEOPM caches controls the same way).
     enforced: Option<Watts>,
+    /// Cause of the cap currently in force. Updated on every policy,
+    /// including elided redundant writes: a decision that re-issues the
+    /// same cap still owns the samples taken under it.
+    cause: u64,
     adjust_count: u64,
 }
 
@@ -77,10 +100,17 @@ impl PowerGovernorAgent {
     pub fn writes_issued(&self) -> u64 {
         self.adjust_count
     }
+
+    /// Cause of the cap currently in force (`0` before the first traced
+    /// policy).
+    pub fn cause(&self) -> u64 {
+        self.cause
+    }
 }
 
 impl Agent for PowerGovernorAgent {
     fn adjust(&mut self, io: &mut PlatformIo, policy: &AgentPolicy) -> Result<()> {
+        self.cause = policy.cause;
         if self.enforced == Some(policy.node_cap) {
             return Ok(());
         }
@@ -97,6 +127,7 @@ impl Agent for PowerGovernorAgent {
             power: Watts(io.read_signal(Signal::CpuPower)),
             cap: Watts(io.read_signal(Signal::PowerCap)),
             timestamp: Seconds(io.read_signal(Signal::Time)),
+            cause: self.cause,
         }
     }
 
@@ -132,6 +163,7 @@ impl Agent for MonitorAgent {
             power: Watts(io.read_signal(Signal::CpuPower)),
             cap: Watts(io.read_signal(Signal::PowerCap)),
             timestamp: Seconds(io.read_signal(Signal::Time)),
+            cause: 0,
         }
     }
 
@@ -158,12 +190,7 @@ mod tests {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
         agent
-            .adjust(
-                &mut io,
-                &AgentPolicy {
-                    node_cap: Watts(180.0),
-                },
-            )
+            .adjust(&mut io, &AgentPolicy::capped(Watts(180.0)))
             .unwrap();
         assert_eq!(io.read_signal(Signal::PowerCap), 180.0);
         io.advance(Seconds(1.0));
@@ -174,20 +201,13 @@ mod tests {
     fn redundant_adjust_elided() {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
-        let p = AgentPolicy {
-            node_cap: Watts(200.0),
-        };
+        let p = AgentPolicy::capped(Watts(200.0));
         agent.adjust(&mut io, &p).unwrap();
         agent.adjust(&mut io, &p).unwrap();
         agent.adjust(&mut io, &p).unwrap();
         assert_eq!(agent.writes_issued(), 1);
         agent
-            .adjust(
-                &mut io,
-                &AgentPolicy {
-                    node_cap: Watts(220.0),
-                },
-            )
+            .adjust(&mut io, &AgentPolicy::capped(Watts(220.0)))
             .unwrap();
         assert_eq!(agent.writes_issued(), 2);
     }
@@ -197,12 +217,7 @@ mod tests {
         let mut io = io_with_job();
         let mut agent = PowerGovernorAgent::new();
         agent
-            .adjust(
-                &mut io,
-                &AgentPolicy {
-                    node_cap: Watts(250.0),
-                },
-            )
+            .adjust(&mut io, &AgentPolicy::capped(Watts(250.0)))
             .unwrap();
         for _ in 0..10 {
             io.advance(Seconds(1.0));
@@ -233,12 +248,7 @@ mod tests {
         let before = io.read_signal(Signal::PowerCap);
         let mut agent = MonitorAgent::new();
         agent
-            .adjust(
-                &mut io,
-                &AgentPolicy {
-                    node_cap: Watts(150.0),
-                },
-            )
+            .adjust(&mut io, &AgentPolicy::capped(Watts(150.0)))
             .unwrap();
         assert_eq!(io.read_signal(Signal::PowerCap), before, "cap unchanged");
         // Sampling still works.

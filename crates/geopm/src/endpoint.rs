@@ -163,6 +163,7 @@ mod tests {
             power: Watts(100.0),
             cap: Watts(120.0),
             timestamp: Seconds(1.0),
+            cause: 0,
         }
     }
 
@@ -178,16 +179,12 @@ mod tests {
     #[test]
     fn policy_flows_down() {
         let (modeler, agent) = endpoint_pair();
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(180.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(180.0)));
         let (p, seq) = agent.read_policy().unwrap();
         assert_eq!(p.node_cap, Watts(180.0));
         assert_eq!(seq, 1);
         // Overwrite bumps the sequence.
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(190.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(190.0)));
         let (p, seq) = agent.read_policy().unwrap();
         assert_eq!(p.node_cap, Watts(190.0));
         assert_eq!(seq, 2);
@@ -212,9 +209,7 @@ mod tests {
         agent.write_sample(sample(1));
         assert!(modeler.read_sample().is_some());
         assert!(modeler.read_sample().is_some(), "sample persists");
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(150.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(150.0)));
         assert!(agent.read_policy().is_some());
         assert!(agent.read_policy().is_some(), "policy persists");
     }
@@ -224,9 +219,7 @@ mod tests {
         let telemetry = Telemetry::new();
         let (modeler, agent) = endpoint_pair();
         modeler.attach_telemetry(&telemetry);
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(180.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(180.0)));
         agent.read_policy().unwrap();
         agent.read_policy().unwrap(); // duplicate read: not re-observed
         agent.write_sample(sample(1));

@@ -31,6 +31,10 @@ pub enum Signal {
     PowerCap,
     /// Node-local monotonic time (seconds).
     Time,
+    /// Total software MSR writes accepted across the node's packages
+    /// (count) — lets the tracing layer reconcile `msr_write` events
+    /// against what the registers actually saw.
+    MsrWrites,
 }
 
 /// Controls PlatformIO can write.
@@ -96,6 +100,12 @@ impl PlatformIo {
             Signal::EpochCount => self.epoch_count as f64,
             Signal::PowerCap => self.node.power_cap().value(),
             Signal::Time => self.node.now().value(),
+            Signal::MsrWrites => self
+                .node
+                .packages()
+                .iter()
+                .map(|p| p.msr_writes() as f64)
+                .sum(),
         }
     }
 
@@ -171,8 +181,11 @@ mod tests {
     #[test]
     fn power_limit_control_reaches_hardware() {
         let mut io = busy_io("bt.D.81");
+        assert_eq!(io.read_signal(Signal::MsrWrites), 0.0);
         io.write_control(Control::CpuPowerLimit, 200.0).unwrap();
         assert_eq!(io.read_signal(Signal::PowerCap), 200.0);
+        // One cap write lands on each of the node's two packages.
+        assert_eq!(io.read_signal(Signal::MsrWrites), 2.0);
         io.advance(Seconds(1.0));
         let p = io.read_signal(Signal::CpuPower);
         assert!((p - 200.0).abs() < 0.01, "capped power {p}");

@@ -147,6 +147,7 @@ mod tests {
             power: Watts(0.0),
             cap: Watts(0.0),
             timestamp: Seconds(600.0),
+            cause: 0,
         };
         JobReport::from_final_sample(JobId(3), "bt.D.81", "power_governor", 2, Seconds(600.0), &s)
     }

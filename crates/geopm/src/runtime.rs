@@ -17,8 +17,8 @@ use crate::platformio::PlatformIo;
 use crate::report::JobReport;
 use crate::tree::AgentTree;
 use anor_platform::{Node, Phase};
-use anor_telemetry::{Histogram, Telemetry, Timer};
-use anor_types::{JobId, JobTypeSpec, Result, Seconds, Watts};
+use anor_telemetry::{CauseId, Histogram, Telemetry, Timer, TraceStage, Tracer};
+use anor_types::{AnorError, JobId, JobTypeSpec, Result, Seconds, Watts};
 
 /// The job-tier runtime for a single (possibly multi-node) job.
 #[derive(Debug)]
@@ -34,6 +34,7 @@ pub struct JobRuntime {
     elapsed: Seconds,
     done: bool,
     step_hist: Option<Histogram>,
+    tracer: Option<Tracer>,
 }
 
 impl JobRuntime {
@@ -48,7 +49,9 @@ impl JobRuntime {
         mut nodes: Vec<Node>,
         seed: u64,
     ) -> Result<(JobRuntime, EndpointModeler)> {
-        assert!(!nodes.is_empty(), "job needs at least one node");
+        if nodes.is_empty() {
+            return Err(AnorError::config(format!("{job}: needs at least one node")));
+        }
         for (i, node) in nodes.iter_mut().enumerate() {
             node.launch(job, spec.clone(), seed ^ ((i as u64 + 1) << 32) ^ job.0)?;
         }
@@ -65,7 +68,9 @@ impl JobRuntime {
         mut nodes: Vec<Node>,
         seed: u64,
     ) -> Result<(JobRuntime, EndpointModeler)> {
-        assert!(!nodes.is_empty(), "job needs at least one node");
+        if nodes.is_empty() {
+            return Err(AnorError::config(format!("{job}: needs at least one node")));
+        }
         for (i, node) in nodes.iter_mut().enumerate() {
             node.launch_phased(
                 job,
@@ -96,6 +101,7 @@ impl JobRuntime {
                 elapsed: Seconds::ZERO,
                 done: false,
                 step_hist: None,
+                tracer: None,
             },
             modeler,
         )
@@ -105,6 +111,12 @@ impl JobRuntime {
     /// `runtime_step_seconds` on the given telemetry handle.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.step_hist = Some(telemetry.histogram("runtime_step_seconds", &[]));
+    }
+
+    /// Record an `msr_write` trace event each time a policy broadcast
+    /// actually programs `PKG_POWER_LIMIT` on a node.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 
     /// The job id.
@@ -133,7 +145,18 @@ impl JobRuntime {
         if let Some((policy, seq)) = self.endpoint.read_policy() {
             if seq != self.last_policy_seq {
                 for idx in self.tree.broadcast_order() {
+                    let before = self.agents[idx].writes_issued();
                     self.agents[idx].adjust(&mut self.ios[idx], &policy)?;
+                    if self.agents[idx].writes_issued() > before {
+                        if let Some(t) = &self.tracer {
+                            t.record_job(
+                                TraceStage::MsrWrite,
+                                CauseId(policy.cause),
+                                self.job.0,
+                                Some(policy.node_cap.value()),
+                            );
+                        }
+                    }
                 }
                 self.last_policy_seq = seq;
             }
@@ -239,9 +262,7 @@ mod tests {
     #[test]
     fn policy_from_endpoint_caps_all_nodes() {
         let (mut rt, modeler) = JobRuntime::launch(JobId(2), spec("bt.D.81"), nodes(2), 1).unwrap();
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(180.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(180.0)));
         rt.step(Seconds(1.0)).unwrap();
         // Job draws 180 W per node -> 360 W total.
         let p = rt.power().value();
@@ -254,17 +275,13 @@ mod tests {
     #[test]
     fn repeated_same_policy_writes_once() {
         let (mut rt, modeler) = JobRuntime::launch(JobId(3), spec("bt.D.81"), nodes(2), 2).unwrap();
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(200.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(200.0)));
         for _ in 0..5 {
             rt.step(Seconds(0.5)).unwrap();
         }
         // The policy sequence only advanced once, so each agent adjusted once.
         assert!(rt.agents.iter().all(|a| a.writes_issued() == 1));
-        modeler.write_policy(AgentPolicy {
-            node_cap: Watts(220.0),
-        });
+        modeler.write_policy(AgentPolicy::capped(Watts(220.0)));
         rt.step(Seconds(0.5)).unwrap();
         assert!(rt.agents.iter().all(|a| a.writes_issued() == 2));
     }
@@ -294,7 +311,7 @@ mod tests {
             let (mut rt, modeler) =
                 JobRuntime::launch(JobId(5), spec("is.D.32"), nodes(1), 7).unwrap();
             if let Some(c) = cap {
-                modeler.write_policy(AgentPolicy { node_cap: c });
+                modeler.write_policy(AgentPolicy::capped(c));
             }
             while !rt.step(Seconds(0.1)).unwrap() {}
             rt.elapsed().value()

@@ -106,6 +106,9 @@ impl AgentTree {
             out.power += s.power;
             out.cap += s.cap;
             out.timestamp = out.timestamp.max(s.timestamp);
+            // Every node received the same policy broadcast; max() keeps
+            // the traced cause over any untraced (zero) stragglers.
+            out.cause = out.cause.max(s.cause);
         }
         out
     }
@@ -187,6 +190,7 @@ mod tests {
                 power: Watts(200.0),
                 cap: Watts(210.0),
                 timestamp: Seconds(5.0),
+                cause: 0,
             },
             AgentSample {
                 epoch_count: 10, // the straggler defines job progress
@@ -194,6 +198,7 @@ mod tests {
                 power: Watts(190.0),
                 cap: Watts(210.0),
                 timestamp: Seconds(5.5),
+                cause: 0,
             },
         ];
         let a = AgentTree::aggregate(&samples);

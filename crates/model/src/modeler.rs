@@ -21,7 +21,7 @@
 use crate::drift::DriftDetector;
 use crate::fit::{self, FitResult};
 use crate::window::EpochWindow;
-use anor_telemetry::{Counter, Histogram, Telemetry};
+use anor_telemetry::{CauseId, Counter, Histogram, Telemetry, TraceStage, Tracer};
 use anor_types::{CapRange, PowerCurve, Seconds, Watts};
 
 /// Cached metric handles (attached via
@@ -100,6 +100,10 @@ pub struct PowerModeler {
     /// successful refit (the stale curve would re-trigger forever).
     awaiting_refit: bool,
     instruments: Option<Instruments>,
+    tracer: Option<Tracer>,
+    /// Causal-trace id of the cap in force over the observations feeding
+    /// the next retrain (`0` = untraced).
+    cause: u64,
 }
 
 impl PowerModeler {
@@ -119,6 +123,8 @@ impl PowerModeler {
             phase_changes: 0,
             awaiting_refit: false,
             instruments: None,
+            tracer: None,
+            cause: 0,
         }
     }
 
@@ -131,6 +137,23 @@ impl PowerModeler {
             dither_flips: telemetry.counter("model_dither_flips_total", &[]),
             phase_changes: telemetry.counter("model_phase_changes_total", &[]),
         });
+    }
+
+    /// Record a causal-trace event for each accepted retrain, closing the
+    /// observation loop of the trace: `decision → … → retrain`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// Note the budgeter decision whose cap the modeler is currently
+    /// observing under (stamped on the next retrain's trace event).
+    pub fn set_cause(&mut self, cause: u64) {
+        self.cause = cause;
+    }
+
+    /// The decision id the modeler last observed under.
+    pub fn cause(&self) -> u64 {
+        self.cause
     }
 
     /// Enable phase-change (drift) detection: when recent observations
@@ -207,6 +230,13 @@ impl PowerModeler {
                 if let Some(i) = &self.instruments {
                     i.retrains.inc();
                     i.fit_residual.observe((1.0 - f.r2).max(0.0));
+                }
+                if let Some(t) = &self.tracer {
+                    t.record_detail(
+                        TraceStage::Retrain,
+                        CauseId(self.cause),
+                        &format!("obs={} r2={:.4}", self.obs.len(), f.r2),
+                    );
                 }
                 self.epochs_since_fit = 0;
                 self.awaiting_refit = false;

@@ -48,6 +48,10 @@ pub enum Access {
 #[derive(Debug, Clone)]
 pub struct MsrFile {
     regs: HashMap<u32, (Access, u64)>,
+    /// Successful software writes through the allowlist (hardware-side
+    /// `hw_store`s excluded) — the auditable actuation count causal
+    /// tracing reconciles against.
+    writes: u64,
 }
 
 impl MsrFile {
@@ -73,7 +77,7 @@ impl MsrFile {
             MSR_PKG_POWER_INFO,
             (Access::ReadOnly, encode_power_limit(tdp)),
         );
-        MsrFile { regs }
+        MsrFile { regs, writes: 0 }
     }
 
     /// Read a register; errors on addresses outside the allowlist (the
@@ -97,9 +101,15 @@ impl MsrFile {
             }
             Some((Access::ReadWrite, v)) => {
                 *v = value;
+                self.writes += 1;
                 Ok(())
             }
         }
+    }
+
+    /// Count of successful software writes so far.
+    pub fn writes_performed(&self) -> u64 {
+        self.writes
     }
 
     /// Privileged hardware-side update of a register, bypassing the
@@ -204,7 +214,7 @@ impl MsrFile {
             let value = defaults.regs.get(&addr).map(|&(_, v)| v).unwrap_or(0);
             regs.insert(addr, (access, value));
         }
-        MsrFile { regs }
+        MsrFile { regs, writes: 0 }
     }
 }
 

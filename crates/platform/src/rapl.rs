@@ -95,6 +95,13 @@ impl PackageDomain {
         self.energy_total
     }
 
+    /// Number of software MSR writes this package has accepted (cap
+    /// programmings; the counter the tracing layer reconciles
+    /// `msr_write` events against).
+    pub fn msr_writes(&self) -> u64 {
+        self.msr.writes_performed()
+    }
+
     /// Direct MSR access (exposed for the GEOPM PlatformIO layer).
     pub fn msr(&self) -> &MsrFile {
         &self.msr
@@ -160,6 +167,18 @@ mod tests {
         let drawn = p.step(Watts(-5.0), Seconds(1.0));
         assert_eq!(drawn, Watts::ZERO);
         assert_eq!(p.energy_total(), Joules::ZERO);
+    }
+
+    #[test]
+    fn msr_write_count_tracks_cap_programmings() {
+        let mut p = PackageDomain::paper(PackageId(0));
+        assert_eq!(p.msr_writes(), 0);
+        p.set_power_limit(Watts(100.0)).unwrap();
+        p.set_power_limit(Watts(90.0)).unwrap();
+        assert_eq!(p.msr_writes(), 2);
+        // Hardware-side energy stores do not count as writes.
+        p.step(Watts(80.0), Seconds(1.0));
+        assert_eq!(p.msr_writes(), 2);
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! ```
 //!
 //! With `--telemetry <dir>`, per-tick timing and table-size metrics
-//! stream to JSONL/Prometheus/summary artifacts in the directory.
+//! stream to JSONL/Prometheus/summary artifacts in the directory. With
+//! `--trace <dir>`, capping decisions and their first observed effect
+//! stream to `<dir>/trace.jsonl` for `anor-trace`.
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal};
 use anor_cluster::Args;
 use anor_platform::PerformanceVariation;
 use anor_sim::{dump_tables, write_history_csv, SimConfig, SimPowerPolicy, TabularSim};
-use anor_telemetry::Telemetry;
+use anor_telemetry::{Telemetry, Tracer};
 use anor_types::{QosDegradation, Seconds, Watts};
 use std::io::Write;
 
@@ -84,8 +86,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => Telemetry::to_dir(dir)?,
         None => Telemetry::new(),
     };
+    let tracer = match args.get("trace") {
+        Some(dir) => Some(Tracer::to_dir(dir)?),
+        None => None,
+    };
     let mut sim = TabularSim::new(cfg.clone(), target, &variation, schedule, None);
     sim.attach_telemetry(&telemetry);
+    if let Some(t) = &tracer {
+        sim.attach_tracer(t);
+    }
     sim.record_history(true);
 
     let tables_path = args.get("tables").map(String::from);
@@ -166,6 +175,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if telemetry.dir().is_some() {
         let summary = telemetry.write_artifacts()?;
         println!("{summary}");
+    }
+    if let Some(t) = &tracer {
+        t.flush()?;
+        if let Some(dir) = t.dir() {
+            println!(
+                "anorsim: trace written to {}",
+                dir.join("trace.jsonl").display()
+            );
+        }
     }
     Ok(())
 }

@@ -21,7 +21,7 @@ use crate::table::{node_power, progress_rate, JobRow, NodeRow};
 use anor_aqa::{JobSubmission, PendingView, PowerTarget, QueueScheduler, TrackingRecorder};
 use anor_platform::PerformanceVariation;
 use anor_policy::JobView;
-use anor_telemetry::{Gauge, Histogram, Telemetry, Timer};
+use anor_telemetry::{CauseId, Gauge, Histogram, Telemetry, Timer, TraceStage, Tracer};
 use anor_types::{
     Catalog, JobId, JobTypeId, NodeId, QosConstraint, QosDegradation, Seconds, Watts,
 };
@@ -114,6 +114,9 @@ pub struct TabularSim {
     tracking_frozen: bool,
     instruments: Option<SimInstruments>,
     telemetry: Option<Telemetry>,
+    tracer: Option<Tracer>,
+    cause: u64,
+    observe_pending: bool,
 }
 
 impl TabularSim {
@@ -164,6 +167,9 @@ impl TabularSim {
             tracking_frozen: false,
             instruments: None,
             telemetry: None,
+            tracer: None,
+            cause: 0,
+            observe_pending: false,
             cfg,
             target,
         }
@@ -184,6 +190,16 @@ impl TabularSim {
         });
         self.tracking.attach_telemetry(telemetry);
         self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Record causal trace events into `tracer`: a `decision` each tick
+    /// the capping stage changes at least one job's cap, an `msr_write`
+    /// per re-capped job (the table write is the simulator's actuation),
+    /// and a `sample_rx` for the first measured-power observation taken
+    /// under the new caps. The tabular simulator has no wire, so its
+    /// chains never contain `cap_tx`/`cap_rx` hops.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 
     /// Enable per-tick history retention (off by default to keep long
@@ -290,6 +306,18 @@ impl TabularSim {
             measured += node.power;
         }
         self.measured_power = measured;
+        if self.observe_pending {
+            self.observe_pending = false;
+            if let Some(t) = &self.tracer {
+                t.record_full(
+                    TraceStage::SampleRx,
+                    CauseId(self.cause),
+                    None,
+                    Some(measured.value()),
+                    None,
+                );
+            }
+        }
         // Completion detection: every node of the job at 100%.
         let mut still_running = Vec::with_capacity(self.running.len());
         for &job_id in &self.running {
@@ -463,10 +491,33 @@ impl TabularSim {
             at_risk.push(self.job_at_risk(row));
         }
         let caps = self.cfg.policy.assign(busy_budget, &job_views, &at_risk);
+        let mut changed: Vec<(JobId, Watts)> = Vec::new();
         for (&job_id, cap) in self.running.iter().zip(caps) {
             let row = &self.jobs[job_id.0 as usize];
+            let was = row.nodes.first().map(|n| self.nodes[n.index()].cap);
+            if was != Some(cap) {
+                changed.push((job_id, cap));
+            }
             for n in &row.nodes {
                 self.nodes[n.index()].cap = cap;
+            }
+        }
+        if changed.is_empty() {
+            return;
+        }
+        if let Some(t) = self.tracer.clone() {
+            let cause = t.next_cause();
+            self.cause = cause.0;
+            self.observe_pending = true;
+            t.record_full(
+                TraceStage::Decision,
+                cause,
+                None,
+                Some(busy_budget.value()),
+                Some(format!("{} cap(s) changed", changed.len())),
+            );
+            for (job_id, cap) in &changed {
+                t.record_job(TraceStage::MsrWrite, cause, job_id.0, Some(cap.value()));
             }
         }
     }

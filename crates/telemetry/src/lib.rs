@@ -33,10 +33,18 @@ mod registry;
 mod render;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, MetricId, Registry, Snapshot};
-pub use sink::{parse_line, read_events, render_line, Event, EventLog, Value, MEMORY_EVENT_CAP};
+pub use sink::{
+    parse_line, read_events, render_line, Event, EventLog, Value, DEFAULT_ROTATE_BYTES,
+    MEMORY_EVENT_CAP, ROTATE_KEEP,
+};
 pub use span::{Span, Timer};
+pub use trace::{
+    read_trace, CauseId, SpanId, TraceEvent, TraceId, TraceScan, TraceStage, Tracer,
+    DEFAULT_RING_CAPACITY,
+};
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A field value in a structured event.
 #[derive(Clone, Debug, PartialEq)]
@@ -133,13 +133,16 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
+/// Append `s` as a quoted, escaped JSON string.
+pub(crate) fn append_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
 fn value_into(out: &mut String, v: &Value) {
     match v {
-        Value::Str(s) => {
-            out.push('"');
-            escape_into(out, s);
-            out.push('"');
-        }
+        Value::Str(s) => append_json_string(out, s),
         Value::F64(x) if x.is_finite() => {
             let _ = write!(out, "{x}");
         }
@@ -171,11 +174,70 @@ pub fn render_line(ts: f64, event: &str, fields: &[(&str, Value)]) -> String {
     out
 }
 
+/// A size-rotated JSONL file writer. When the active file would exceed
+/// `max_bytes` the writer closes it, shifts `events.jsonl.N` →
+/// `events.jsonl.N+1` (dropping the oldest beyond [`ROTATE_KEEP`]) and
+/// starts a fresh file, so long `anorsim` runs keep a bounded on-disk
+/// footprint.
+#[derive(Debug)]
+pub struct RotatingFile {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    bytes: u64,
+    max_bytes: u64,
+}
+
+/// How many rotated files to keep next to the active one.
+pub const ROTATE_KEEP: usize = 3;
+
+/// Default rotation threshold for file event sinks (64 MiB).
+pub const DEFAULT_ROTATE_BYTES: u64 = 64 * 1024 * 1024;
+
+impl RotatingFile {
+    fn create(path: &Path, max_bytes: u64) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(RotatingFile {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            bytes: 0,
+            max_bytes: max_bytes.max(1),
+        })
+    }
+
+    fn rotated_path(&self, n: usize) -> PathBuf {
+        let mut s = self.path.as_os_str().to_os_string();
+        s.push(format!(".{n}"));
+        PathBuf::from(s)
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        let _ = std::fs::remove_file(self.rotated_path(ROTATE_KEEP));
+        for n in (1..ROTATE_KEEP).rev() {
+            let _ = std::fs::rename(self.rotated_path(n), self.rotated_path(n + 1));
+        }
+        std::fs::rename(&self.path, self.rotated_path(1))?;
+        self.writer = BufWriter::new(File::create(&self.path)?);
+        self.bytes = 0;
+        Ok(())
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        let len = line.len() as u64 + 1;
+        if self.bytes + len > self.max_bytes && self.bytes > 0 {
+            self.rotate()?;
+        }
+        writeln!(self.writer, "{line}")?;
+        self.bytes += len;
+        Ok(())
+    }
+}
+
 /// Where serialized event lines go.
 #[derive(Debug)]
 pub enum EventSink {
-    /// Append to a JSONL file.
-    File(BufWriter<File>),
+    /// Append to a size-rotated JSONL file.
+    File(RotatingFile),
     /// Keep in memory (default; bounded by [`MEMORY_EVENT_CAP`]).
     Memory(Vec<String>),
 }
@@ -202,9 +264,15 @@ impl EventLog {
     }
 
     pub fn file(path: &Path) -> std::io::Result<Self> {
-        let file = File::create(path)?;
+        EventLog::file_with_rotation(path, DEFAULT_ROTATE_BYTES)
+    }
+
+    /// A file sink that rotates once the active file would exceed
+    /// `max_bytes`.
+    pub fn file_with_rotation(path: &Path, max_bytes: u64) -> std::io::Result<Self> {
+        let file = RotatingFile::create(path, max_bytes)?;
         Ok(EventLog {
-            sink: Mutex::new(EventSink::File(BufWriter::new(file))),
+            sink: Mutex::new(EventSink::File(file)),
             dropped: Mutex::new(0),
             written: Mutex::new(0),
         })
@@ -213,8 +281,8 @@ impl EventLog {
     pub fn push(&self, line: String) {
         let mut sink = self.sink.lock();
         match &mut *sink {
-            EventSink::File(w) => {
-                let ok = writeln!(w, "{line}").is_ok();
+            EventSink::File(f) => {
+                let ok = f.write_line(&line).is_ok();
                 drop(sink);
                 if ok {
                     *self.written.lock() += 1;
@@ -236,8 +304,8 @@ impl EventLog {
     }
 
     pub fn flush(&self) -> std::io::Result<()> {
-        if let EventSink::File(w) = &mut *self.sink.lock() {
-            w.flush()?;
+        if let EventSink::File(f) = &mut *self.sink.lock() {
+            f.writer.flush()?;
         }
         Ok(())
     }
@@ -256,6 +324,14 @@ impl EventLog {
             EventSink::Memory(lines) => lines.clone(),
             EventSink::File(_) => Vec::new(),
         }
+    }
+}
+
+impl Drop for EventLog {
+    /// Buffered events must reach disk even when the owner forgets to
+    /// call [`EventLog::flush`] (e.g. a runner exiting on error).
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -478,6 +554,59 @@ mod tests {
         assert_eq!(log.written(), MEMORY_EVENT_CAP as u64);
         assert_eq!(log.dropped(), 10);
         assert_eq!(log.memory_lines().len(), MEMORY_EVENT_CAP);
+    }
+
+    #[test]
+    fn file_sink_rotates_by_size() {
+        let dir = std::env::temp_dir().join(format!(
+            "anor-telemetry-rotate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        // ~40-byte lines, 128-byte cap: rotation every ~3 lines.
+        let log = EventLog::file_with_rotation(&path, 128).unwrap();
+        for i in 0..20 {
+            log.push(render_line(i as f64, "tick", &[("n", (i as u64).into())]));
+        }
+        log.flush().unwrap();
+        assert_eq!(log.written(), 20);
+        assert!(path.exists());
+        let mut rotated = PathBuf::from(path.as_os_str().to_os_string());
+        rotated.set_extension("jsonl.1");
+        assert!(rotated.exists(), "first rotated file present");
+        // Bounded: never more than ROTATE_KEEP rotated files.
+        let count = std::fs::read_dir(&dir).unwrap().count();
+        assert!(count <= 1 + ROTATE_KEEP, "{count} files on disk");
+        // Active file respects the cap and still parses.
+        assert!(std::fs::metadata(&path).unwrap().len() <= 128);
+        for ev in read_events(&path).unwrap() {
+            assert_eq!(ev.event, "tick");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_buffered_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "anor-telemetry-dropflush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let log = EventLog::file(&path).unwrap();
+            log.push(render_line(0.0, "unflushed", &[]));
+            // No explicit flush: Drop must get the line to disk.
+        }
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event, "unflushed");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! rather than a serde format crate: a `u32` big-endian payload length,
 //! then a one-byte message tag, then fixed-width big-endian fields
 //! (strings are `u16`-length-prefixed UTF-8).
+//!
+//! # Codec versioning
+//!
+//! Version 2 of the codec added causal-tracing context: `SetPowerCap`,
+//! `Sample` and `Model` carry the `CauseId` of the budgeter rebalance
+//! decision they descend from. Rather than a connection-level version
+//! handshake, the extended messages use **new tags** (`SetPowerCap` v2 =
+//! tag 4, `Sample` v2 = tag 5, `Model` v2 = tag 6); the v1 tags remain
+//! decodable and yield a zero (`unknown`) cause, so a v2 budgeter can
+//! ingest frames from a v1 job endpoint and vice versa.
 
 use crate::curve::PowerCurve;
 use crate::error::AnorError;
@@ -21,6 +31,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Upper bound on a sane frame, to reject corrupt length prefixes before
 /// allocating.
 pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Current codec version. Bumped to 2 when cause ids were added to
+/// `SetPowerCap`/`Sample`/`Model`; encoders always emit the current
+/// version, decoders accept every version back to 1.
+pub const CODEC_VERSION: u8 = 2;
 
 /// One job-progress observation flowing up from the GEOPM agent through
 /// the job-tier modeler to the cluster tier.
@@ -41,6 +56,10 @@ pub struct EpochSample {
     /// Job-tier local timestamp of the observation; lets the cluster tier
     /// align samples from tiers running control loops at different rates.
     pub timestamp: Seconds,
+    /// Causal-trace id of the budgeter decision whose cap was in force
+    /// when the sample was taken (`0` = unknown: pre-cap samples, or a
+    /// peer speaking codec v1).
+    pub cause: u64,
 }
 
 /// Messages the cluster tier sends to a job-tier endpoint.
@@ -50,6 +69,9 @@ pub enum ClusterToJob {
     SetPowerCap {
         /// Per-node cap in watts.
         cap: Watts,
+        /// Causal-trace id of the rebalance decision that produced this
+        /// cap (`0` = untraced / codec-v1 peer).
+        cause: u64,
     },
     /// Ask the endpoint to report its latest sample immediately.
     RequestSample,
@@ -81,6 +103,9 @@ pub enum JobToCluster {
         curve: PowerCurve,
         /// How many epoch observations the fit used.
         samples: u32,
+        /// Causal-trace id of the decision whose cap the retrain
+        /// observed (`0` = unknown).
+        cause: u64,
     },
     /// Job finished; final report data.
     Done {
@@ -97,9 +122,14 @@ pub enum JobToCluster {
 // ---------------------------------------------------------------------------
 
 fn put_string(buf: &mut BytesMut, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize);
-    buf.put_u16(s.len() as u16);
-    buf.put_slice(s.as_bytes());
+    // Truncate oversize strings at a char boundary: a too-long type name
+    // must not corrupt the frame in release builds.
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    buf.put_u16(end as u16);
+    buf.put_slice(&s.as_bytes()[..end]);
 }
 
 fn get_string(buf: &mut Bytes) -> Result<String, AnorError> {
@@ -138,11 +168,12 @@ fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), AnorError> {
 impl ClusterToJob {
     /// Encode into a length-prefixed frame.
     pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::with_capacity(16);
+        let mut body = BytesMut::with_capacity(24);
         match self {
-            ClusterToJob::SetPowerCap { cap } => {
-                body.put_u8(1);
+            ClusterToJob::SetPowerCap { cap, cause } => {
+                body.put_u8(4);
                 body.put_f64(cap.value());
+                body.put_u64(*cause);
             }
             ClusterToJob::RequestSample => body.put_u8(2),
             ClusterToJob::Shutdown => body.put_u8(3),
@@ -150,18 +181,28 @@ impl ClusterToJob {
         frame(body)
     }
 
-    /// Decode a frame body (length prefix already stripped).
+    /// Decode a frame body (length prefix already stripped). Pre-v2
+    /// tags decode with a zero cause.
     pub fn decode(mut body: Bytes) -> Result<Self, AnorError> {
         need(&body, 1, "tag")?;
         match body.get_u8() {
+            // v1 SetPowerCap: no cause on the wire.
             1 => {
                 need(&body, 8, "SetPowerCap")?;
                 Ok(ClusterToJob::SetPowerCap {
                     cap: Watts(body.get_f64()),
+                    cause: 0,
                 })
             }
             2 => Ok(ClusterToJob::RequestSample),
             3 => Ok(ClusterToJob::Shutdown),
+            4 => {
+                need(&body, 16, "SetPowerCap v2")?;
+                Ok(ClusterToJob::SetPowerCap {
+                    cap: Watts(body.get_f64()),
+                    cause: body.get_u64(),
+                })
+            }
             t => Err(AnorError::protocol(format!("unknown ClusterToJob tag {t}"))),
         }
     }
@@ -183,23 +224,26 @@ impl JobToCluster {
                 body.put_u32(*nodes);
             }
             JobToCluster::Sample(s) => {
-                body.put_u8(2);
+                body.put_u8(5);
                 body.put_u64(s.job.0);
                 body.put_u64(s.epoch_count);
                 body.put_f64(s.energy.value());
                 body.put_f64(s.avg_power.value());
                 body.put_f64(s.avg_cap.value());
                 body.put_f64(s.timestamp.value());
+                body.put_u64(s.cause);
             }
             JobToCluster::Model {
                 job,
                 curve,
                 samples,
+                cause,
             } => {
-                body.put_u8(3);
+                body.put_u8(6);
                 body.put_u64(job.0);
                 put_curve(&mut body, curve);
                 body.put_u32(*samples);
+                body.put_u64(*cause);
             }
             JobToCluster::Done { job, elapsed } => {
                 body.put_u8(4);
@@ -225,6 +269,7 @@ impl JobToCluster {
                     nodes: body.get_u32(),
                 })
             }
+            // v1 Sample: no cause on the wire.
             2 => {
                 need(&body, 8 * 6, "Sample")?;
                 Ok(JobToCluster::Sample(EpochSample {
@@ -234,8 +279,10 @@ impl JobToCluster {
                     avg_power: Watts(body.get_f64()),
                     avg_cap: Watts(body.get_f64()),
                     timestamp: Seconds(body.get_f64()),
+                    cause: 0,
                 }))
             }
+            // v1 Model: no cause on the wire.
             3 => {
                 need(&body, 8, "Model job id")?;
                 let job = JobId(body.get_u64());
@@ -245,6 +292,7 @@ impl JobToCluster {
                     job,
                     curve,
                     samples: body.get_u32(),
+                    cause: 0,
                 })
             }
             4 => {
@@ -252,6 +300,30 @@ impl JobToCluster {
                 Ok(JobToCluster::Done {
                     job: JobId(body.get_u64()),
                     elapsed: Seconds(body.get_f64()),
+                })
+            }
+            5 => {
+                need(&body, 8 * 7, "Sample v2")?;
+                Ok(JobToCluster::Sample(EpochSample {
+                    job: JobId(body.get_u64()),
+                    epoch_count: body.get_u64(),
+                    energy: Joules(body.get_f64()),
+                    avg_power: Watts(body.get_f64()),
+                    avg_cap: Watts(body.get_f64()),
+                    timestamp: Seconds(body.get_f64()),
+                    cause: body.get_u64(),
+                }))
+            }
+            6 => {
+                need(&body, 8, "Model v2 job id")?;
+                let job = JobId(body.get_u64());
+                let curve = get_curve(&mut body)?;
+                need(&body, 12, "Model v2 samples+cause")?;
+                Ok(JobToCluster::Model {
+                    job,
+                    curve,
+                    samples: body.get_u32(),
+                    cause: body.get_u64(),
                 })
             }
             t => Err(AnorError::protocol(format!("unknown JobToCluster tag {t}"))),
@@ -305,13 +377,17 @@ mod tests {
             avg_power: Watts(201.25),
             avg_cap: Watts(210.0),
             timestamp: Seconds(98.75),
+            cause: 31_337,
         }
     }
 
     #[test]
     fn cluster_to_job_round_trips() {
         let msgs = [
-            ClusterToJob::SetPowerCap { cap: Watts(187.5) },
+            ClusterToJob::SetPowerCap {
+                cap: Watts(187.5),
+                cause: 99,
+            },
             ClusterToJob::RequestSample,
             ClusterToJob::Shutdown,
         ];
@@ -334,6 +410,7 @@ mod tests {
                 job: JobId(7),
                 curve: PowerCurve::new(1.25e-5, -0.007, 1.9),
                 samples: 23,
+                cause: 512,
             },
             JobToCluster::Done {
                 job: JobId(7),
@@ -344,6 +421,107 @@ mod tests {
             let decoded = JobToCluster::decode(strip_len(m.encode())).unwrap();
             assert_eq!(decoded, m);
         }
+    }
+
+    // ---- codec version bump (v1 → v2) --------------------------------
+
+    #[test]
+    fn v2_frames_preserve_cause_exactly() {
+        let m = ClusterToJob::SetPowerCap {
+            cap: Watts(205.0),
+            cause: u64::MAX,
+        };
+        assert_eq!(ClusterToJob::decode(strip_len(m.encode())).unwrap(), m);
+        let m = JobToCluster::Sample(EpochSample {
+            cause: u64::MAX - 1,
+            ..sample()
+        });
+        assert_eq!(JobToCluster::decode(strip_len(m.encode())).unwrap(), m);
+        assert_eq!(CODEC_VERSION, 2);
+    }
+
+    #[test]
+    fn pre_bump_set_power_cap_decodes_with_zero_cause() {
+        // Hand-build the v1 frame body: tag 1, cap only, no cause field.
+        let mut body = BytesMut::new();
+        body.put_u8(1);
+        body.put_f64(187.5);
+        assert_eq!(
+            ClusterToJob::decode(body.freeze()).unwrap(),
+            ClusterToJob::SetPowerCap {
+                cap: Watts(187.5),
+                cause: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn pre_bump_sample_decodes_with_zero_cause() {
+        let s = sample();
+        let mut body = BytesMut::new();
+        body.put_u8(2);
+        body.put_u64(s.job.0);
+        body.put_u64(s.epoch_count);
+        body.put_f64(s.energy.value());
+        body.put_f64(s.avg_power.value());
+        body.put_f64(s.avg_cap.value());
+        body.put_f64(s.timestamp.value());
+        let decoded = JobToCluster::decode(body.freeze()).unwrap();
+        assert_eq!(decoded, JobToCluster::Sample(EpochSample { cause: 0, ..s }));
+    }
+
+    #[test]
+    fn pre_bump_model_decodes_with_zero_cause() {
+        let curve = PowerCurve::new(1.25e-5, -0.007, 1.9);
+        let mut body = BytesMut::new();
+        body.put_u8(3);
+        body.put_u64(7);
+        body.put_f64(curve.a);
+        body.put_f64(curve.b);
+        body.put_f64(curve.c);
+        body.put_u32(23);
+        assert_eq!(
+            JobToCluster::decode(body.freeze()).unwrap(),
+            JobToCluster::Model {
+                job: JobId(7),
+                curve,
+                samples: 23,
+                cause: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_v2_bodies_rejected() {
+        // A v2 SetPowerCap missing its cause field.
+        let mut body = BytesMut::new();
+        body.put_u8(4);
+        body.put_f64(187.5);
+        assert!(ClusterToJob::decode(body.freeze()).is_err());
+        // A v2 Model cut off before the cause.
+        let mut body = BytesMut::new();
+        body.put_u8(6);
+        body.put_u64(7);
+        body.put_f64(0.0);
+        body.put_f64(0.0);
+        body.put_f64(0.0);
+        body.put_u32(23);
+        assert!(JobToCluster::decode(body.freeze()).is_err());
+    }
+
+    #[test]
+    fn oversize_strings_truncate_instead_of_corrupting() {
+        let long = "x".repeat(u16::MAX as usize + 100);
+        let m = JobToCluster::Hello {
+            job: JobId(1),
+            type_name: long,
+            nodes: 1,
+        };
+        let decoded = JobToCluster::decode(strip_len(m.encode())).unwrap();
+        let JobToCluster::Hello { type_name, .. } = decoded else {
+            panic!("expected Hello");
+        };
+        assert_eq!(type_name.len(), u16::MAX as usize);
     }
 
     #[test]

@@ -52,9 +52,9 @@ proptest! {
 
     /// Every ClusterToJob message round-trips through the codec.
     #[test]
-    fn cluster_to_job_round_trips(cap in 0.0f64..10_000.0, tag in 0u8..3) {
+    fn cluster_to_job_round_trips(cap in 0.0f64..10_000.0, cause in 0u64..u64::MAX, tag in 0u8..3) {
         let msg = match tag {
-            0 => ClusterToJob::SetPowerCap { cap: Watts(cap) },
+            0 => ClusterToJob::SetPowerCap { cap: Watts(cap), cause },
             1 => ClusterToJob::RequestSample,
             _ => ClusterToJob::Shutdown,
         };
@@ -76,6 +76,7 @@ proptest! {
         energy in 0.0f64..1e12,
         power in 0.0f64..1e6,
         ts in 0.0f64..1e9,
+        cause in 0u64..u64::MAX,
     ) {
         let msgs = [
             JobToCluster::Hello { job: JobId(job), type_name: name.clone(), nodes },
@@ -86,6 +87,7 @@ proptest! {
                 avg_power: Watts(power),
                 avg_cap: Watts(power),
                 timestamp: Seconds(ts),
+                cause,
             }),
             JobToCluster::Done { job: JobId(job), elapsed: Seconds(ts) },
         ];
