@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-016e779c44dea753.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-016e779c44dea753: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

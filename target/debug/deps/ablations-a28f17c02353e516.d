@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a28f17c02353e516.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a28f17c02353e516: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

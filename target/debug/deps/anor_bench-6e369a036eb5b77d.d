@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/anor_bench-6e369a036eb5b77d.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/anor_bench-6e369a036eb5b77d.d: crates/bench/src/lib.rs crates/bench/src/analyze.rs Cargo.toml
 
-/root/repo/target/debug/deps/libanor_bench-6e369a036eb5b77d.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libanor_bench-6e369a036eb5b77d.rmeta: crates/bench/src/lib.rs crates/bench/src/analyze.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/analyze.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

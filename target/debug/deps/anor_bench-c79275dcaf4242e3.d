@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3.d: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
-/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/anor_bench-c79275dcaf4242e3: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/analyze.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/anor_bench-cef0455484130a5c.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/anor_bench-cef0455484130a5c.d: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
-/root/repo/target/debug/deps/libanor_bench-cef0455484130a5c.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libanor_bench-cef0455484130a5c.rlib: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
-/root/repo/target/debug/deps/libanor_bench-cef0455484130a5c.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libanor_bench-cef0455484130a5c.rmeta: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/analyze.rs:

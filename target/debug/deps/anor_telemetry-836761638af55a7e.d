@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/anor_telemetry-836761638af55a7e.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/anor_telemetry-836761638af55a7e.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/anor_telemetry-836761638af55a7e: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/anor_telemetry-836761638af55a7e: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/render.rs:
 crates/telemetry/src/sink.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/anor_telemetry-a1d74eda7eaea441.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/anor_telemetry-a1d74eda7eaea441.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/libanor_telemetry-a1d74eda7eaea441.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libanor_telemetry-a1d74eda7eaea441.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/libanor_telemetry-a1d74eda7eaea441.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libanor_telemetry-a1d74eda7eaea441.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/render.rs:
 crates/telemetry/src/sink.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/anor_telemetry-bb136e89281b47a5.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/anor_telemetry-bb136e89281b47a5.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libanor_telemetry-bb136e89281b47a5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libanor_telemetry-bb136e89281b47a5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs Cargo.toml
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/render.rs:
 crates/telemetry/src/sink.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

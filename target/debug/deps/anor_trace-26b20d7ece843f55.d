@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_trace-26b20d7ece843f55.d: crates/bench/src/bin/anor_trace.rs
+
+/root/repo/target/debug/deps/anor_trace-26b20d7ece843f55: crates/bench/src/bin/anor_trace.rs
+
+crates/bench/src/bin/anor_trace.rs:

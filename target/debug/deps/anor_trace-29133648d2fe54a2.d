@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anor_trace-29133648d2fe54a2.d: crates/bench/src/bin/anor_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_trace-29133648d2fe54a2.rmeta: crates/bench/src/bin/anor_trace.rs Cargo.toml
+
+crates/bench/src/bin/anor_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

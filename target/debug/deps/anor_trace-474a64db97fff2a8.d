@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anor_trace-474a64db97fff2a8.d: crates/bench/src/bin/anor_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanor_trace-474a64db97fff2a8.rmeta: crates/bench/src/bin/anor_trace.rs Cargo.toml
+
+crates/bench/src/bin/anor_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anor_trace-b73a6f594183c7ab.d: crates/bench/src/bin/anor_trace.rs
+
+/root/repo/target/debug/deps/anor_trace-b73a6f594183c7ab: crates/bench/src/bin/anor_trace.rs
+
+crates/bench/src/bin/anor_trace.rs:

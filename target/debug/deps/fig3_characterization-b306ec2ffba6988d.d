@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-b306ec2ffba6988d.d: crates/bench/benches/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-b306ec2ffba6988d: crates/bench/benches/fig3_characterization.rs
+
+crates/bench/benches/fig3_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-f29acf34f2bf23bb.d: crates/bench/benches/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-f29acf34f2bf23bb: crates/bench/benches/fig3_characterization.rs
+
+crates/bench/benches/fig3_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_budgeters-75a0bda662df2971.d: crates/bench/benches/fig4_budgeters.rs
+
+/root/repo/target/debug/deps/fig4_budgeters-75a0bda662df2971: crates/bench/benches/fig4_budgeters.rs
+
+crates/bench/benches/fig4_budgeters.rs:

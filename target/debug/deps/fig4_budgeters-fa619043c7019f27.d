@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_budgeters-fa619043c7019f27.d: crates/bench/benches/fig4_budgeters.rs
+
+/root/repo/target/debug/deps/fig4_budgeters-fa619043c7019f27: crates/bench/benches/fig4_budgeters.rs
+
+crates/bench/benches/fig4_budgeters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_misclassify-464bed7368274de3.d: crates/bench/benches/fig5_misclassify.rs
+
+/root/repo/target/debug/deps/fig5_misclassify-464bed7368274de3: crates/bench/benches/fig5_misclassify.rs
+
+crates/bench/benches/fig5_misclassify.rs:

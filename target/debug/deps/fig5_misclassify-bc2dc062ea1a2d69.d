@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_misclassify-bc2dc062ea1a2d69.d: crates/bench/benches/fig5_misclassify.rs
+
+/root/repo/target/debug/deps/fig5_misclassify-bc2dc062ea1a2d69: crates/bench/benches/fig5_misclassify.rs
+
+crates/bench/benches/fig5_misclassify.rs:

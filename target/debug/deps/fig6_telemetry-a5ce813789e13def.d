@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_telemetry-a5ce813789e13def.d: crates/bench/tests/fig6_telemetry.rs
+
+/root/repo/target/debug/deps/fig6_telemetry-a5ce813789e13def: crates/bench/tests/fig6_telemetry.rs
+
+crates/bench/tests/fig6_telemetry.rs:

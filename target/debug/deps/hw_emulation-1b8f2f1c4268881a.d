@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_emulation-1b8f2f1c4268881a.d: crates/bench/benches/hw_emulation.rs
+
+/root/repo/target/debug/deps/hw_emulation-1b8f2f1c4268881a: crates/bench/benches/hw_emulation.rs
+
+crates/bench/benches/hw_emulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_emulation-8202269f7fcfb8d4.d: crates/bench/benches/hw_emulation.rs
+
+/root/repo/target/debug/deps/hw_emulation-8202269f7fcfb8d4: crates/bench/benches/hw_emulation.rs
+
+crates/bench/benches/hw_emulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_components-c33496ca4306ce0a.d: crates/bench/benches/runtime_components.rs
+
+/root/repo/target/debug/deps/runtime_components-c33496ca4306ce0a: crates/bench/benches/runtime_components.rs
+
+crates/bench/benches/runtime_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_components-d0d724c31535926f.d: crates/bench/benches/runtime_components.rs
+
+/root/repo/target/debug/deps/runtime_components-d0d724c31535926f: crates/bench/benches/runtime_components.rs
+
+crates/bench/benches/runtime_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_tick-99a3a0b1a004ffcc.d: crates/bench/benches/sim_tick.rs
+
+/root/repo/target/debug/deps/sim_tick-99a3a0b1a004ffcc: crates/bench/benches/sim_tick.rs
+
+crates/bench/benches/sim_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_tick-d15948bc20fcdb29.d: crates/bench/benches/sim_tick.rs
+
+/root/repo/target/debug/deps/sim_tick-d15948bc20fcdb29: crates/bench/benches/sim_tick.rs
+
+crates/bench/benches/sim_tick.rs:

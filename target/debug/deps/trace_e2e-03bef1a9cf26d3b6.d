@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_e2e-03bef1a9cf26d3b6.d: crates/bench/tests/trace_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_e2e-03bef1a9cf26d3b6.rmeta: crates/bench/tests/trace_e2e.rs Cargo.toml
+
+crates/bench/tests/trace_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_e2e-19cd4ae9ca5cdde6.d: crates/bench/tests/trace_e2e.rs
+
+/root/repo/target/debug/deps/trace_e2e-19cd4ae9ca5cdde6: crates/bench/tests/trace_e2e.rs
+
+crates/bench/tests/trace_e2e.rs:

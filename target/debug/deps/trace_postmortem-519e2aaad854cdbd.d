@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_postmortem-519e2aaad854cdbd.d: crates/cluster/tests/trace_postmortem.rs
+
+/root/repo/target/debug/deps/trace_postmortem-519e2aaad854cdbd: crates/cluster/tests/trace_postmortem.rs
+
+crates/cluster/tests/trace_postmortem.rs:

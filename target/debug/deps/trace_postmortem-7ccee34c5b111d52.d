@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_postmortem-7ccee34c5b111d52.d: crates/cluster/tests/trace_postmortem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_postmortem-7ccee34c5b111d52.rmeta: crates/cluster/tests/trace_postmortem.rs Cargo.toml
+
+crates/cluster/tests/trace_postmortem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/anor_bench-eb10a78fb8d40268.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/anor_bench-eb10a78fb8d40268.d: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
-/root/repo/target/release/deps/libanor_bench-eb10a78fb8d40268.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libanor_bench-eb10a78fb8d40268.rlib: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
-/root/repo/target/release/deps/libanor_bench-eb10a78fb8d40268.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libanor_bench-eb10a78fb8d40268.rmeta: crates/bench/src/lib.rs crates/bench/src/analyze.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/analyze.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/anor_telemetry-c2f92916cf81d3ed.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/anor_telemetry-c2f92916cf81d3ed.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/release/deps/libanor_telemetry-c2f92916cf81d3ed.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libanor_telemetry-c2f92916cf81d3ed.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/release/deps/libanor_telemetry-c2f92916cf81d3ed.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libanor_telemetry-c2f92916cf81d3ed.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/render.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/render.rs:
 crates/telemetry/src/sink.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

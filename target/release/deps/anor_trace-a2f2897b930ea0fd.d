@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anor_trace-a2f2897b930ea0fd.d: crates/bench/src/bin/anor_trace.rs
+
+/root/repo/target/release/deps/anor_trace-a2f2897b930ea0fd: crates/bench/src/bin/anor_trace.rs
+
+crates/bench/src/bin/anor_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-336bfe624b6a1b4d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-336bfe624b6a1b4d: examples/quickstart.rs
+
+examples/quickstart.rs:
