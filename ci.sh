@@ -7,14 +7,19 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+# Static analysis runs before the (slower) test suite: a hot-path panic
+# site or codec-invariant break should fail CI in seconds, not minutes.
+echo "==> anor-lint --deny"
+./target/release/anor-lint --deny
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check
-
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> trace smoke: fig6 --trace + anor-trace"
 TRACE_DIR="$(mktemp -d)"

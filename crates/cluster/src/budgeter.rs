@@ -246,7 +246,7 @@ impl ClusterBudgeter {
 
     fn ingest(&mut self) -> Result<()> {
         for idx in 0..self.conns.len() {
-            let Some(stream) = self.conns[idx].as_mut() else {
+            let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 continue;
             };
             stream.flush_some()?;
@@ -409,18 +409,22 @@ impl ClusterBudgeter {
                     }
                 }
                 self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
-                self.conns[idx] = None;
+                if let Some(slot) = self.conns.get_mut(idx) {
+                    *slot = None;
+                }
             }
         }
         Ok(())
     }
 
     fn redistribute(&mut self, busy_budget: Watts) -> Result<()> {
-        let mut active: Vec<JobId> = self
+        // Collect (id, view) pairs in one pass so `views` stays aligned
+        // with the ids even if an entry were to vanish mid-iteration.
+        let mut active: Vec<(JobId, JobView)> = self
             .jobs
             .iter()
             .filter(|(_, e)| e.done.is_none())
-            .map(|(&id, _)| id)
+            .map(|(&id, e)| (id, e.view.clone()))
             .collect();
         if active.is_empty() {
             return Ok(());
@@ -428,12 +432,13 @@ impl ClusterBudgeter {
         // Latency of an actual rebalance; empty passes are not observed
         // so the percentiles describe real redistribution work.
         let _timer = Timer::start(self.metrics.rebalance.clone());
-        active.sort_unstable();
-        let views: Vec<JobView> = active.iter().map(|id| self.jobs[id].view.clone()).collect();
+        active.sort_unstable_by_key(|(id, _)| *id);
+        let views: Vec<JobView> = active.iter().map(|(_, v)| v.clone()).collect();
         let caps = self.cfg.policy.assign(busy_budget, &views);
         // Which caps moved enough to resend?
         let changed: Vec<(JobId, Watts)> = active
             .iter()
+            .map(|(id, _)| id)
             .zip(caps)
             .filter(|(id, cap)| {
                 self.jobs.get(id).is_some_and(|e| {
@@ -469,7 +474,7 @@ impl ClusterBudgeter {
             };
             entry.last_cap = Some(cap);
             let conn = entry.conn;
-            if let Some(stream) = self.conns[conn].as_mut() {
+            if let Some(stream) = self.conns.get_mut(conn).and_then(Option::as_mut) {
                 if let Some(t) = &self.tracer {
                     t.record_job(TraceStage::CapTx, cause, id.0, Some(cap.value()));
                 }

@@ -28,12 +28,11 @@ impl Args {
             if key.is_empty() {
                 return Err(AnorError::config("empty option name"));
             }
-            match iter.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = iter.next().expect("peeked");
+            match iter.next_if(|next| !next.starts_with("--")) {
+                Some(value) => {
                     out.values.insert(key.to_string(), value);
                 }
-                _ => out.flags.push(key.to_string()),
+                None => out.flags.push(key.to_string()),
             }
         }
         Ok(out)

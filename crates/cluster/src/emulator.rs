@@ -617,14 +617,23 @@ impl EmulatedCluster {
                 ("jobs", setups.len().into()),
             ],
         );
+        // Every setup slot must have completed by now; a hole means the
+        // scheduler lost a job, which is a reportable failure of the run,
+        // not grounds for aborting the process.
         let jobs = results
             .into_iter()
-            .map(|r| r.expect("all jobs finished"))
-            .collect();
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| AnorError::schedule(format!("job {i} never finished emulation")))
+            })
+            .collect::<Result<Vec<_>>>()?;
         let reports = reports
             .into_iter()
-            .map(|r| r.expect("all jobs reported"))
-            .collect();
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| AnorError::schedule(format!("job {i} never produced a report")))
+            })
+            .collect::<Result<Vec<_>>>()?;
         let (p90, within) = match mode {
             PowerMode::Target(_) if !tracking.is_empty() => (
                 Some(tracking.percentile_error(90.0)),

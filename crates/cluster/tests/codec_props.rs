@@ -1,0 +1,196 @@
+//! Property tests for the cluster↔job wire codec: the invariants
+//! `anor-lint`'s ANOR-CODEC rule checks structurally are checked
+//! dynamically here — tag uniqueness per direction, exhaustive
+//! encode→decode round-trips, and panic-free rejection of truncation.
+
+use anor_types::msg::{EpochSample, CODEC_VERSION};
+use anor_types::{ClusterToJob, JobId, JobToCluster, PowerCurve, Seconds, Watts};
+use proptest::prelude::*;
+
+/// The wire tag of an encoded message: first body byte after the u32
+/// length prefix.
+fn tag_of(frame: &[u8]) -> u8 {
+    frame[4]
+}
+
+fn body_of(frame: &[u8]) -> bytes::Bytes {
+    bytes::Bytes::copy_from_slice(&frame[4..])
+}
+
+fn sample(job: u64, epoch_count: u64, power: f64, ts: f64, cause: u64) -> EpochSample {
+    EpochSample {
+        job: JobId(job),
+        epoch_count,
+        energy: anor_types::Joules(power * ts),
+        avg_power: Watts(power),
+        avg_cap: Watts(power + 5.0),
+        timestamp: Seconds(ts),
+        cause,
+    }
+}
+
+/// One representative of every variant, per direction. Must be kept
+/// exhaustive — the `representatives_are_exhaustive` test enforces it
+/// against the match below.
+fn cluster_to_job_reps() -> Vec<ClusterToJob> {
+    vec![
+        ClusterToJob::SetPowerCap {
+            cap: Watts(187.5),
+            cause: 99,
+        },
+        ClusterToJob::RequestSample,
+        ClusterToJob::Shutdown,
+    ]
+}
+
+fn job_to_cluster_reps() -> Vec<JobToCluster> {
+    vec![
+        JobToCluster::Hello {
+            job: JobId(7),
+            type_name: "bt.D.81".into(),
+            nodes: 81,
+        },
+        JobToCluster::Sample(sample(7, 12, 200.0, 30.5, 4)),
+        JobToCluster::Model {
+            job: JobId(7),
+            curve: PowerCurve::new(1.25e-5, -0.007, 1.9),
+            samples: 23,
+            cause: 512,
+        },
+        JobToCluster::Done {
+            job: JobId(7),
+            elapsed: Seconds(612.5),
+        },
+    ]
+}
+
+#[test]
+fn representatives_are_exhaustive() {
+    // A new variant lands here as a non-exhaustive-match error, forcing
+    // the representative lists (and thus every test below) to grow.
+    for m in cluster_to_job_reps() {
+        match m {
+            ClusterToJob::SetPowerCap { .. }
+            | ClusterToJob::RequestSample
+            | ClusterToJob::Shutdown => {}
+        }
+    }
+    for m in job_to_cluster_reps() {
+        match m {
+            JobToCluster::Hello { .. }
+            | JobToCluster::Sample(_)
+            | JobToCluster::Model { .. }
+            | JobToCluster::Done { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn encode_tags_unique_per_direction() {
+    let down: Vec<u8> = cluster_to_job_reps()
+        .iter()
+        .map(|m| tag_of(&m.encode()))
+        .collect();
+    let up: Vec<u8> = job_to_cluster_reps()
+        .iter()
+        .map(|m| tag_of(&m.encode()))
+        .collect();
+    for tags in [&down, &up] {
+        let mut sorted = (*tags).clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tags.len(), "duplicate wire tag in {tags:?}");
+    }
+    // The v2 tag assignment is part of the protocol: encoders emit the
+    // current version's tags only.
+    assert_eq!(CODEC_VERSION, 2);
+    assert_eq!(down, [4, 2, 3]);
+    assert_eq!(up, [1, 5, 6, 4]);
+}
+
+#[test]
+fn every_representative_round_trips() {
+    for m in cluster_to_job_reps() {
+        let back = ClusterToJob::decode(body_of(&m.encode())).expect("decode");
+        assert_eq!(back, m);
+    }
+    for m in job_to_cluster_reps() {
+        let back = JobToCluster::decode(body_of(&m.encode())).expect("decode");
+        assert_eq!(back, m);
+    }
+}
+
+proptest! {
+    /// SetPowerCap round-trips for any finite cap and any cause id.
+    #[test]
+    fn set_power_cap_round_trips(cap in 0.0f64..1e7, cause in 0u64..u64::MAX) {
+        let m = ClusterToJob::SetPowerCap { cap: Watts(cap), cause };
+        prop_assert_eq!(ClusterToJob::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// Hello round-trips for arbitrary job ids, names and node counts.
+    #[test]
+    fn hello_round_trips(
+        job in 0u64..u64::MAX,
+        type_name in "[a-zA-Z0-9._\\-]{0,64}",
+        nodes in 0u32..u32::MAX,
+    ) {
+        let m = JobToCluster::Hello { job: JobId(job), type_name, nodes };
+        prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// Sample round-trips: every field survives, including the v2 cause.
+    #[test]
+    fn sample_round_trips(
+        job in 0u64..u64::MAX,
+        epochs in 0u64..u64::MAX,
+        power in 0.0f64..1e5,
+        ts in 0.0f64..1e7,
+        cause in 0u64..u64::MAX,
+    ) {
+        let m = JobToCluster::Sample(sample(job, epochs, power, ts, cause));
+        prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// Model round-trips for any finite curve coefficients.
+    #[test]
+    fn model_round_trips(
+        job in 0u64..u64::MAX,
+        a in -1.0f64..1.0,
+        b in -100.0f64..100.0,
+        c in -1e4f64..1e4,
+        samples in 0u32..u32::MAX,
+        cause in 0u64..u64::MAX,
+    ) {
+        let m = JobToCluster::Model {
+            job: JobId(job),
+            curve: PowerCurve::new(a, b, c),
+            samples,
+            cause,
+        };
+        prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// Done round-trips.
+    #[test]
+    fn done_round_trips(job in 0u64..u64::MAX, elapsed in 0.0f64..1e8) {
+        let m = JobToCluster::Done { job: JobId(job), elapsed: Seconds(elapsed) };
+        prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// Every strict prefix of a valid body is rejected with an error —
+    /// never a panic, never a silent partial decode. (Every field of
+    /// every message is load-bearing, so a truncated body cannot decode.)
+    #[test]
+    fn truncated_bodies_error_not_panic(
+        which in 0usize..4,
+        cut_ppm in 0u32..1000,
+    ) {
+        let m = &job_to_cluster_reps()[which];
+        let frame = m.encode();
+        let full = &frame[4..];
+        let cut = (full.len() as u64 * cut_ppm as u64 / 1000) as usize;
+        let truncated = bytes::Bytes::copy_from_slice(&full[..cut]);
+        prop_assert!(JobToCluster::decode(truncated).is_err(), "prefix {cut} of {}", full.len());
+    }
+}

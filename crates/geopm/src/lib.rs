@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Hot-path crates must not panic while a power cap is in force: clippy
+// enforces what `anor-lint` checks structurally. Test code is exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # anor-geopm
 //!
 //! A reimplementation of the subset of the GEOPM HPC runtime [Eastep et

@@ -1,0 +1,142 @@
+//! The `anor-lint` CLI.
+//!
+//! ```text
+//! anor-lint [--deny] [--json <path|->] [--root <dir>] [file.rs ...]
+//! ```
+//!
+//! With no file arguments the whole workspace is linted. `--deny` exits
+//! non-zero when any non-allowlisted diagnostic remains — that is the CI
+//! gate in `ci.sh`. `--json` additionally writes the machine-readable
+//! report (`-` = stdout).
+
+use anor_lint::{find_root, json_report, lint_source, Config, Diagnostic};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny: bool,
+    json: Option<String>,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: None,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => {
+                opts.json = Some(args.next().ok_or("--json needs a path (or `-`)")?);
+            }
+            "--root" => {
+                opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a dir")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "anor-lint [--deny] [--json <path|->] [--root <dir>] [file.rs ...]\n\
+                     Project-invariant static analysis: ANOR-PANIC, ANOR-CODEC, \
+                     ANOR-UNITS, ANOR-LOCK.\n\
+                     --deny   exit 1 on any non-allowlisted finding (CI gate)\n\
+                     --json   write the machine-readable report (`-` = stdout)\n\
+                     --root   workspace root (default: nearest [workspace] Cargo.toml)"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("anor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = opts.root.clone().or_else(|| find_root(&cwd)) else {
+        eprintln!("anor-lint: no workspace root found (looked for [workspace] in Cargo.toml)");
+        return ExitCode::from(2);
+    };
+    let cfg = Config::load(&root);
+
+    let result: std::io::Result<Vec<Diagnostic>> = if opts.files.is_empty() {
+        anor_lint::lint_workspace(&root, &cfg)
+    } else {
+        let mut diags = Vec::new();
+        for f in &opts.files {
+            let abs = if f.is_absolute() {
+                f.clone()
+            } else {
+                cwd.join(f)
+            };
+            let rel = abs
+                .strip_prefix(&root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&abs) {
+                Ok(src) => diags.extend(lint_source(&rel, &src, &cfg)),
+                Err(e) => {
+                    eprintln!("anor-lint: cannot read {}: {e}", abs.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(diags)
+    };
+    let diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("anor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // `--json -` owns stdout; the human report moves to stderr so the
+    // JSON stays machine-readable.
+    let json_on_stdout = opts.json.as_deref() == Some("-");
+    let denied = diags.iter().filter(|d| !d.allowed).count();
+    let allowed = diags.len() - denied;
+    let summary = format!(
+        "anor-lint: {} finding(s) ({denied} denied, {allowed} allowlisted)",
+        diags.len()
+    );
+    if json_on_stdout {
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        eprintln!("{summary}");
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        println!("{summary}");
+    }
+
+    if let Some(dest) = &opts.json {
+        let report = json_report(&diags);
+        if dest == "-" {
+            print!("{report}");
+        } else if let Err(e) = std::fs::write(dest, report) {
+            eprintln!("anor-lint: cannot write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.deny && denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,123 @@
+//! Structured diagnostics and report rendering.
+
+use std::fmt::Write as _;
+
+/// One finding from a lint rule.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`ANOR-PANIC`, `ANOR-CODEC`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+    /// The offending construct, used for allowlist matching (usually the
+    /// flagged tokens, not the whole source line).
+    pub snippet: String,
+    /// Whether a checked-in allowlist entry covers this finding.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: &'static str,
+        file: &str,
+        line: u32,
+        message: String,
+        suggestion: &str,
+        snippet: String,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            suggestion: suggestion.to_string(),
+            snippet,
+            allowed: false,
+        }
+    }
+
+    /// Human-readable one-liner (plus the suggestion on a second line).
+    pub fn render(&self) -> String {
+        let mark = if self.allowed { " (allowlisted)" } else { "" };
+        format!(
+            "{}:{} [{}]{} {}\n    help: {}",
+            self.file, self.line, self.rule, mark, self.message, self.suggestion
+        )
+    }
+}
+
+/// Render the full machine-readable JSON report.
+pub fn json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 < diags.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"suggestion\": \"{}\", \"allowed\": {}}}{}",
+            escape(d.rule),
+            escape(&d.file),
+            d.line,
+            escape(&d.message),
+            escape(&d.suggestion),
+            d.allowed,
+            comma
+        );
+    }
+    let denied = diags.iter().filter(|d| !d.allowed).count();
+    let _ = write!(
+        out,
+        "  ],\n  \"total\": {},\n  \"denied\": {},\n  \"allowed\": {}\n}}\n",
+        diags.len(),
+        denied,
+        diags.len() - denied
+    );
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let mut d = Diagnostic::new(
+            "ANOR-PANIC",
+            "crates/x/src/a.rs",
+            7,
+            "call to `unwrap()` on a \"hot\" path".to_string(),
+            "return an error",
+            "x.unwrap()".to_string(),
+        );
+        let report = json_report(std::slice::from_ref(&d));
+        assert!(report.contains("\\\"hot\\\""));
+        assert!(report.contains("\"denied\": 1"));
+        d.allowed = true;
+        let report = json_report(&[d]);
+        assert!(report.contains("\"denied\": 0"));
+        assert!(report.contains("\"allowed\": 1"));
+    }
+}

@@ -1,0 +1,464 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules need token streams, not character soup: `unwrap` inside
+//! a string literal or a comment must not trip the panic-freedom rule.
+//! This lexer understands exactly enough Rust to get that right — line
+//! and nested block comments, regular/raw/byte string literals, char
+//! literals vs. lifetimes, numeric literals with exponents, identifiers
+//! (including raw `r#ident`), and single-character punctuation. It makes
+//! no attempt to parse; the rules walk the flat token stream themselves.
+
+/// The coarse classification a lint rule needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `unwrap`, `self`, ...).
+    Ident,
+    /// Numeric literal (`42`, `0xff`, `1.25e-5`).
+    Num,
+    /// String literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `[`, `+`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Is this token the given identifier/keyword?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lex `src` into a flat token stream. Unterminated literals lex as
+/// best-effort tokens running to end of input; the linter never fails on
+/// malformed source (rustc will complain about it soon enough).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' if self.raw_string_ahead(1) => self.raw_string(line),
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek_at(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
+                'b' if self.peek_at(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body(line);
+                }
+                'r' if self.peek_at(1) == Some('#')
+                    && self
+                        .peek_at(2)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_') =>
+                {
+                    // Raw identifier `r#type`.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Does `r`/`br` at the current position start a raw string? (`r"`,
+    /// `r#"`, `r##"`, ...)
+    fn raw_string_ahead(&self, mut off: usize) -> bool {
+        while self.peek_at(off) == Some('#') {
+            off += 1;
+        }
+        self.peek_at(off) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Consume the escaped character verbatim.
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        self.bump(); // the `r`
+        self.raw_string_body(line);
+    }
+
+    fn raw_string_body(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hash marks.
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the `'`
+                     // `'a` followed by a second `'` is a char literal; `'a` followed
+                     // by anything else is a lifetime.
+        let first = self.peek();
+        let is_lifetime =
+            first.is_some_and(|c| c.is_alphabetic() || c == '_') && self.peek_at(1) != Some('\'');
+        if is_lifetime {
+            let mut text = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = String::new();
+        match self.bump() {
+            Some('\\') => {
+                if let Some(e) = self.bump() {
+                    text.push('\\');
+                    text.push(e);
+                }
+                self.bump(); // closing quote
+            }
+            Some(c) => {
+                text.push(c);
+                self.bump(); // closing quote
+            }
+            None => {}
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let alnum = |lex: &mut Self, text: &mut String| {
+            while let Some(c) = lex.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    lex.bump();
+                } else {
+                    break;
+                }
+            }
+        };
+        alnum(self, &mut text);
+        // Fraction: `.` only when followed by a digit, so `0..5` stays a
+        // range and `x.0` field access stays punctuated.
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            alnum(self, &mut text);
+        }
+        // Signed exponent: `1.25e-5`.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(), Some('+') | Some('-'))
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().unwrap_or('-'));
+            alnum(self, &mut text);
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+/// Mark which token indices belong to test-only code: the bodies of
+/// `#[cfg(test)]` items and `#[test]` functions. Returns a bool per
+/// token, `true` = test code.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(attr_end) = test_attr_end(toks, i) {
+            // Skip any further attributes between the cfg(test) attribute
+            // and the item it gates.
+            let mut j = attr_end;
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attr(toks, j);
+            }
+            let item_end = skip_item(toks, j);
+            for m in mask.iter_mut().take(item_end).skip(i) {
+                *m = true;
+            }
+            i = item_end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `toks[i..]` starts a `#[cfg(test)]`, `#[cfg_attr(test, ...)]` or
+/// `#[test]` attribute, return the index one past its closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let end = skip_attr(toks, i);
+    let inner = &toks[i + 2..end.saturating_sub(1)];
+    let is_test = match inner.first() {
+        Some(t) if t.is_ident("test") => inner.len() == 1,
+        Some(t) if t.is_ident("cfg") || t.is_ident("cfg_attr") => {
+            inner.iter().any(|t| t.is_ident("test"))
+        }
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Skip a `#[...]` attribute starting at `i` (which must be `#`). Returns
+/// the index one past the matching `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Skip one item starting at `i`: either through its matching `{ ... }`
+/// block or through the terminating `;`. Returns the index one past it.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_produce_no_spurious_tokens() {
+        let toks = lex("// unwrap()\n/* panic! /* nested */ */ let s = \"unwrap()\";");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = lex("let x = 1.25e-5; for i in 0..5 {}");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1.25e-5", "0", "5"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_content() {
+        let toks = lex(r####"let s = r#"a "quoted" unwrap()"#; x"####);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn hot() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! `anor-lint` — workspace-aware static analysis for ANOR.
+//!
+//! A custom, dependency-free static-analysis engine enforcing the
+//! project invariants the Rust compiler cannot see (DESIGN.md "Static
+//! Analysis"):
+//!
+//! * **`ANOR-PANIC`** — designated hot-path modules (the cluster
+//!   budgeter/endpoint/codec, the GEOPM agent tier, the simulator tick
+//!   path, telemetry sinks) must be panic-free: the paper's feedback
+//!   loop assumes the budgeter survives misclassified jobs and malformed
+//!   peers.
+//! * **`ANOR-CODEC`** — v1/v2 wire tags stay disjoint, every encoded tag
+//!   has a decode arm, payload reads are length-guarded.
+//! * **`ANOR-UNITS`** — watts/joules/seconds identifiers are never mixed
+//!   additively in raw-`f64` arithmetic.
+//! * **`ANOR-LOCK`** — no `parking_lot` guard held across blocking I/O;
+//!   nested acquisition follows the declared lock-order table.
+//!
+//! The engine lexes Rust by hand (see [`lexer`]) — no syn/proc-macro
+//! dependencies, because the build is offline — and walks flat token
+//! streams. Audited exceptions live in the workspace `anor-lint.toml`.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{json_report, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Lint a single file's source under its workspace-relative `path` (the
+/// path decides which rules apply). Allowlist entries are already applied
+/// to the returned diagnostics.
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let toks = lexer::lex(src);
+    let mask = lexer::test_mask(&toks);
+    let mut diags = rules::run_all(path, &toks, &mask, cfg);
+    cfg.apply_allowlist(&mut diags);
+    diags
+}
+
+/// Discover the workspace's first-party Rust sources under `root`:
+/// `src/` and every `crates/*/src/`. Vendored crates, build output, test
+/// fixtures and integration-test directories are excluded — the panic
+/// rules are about production control paths.
+pub fn discover(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            roots.push(e.path().join("src"));
+        }
+    }
+    for dir in roots {
+        walk(&dir, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all diagnostics
+/// (allowlisted ones included, marked `allowed`).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for file in discover(root) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        diags.extend(lint_source(&rel, &src, cfg));
+    }
+    Ok(diags)
+}
+
+/// Find the workspace root by walking up from `start` to the first
+/// directory holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_hot_path_flags_unwrap_but_not_in_tests() {
+        let cfg = Config::default();
+        let src = "fn pump() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let diags = lint_source("crates/cluster/src/budgeter.rs", src, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "ANOR-PANIC");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn non_hot_path_files_are_not_panic_checked() {
+        let cfg = Config::default();
+        let diags = lint_source("crates/anor/src/render.rs", "fn f() { x.unwrap(); }", &cfg);
+        assert!(diags.iter().all(|d| d.rule != "ANOR-PANIC"));
+    }
+
+    #[test]
+    fn allowlist_marks_but_keeps_diagnostics() {
+        let mut cfg = Config::default();
+        cfg.apply("allow ANOR-PANIC crates/cluster/src/budgeter.rs .unwrap(\n");
+        let diags = lint_source(
+            "crates/cluster/src/budgeter.rs",
+            "fn pump() { x.unwrap(); }",
+            &cfg,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].allowed);
+    }
+}

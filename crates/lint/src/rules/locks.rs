@@ -1,0 +1,166 @@
+//! Rule `ANOR-LOCK`: lock discipline across blocking boundaries.
+//!
+//! Two failure modes this rule targets:
+//!
+//! * A `parking_lot` guard held across a blocking send/recv/accept call
+//!   stalls every other thread touching that lock for as long as the
+//!   peer takes — in the budgeter that turns one slow job endpooint into
+//!   a cluster-wide control-loop stall.
+//! * Nested acquisition in an order inconsistent with the declared
+//!   lock-order table (`lock-order` in anor-lint.toml) risks deadlock.
+//!
+//! Detection is token-level: a guard is a `let`-binding whose initializer
+//! calls zero-argument `.lock()`, `.read()` or `.write()` (zero-argument
+//! distinguishes lock APIs from `io::Read::read(&mut buf)`). The guard
+//! lives until its binding scope closes or an explicit `drop(guard)`.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub const RULE: &str = "ANOR-LOCK";
+
+const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    receiver: String,
+    depth: i32,
+    line: u32,
+    rank: Option<usize>,
+}
+
+pub fn check(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<Diagnostic> {
+    // Only files that can hold a lock are interesting.
+    let uses_locks = toks
+        .iter()
+        .any(|t| t.is_ident("parking_lot") || t.is_ident("Mutex") || t.is_ident("RwLock"));
+    if !uses_locks {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+
+        // Explicit `drop(guard)` releases.
+        if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                guards.retain(|g| g.name != name.text);
+            }
+            continue;
+        }
+
+        // Zero-argument `.lock()` / `.read()` / `.write()` acquisition.
+        let is_acquire = ACQUIRE.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if is_acquire {
+            let receiver = toks
+                .get(i.wrapping_sub(2))
+                .filter(|r| r.kind == TokKind::Ident)
+                .map(|r| r.text.clone())
+                .unwrap_or_else(|| "<expr>".to_string());
+            let rank = cfg.lock_rank(&receiver);
+            // Lock-order check against every live guard.
+            if let Some(new_rank) = rank {
+                for held in guards.iter().filter(|g| g.rank.is_some()) {
+                    let held_rank = held.rank.unwrap_or(usize::MAX);
+                    if held_rank > new_rank {
+                        out.push(Diagnostic::new(
+                            RULE,
+                            path,
+                            t.line,
+                            format!(
+                                "lock `{receiver}` acquired while holding `{}` (line {}) \
+                                 violates the declared lock order",
+                                held.receiver, held.line
+                            ),
+                            "acquire locks in the order declared by `lock-order` in \
+                             anor-lint.toml, or release the held guard first",
+                            format!("{}.{}()", receiver, t.text),
+                        ));
+                    }
+                }
+            }
+            // Was this a `let` binding? Scan back to the statement start.
+            if let Some(name) = binding_name(toks, i) {
+                guards.push(Guard {
+                    name,
+                    receiver,
+                    depth,
+                    line: t.line,
+                    rank,
+                });
+            }
+            continue;
+        }
+
+        // Blocking call while a guard is live.
+        let is_call = cfg.blocking_calls.iter().any(|b| t.is_ident(b))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if is_call && !guards.is_empty() {
+            // `drop` patterns already handled; report against the
+            // earliest-held guard for a stable message.
+            if let Some(g) = guards.first() {
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    t.line,
+                    format!(
+                        "blocking call `{}()` while holding lock guard `{}` \
+                         (acquired line {})",
+                        t.text, g.name, g.line
+                    ),
+                    "scope the guard so it drops before blocking I/O (or call \
+                     `drop(guard)` explicitly); a stalled peer must not stall the lock",
+                    format!("{}( while {}", t.text, g.name),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// If the acquisition at token `i` is the initializer of a `let` binding
+/// in the same statement, return the bound name.
+fn binding_name(toks: &[Tok], i: usize) -> Option<String> {
+    // Walk back to the start of the statement.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    // Expect `let [mut] name [: ty] = ...` from the statement start.
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name = toks.get(k).filter(|t| t.kind == TokKind::Ident)?;
+    Some(name.text.clone())
+}

@@ -1,0 +1,22 @@
+//! The four rule families. Each rule is a pure function over one file's
+//! token stream plus the engine [`Config`]; the engine runs all of them
+//! and merges diagnostics.
+
+pub mod codec;
+pub mod locks;
+pub mod panic_free;
+pub mod units;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+
+/// Run every rule over one file's tokens.
+pub fn run_all(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(panic_free::check(path, toks, test_mask, cfg));
+    out.extend(codec::check(path, toks, test_mask, cfg));
+    out.extend(units::check(path, toks, test_mask, cfg));
+    out.extend(locks::check(path, toks, test_mask, cfg));
+    out
+}

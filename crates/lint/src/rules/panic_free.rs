@@ -1,0 +1,118 @@
+//! Rule `ANOR-PANIC`: the control loop must not be able to panic.
+//!
+//! The cluster→job→GEOPM feedback loop only keeps jobs honest while the
+//! budgeter keeps running (the paper's misclassification recovery assumes
+//! exactly that), so the designated hot-path modules must degrade instead
+//! of panicking. This rule flags, outside test code:
+//!
+//! * `.unwrap()` / `.expect(...)` calls,
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations,
+//! * (strict files only) indexing with a non-literal index — `xs[i]`
+//!   panics out-of-bounds where `xs.get(i)` forces a decision.
+//!
+//! `debug_assert!` is deliberately not flagged (compiled out in release),
+//! and plain `assert!` is left to review — invariant checks at startup
+//! are legitimate.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub const RULE: &str = "ANOR-PANIC";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<Diagnostic> {
+    let strict = cfg.is_strict_panic(path);
+    if !strict && !cfg.is_extended_panic(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let method_call = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if method_call {
+                    out.push(Diagnostic::new(
+                        RULE,
+                        path,
+                        t.line,
+                        format!("call to `{}()` on a designated hot path", t.text),
+                        "return a degraded-mode error (`Result`/`Option`) so the control \
+                         loop keeps running; audited exceptions go in anor-lint.toml",
+                        format!(".{}(", t.text),
+                    ));
+                }
+            }
+            TokKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) => {
+                let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    // `macro_rules! panic` or a path segment would not be
+                    // preceded by `.`; a method named e.g. `todo` would.
+                    && !(i > 0 && toks[i - 1].is_punct('.'));
+                if is_macro {
+                    out.push(Diagnostic::new(
+                        RULE,
+                        path,
+                        t.line,
+                        format!("`{}!` on a designated hot path", t.text),
+                        "degrade and keep the budget loop alive: log via the tracer's \
+                         postmortem dump and return an error instead of aborting",
+                        format!("{}!", t.text),
+                    ));
+                }
+            }
+            TokKind::Punct if strict && t.text == "[" => {
+                if let Some(d) = check_index(path, toks, i) {
+                    out.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flag `expr[i]` where `i` starts with an identifier: a runtime index
+/// that panics when out of bounds. Literal indices (`xs[0]` guarded by a
+/// length check) and range slicing (`xs[..n]`) are not flagged.
+fn check_index(path: &str, toks: &[Tok], i: usize) -> Option<Diagnostic> {
+    // The `[` must follow an expression: identifier, `)`, or `]`.
+    let prev = toks.get(i.checked_sub(1)?)?;
+    let is_expr_pos = prev.kind == TokKind::Ident || prev.is_punct(')') || prev.is_punct(']');
+    if !is_expr_pos {
+        return None;
+    }
+    // Exclude attribute heads `#[...]` — the previous token rule already
+    // does, but also exclude `ident![...]` macro calls like `vec![...]`.
+    if i >= 2 && toks[i - 1].kind == TokKind::Ident && toks[i - 2].is_punct('!') {
+        return None;
+    }
+    let first = toks.get(i + 1)?;
+    if first.kind != TokKind::Ident {
+        return None;
+    }
+    // `xs[ident]`, `xs[ident + 1]`, `xs[self.idx]` all flag; keywords that
+    // start non-index expressions do not appear here in practice.
+    let receiver = if prev.kind == TokKind::Ident {
+        prev.text.clone()
+    } else {
+        "<expr>".to_string()
+    };
+    Some(Diagnostic::new(
+        RULE,
+        path,
+        first.line,
+        format!(
+            "indexing `{receiver}[{}...]` with a runtime value on a hot path",
+            first.text
+        ),
+        "use `.get(...)`/`.get_mut(...)` and handle the miss; a wrong index \
+         must not take down the budgeter",
+        format!("{receiver}[{}", first.text),
+    ))
+}

@@ -1,0 +1,158 @@
+//! Rule `ANOR-UNITS`: watts, joules and seconds must not be added.
+//!
+//! The quadratic runtime model `T(P) = A·P² + B·P + C` and the budget
+//! arithmetic around it mix all three dimensions constantly; the newtypes
+//! in `anor-types` make cross-unit addition a type error, but raw-`f64`
+//! code (model internals, telemetry values, wire fields after `.value()`)
+//! has no such guard. This rule classifies identifiers by the unit-word
+//! registry (last snake_case word: `avg_power` → watts, `timestamp` →
+//! seconds, `energy` → joules) and flags `+`, `-`, `+=`, `-=` between
+//! identifiers of *different* classes. Multiplication and division are
+//! dimensionally meaningful (`W × s = J`) and never flagged.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub const RULE: &str = "ANOR-UNITS";
+
+pub fn check(path: &str, toks: &[Tok], _test_mask: &[bool], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "+" && t.text != "-") {
+            continue;
+        }
+        // Unary context: `(-x`, `= -x`, `, -x`, `return -x` — the left
+        // neighbour must be an expression end for this to be binary.
+        let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+            continue;
+        };
+        let left_is_expr = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+            || prev.is_punct(')')
+            || prev.kind == TokKind::Num;
+        if !left_is_expr {
+            continue;
+        }
+        // `->`, `+=`/`-=` handling: for compound assignment the right
+        // operand starts after the `=`.
+        let mut rhs_at = i + 1;
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('=')) {
+            rhs_at = i + 2;
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            continue; // `->` return-type arrow
+        }
+
+        let Some(left) = operand_left(toks, i) else {
+            continue;
+        };
+        let Some(right) = operand_right(toks, rhs_at) else {
+            continue;
+        };
+        let (Some(lc), Some(rc)) = (cfg.classify_ident(&left), cfg.classify_ident(&right)) else {
+            continue;
+        };
+        if lc != rc {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                t.line,
+                format!(
+                    "`{left}` ({}) {} `{right}` ({}) mixes physical units",
+                    lc.name(),
+                    if t.text == "+" { "+" } else { "-" },
+                    rc.name()
+                ),
+                "additive arithmetic requires matching dimensions; convert first \
+                 (W × s = J, J / s = W) or use the unit newtypes from anor-types",
+                format!("{left} {} {right}", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// The base identifier of the operand ending just before token `i`.
+/// Recognizes `ident`, `ident.value()`, `ident.0`, and `recv.field` forms
+/// (classifying the final field).
+fn operand_left(toks: &[Tok], i: usize) -> Option<String> {
+    let p = i.checked_sub(1)?;
+    let t = toks.get(p)?;
+    match t.kind {
+        TokKind::Ident => Some(t.text.clone()),
+        // `base.value()` / `base.sum()` — walk back over `( )` to the
+        // method name, then past `.` to the base.
+        TokKind::Punct if t.is_punct(')') => {
+            if p >= 4
+                && toks[p - 1].is_punct('(')
+                && toks[p - 2].kind == TokKind::Ident
+                && toks[p - 3].is_punct('.')
+                && toks[p - 4].kind == TokKind::Ident
+            {
+                Some(toks[p - 4].text.clone())
+            } else {
+                None
+            }
+        }
+        // `base.0` tuple access on a newtype.
+        TokKind::Num if p >= 2 && toks[p - 1].is_punct('.') => toks
+            .get(p - 2)
+            .filter(|b| b.kind == TokKind::Ident)
+            .map(|b| b.text.clone()),
+        _ => None,
+    }
+}
+
+/// The base identifier of the operand starting at token `j`: `ident`
+/// possibly followed by `.value()`/`.0` (which do not change the class).
+/// Walks over a leading receiver chain (`self.avg_power` → `avg_power`).
+fn operand_right(toks: &[Tok], j: usize) -> Option<String> {
+    let mut idents: Vec<String> = Vec::new();
+    let mut k = j;
+    loop {
+        let t = toks.get(k)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        idents.push(t.text.clone());
+        k += 1;
+        if toks.get(k).is_some_and(|n| n.is_punct('.'))
+            && toks.get(k + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    // `.value()` keeps the base's class; classify the field before it.
+    let mut last = idents.pop()?;
+    if last == "value" {
+        last = idents.pop()?;
+    }
+    if is_keyword(&last) {
+        return None;
+    }
+    Some(last)
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "as"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "fn"
+    )
+}

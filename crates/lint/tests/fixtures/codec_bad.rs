@@ -1,0 +1,42 @@
+//! Known-bad fixture for ANOR-CODEC: duplicate decode tag, an encoded
+//! tag with no decode arm, an unguarded payload read, and no wildcard
+//! arm. Linted under a virtual codec-scope path.
+
+pub enum BadWire {
+    A(u32),
+    B(u32),
+}
+
+impl BadWire {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BadWire::A(v) => {
+                out.put_u8(1);
+                out.put_u32(*v);
+            }
+            // Tag 9 is emitted but `decode` has no arm for it.
+            BadWire::B(v) => {
+                out.put_u8(9);
+                out.put_u32(*v);
+            }
+        }
+    }
+
+    pub fn decode(tag: u8, body: &mut &[u8]) -> Result<Self, String> {
+        match tag {
+            // Reads payload bytes with no length guard.
+            1 => Ok(BadWire::A(get_u32(body))),
+            2 => Ok(BadWire::B(0)),
+            // Duplicate tag shadows the arm above.
+            2 => Ok(BadWire::B(1)),
+        }
+        // No wildcard arm: unknown tags fall through to a match panic.
+    }
+}
+
+fn get_u32(body: &mut &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&body[..4]);
+    *body = &body[4..];
+    u32::from_be_bytes(raw)
+}

@@ -1,0 +1,63 @@
+//! Known-good fixture for ANOR-CODEC: unique tags both directions,
+//! every encoded tag decodable, all payload reads length-guarded (either
+//! inline `need` or via a helper whose body checks), wildcard arm
+//! rejecting unknown tags.
+
+pub enum GoodWire {
+    A(u32),
+    B(String),
+}
+
+impl GoodWire {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GoodWire::A(v) => {
+                out.put_u8(1);
+                out.put_u32(*v);
+            }
+            GoodWire::B(s) => {
+                out.put_u8(2);
+                put_string(out, s);
+            }
+        }
+    }
+
+    pub fn decode(tag: u8, body: &mut &[u8]) -> Result<Self, String> {
+        match tag {
+            1 => {
+                need(body, 4, "GoodWire::A")?;
+                Ok(GoodWire::A(get_u32(body)))
+            }
+            2 => Ok(GoodWire::B(get_string(body)?)),
+            t => Err(format!("unknown GoodWire tag {t}")),
+        }
+    }
+}
+
+fn need(body: &[u8], n: usize, what: &str) -> Result<(), String> {
+    if body.len() < n {
+        return Err(format!("truncated frame reading {what}"));
+    }
+    Ok(())
+}
+
+fn get_u32(body: &mut &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&body[..4]);
+    *body = &body[4..];
+    u32::from_be_bytes(raw)
+}
+
+fn get_string(body: &mut &[u8]) -> Result<String, String> {
+    need(body, 4, "string length")?;
+    let len = get_u32(body) as usize;
+    need(body, len, "string body")?;
+    let s = String::from_utf8_lossy(&body[..len]).into_owned();
+    *body = &body[len..];
+    Ok(s)
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}

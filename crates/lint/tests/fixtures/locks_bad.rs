@@ -1,0 +1,19 @@
+//! Known-bad fixture for ANOR-LOCK: a guard held across blocking I/O,
+//! and nested acquisition against the declared lock order
+//! (`lock-order registry series shared ring events writer`).
+
+use parking_lot::Mutex;
+
+fn stall(registry: &Mutex<u32>, peer: &mut Peer) {
+    let guard = registry.lock();
+    // Blocking send while `guard` is live: one slow peer stalls the lock.
+    peer.send(&[*guard as u8]);
+}
+
+fn inverted(ring: &Mutex<u32>, registry: &Mutex<u32>) {
+    let r = ring.lock();
+    // `registry` ranks before `ring` in the declared order; acquiring it
+    // here inverts the order and risks deadlock.
+    let g = registry.lock();
+    let _ = *r | *g;
+}

@@ -1,0 +1,29 @@
+//! Known-good fixture for ANOR-LOCK: guards scoped or dropped before
+//! blocking I/O, nested acquisition in declared order. Must produce zero
+//! diagnostics.
+
+use parking_lot::Mutex;
+
+fn no_stall(registry: &Mutex<u32>, peer: &mut Peer) {
+    let payload = {
+        let guard = registry.lock();
+        [*guard as u8]
+    };
+    // Guard dropped at the block end: the send blocks nobody.
+    peer.send(&payload);
+}
+
+fn ordered(registry: &Mutex<u32>, ring: &Mutex<u32>) {
+    // registry before ring matches the declared order.
+    let g = registry.lock();
+    let r = ring.lock();
+    drop(r);
+    drop(g);
+}
+
+fn explicit_drop(registry: &Mutex<u32>, peer: &mut Peer) {
+    let guard = registry.lock();
+    let byte = *guard as u8;
+    drop(guard);
+    peer.send(&[byte]);
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture for ANOR-PANIC: every construct a strict hot-path
+//! file must not contain. Linted under a virtual strict-scope path.
+
+fn pump(frames: &[u8], idx: usize) -> u8 {
+    // Indexing with a runtime expression (strict scope only).
+    let byte = frames[idx];
+    byte
+}
+
+fn drain(slot: Option<u32>) -> u32 {
+    // `.unwrap()` on a value a malformed peer controls.
+    let v = slot.unwrap();
+    // `.expect()` is the same panic with better last words.
+    let w = slot.expect("slot must be filled");
+    v + w
+}
+
+fn reject(kind: u8) {
+    if kind > 7 {
+        // Explicit panic in a control path.
+        panic!("unknown kind {kind}");
+    }
+    unreachable!("kind space is dense");
+}

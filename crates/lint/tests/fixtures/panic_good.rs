@@ -1,0 +1,33 @@
+//! Known-good fixture for ANOR-PANIC: the same logic as `panic_bad.rs`
+//! written in degraded-mode style. Must produce zero diagnostics even
+//! under a virtual strict-scope path.
+
+fn pump(frames: &[u8], idx: usize) -> Option<u8> {
+    frames.get(idx).copied()
+}
+
+fn drain(slot: Option<u32>) -> Result<u32, String> {
+    match slot {
+        Some(v) => Ok(v),
+        None => Err("slot empty; dropping frame".to_string()),
+    }
+}
+
+fn reject(kind: u8) -> Result<(), String> {
+    if kind > 7 {
+        return Err(format!("unknown kind {kind}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: unwrap here is fine.
+    #[test]
+    fn drains() {
+        assert_eq!(super::drain(Some(3)).unwrap(), 3);
+        let xs = [1u8, 2];
+        let i = 1usize;
+        assert_eq!(xs[i], 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture for ANOR-UNITS: additive arithmetic across unit
+//! classes in raw-f64 code.
+
+fn mix(power: f64, elapsed: f64, energy: f64) -> f64 {
+    // watts + seconds: dimensionally meaningless.
+    let drift = power + elapsed;
+    // joules - watts: likewise.
+    let gap = energy - power;
+    drift * gap
+}
+
+struct Sample {
+    avg_power: f64,
+    timestamp: f64,
+}
+
+impl Sample {
+    fn skew(&self, budget: f64) -> f64 {
+        // watts += seconds through a field chain.
+        let mut cap = budget;
+        cap += self.timestamp;
+        cap
+    }
+}

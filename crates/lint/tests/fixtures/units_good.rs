@@ -1,0 +1,21 @@
+//! Known-good fixture for ANOR-UNITS: same quantities, dimensionally
+//! sound arithmetic. Must produce zero diagnostics.
+
+fn convert(power: f64, elapsed: f64, energy: f64) -> f64 {
+    // W × s = J: multiplication across units is meaningful.
+    let spent_energy = power * elapsed;
+    // joules + joules: same class, fine.
+    let total_energy = energy + spent_energy;
+    // J / s = W.
+    total_energy / elapsed
+}
+
+fn headroom_left(cap: f64, power: f64) -> f64 {
+    // watts - watts.
+    cap - power
+}
+
+fn window_len(timestamp: f64, start_seconds: f64) -> f64 {
+    // seconds - seconds.
+    timestamp - start_seconds
+}

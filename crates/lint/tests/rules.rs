@@ -1,0 +1,103 @@
+//! Fixture-driven rule tests: each rule family has a known-bad fixture
+//! that must produce the expected diagnostics and a known-good twin that
+//! must lint clean. Fixtures are linted under virtual workspace paths so
+//! the path-scoped rules (panic, codec) engage.
+
+use anor_lint::{lint_source, Config};
+
+fn lint(virtual_path: &str, src: &str) -> Vec<anor_lint::Diagnostic> {
+    let mut cfg = Config::default();
+    // The declared lock order from the workspace anor-lint.toml, inlined
+    // so fixtures do not depend on the file's location at test time.
+    cfg.apply("lock-order registry series shared ring events writer\n");
+    lint_source(virtual_path, src, &cfg)
+}
+
+fn rule_count(diags: &[anor_lint::Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn panic_bad_fixture_flags_every_construct() {
+    let diags = lint(
+        "crates/cluster/src/budgeter.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    // frames[idx], .unwrap(), .expect(), panic!, unreachable!.
+    assert_eq!(rule_count(&diags, "ANOR-PANIC"), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| !d.allowed));
+}
+
+#[test]
+fn panic_good_fixture_is_clean() {
+    let diags = lint(
+        "crates/cluster/src/budgeter.rs",
+        include_str!("fixtures/panic_good.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn codec_bad_fixture_flags_all_four_invariants() {
+    let diags = lint(
+        "crates/types/src/msg.rs",
+        include_str!("fixtures/codec_bad.rs"),
+    );
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert_eq!(rule_count(&diags, "ANOR-CODEC"), 4, "{diags:#?}");
+    assert!(msgs.iter().any(|m| m.contains("duplicate decode tag 2")));
+    assert!(msgs.iter().any(|m| m.contains("encodes tag 9")));
+    assert!(msgs.iter().any(|m| m.contains("without a length guard")));
+    assert!(msgs.iter().any(|m| m.contains("no wildcard arm")));
+}
+
+#[test]
+fn codec_good_fixture_is_clean() {
+    let diags = lint(
+        "crates/types/src/msg.rs",
+        include_str!("fixtures/codec_good.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn units_bad_fixture_flags_cross_unit_arithmetic() {
+    let diags = lint(
+        "crates/model/src/power_math.rs",
+        include_str!("fixtures/units_bad.rs"),
+    );
+    // power + elapsed, energy - power, cap += self.timestamp.
+    assert_eq!(rule_count(&diags, "ANOR-UNITS"), 3, "{diags:#?}");
+}
+
+#[test]
+fn units_good_fixture_is_clean() {
+    let diags = lint(
+        "crates/model/src/power_math.rs",
+        include_str!("fixtures/units_good.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn locks_bad_fixture_flags_stall_and_inversion() {
+    let diags = lint(
+        "crates/telemetry/src/registry.rs",
+        include_str!("fixtures/locks_bad.rs"),
+    );
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert_eq!(rule_count(&diags, "ANOR-LOCK"), 2, "{diags:#?}");
+    assert!(msgs.iter().any(|m| m.contains("blocking call `send()`")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("violates the declared lock order")));
+}
+
+#[test]
+fn locks_good_fixture_is_clean() {
+    let diags = lint(
+        "crates/telemetry/src/registry.rs",
+        include_str!("fixtures/locks_good.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}

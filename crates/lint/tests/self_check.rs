@@ -1,0 +1,23 @@
+//! Self-check: `anor-lint --deny` must pass on the repository's own
+//! source tree. Any finding outside the audited allowlist in
+//! `anor-lint.toml` fails this test — the same gate ci.sh applies.
+
+use anor_lint::{lint_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let cfg = Config::load(&root);
+    let diags = lint_workspace(&root, &cfg).expect("workspace sources readable");
+    let denied: Vec<_> = diags.iter().filter(|d| !d.allowed).collect();
+    assert!(
+        denied.is_empty(),
+        "anor-lint --deny would fail on {} finding(s):\n{:#?}",
+        denied.len(),
+        denied
+    );
+}

@@ -31,9 +31,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty range");
+        let Some(pivot) = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+        else {
+            // Unreachable for n > 0, but a degenerate system must yield a
+            // fit error, never a panic inside the modeler.
+            return Err(AnorError::model("empty system in pivot search"));
+        };
         if a[pivot][col].abs() < 1e-12 {
             return Err(AnorError::model("singular normal equations"));
         }

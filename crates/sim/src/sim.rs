@@ -350,7 +350,9 @@ impl TabularSim {
             .front()
             .is_some_and(|s| s.time.value() <= self.time.value())
         {
-            let s = self.schedule.pop_front().expect("peeked");
+            let Some(s) = self.schedule.pop_front() else {
+                break; // front() just matched, but never panic the tick
+            };
             let id = JobId(self.jobs.len() as u64);
             self.jobs.push(JobRow::queued(id, s.type_id, s.time));
             self.pending.push(id);

@@ -7,7 +7,7 @@ use std::fmt::Write;
 /// Prometheus text exposition (counters as `_total` convention is the
 /// caller's naming responsibility; histograms expand to
 /// `_bucket`/`_sum`/`_count` series).
-pub fn prometheus(snapshots: &[Snapshot]) -> String {
+pub(crate) fn prometheus(snapshots: &[Snapshot]) -> String {
     let mut out = String::new();
     let mut last_name: Option<&str> = None;
     for snap in snapshots {
@@ -75,7 +75,7 @@ fn human(v: f64) -> String {
 }
 
 /// The end-of-run summary table printed by runners.
-pub fn summary(snapshots: &[Snapshot], events_written: u64, events_dropped: u64) -> String {
+pub(crate) fn summary(snapshots: &[Snapshot], events_written: u64, events_dropped: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== telemetry summary ==");
 

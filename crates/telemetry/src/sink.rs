@@ -180,7 +180,7 @@ pub fn render_line(ts: f64, event: &str, fields: &[(&str, Value)]) -> String {
 /// starts a fresh file, so long `anorsim` runs keep a bounded on-disk
 /// footprint.
 #[derive(Debug)]
-pub struct RotatingFile {
+pub(crate) struct RotatingFile {
     writer: BufWriter<File>,
     path: PathBuf,
     bytes: u64,
@@ -235,7 +235,7 @@ impl RotatingFile {
 
 /// Where serialized event lines go.
 #[derive(Debug)]
-pub enum EventSink {
+pub(crate) enum EventSink {
     /// Append to a size-rotated JSONL file.
     File(RotatingFile),
     /// Keep in memory (default; bounded by [`MEMORY_EVENT_CAP`]).
@@ -417,8 +417,8 @@ pub fn parse_line(line: &str, line_no: usize) -> std::io::Result<Event> {
             Some((_, '"')) => Value::Str(parse_string(&mut chars, line_no)?),
             Some((_, 't')) | Some((_, 'f')) | Some((_, 'n')) => {
                 let mut word = String::new();
-                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
-                    word.push(chars.next().unwrap().1);
+                while let Some((_, c)) = chars.next_if(|(_, c)| c.is_ascii_alphabetic()) {
+                    word.push(c);
                 }
                 match word.as_str() {
                     "true" => Value::Bool(true),
@@ -429,12 +429,10 @@ pub fn parse_line(line: &str, line_no: usize) -> std::io::Result<Event> {
             }
             Some(_) => {
                 let mut num = String::new();
-                while matches!(
-                    chars.peek(),
-                    Some((_, c)) if c.is_ascii_digit()
-                        || matches!(c, '-' | '+' | '.' | 'e' | 'E')
-                ) {
-                    num.push(chars.next().unwrap().1);
+                while let Some((_, c)) = chars.next_if(|(_, c)| {
+                    c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                }) {
+                    num.push(c);
                 }
                 let v: f64 = num
                     .parse()

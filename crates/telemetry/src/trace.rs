@@ -241,8 +241,8 @@ impl Ring {
         let cap = self.buf.capacity();
         if self.buf.len() < cap {
             self.buf.push(ev);
-        } else {
-            self.buf[self.head] = ev;
+        } else if let Some(slot) = self.buf.get_mut(self.head) {
+            *slot = ev;
             self.head = (self.head + 1) % cap;
         }
         self.pushed += 1;
@@ -250,9 +250,12 @@ impl Ring {
 
     /// Oldest-to-newest copy of the ring contents.
     fn snapshot(&self) -> Vec<TraceEvent> {
+        // `head` is always within bounds; clamp anyway so the flight
+        // recorder can never panic while dumping a postmortem.
+        let (newest, oldest) = self.buf.split_at(self.head.min(self.buf.len()));
         let mut out = Vec::with_capacity(self.buf.len());
-        out.extend_from_slice(&self.buf[self.head..]);
-        out.extend_from_slice(&self.buf[..self.head]);
+        out.extend_from_slice(oldest);
+        out.extend_from_slice(newest);
         out
     }
 }
