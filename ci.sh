@@ -21,9 +21,18 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+echo "==> perf smoke: perfsuite --quick"
+PERF_JSON="$SMOKE_DIR/bench.json"
+./target/release/perfsuite --quick --runs 1 --out "$PERF_JSON" >/dev/null
+grep -q '"bench"' "$PERF_JSON" && grep -q '"median_s"' "$PERF_JSON" \
+    || { echo "perf smoke: $PERF_JSON is missing bench results"; cat "$PERF_JSON"; exit 1; }
+
 echo "==> trace smoke: fig6 --trace + anor-trace"
-TRACE_DIR="$(mktemp -d)"
-trap 'rm -rf "$TRACE_DIR"' EXIT
+TRACE_DIR="$SMOKE_DIR/trace"
+mkdir "$TRACE_DIR"
 ANOR_QUICK=1 ./target/release/fig6 --trace "$TRACE_DIR" >/dev/null
 REPORT="$(./target/release/anor-trace "$TRACE_DIR")"
 echo "$REPORT" | grep -E "complete chains: [1-9][0-9]*" >/dev/null \

@@ -12,6 +12,7 @@ use anor_aqa::{
     candidate_grid, poisson_schedule, search_bid, Bid, BidEvaluation, CostModel, PowerTarget,
     RegulationSignal, TrackingConstraint,
 };
+use anor_exec::ExecPool;
 use anor_platform::PerformanceVariation;
 use anor_sim::{SimConfig, TabularSim};
 use anor_types::{QosDegradation, Result, Seconds, Watts};
@@ -34,6 +35,11 @@ pub struct BiddingConfig {
     pub grid_steps: usize,
     /// Determinism seed.
     pub seed: u64,
+    /// Worker threads for the candidate-grid search (0 = resolve from
+    /// `ANOR_JOBS` / available parallelism). The chosen bid is identical
+    /// for every value — candidates are evaluated with independent seeds
+    /// and compared in grid order.
+    pub jobs: usize,
 }
 
 impl BiddingConfig {
@@ -47,6 +53,7 @@ impl BiddingConfig {
             tracking: TrackingConstraint::default(),
             grid_steps: 4,
             seed,
+            jobs: 0,
         }
     }
 
@@ -113,17 +120,26 @@ pub fn evaluate_bid(cfg: &BiddingConfig, bid: &Bid) -> Result<BidEvaluation> {
 /// Choose the cheapest feasible bid for the next hour, or `None` when no
 /// candidate satisfies both constraints (the cluster then declines to
 /// offer reserve this hour).
+///
+/// Candidate evaluations are independent simulations, so they fan out
+/// over [`ExecPool`] (`cfg.jobs` workers); results come back in grid
+/// order and the cheapest-feasible comparison runs serially over them,
+/// so the chosen bid does not depend on the worker count.
 pub fn choose_hourly_bid(cfg: &BiddingConfig) -> Result<Option<Bid>> {
     let (avg_range, reserve_range) = cfg.candidate_ranges();
     let candidates = candidate_grid(avg_range, reserve_range, cfg.grid_steps);
+    let evals = ExecPool::new(cfg.jobs).map(&candidates, |bid| evaluate_bid(cfg, bid));
     let mut failure: Option<anor_types::AnorError> = None;
-    let chosen = search_bid(&candidates, &cfg.cost, |bid| match evaluate_bid(cfg, bid) {
-        Ok(e) => e,
-        Err(e) => {
-            failure = Some(e);
-            BidEvaluation {
-                qos_ok: false,
-                tracking_ok: false,
+    let mut next = evals.into_iter();
+    let chosen = search_bid(&candidates, &cfg.cost, |_| {
+        match next.next().expect("one evaluation per candidate") {
+            Ok(e) => e,
+            Err(e) => {
+                failure = Some(e);
+                BidEvaluation {
+                    qos_ok: false,
+                    tracking_ok: false,
+                }
             }
         }
     });
@@ -184,6 +200,10 @@ mod tests {
         // Deterministic.
         let again = choose_hourly_bid(&cfg).unwrap().unwrap();
         assert_eq!(bid, again);
+        // ...including across worker counts.
+        cfg.jobs = 3;
+        let parallel = choose_hourly_bid(&cfg).unwrap().unwrap();
+        assert_eq!(bid, parallel, "worker count must not change the bid");
     }
 
     #[test]

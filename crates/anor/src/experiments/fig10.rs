@@ -9,6 +9,7 @@
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_exec::ExecPool;
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::OnlineStats;
 use anor_types::{Result, Seconds, Watts};
@@ -70,6 +71,11 @@ pub struct Fig10Config {
     /// Optional causal tracer shared by the four policies' runs (the
     /// `--trace <dir>` path of the `fig10` binary).
     pub tracer: Option<Tracer>,
+    /// Worker threads for the four policies' emulated runs (0 = resolve
+    /// from `ANOR_JOBS` / available parallelism). Each policy's run is
+    /// seeded independently and results aggregate in legend order, so
+    /// the output is identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Fig10Config {
@@ -83,6 +89,7 @@ impl Default for Fig10Config {
             warmup: Seconds(180.0),
             telemetry: Telemetry::new(),
             tracer: None,
+            jobs: 0,
         }
     }
 }
@@ -213,10 +220,18 @@ pub fn run(cfg: &Fig10Config) -> Result<Fig10Output> {
         .iter()
         .map(|s| JobSetup::known(&catalog[s.type_id].name).at(s.time))
         .collect();
+    // The four policies replay the same schedule independently; fan them
+    // out and aggregate in legend order.
+    let policies = Fig10Policy::all();
+    let results = ExecPool::new(cfg.jobs)
+        .with_telemetry(&cfg.telemetry)
+        .map(&policies, |&policy| {
+            run_policy(policy, cfg, &jobs, &type_names)
+        });
     let mut cells = Vec::new();
     let mut tracking = Vec::new();
-    for policy in Fig10Policy::all() {
-        let (mut c, p90) = run_policy(policy, cfg, &jobs, &type_names)?;
+    for (policy, result) in policies.into_iter().zip(results) {
+        let (mut c, p90) = result?;
         cells.append(&mut c);
         tracking.push((policy, p90));
     }

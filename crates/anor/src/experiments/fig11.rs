@@ -6,6 +6,7 @@
 
 use crate::render::Series;
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal};
+use anor_exec::ExecPool;
 use anor_platform::PerformanceVariation;
 use anor_sim::{SimConfig, SimPowerPolicy, TabularSim};
 use anor_types::stats::OnlineStats;
@@ -28,6 +29,11 @@ pub struct Fig11Config {
     pub policy: SimPowerPolicy,
     /// Determinism seed.
     pub seed: u64,
+    /// Worker threads for the level × trial fan-out (0 = resolve from
+    /// `ANOR_JOBS` / available parallelism). Output is identical for
+    /// every value: trial seeds are independent of execution order and
+    /// aggregation runs serially over submission-ordered results.
+    pub jobs: usize,
 }
 
 impl Default for Fig11Config {
@@ -40,6 +46,7 @@ impl Default for Fig11Config {
             horizon: Seconds(7200.0),
             policy: SimPowerPolicy::Uniform,
             seed: 11,
+            jobs: 0,
         }
     }
 }
@@ -108,6 +115,7 @@ pub fn run(cfg: &Fig11Config) -> Result<Fig11Output> {
         crate::bidding::BiddingConfig::new(scfg_proto.clone(), cfg.utilization, cfg.seed ^ 0xb1dd);
     bid_cfg.horizon = (cfg.horizon * 0.5).max(Seconds(1800.0));
     bid_cfg.grid_steps = 4;
+    bid_cfg.jobs = cfg.jobs;
     let bid = crate::bidding::choose_hourly_bid(&bid_cfg)?;
     let (avg, reserve) = match bid {
         Some(b) => (b.avg_power, b.reserve),
@@ -121,47 +129,54 @@ pub fn run(cfg: &Fig11Config) -> Result<Fig11Output> {
     let mut per_type_stats: Vec<Vec<OnlineStats>> =
         vec![vec![OnlineStats::new(); cfg.levels.len()]; type_names.len()];
     let mut tracking_ok = vec![0usize; cfg.levels.len()];
-    for (li, &level) in cfg.levels.iter().enumerate() {
-        for trial in 0..cfg.trials {
-            let seed = cfg.seed ^ ((li as u64) << 16) ^ ((trial as u64) << 32);
-            let variation =
-                PerformanceVariation::with_level_percent(cfg.nodes as usize, level, seed);
-            let schedule = poisson_schedule(
-                &scfg_proto.catalog,
-                &scfg_proto.types,
-                cfg.utilization,
-                cfg.nodes,
-                cfg.horizon,
-                seed ^ 0xa11,
-            );
-            let target = PowerTarget {
-                avg,
-                reserve,
-                signal: RegulationSignal::random_walk(
-                    Seconds(4.0),
-                    0.35,
-                    cfg.horizon + Seconds(7200.0),
-                    seed ^ 0x9e9,
-                ),
-            };
-            let mut sim = TabularSim::new(scfg_proto.clone(), target, &variation, schedule, None);
-            // Tracking judged over the warm window only; the drain tail
-            // (arrivals stopped) is excluded by freeze.
-            sim.run_with_warmup(cfg.horizon * 0.1, cfg.horizon, cfg.horizon * 2.0);
-            let out = sim.outcome();
-            if out.tracking_within_30 >= 0.90 {
-                tracking_ok[li] += 1;
-            }
-            for (ti, name) in type_names.iter().enumerate() {
-                let qs: Vec<QosDegradation> = out
-                    .qos_by_type
-                    .iter()
-                    .filter(|(id, _)| &scfg_proto.catalog[*id].name == name)
-                    .flat_map(|(_, v)| v.iter().copied())
-                    .collect();
-                if let Some(p90) = scfg_proto.qos.percentile_degradation(&qs) {
-                    per_type_stats[ti][li].push(p90);
-                }
+    // Fan the (level, trial) grid out over the pool. Each trial's seed is
+    // a pure function of its grid position, and the pool returns results
+    // in submission order, so the serial aggregation below sees exactly
+    // the sequence the old nested loop produced.
+    let grid: Vec<(usize, usize)> = (0..cfg.levels.len())
+        .flat_map(|li| (0..cfg.trials).map(move |trial| (li, trial)))
+        .collect();
+    let trial_outcomes = ExecPool::new(cfg.jobs).map(&grid, |&(li, trial)| {
+        let level = cfg.levels[li];
+        let seed = cfg.seed ^ ((li as u64) << 16) ^ ((trial as u64) << 32);
+        let variation = PerformanceVariation::with_level_percent(cfg.nodes as usize, level, seed);
+        let schedule = poisson_schedule(
+            &scfg_proto.catalog,
+            &scfg_proto.types,
+            cfg.utilization,
+            cfg.nodes,
+            cfg.horizon,
+            seed ^ 0xa11,
+        );
+        let target = PowerTarget {
+            avg,
+            reserve,
+            signal: RegulationSignal::random_walk(
+                Seconds(4.0),
+                0.35,
+                cfg.horizon + Seconds(7200.0),
+                seed ^ 0x9e9,
+            ),
+        };
+        let mut sim = TabularSim::new(scfg_proto.clone(), target, &variation, schedule, None);
+        // Tracking judged over the warm window only; the drain tail
+        // (arrivals stopped) is excluded by freeze.
+        sim.run_with_warmup(cfg.horizon * 0.1, cfg.horizon, cfg.horizon * 2.0);
+        sim.outcome()
+    });
+    for (&(li, _), out) in grid.iter().zip(&trial_outcomes) {
+        if out.tracking_within_30 >= 0.90 {
+            tracking_ok[li] += 1;
+        }
+        for (ti, name) in type_names.iter().enumerate() {
+            let qs: Vec<QosDegradation> = out
+                .qos_by_type
+                .iter()
+                .filter(|(id, _)| &scfg_proto.catalog[*id].name == name)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            if let Some(p90) = scfg_proto.qos.percentile_degradation(&qs) {
+                per_type_stats[ti][li].push(p90);
             }
         }
     }

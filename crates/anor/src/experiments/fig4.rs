@@ -3,6 +3,7 @@
 //! even-slowdown (ideal) budgeter against even power caps.
 
 use crate::render::Series;
+use anor_exec::ExecPool;
 use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView};
 use anor_types::{standard_catalog, JobId, Watts};
 
@@ -20,23 +21,39 @@ pub fn budgets() -> Vec<f64> {
     (0..=15).map(|i| 1500.0 + 100.0 * i as f64).collect()
 }
 
-/// Run the analysis.
+/// Run the analysis with the default worker count.
 pub fn run() -> Fig4Output {
+    run_pooled(0)
+}
+
+/// Run the analysis fanning the budget sweep out over `jobs` workers
+/// (0 = resolve from `ANOR_JOBS` / available parallelism). Each budget
+/// point is an independent assignment; results come back in sweep order
+/// and series assembly is serial, so output is identical for any count.
+pub fn run_pooled(jobs: usize) -> Fig4Output {
     let catalog = standard_catalog();
     let views: Vec<JobView> = catalog
         .iter()
         .map(|spec| JobView::from_spec(JobId(spec.id.0 as u64), spec))
         .collect();
-    let sweep = |b: &dyn Budgeter| -> Vec<Series> {
+    let pool = ExecPool::new(jobs);
+    let budget_points = budgets();
+    let sweep = |b: &(dyn Budgeter + Sync)| -> Vec<Series> {
+        let rows = pool.map(&budget_points, |&budget| {
+            let caps = b.assign(Watts(budget), &views);
+            views
+                .iter()
+                .zip(&caps)
+                // Slowdown as % above uncapped, like the figure's y axis.
+                .map(|(view, cap)| (view.believed_slowdown(*cap) - 1.0) * 100.0)
+                .collect::<Vec<f64>>()
+        });
         let mut per_type: Vec<Series> = catalog
             .iter()
             .map(|s| Series::new(s.name.clone()))
             .collect();
-        for budget in budgets() {
-            let caps = b.assign(Watts(budget), &views);
-            for ((view, cap), series) in views.iter().zip(&caps).zip(&mut per_type) {
-                // Slowdown as % above uncapped, like the figure's y axis.
-                let slowdown = (view.believed_slowdown(*cap) - 1.0) * 100.0;
+        for (&budget, row) in budget_points.iter().zip(rows) {
+            for (slowdown, series) in row.into_iter().zip(&mut per_type) {
                 series.push(budget, slowdown, 0.0);
             }
         }

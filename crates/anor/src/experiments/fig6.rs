@@ -5,7 +5,9 @@
 //! feedback, and SP's sensitivity over-estimated (classified as EP)
 //! without and with feedback. The paper uses 3 trials.
 
-use super::hw::{run_configs, run_configs_traced, run_configs_with, HwBar, HwConfig};
+use super::hw::{
+    run_configs, run_configs_pooled, run_configs_traced, run_configs_with, HwBar, HwConfig,
+};
 use anor_cluster::{BudgetPolicy, JobSetup};
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::Result;
@@ -84,6 +86,19 @@ pub fn run_traced(
     tracer: Option<&Tracer>,
 ) -> Result<Vec<HwBar>> {
     run_configs_traced(&configs(), trials, seed, telemetry, tracer)
+}
+
+/// [`run_traced`] with an explicit worker count for the trial fan-out
+/// (0 = resolve from `ANOR_JOBS` / available parallelism); output is
+/// identical for every value.
+pub fn run_pooled(
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+) -> Result<Vec<HwBar>> {
+    run_configs_pooled(&configs(), trials, seed, telemetry, tracer, jobs)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! trials.
 
 use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_exec::ExecPool;
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::{mean, std_dev};
 use anor_types::{Result, Watts};
@@ -75,27 +76,62 @@ pub fn run_configs_traced(
     telemetry: &Telemetry,
     tracer: Option<&Tracer>,
 ) -> Result<Vec<HwBar>> {
-    let mut bars = Vec::with_capacity(configs.len());
-    for cfg in configs {
-        // Per-job slowdown samples across trials.
-        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.jobs.len()];
-        for trial in 0..trials {
-            let mut ecfg =
-                EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
-            if let Some(t) = tracer {
-                ecfg = ecfg.with_tracer(t.clone());
-            }
-            ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
-            let cluster = EmulatedCluster::new(ecfg);
-            let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;
-            for (i, job) in report.jobs.iter().enumerate() {
-                samples[i].push((job.slowdown - 1.0) * 100.0);
-            }
+    run_configs_pooled(configs, trials, seed, telemetry, tracer, 0)
+}
+
+/// [`run_configs_traced`] with an explicit worker count (0 = resolve
+/// from `ANOR_JOBS` / available parallelism).
+///
+/// Every (configuration, trial) cell is an independent emulated-cluster
+/// run — each binds its own ephemeral loopback ports and seeds from the
+/// trial index alone — so the grid fans out over [`ExecPool`]. Results
+/// return in submission order and the per-configuration aggregation
+/// below runs serially over them, so the bars are identical for every
+/// worker count.
+pub fn run_configs_pooled(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+) -> Result<Vec<HwBar>> {
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
+        .collect();
+    let pool = ExecPool::new(jobs).with_telemetry(telemetry);
+    let trial_results = pool.map(&grid, |&(ci, trial)| -> Result<Vec<f64>> {
+        let cfg = &configs[ci];
+        let mut ecfg =
+            EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
+        if let Some(t) = tracer {
+            ecfg = ecfg.with_tracer(t.clone());
         }
+        ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
+        let cluster = EmulatedCluster::new(ecfg);
+        let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;
+        Ok(report
+            .jobs
+            .iter()
+            .map(|job| (job.slowdown - 1.0) * 100.0)
+            .collect())
+    });
+    // Per-config, per-job slowdown samples across trials, in trial order.
+    let mut samples: Vec<Vec<Vec<f64>>> = configs
+        .iter()
+        .map(|cfg| vec![Vec::new(); cfg.jobs.len()])
+        .collect();
+    for (&(ci, _), result) in grid.iter().zip(trial_results) {
+        for (i, x) in result?.into_iter().enumerate() {
+            samples[ci][i].push(x);
+        }
+    }
+    let mut bars = Vec::with_capacity(configs.len());
+    for (cfg, samples) in configs.iter().zip(&samples) {
         let jobs = cfg
             .jobs
             .iter()
-            .zip(&samples)
+            .zip(samples)
             .map(|(setup, xs)| {
                 let display = if setup.true_type == setup.announced {
                     setup.true_type.clone()

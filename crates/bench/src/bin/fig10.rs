@@ -4,7 +4,8 @@
 //! error summary of Section 6.3.
 
 use anor_bench::{
-    finish_telemetry, finish_tracer, header, scaled, telemetry_from_args, tracer_from_args,
+    finish_telemetry, finish_tracer, header, jobs_from_args, scaled, telemetry_from_args,
+    tracer_from_args,
 };
 use anor_core::experiments::fig10::{self, Fig10Config, Fig10Policy};
 use anor_types::Seconds;
@@ -20,6 +21,7 @@ fn main() {
         horizon: scaled(Seconds(3600.0), Seconds(900.0)),
         telemetry: telemetry.clone(),
         tracer: tracer.clone(),
+        jobs: jobs_from_args(),
         ..Fig10Config::default()
     };
     let out = fig10::run(&cfg).expect("demand-response run failed");

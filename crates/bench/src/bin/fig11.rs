@@ -1,7 +1,7 @@
 //! Regenerates Fig. 11: 90th-percentile QoS degradation vs per-node
 //! performance-variation level on the simulated 1000-node cluster.
 
-use anor_bench::{header, quick_mode};
+use anor_bench::{header, jobs_from_args, quick_mode};
 use anor_core::experiments::fig11::{self, Fig11Config};
 use anor_core::render::render_table;
 
@@ -10,11 +10,12 @@ fn main() {
         "Fig. 11",
         "90th-percentile QoS degradation vs performance variation (1000 nodes)",
     );
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         Fig11Config::quick()
     } else {
         Fig11Config::default()
     };
+    cfg.jobs = jobs_from_args();
     let out = fig11::run(&cfg).expect("simulation failed");
     println!(
         "{}",

@@ -2,7 +2,7 @@
 //! one instance under a range of shared power budgets, comparing the
 //! even-slowdown (ideal) and even-power-caps budgeters.
 
-use anor_bench::header;
+use anor_bench::{header, jobs_from_args};
 use anor_core::experiments::fig4;
 use anor_core::render::render_table;
 
@@ -11,7 +11,7 @@ fn main() {
         "Fig. 4",
         "Job slowdown (%) vs shared cluster budget, two budgeters",
     );
-    let out = fig4::run();
+    let out = fig4::run_pooled(jobs_from_args());
     println!(
         "{}",
         render_table(

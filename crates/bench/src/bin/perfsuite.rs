@@ -1,0 +1,202 @@
+//! The benchmark trajectory harness: times the workloads this PR's
+//! optimizations target and appends the medians to a `BENCH_PR<N>.json`
+//! at the repo root, so successive PRs accumulate a perf trajectory
+//! (schema documented in DESIGN.md § Performance).
+//!
+//! ```text
+//! perfsuite [--quick] [--out PATH] [--runs K]
+//! ```
+//!
+//! Benches:
+//! - `fig11_small` at `--jobs 1` and `--jobs 8`: the level × trial
+//!   fan-out plus the embedded hourly-bid grid search, end to end. The
+//!   jobs=8/jobs=1 ratio is the executor's measured speedup and scales
+//!   with the host's cores (1.0 on a single-core machine).
+//! - `fig4`: the analytic budget sweep.
+//! - `sim_step_1000x600`: 600 simulated seconds of a 1000-node
+//!   `TabularSim` at 75% utilization — the per-tick hot path.
+//!
+//! Each bench reports the median of K runs (default 5; 3 with
+//! `--quick`, which also shrinks the fig11 scenario).
+
+use anor_core::aqa::{poisson_schedule, PowerTarget, RegulationSignal};
+use anor_core::experiments::{fig11, fig4};
+use anor_core::platform::PerformanceVariation;
+use anor_core::sim::{SimConfig, SimPowerPolicy, TabularSim};
+use anor_core::types::{QosConstraint, Seconds, Watts};
+use std::time::Instant;
+
+struct BenchResult {
+    bench: String,
+    median_s: f64,
+    runs: usize,
+    jobs: usize,
+}
+
+/// Median wall-clock seconds over `runs` invocations.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn fig11_small(quick: bool, jobs: usize) -> fig11::Fig11Config {
+    if quick {
+        fig11::Fig11Config {
+            nodes: 40,
+            trials: 2,
+            levels: vec![0.0, 30.0],
+            horizon: Seconds(600.0),
+            jobs,
+            ..fig11::Fig11Config::default()
+        }
+    } else {
+        fig11::Fig11Config {
+            nodes: 150,
+            trials: 4,
+            levels: vec![0.0, 10.0, 20.0, 30.0],
+            horizon: Seconds(900.0),
+            jobs,
+            ..fig11::Fig11Config::default()
+        }
+    }
+}
+
+/// One 1000-node, 600-tick simulator run (the hot-path bench body).
+fn sim_step_loop(nodes: u32, ticks: usize) {
+    let catalog = anor_core::types::standard_catalog().scale_nodes((nodes / 40).max(1));
+    let types = catalog.long_running();
+    let cfg = SimConfig {
+        total_nodes: nodes,
+        idle_power: Watts(90.0),
+        catalog,
+        types,
+        tick: Seconds(1.0),
+        policy: SimPowerPolicy::EvenSlowdown,
+        qos: QosConstraint::default(),
+        qos_risk_threshold: 0.8,
+    };
+    let schedule = poisson_schedule(
+        &cfg.catalog,
+        &cfg.types,
+        0.75,
+        nodes,
+        Seconds(ticks as f64),
+        42,
+    );
+    let mean_draw: f64 = cfg
+        .types
+        .iter()
+        .map(|&id| cfg.catalog[id].max_draw.value())
+        .sum::<f64>()
+        / cfg.types.len() as f64;
+    let avg = Watts(nodes as f64 * (0.75 * mean_draw + 0.25 * 90.0)) * 0.85;
+    let target = PowerTarget {
+        avg,
+        reserve: avg * 0.12,
+        signal: RegulationSignal::random_walk(Seconds(4.0), 0.35, Seconds(7200.0), 7),
+    };
+    let variation = PerformanceVariation::with_sigma(nodes as usize, 0.05, 13);
+    let mut sim = TabularSim::new(cfg, target, &variation, schedule, None);
+    for _ in 0..ticks {
+        sim.step();
+    }
+    assert!(sim.measured_power().value() > 0.0);
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"median_s\": {:.6}, \"runs\": {}, \"jobs\": {}}}{}\n",
+            json_escape(&r.bench),
+            r.median_s,
+            r.runs,
+            r.jobs,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let runs = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(if quick { 3 } else { 5 });
+
+    anor_bench::header(
+        "perfsuite",
+        "Benchmark trajectory harness (medians land in BENCH_PR4.json)",
+    );
+    let mut results = Vec::new();
+    for jobs in [1usize, 8] {
+        let cfg = fig11_small(quick, jobs);
+        let median = median_secs(runs, || {
+            fig11::run(&cfg).expect("fig11 run failed");
+        });
+        println!("fig11_small --jobs {jobs}: median {median:.3} s over {runs} run(s)");
+        results.push(BenchResult {
+            bench: "fig11_small".to_string(),
+            median_s: median,
+            runs,
+            jobs,
+        });
+    }
+    let serial = results[0].median_s;
+    let parallel = results[1].median_s;
+    println!(
+        "fig11_small speedup at --jobs 8: {:.2}x (scales with available cores)",
+        serial / parallel.max(1e-9)
+    );
+
+    let median = median_secs(runs, || {
+        let out = fig4::run_pooled(1);
+        assert_eq!(out.even_slowdown.len(), 8);
+    });
+    println!("fig4: median {median:.3} s over {runs} run(s)");
+    results.push(BenchResult {
+        bench: "fig4".to_string(),
+        median_s: median,
+        runs,
+        jobs: 1,
+    });
+
+    let (nodes, ticks) = if quick { (1000, 200) } else { (1000, 600) };
+    let median = median_secs(runs, || sim_step_loop(nodes, ticks));
+    println!("sim_step_{nodes}x{ticks}: median {median:.3} s over {runs} run(s)");
+    results.push(BenchResult {
+        bench: format!("sim_step_{nodes}x{ticks}"),
+        median_s: median,
+        runs,
+        jobs: 1,
+    });
+
+    match write_json(&out_path, &results) {
+        Ok(()) => println!("\nwrote {} result(s) to {out_path}", results.len()),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -41,6 +41,29 @@ pub fn header(figure: &str, summary: &str) {
     println!();
 }
 
+/// Parse a `--jobs N` command-line option for the experiment fan-out
+/// worker count. Returns 0 when absent or malformed, which lets
+/// [`anor_exec`] fall back to `ANOR_JOBS` and then the machine's
+/// available parallelism. Output is identical for every value — `--jobs`
+/// only changes wall-clock time.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next() {
+                match n.parse::<usize>() {
+                    Ok(n) => return n,
+                    Err(_) => {
+                        eprintln!("--jobs {n}: not a number; using automatic worker count");
+                        return 0;
+                    }
+                }
+            }
+        }
+    }
+    0
+}
+
 /// Build the run's [`Telemetry`](anor_telemetry::Telemetry) sink from a
 /// `--telemetry <dir>` command-line option: directory-backed when the
 /// option is present (events stream to `<dir>/events.jsonl`), in-memory

@@ -1,0 +1,292 @@
+//! `anor-exec` — deterministic parallel fan-out for trial grids.
+//!
+//! Every multi-trial experiment in this workspace (Fig. 11's level×trial
+//! grid, the Fig. 6–8/10 emulated-cluster repetitions, the hourly-bid
+//! candidate search) derives its per-trial seeds independently of
+//! execution order, so the trials are embarrassingly parallel — but the
+//! *aggregation* of their results is order-sensitive (floating-point
+//! means, confidence intervals, first-feasible searches). [`ExecPool`]
+//! exploits the first property without disturbing the second: tasks run
+//! on a scoped-thread worker pool and results are always returned **in
+//! submission order**, so figure output is byte-identical to a serial
+//! run. `ExecPool::new(1)` degenerates to an exact in-place serial loop
+//! (no threads are spawned at all).
+//!
+//! Worker count resolution, everywhere in the workspace: an explicit
+//! `--jobs N` flag beats the `ANOR_JOBS` environment variable beats the
+//! machine's available parallelism.
+//!
+//! # Determinism contract
+//!
+//! For a task function `f` that depends only on its index (not on shared
+//! mutable state, wall-clock time, or scheduling order),
+//! `pool.run(n, f)` returns exactly `(0..n).map(f).collect()` for every
+//! worker count. The pool guarantees:
+//!
+//! * every index in `0..n` is executed exactly once;
+//! * `run` returns results indexed by submission order, not completion
+//!   order;
+//! * panics in a task propagate to the caller (no result is silently
+//!   dropped).
+//!
+//! # Telemetry
+//!
+//! [`ExecPool::with_telemetry`] records a per-task wall-time histogram
+//! (`exec_task_seconds`), the configured worker count
+//! (`exec_workers`), a task counter (`exec_tasks_total`) and, after each
+//! `run`, the achieved worker utilization (`exec_worker_utilization`,
+//! total busy time over `workers × batch wall time`).
+
+use anor_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Resolve a worker count: `requested` if non-zero, else the `ANOR_JOBS`
+/// environment variable, else the machine's available parallelism.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("ANOR_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Cached metric handles (see the module docs for the metric names).
+#[derive(Debug, Clone)]
+struct ExecInstruments {
+    task_seconds: Histogram,
+    workers: Gauge,
+    tasks_total: Counter,
+    utilization: Gauge,
+}
+
+/// A deterministic worker pool. Cheap to construct per batch; holds no
+/// threads between [`ExecPool::run`] calls (workers are scoped to each
+/// batch).
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    jobs: usize,
+    instruments: Option<ExecInstruments>,
+}
+
+impl Default for ExecPool {
+    /// `ANOR_JOBS` / available parallelism (see [`resolve_jobs`]).
+    fn default() -> Self {
+        ExecPool::from_env()
+    }
+}
+
+impl ExecPool {
+    /// A pool with an explicit worker count (`0` = resolve from the
+    /// environment like [`ExecPool::from_env`]).
+    pub fn new(jobs: usize) -> Self {
+        ExecPool {
+            jobs: resolve_jobs(jobs),
+            instruments: None,
+        }
+    }
+
+    /// A pool sized by `ANOR_JOBS` or the machine's parallelism.
+    pub fn from_env() -> Self {
+        ExecPool::new(0)
+    }
+
+    /// The exact-serial pool: tasks run inline, in order, on the calling
+    /// thread.
+    pub fn serial() -> Self {
+        ExecPool {
+            jobs: 1,
+            instruments: None,
+        }
+    }
+
+    /// Record per-task timings and worker utilization into `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        let i = ExecInstruments {
+            task_seconds: telemetry.histogram("exec_task_seconds", &[]),
+            workers: telemetry.gauge("exec_workers", &[]),
+            tasks_total: telemetry.counter("exec_tasks_total", &[]),
+            utilization: telemetry.gauge("exec_worker_utilization", &[]),
+        };
+        i.workers.set(self.jobs as f64);
+        self.instruments = Some(i);
+        self
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f(0), f(1), …, f(n-1)` across the pool and return the results
+    /// in index order. With one worker (or one task) this is a plain
+    /// serial loop on the calling thread.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let batch_start = Instant::now();
+        let busy_nanos = AtomicU64::new(0);
+        let out = if self.jobs <= 1 || n <= 1 {
+            (0..n).map(|i| self.timed(i, &f, &busy_nanos)).collect()
+        } else {
+            self.run_threaded(n, &f, &busy_nanos)
+        };
+        if let Some(ins) = &self.instruments {
+            let wall = batch_start.elapsed().as_secs_f64();
+            let busy = busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+            let workers = self.jobs.min(n.max(1)) as f64;
+            if wall > 0.0 {
+                ins.utilization.set(busy / (workers * wall));
+            }
+        }
+        out
+    }
+
+    /// Map over a slice, preserving order (convenience over [`Self::run`]).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    fn run_threaded<T, F>(&self, n: usize, f: &F, busy_nanos: &AtomicU64) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(n);
+        let next = AtomicUsize::new(0);
+        // One slot per task: workers claim indices from the shared
+        // counter and deposit results by index, so collection order is
+        // submission order regardless of completion order. Each slot has
+        // its own lock; a slot lock is only ever held for the deposit
+        // store (never across another acquisition or a blocking call).
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.timed(i, f, busy_nanos);
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        // The scope above joins every worker (propagating any panic), so
+        // each slot is filled exactly once.
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|| unreachable!("joined worker left an empty slot"))
+            })
+            .collect()
+    }
+
+    fn timed<T, F>(&self, i: usize, f: &F, busy_nanos: &AtomicU64) -> T
+    where
+        F: Fn(usize) -> T,
+    {
+        match &self.instruments {
+            None => f(i),
+            Some(ins) => {
+                let start = Instant::now();
+                let out = f(i);
+                let elapsed = start.elapsed();
+                ins.task_seconds.observe(elapsed.as_secs_f64());
+                ins.tasks_total.inc();
+                busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_submission_order_for_any_worker_count() {
+        let serial: Vec<u64> = (0..37).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
+        for jobs in [1, 2, 4, 8, 16] {
+            let pool = ExecPool::new(jobs);
+            let got = pool.run(37, |i| (i as u64).wrapping_mul(0x9e37));
+            assert_eq!(got, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ExecPool::new(7);
+        pool.run(100, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<i32> = (0..20).collect();
+        let pool = ExecPool::new(3);
+        let got = pool.map(&items, |x| x * 2);
+        assert_eq!(got, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_jobs_are_fine() {
+        let pool = ExecPool::new(0); // resolved from env/machine
+        assert!(pool.jobs() >= 1);
+        let got: Vec<u32> = pool.run(0, |_| 1);
+        assert!(got.is_empty());
+        assert_eq!(ExecPool::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn explicit_jobs_beats_env() {
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn telemetry_records_tasks_and_workers() {
+        let t = Telemetry::new();
+        let pool = ExecPool::new(4).with_telemetry(&t);
+        let _ = pool.run(10, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i
+        });
+        assert_eq!(t.counter("exec_tasks_total", &[]).get(), 10);
+        assert_eq!(t.histogram("exec_task_seconds", &[]).count(), 10);
+        assert_eq!(t.gauge("exec_workers", &[]).get(), 4.0);
+        let util = t.gauge("exec_worker_utilization", &[]).get();
+        assert!(util > 0.0 && util <= 1.0 + 1e-9, "utilization {util}");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ExecPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(r.is_err(), "panic in a task must reach the caller");
+    }
+}

@@ -26,8 +26,12 @@ pub struct HistoryRow {
     pub completed_jobs: u32,
 }
 
-/// Write rows as CSV with a header.
-pub fn write_history_csv(w: &mut impl Write, rows: &[HistoryRow]) -> std::io::Result<()> {
+/// Write rows as CSV with a header. Accepts any row iterator (slice,
+/// `Vec`, or the simulator's ring-buffered `VecDeque` history).
+pub fn write_history_csv<'a>(
+    w: &mut impl Write,
+    rows: impl IntoIterator<Item = &'a HistoryRow>,
+) -> std::io::Result<()> {
     writeln!(
         w,
         "time_s,target_w,measured_w,busy_nodes,pending_jobs,running_jobs,completed_jobs"

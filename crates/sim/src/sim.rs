@@ -21,11 +21,12 @@ use crate::table::{node_power, progress_rate, JobRow, NodeRow};
 use anor_aqa::{JobSubmission, PendingView, PowerTarget, QueueScheduler, TrackingRecorder};
 use anor_platform::PerformanceVariation;
 use anor_policy::JobView;
-use anor_telemetry::{CauseId, Gauge, Histogram, Telemetry, Timer, TraceStage, Tracer};
+use anor_telemetry::{CauseId, Gauge, Histogram, Telemetry, TraceStage, Tracer};
 use anor_types::{
     Catalog, JobId, JobTypeId, NodeId, QosConstraint, QosDegradation, Seconds, Watts,
 };
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Static configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -77,6 +78,10 @@ pub struct SimOutcome {
     pub completed: u32,
     /// Jobs still running or queued at the end.
     pub unfinished: u32,
+    /// Completed jobs whose `type_id` is not in `cfg.types`: they have a
+    /// QoS row but no `qos_by_type` slot to aggregate it into. Also
+    /// counted into the `sim_qos_rows_dropped_total` telemetry counter.
+    pub dropped: u32,
     /// 90th-percentile tracking error.
     pub tracking_p90: f64,
     /// Fraction of samples within the 30% error limit.
@@ -95,6 +100,16 @@ struct SimInstruments {
 }
 
 /// The simulator.
+///
+/// The per-tick hot path is incremental: idle/busy node counts, the
+/// per-type busy-node usage table, the pending-queue views and the total
+/// busy-node power draw are all maintained at state transitions (job
+/// start, job completion, re-cap) instead of being recomputed by
+/// full-table rescans every tick. Each busy node also caches its
+/// progress rate and power draw, which only change when its cap does, so
+/// the steady-state tick cost is O(busy nodes) for progress integration
+/// plus O(running + pending jobs) for the policy stages — not the
+/// 3–4 full node-table walks the naive loop needed.
 #[derive(Debug)]
 pub struct TabularSim {
     cfg: SimConfig,
@@ -104,10 +119,25 @@ pub struct TabularSim {
     jobs: Vec<JobRow>,
     schedule: VecDeque<JobSubmission>,
     pending: Vec<JobId>,
+    /// Scheduler views parallel to `pending` (same order, same length).
+    pending_views: Vec<PendingView>,
     running: Vec<JobId>,
+    /// Nodes with no job assigned. Invariant: equals a from-scratch
+    /// recount of `nodes[i].is_idle()` after every public call.
+    idle_count: u32,
+    /// Busy nodes per type (indexed by `JobTypeId::index()`). Invariant:
+    /// equals a recount over running jobs after every public call.
+    type_usage: Vec<u32>,
+    /// Sum of `node.power` over busy nodes (idle nodes draw
+    /// `cfg.idle_power` each, accounted separately via `idle_count`).
+    busy_power: Watts,
+    /// Platform-wide minimum cap (admission floor), cached from the
+    /// catalog at construction.
+    min_cap: Watts,
     time: Seconds,
     tracking: TrackingRecorder,
-    history: Vec<HistoryRow>,
+    history: VecDeque<HistoryRow>,
+    history_cap: Option<usize>,
     record_history: bool,
     completed: u32,
     measured_power: Watts,
@@ -143,8 +173,17 @@ impl TabularSim {
             .iter()
             .next()
             .map_or(Watts(280.0), |t| t.cap_range.max);
-        let nodes = (0..cfg.total_nodes)
-            .map(|i| NodeRow::idle(variation.coeff(NodeId(i)), tdp))
+        let min_cap = cfg
+            .catalog
+            .iter()
+            .next()
+            .map_or(Watts(140.0), |t| t.cap_range.min);
+        let nodes: Vec<NodeRow> = (0..cfg.total_nodes)
+            .map(|i| {
+                let mut n = NodeRow::idle(variation.coeff(NodeId(i)), tdp);
+                n.power = cfg.idle_power;
+                n
+            })
             .collect();
         let scheduler = QueueScheduler::new(
             weights.unwrap_or_else(|| vec![1.0; cfg.catalog.len()]),
@@ -157,10 +196,16 @@ impl TabularSim {
             jobs: Vec::new(),
             schedule: schedule.into(),
             pending: Vec::new(),
+            pending_views: Vec::new(),
             running: Vec::new(),
+            idle_count: cfg.total_nodes,
+            type_usage: vec![0; cfg.catalog.len()],
+            busy_power: Watts::ZERO,
+            min_cap,
             time: Seconds::ZERO,
             tracking: TrackingRecorder::new(reserve),
-            history: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: None,
             record_history: false,
             completed: 0,
             measured_power: Watts::ZERO,
@@ -203,9 +248,27 @@ impl TabularSim {
     }
 
     /// Enable per-tick history retention (off by default to keep long
-    /// runs lean).
+    /// runs lean). Retention is unbounded; the buffer is pre-sized so
+    /// steady-state appends don't reallocate.
     pub fn record_history(&mut self, on: bool) {
         self.record_history = on;
+        if on && self.history.capacity() == 0 {
+            self.history.reserve(4096);
+        }
+    }
+
+    /// Enable history retention bounded to the most recent `cap` rows
+    /// (a ring buffer: older rows are discarded as new ticks arrive).
+    /// `history()` still yields rows in chronological order.
+    pub fn record_history_capped(&mut self, cap: usize) {
+        let cap = cap.max(1);
+        self.record_history = true;
+        self.history_cap = Some(cap);
+        self.history
+            .reserve(cap.saturating_sub(self.history.capacity()));
+        while self.history.len() > cap {
+            self.history.pop_front();
+        }
     }
 
     /// Current simulated time.
@@ -263,8 +326,10 @@ impl TabularSim {
         self.run(horizon, max_drain);
     }
 
-    /// Retained history rows (empty unless enabled).
-    pub fn history(&self) -> &[HistoryRow] {
+    /// Retained history rows in chronological order (empty unless
+    /// enabled). A `VecDeque` because capped retention drops from the
+    /// front; it indexes and iterates like a slice.
+    pub fn history(&self) -> &VecDeque<HistoryRow> {
         &self.history
     }
 
@@ -278,33 +343,40 @@ impl TabularSim {
         &self.nodes
     }
 
+    /// Incrementally-maintained count of idle nodes. Always equals
+    /// `self.nodes().iter().filter(|n| n.is_idle()).count()`; the
+    /// property tests assert this invariant under random schedules.
+    pub fn idle_nodes(&self) -> u32 {
+        self.idle_count
+    }
+
+    /// Incrementally-maintained busy-node count per type (indexed like
+    /// the catalog). Always equals a recount over running jobs.
+    pub fn type_usage(&self) -> &[u32] {
+        &self.type_usage
+    }
+
+    /// The incrementally-maintained cluster power aggregate as of the
+    /// latest table state (unlike [`measured_power`](Self::measured_power),
+    /// which is the start-of-tick snapshot the tracking loop observes).
+    /// Always equals the sum of `node.power` over the node table, modulo
+    /// float rounding; the property tests assert this invariant.
+    pub fn aggregate_power(&self) -> Watts {
+        self.cfg.idle_power * self.idle_count as f64 + self.busy_power
+    }
+
     /// Advance one tick.
     pub fn step(&mut self) {
-        let _timer = self
-            .instruments
-            .as_ref()
-            .map(|i| Timer::start(i.tick.clone()));
+        let tick_start = self.instruments.as_ref().map(|_| Instant::now());
         let dt = self.cfg.tick;
         self.time += dt;
         // --- Stage 1: node update (uses caps set during the previous
-        // tick's policy stage).
-        let mut measured = Watts::ZERO;
-        for node in &mut self.nodes {
-            match node.job {
-                None => {
-                    node.power = self.cfg.idle_power;
-                }
-                Some(job_id) => {
-                    let row = &self.jobs[job_id.0 as usize];
-                    let spec = &self.cfg.catalog[row.type_id];
-                    node.power = node_power(spec, node.cap);
-                    node.progress = (node.progress
-                        + progress_rate(spec, node.cap, node.perf_coeff) * dt.value())
-                    .min(1.0);
-                }
-            }
-            measured += node.power;
-        }
+        // tick's policy stage). Idle nodes draw constant idle power and
+        // a busy node's draw/rate only change when its cap does, so
+        // measured power is an O(1) read of the maintained aggregates
+        // and the table update is one fused progress-plus-completion
+        // pass over the busy nodes only.
+        let measured = self.cfg.idle_power * self.idle_count as f64 + self.busy_power;
         self.measured_power = measured;
         if self.observe_pending {
             self.observe_pending = false;
@@ -318,20 +390,33 @@ impl TabularSim {
                 );
             }
         }
-        // Completion detection: every node of the job at 100%.
+        // Progress integration + completion detection (every node of the
+        // job at 100%), one pass over running jobs.
+        let dtv = dt.value();
         let mut still_running = Vec::with_capacity(self.running.len());
         for &job_id in &self.running {
-            let done = self.jobs[job_id.0 as usize]
-                .nodes
-                .iter()
-                .all(|n| self.nodes[n.index()].progress >= 1.0);
+            let row = &self.jobs[job_id.0 as usize];
+            let mut done = true;
+            for n in &row.nodes {
+                let node = &mut self.nodes[n.index()];
+                node.progress = (node.progress + node.rate * dtv).min(1.0);
+                if node.progress < 1.0 {
+                    done = false;
+                }
+            }
             if done {
                 let row = &mut self.jobs[job_id.0 as usize];
                 row.end = Some(self.time);
+                self.type_usage[row.type_id.index()] =
+                    self.type_usage[row.type_id.index()].saturating_sub(row.nodes.len() as u32);
+                self.idle_count += row.nodes.len() as u32;
                 for n in &row.nodes {
                     let node = &mut self.nodes[n.index()];
+                    self.busy_power -= node.power;
                     node.job = None;
                     node.progress = 0.0;
+                    node.rate = 0.0;
+                    node.power = self.cfg.idle_power;
                 }
                 self.completed += 1;
             } else {
@@ -339,12 +424,18 @@ impl TabularSim {
             }
         }
         self.running = still_running;
+        if self.running.is_empty() {
+            // Re-anchor the float aggregate whenever the cluster drains
+            // so incremental add/sub rounding can never accumulate.
+            self.busy_power = Watts::ZERO;
+        }
         // --- Stage 2: cluster view.
         let target_now = self.target.at(self.time);
         if !self.tracking_frozen {
             self.tracking.push(target_now, measured);
         }
-        // Admit arrivals.
+        // Admit arrivals (the scheduler view is maintained alongside the
+        // queue so the policy stage never rebuilds it).
         while self
             .schedule
             .front()
@@ -356,17 +447,27 @@ impl TabularSim {
             let id = JobId(self.jobs.len() as u64);
             self.jobs.push(JobRow::queued(id, s.type_id, s.time));
             self.pending.push(id);
+            self.pending_views.push(PendingView {
+                type_id: s.type_id,
+                nodes: self.cfg.catalog[s.type_id].nodes,
+                submit: s.time,
+            });
         }
         // --- Stage 3: schedule jobs, then cap power (effective next tick).
         self.schedule_jobs(target_now, measured);
         self.cap_power(target_now);
         // --- Stage 4: history append.
         if self.record_history {
-            self.history.push(HistoryRow {
+            if let Some(cap) = self.history_cap {
+                if self.history.len() >= cap {
+                    self.history.pop_front();
+                }
+            }
+            self.history.push_back(HistoryRow {
                 time: self.time,
                 target: target_now,
                 measured,
-                busy_nodes: self.nodes.iter().filter(|n| !n.is_idle()).count() as u32,
+                busy_nodes: self.cfg.total_nodes - self.idle_count,
                 pending_jobs: self.pending.len() as u32,
                 running_jobs: self.running.len() as u32,
                 completed_jobs: self.completed,
@@ -378,6 +479,9 @@ impl TabularSim {
             i.running_jobs.set(self.running.len() as f64);
             i.history_rows.set(self.history.len() as f64);
             i.measured_watts.set(measured.value());
+            if let Some(start) = tick_start {
+                i.tick.observe(start.elapsed().as_secs_f64());
+            }
         }
     }
 
@@ -394,44 +498,26 @@ impl TabularSim {
         // absorbed by the capping stage, so admission never blocks a
         // reachable target (the paper's "high degree of power sharing"),
         // while a genuinely low target defers scheduling (AQA's primary
-        // power lever, Section 6.4).
-        let min_cap = self
-            .cfg
-            .catalog
-            .iter()
-            .next()
-            .map_or(Watts(140.0), |t| t.cap_range.min);
-        let mut busy_nodes: u32 = self.nodes.iter().filter(|n| !n.is_idle()).count() as u32;
+        // power lever, Section 6.4). The idle count, per-type usage and
+        // pending views are maintained incrementally, so one admission
+        // attempt costs the scheduler's O(pending) selection — not a
+        // rebuild of every table.
+        let min_cap = self.min_cap;
         loop {
-            let idle = self.nodes.iter().filter(|n| n.is_idle()).count() as u32;
+            let idle = self.idle_count;
             if idle == 0 || self.pending.is_empty() {
                 return;
             }
-            // Per-type busy-node usage for the weighted queues.
-            let mut usage = vec![0u32; self.cfg.catalog.len()];
-            for &job_id in &self.running {
-                let row = &self.jobs[job_id.0 as usize];
-                usage[row.type_id.index()] += row.nodes.len() as u32;
-            }
-            let views: Vec<PendingView> = self
-                .pending
-                .iter()
-                .map(|&id| {
-                    let row = &self.jobs[id.0 as usize];
-                    PendingView {
-                        type_id: row.type_id,
-                        nodes: self.cfg.catalog[row.type_id].nodes,
-                        submit: row.submit,
-                    }
-                })
-                .collect();
-            let Some(pick) = self.scheduler.select(&views, &usage, idle) else {
+            let Some(pick) = self
+                .scheduler
+                .select(&self.pending_views, &self.type_usage, idle)
+            else {
                 return;
             };
             let job_id = self.pending[pick];
             let row = &self.jobs[job_id.0 as usize];
             let spec = &self.cfg.catalog[row.type_id];
-            let busy_after = busy_nodes + spec.nodes;
+            let busy_after = (self.cfg.total_nodes - self.idle_count) + spec.nodes;
             let idle_after = self.cfg.total_nodes - busy_after;
             let floor_after = min_cap * busy_after as f64 + self.cfg.idle_power * idle_after as f64;
             let wait = (self.time - row.submit).value();
@@ -439,12 +525,19 @@ impl TabularSim {
             if !forced && floor_after.value() > target_now.value() {
                 return; // refrain from scheduling (primary power lever)
             }
-            // Start the job on the first idle nodes.
+            // Start the job on the first idle nodes. The node keeps its
+            // previous cap until this tick's capping stage reassigns it,
+            // so draw and progress rate are seeded from that cap.
             let mut assigned = Vec::with_capacity(spec.nodes as usize);
+            let mut started_power = Watts::ZERO;
+            let type_id = row.type_id;
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 if node.is_idle() {
                     node.job = Some(job_id);
                     node.progress = 0.0;
+                    node.power = node_power(spec, node.cap);
+                    node.rate = progress_rate(spec, node.cap, node.perf_coeff);
+                    started_power += node.power;
                     assigned.push(NodeId(i as u32));
                     if assigned.len() == spec.nodes as usize {
                         break;
@@ -452,11 +545,14 @@ impl TabularSim {
                 }
             }
             debug_assert_eq!(assigned.len(), spec.nodes as usize);
-            busy_nodes = busy_after;
+            self.idle_count -= assigned.len() as u32;
+            self.type_usage[type_id.index()] += assigned.len() as u32;
+            self.busy_power += started_power;
             let row = &mut self.jobs[job_id.0 as usize];
             row.start = Some(self.time);
             row.nodes = assigned;
             self.pending.remove(pick);
+            self.pending_views.remove(pick);
             self.running.push(job_id);
         }
     }
@@ -477,8 +573,8 @@ impl TabularSim {
     }
 
     fn cap_power(&mut self, target_now: Watts) {
-        let idle_count = self.nodes.iter().filter(|n| n.is_idle()).count() as f64;
-        let busy_budget = (target_now - self.cfg.idle_power * idle_count).max(Watts::ZERO);
+        let busy_budget =
+            (target_now - self.cfg.idle_power * self.idle_count as f64).max(Watts::ZERO);
         if self.running.is_empty() {
             return;
         }
@@ -496,12 +592,24 @@ impl TabularSim {
         let mut changed: Vec<(JobId, Watts)> = Vec::new();
         for (&job_id, cap) in self.running.iter().zip(caps) {
             let row = &self.jobs[job_id.0 as usize];
+            let spec = &self.cfg.catalog[row.type_id];
             let was = row.nodes.first().map(|n| self.nodes[n.index()].cap);
             if was != Some(cap) {
                 changed.push((job_id, cap));
             }
+            // Re-cap is the state transition that invalidates a node's
+            // cached draw and progress rate; update the power aggregate
+            // by the per-node delta (nodes of one job can carry
+            // different stale caps right after a start).
             for n in &row.nodes {
-                self.nodes[n.index()].cap = cap;
+                let node = &mut self.nodes[n.index()];
+                if node.cap != cap {
+                    let new_power = node_power(spec, cap);
+                    self.busy_power += new_power - node.power;
+                    node.power = new_power;
+                    node.rate = progress_rate(spec, cap, node.perf_coeff);
+                    node.cap = cap;
+                }
             }
         }
         if changed.is_empty() {
@@ -547,24 +655,45 @@ impl TabularSim {
     }
 
     /// Summarize the run.
+    ///
+    /// Each call increments `sim_qos_rows_dropped_total` by the number of
+    /// completed rows whose type has no `cfg.types` slot (also reported
+    /// in [`SimOutcome::dropped`]), when telemetry is attached.
     pub fn outcome(&self) -> SimOutcome {
         let mut qos_by_type: Vec<(JobTypeId, Vec<QosDegradation>)> =
             self.cfg.types.iter().map(|&id| (id, Vec::new())).collect();
+        // Type-indexed slot lookup instead of a linear scan per row.
+        let mut slot_of: Vec<Option<usize>> = vec![None; self.cfg.catalog.len()];
+        for (slot, &id) in self.cfg.types.iter().enumerate() {
+            if let Some(s) = slot_of.get_mut(id.index()) {
+                *s = Some(slot);
+            }
+        }
         let mut unfinished = 0;
+        let mut dropped: u32 = 0;
         for row in &self.jobs {
             match row.qos(&self.cfg.catalog[row.type_id]) {
                 Some(q) => {
-                    if let Some(slot) = qos_by_type.iter_mut().find(|(id, _)| *id == row.type_id) {
-                        slot.1.push(q);
+                    let slot = slot_of.get(row.type_id.index()).copied().flatten();
+                    match slot.and_then(|s| qos_by_type.get_mut(s)) {
+                        Some((_, qs)) => qs.push(q),
+                        None => dropped += 1,
                     }
                 }
                 None => unfinished += 1,
+            }
+        }
+        if dropped > 0 {
+            if let Some(t) = &self.telemetry {
+                t.counter("sim_qos_rows_dropped_total", &[])
+                    .add(dropped as u64);
             }
         }
         SimOutcome {
             qos_by_type,
             completed: self.completed,
             unfinished,
+            dropped,
             tracking_p90: self.tracking.percentile_error(90.0),
             tracking_within_30: self.tracking.fraction_within(0.30),
         }
@@ -875,6 +1004,88 @@ mod tests {
         sim.reset_tracking();
         sim.step();
         assert_eq!(telemetry.histogram("tracking_error", &[]).count(), 21);
+    }
+
+    #[test]
+    fn completed_rows_of_unlisted_types_are_counted_not_lost() {
+        // A type present in the schedule but absent from cfg.types has
+        // no qos_by_type slot; it must surface in `dropped`, not vanish.
+        let mut cfg = small_cfg(SimPowerPolicy::Uniform);
+        let mg = cfg.catalog.find("mg").unwrap().id;
+        let cg = cfg.catalog.find("cg").unwrap().id;
+        cfg.types = vec![cg]; // mg completes but has no slot
+        let sched = vec![
+            JobSubmission {
+                time: Seconds(0.0),
+                type_id: mg,
+            },
+            JobSubmission {
+                time: Seconds(1.0),
+                type_id: cg,
+            },
+        ];
+        let telemetry = Telemetry::new();
+        let mut sim = TabularSim::new(
+            cfg,
+            flat_target(4500.0),
+            &PerformanceVariation::none(16),
+            sched,
+            None,
+        );
+        sim.attach_telemetry(&telemetry);
+        sim.run(Seconds(600.0), Seconds(600.0));
+        let out = sim.outcome();
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.unfinished, 0);
+        assert_eq!(out.dropped, 1, "the mg row must be counted as dropped");
+        let counted: usize = out.qos_by_type.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(counted, 1, "only the cg row aggregates");
+        assert_eq!(
+            telemetry.counter("sim_qos_rows_dropped_total", &[]).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn capped_history_is_a_chronological_ring() {
+        let cfg = small_cfg(SimPowerPolicy::Uniform);
+        let mut sim = TabularSim::new(
+            cfg,
+            flat_target(2000.0),
+            &PerformanceVariation::none(16),
+            vec![],
+            None,
+        );
+        sim.record_history_capped(3);
+        for _ in 0..10 {
+            sim.step();
+        }
+        assert_eq!(sim.history().len(), 3);
+        let times: Vec<f64> = sim.history().iter().map(|r| r.time.value()).collect();
+        assert_eq!(times, vec![8.0, 9.0, 10.0], "most recent rows, in order");
+    }
+
+    #[test]
+    fn incremental_counters_match_recounts_through_a_full_run() {
+        let cfg = small_cfg(SimPowerPolicy::EvenSlowdown);
+        let sched = quick_schedule(&cfg, 0.8, 600.0, 23);
+        let mut sim = TabularSim::new(
+            cfg.clone(),
+            flat_target(3600.0),
+            &PerformanceVariation::with_sigma(16, 0.1, 5),
+            sched,
+            None,
+        );
+        for _ in 0..800 {
+            sim.step();
+            let idle_recount = sim.nodes().iter().filter(|n| n.is_idle()).count() as u32;
+            assert_eq!(sim.idle_nodes(), idle_recount);
+            let mut usage = vec![0u32; cfg.catalog.len()];
+            for job in sim.jobs().iter().filter(|j| j.is_running()) {
+                usage[job.type_id.index()] += job.nodes.len() as u32;
+            }
+            assert_eq!(sim.type_usage(), &usage[..]);
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct NodeRow {
     pub perf_coeff: f64,
     /// Local progress of the node's share of its job, in `[0, 1]`.
     pub progress: f64,
+    /// Cached progress per second under the current cap (0 when idle).
+    /// Only changes at state transitions (job start, re-cap), so the
+    /// per-tick integration is a single multiply-add.
+    pub rate: f64,
 }
 
 impl NodeRow {
@@ -34,6 +38,7 @@ impl NodeRow {
             power: Watts::ZERO,
             perf_coeff,
             progress: 0.0,
+            rate: 0.0,
         }
     }
 

@@ -111,7 +111,7 @@ fn history_counters_are_consistent() {
         assert!(row.busy_nodes <= 24);
     }
     // Final state: all jobs accounted for.
-    let last = sim.history().last().unwrap();
+    let last = sim.history().back().unwrap();
     assert_eq!(
         last.completed_jobs as usize + last.pending_jobs as usize + last.running_jobs as usize,
         sim.jobs().len()
