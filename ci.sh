@@ -41,4 +41,25 @@ echo "$REPORT" | grep -E "complete chains: [1-9][0-9]*" >/dev/null \
 echo "$REPORT" | grep -E ", 0 malformed," >/dev/null \
     || { echo "trace smoke: malformed trace events"; echo "$REPORT"; exit 1; }
 
+echo "==> chaos smoke: fig6 --faults drop@17,corrupt@42"
+CHAOS_OUT="$SMOKE_DIR/chaos.txt"
+ANOR_QUICK=1 ./target/release/fig6 --faults drop@17,corrupt@42 > "$CHAOS_OUT" \
+    || { echo "chaos smoke: fig6 failed under fault injection"; cat "$CHAOS_OUT"; exit 1; }
+grep -E "chaos: reconnects=[1-9][0-9]*" "$CHAOS_OUT" >/dev/null \
+    || { echo "chaos smoke: no reconnect recovered from the injected faults"; \
+         grep "chaos:" "$CHAOS_OUT" || true; exit 1; }
+
+# The builder API redesign keeps the old constructors alive as
+# deprecated delegation shims for one release. New call sites must not
+# appear: the only files allowed to mention them are the ones defining
+# (and unit-testing) the shims themselves.
+echo "==> deprecated constructor check"
+STALE="$(grep -rnE \
+    'ClusterBudgeter::(bind|bind_addr|bind_with|bind_addr_with)\(|JobEndpoint::(connect|connect_with)\(|FramedStream::with_metrics\(' \
+    crates --include='*.rs' \
+    | grep -vE 'crates/cluster/src/(budgeter|endpoint|codec)\.rs' || true)"
+[ -z "$STALE" ] \
+    || { echo "deprecated constructor check: migrate these call sites to the builder API:"; \
+         echo "$STALE"; exit 1; }
+
 echo "CI OK"

@@ -8,7 +8,7 @@
 //! time (all other cases under 17%).
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
-use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, FaultPlan, JobSetup};
 use anor_exec::ExecPool;
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::OnlineStats;
@@ -76,6 +76,10 @@ pub struct Fig10Config {
     /// seeded independently and results aggregate in legend order, so
     /// the output is identical for every value.
     pub jobs: usize,
+    /// Optional chaos schedule injected into every policy's emulated
+    /// transport (the `--faults <spec>` path); forked per policy so the
+    /// four runs see identical, independent fault schedules.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Fig10Config {
@@ -90,6 +94,7 @@ impl Default for Fig10Config {
             telemetry: Telemetry::new(),
             tracer: None,
             jobs: 0,
+            faults: None,
         }
     }
 }
@@ -153,6 +158,12 @@ fn run_policy(
         EmulatorConfig::paper(budget_policy, feedback).with_telemetry(cfg.telemetry.clone());
     if let Some(t) = &cfg.tracer {
         ecfg = ecfg.with_tracer(t.clone());
+    }
+    if let Some(plan) = &cfg.faults {
+        // Legend position as the fork salt: stable per policy, so the
+        // four runs draw identical but independent schedules.
+        let salt = Fig10Policy::all().iter().position(|p| *p == policy);
+        ecfg = ecfg.with_faults(plan.fork(salt.unwrap_or(0) as u64 + 1));
     }
     ecfg.seed = cfg.seed;
     let jobs: Vec<JobSetup> = jobs

@@ -6,9 +6,10 @@
 //! without and with feedback. The paper uses 3 trials.
 
 use super::hw::{
-    run_configs, run_configs_pooled, run_configs_traced, run_configs_with, HwBar, HwConfig,
+    run_configs, run_configs_chaos, run_configs_pooled, run_configs_traced, run_configs_with,
+    HwBar, HwConfig,
 };
-use anor_cluster::{BudgetPolicy, JobSetup};
+use anor_cluster::{BudgetPolicy, FaultPlan, JobSetup};
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::Result;
 
@@ -99,6 +100,21 @@ pub fn run_pooled(
     jobs: usize,
 ) -> Result<Vec<HwBar>> {
     run_configs_pooled(&configs(), trials, seed, telemetry, tracer, jobs)
+}
+
+/// [`run_pooled`] with an optional chaos [`FaultPlan`] injected into
+/// every trial's emulated transport (the `--faults <spec>` path): drops
+/// force endpoint reconnects, corruption exercises the codec's reject
+/// path, and the run must still complete with the figure's shape intact.
+pub fn run_chaos(
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<Vec<HwBar>> {
+    run_configs_chaos(&configs(), trials, seed, telemetry, tracer, jobs, faults)
 }
 
 #[cfg(test)]

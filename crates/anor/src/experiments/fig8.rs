@@ -3,9 +3,10 @@
 //! misclassified as EP. The paper uses 6 back-to-back trials.
 
 use super::hw::{
-    run_configs, run_configs_pooled, run_configs_traced, run_configs_with, HwBar, HwConfig,
+    run_configs, run_configs_chaos, run_configs_pooled, run_configs_traced, run_configs_with,
+    HwBar, HwConfig,
 };
-use anor_cluster::{BudgetPolicy, JobSetup};
+use anor_cluster::{BudgetPolicy, FaultPlan, JobSetup};
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::Result;
 
@@ -78,6 +79,19 @@ pub fn run_pooled(
     jobs: usize,
 ) -> Result<Vec<HwBar>> {
     run_configs_pooled(&configs(), trials, seed, telemetry, tracer, jobs)
+}
+
+/// [`run_pooled`] with an optional chaos [`FaultPlan`] injected into
+/// every trial's emulated transport (the `--faults <spec>` path).
+pub fn run_chaos(
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<Vec<HwBar>> {
+    run_configs_chaos(&configs(), trials, seed, telemetry, tracer, jobs, faults)
 }
 
 #[cfg(test)]

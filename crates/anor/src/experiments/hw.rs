@@ -5,7 +5,7 @@
 //! uncapped execution time, across budgeter configurations and repeated
 //! trials.
 
-use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, JobSetup};
+use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, FaultPlan, JobSetup};
 use anor_exec::ExecPool;
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::stats::{mean, std_dev};
@@ -96,6 +96,23 @@ pub fn run_configs_pooled(
     tracer: Option<&Tracer>,
     jobs: usize,
 ) -> Result<Vec<HwBar>> {
+    run_configs_chaos(configs, trials, seed, telemetry, tracer, jobs, None)
+}
+
+/// [`run_configs_pooled`] with an optional chaos [`FaultPlan`] injected
+/// into every trial's emulated transport. Each (configuration, trial)
+/// cell forks the plan with a cell-unique salt, so the fault schedule is
+/// identical across re-runs and independent of the worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_configs_chaos(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<Vec<HwBar>> {
     let grid: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
         .collect();
@@ -106,6 +123,9 @@ pub fn run_configs_pooled(
             EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
         if let Some(t) = tracer {
             ecfg = ecfg.with_tracer(t.clone());
+        }
+        if let Some(plan) = faults {
+            ecfg = ecfg.with_faults(plan.fork(((ci as u64) << 32) ^ (trial as u64 + 1)));
         }
         ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
         let cluster = EmulatedCluster::new(ecfg);

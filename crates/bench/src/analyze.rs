@@ -127,6 +127,20 @@ pub struct TraceReport {
     pub transport_errors: u64,
     /// Disconnects recorded in the trace.
     pub disconnects: u64,
+    /// Successful endpoint reconnects recorded in the trace.
+    pub reconnects: u64,
+    /// Session resume events (endpoint and budgeter sides both record
+    /// one, so a healthy resume contributes two).
+    pub resumes: u64,
+    /// Power leases the budgeter expired.
+    pub leases_expired: u64,
+    /// Expired leases restored by a later resume.
+    pub leases_restored: u64,
+    /// Decisions that changed nothing *because* their lifetime fell
+    /// inside a disconnect→resume window: the cap was decided while the
+    /// job's session was down, so "orphan" would mislabel a known,
+    /// recoverable outage as a causality bug.
+    pub interrupted: Vec<u64>,
     /// decision → cap on the wire.
     pub decision_to_wire: LatencyStats,
     /// decision → endpoint receipt.
@@ -158,6 +172,11 @@ impl TraceReport {
             "faults: {} transport error(s), {} disconnect(s)\n",
             self.transport_errors, self.disconnects
         ));
+        out.push_str(&format!(
+            "sessions: {} reconnect(s), {} resume event(s), \
+             {} lease(s) expired, {} restored\n",
+            self.reconnects, self.resumes, self.leases_expired, self.leases_restored
+        ));
         out.push_str("\ncontrol-loop latencies (downward):\n");
         out.push_str(&format!(
             "  decision -> wire        {}\n",
@@ -185,6 +204,24 @@ impl TraceReport {
             let ell = if self.orphans.len() > 8 { ", ..." } else { "" };
             out.push_str(&format!("orphaned causes: {}{}\n", shown.join(", "), ell));
         }
+        if !self.interrupted.is_empty() {
+            let shown: Vec<String> = self
+                .interrupted
+                .iter()
+                .take(8)
+                .map(u64::to_string)
+                .collect();
+            let ell = if self.interrupted.len() > 8 {
+                ", ..."
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "interrupted by disconnect (not orphans): {}{}\n",
+                shown.join(", "),
+                ell
+            ));
+        }
         out
     }
 }
@@ -206,6 +243,10 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
         match ev.stage {
             TraceStage::TransportError => report.transport_errors += 1,
             TraceStage::Disconnect => report.disconnects += 1,
+            TraceStage::Reconnect => report.reconnects += 1,
+            TraceStage::Resume => report.resumes += 1,
+            TraceStage::LeaseExpired => report.leases_expired += 1,
+            TraceStage::LeaseRestored => report.leases_restored += 1,
             TraceStage::Decision => {}
             stage => {
                 if stage == TraceStage::SampleRx {
@@ -231,6 +272,41 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
             }
         }
     }
+    // Pass 3: pair each job's Disconnect with the Reconnect/Resume that
+    // ends the outage. An outage never closed by the end of the trace
+    // extends to +inf (the session went Gone or the trace truncated).
+    let mut session: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            e.job.is_some()
+                && matches!(
+                    e.stage,
+                    TraceStage::Disconnect | TraceStage::Reconnect | TraceStage::Resume
+                )
+        })
+        .collect();
+    session.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    let mut open: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut windows: Vec<(f64, f64)> = Vec::new();
+    for ev in session {
+        let job = match ev.job {
+            Some(j) => j,
+            None => continue,
+        };
+        match ev.stage {
+            TraceStage::Disconnect => {
+                open.entry(job).or_insert(ev.ts);
+            }
+            _ => {
+                if let Some(t0) = open.remove(&job) {
+                    windows.push((t0, ev.ts));
+                }
+            }
+        }
+    }
+    windows.extend(open.into_values().map(|t0| (t0, f64::INFINITY)));
+    let in_outage =
+        |ts: Option<f64>| ts.is_some_and(|t| windows.iter().any(|&(a, b)| t >= a && t <= b));
     let mut to_wire = Vec::new();
     let mut to_rx = Vec::new();
     let mut to_msr = Vec::new();
@@ -241,7 +317,14 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
             report.complete += 1;
         }
         if chain.is_orphan() {
-            report.orphans.push(chain.cause);
+            // A dead decision made (or transmitted) while some job's
+            // session was down is a consequence of the outage, not a
+            // causality bug: report it as interrupted, not orphaned.
+            if in_outage(chain.decision) || in_outage(chain.cap_tx) {
+                report.interrupted.push(chain.cause);
+            } else {
+                report.orphans.push(chain.cause);
+            }
         }
         let Some(d) = chain.decision else { continue };
         if let Some(t) = chain.cap_tx {
@@ -362,6 +445,68 @@ mod tests {
         let r = analyze(&events);
         assert_eq!(r.transport_errors, 1);
         assert_eq!(r.disconnects, 2);
+    }
+
+    fn jev(ts: f64, stage: TraceStage, cause: u64, job: u64) -> TraceEvent {
+        TraceEvent {
+            span: SpanId(0),
+            ts,
+            stage,
+            cause: CauseId(cause),
+            job: Some(job),
+            watts: None,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn session_stages_are_counted() {
+        let events = vec![
+            jev(1.0, TraceStage::Disconnect, 0, 1),
+            jev(1.5, TraceStage::Reconnect, 0, 1),
+            jev(1.6, TraceStage::Resume, 0, 1),
+            jev(2.0, TraceStage::LeaseExpired, 0, 2),
+            jev(3.0, TraceStage::LeaseRestored, 0, 2),
+        ];
+        let r = analyze(&events);
+        assert_eq!(r.reconnects, 1);
+        assert_eq!(r.resumes, 1);
+        assert_eq!(r.leases_expired, 1);
+        assert_eq!(r.leases_restored, 1);
+    }
+
+    #[test]
+    fn dead_decision_inside_an_outage_is_interrupted_not_orphaned() {
+        let events = vec![
+            // Job 7's session drops at t=1 and resumes at t=3.
+            jev(1.0, TraceStage::Disconnect, 0, 7),
+            // Decided mid-outage, never actuated: interrupted.
+            ev(1, 2.0, TraceStage::Decision, 5),
+            ev(2, 2.1, TraceStage::CapTx, 5),
+            jev(3.0, TraceStage::Resume, 0, 7),
+            // Decided after the resume, also dead: a true orphan.
+            ev(3, 4.0, TraceStage::Decision, 6),
+            ev(4, 4.1, TraceStage::CapTx, 6),
+        ];
+        let r = analyze(&events);
+        assert_eq!(r.interrupted, vec![5]);
+        assert_eq!(r.orphans, vec![6]);
+        let text = r.render();
+        assert!(text.contains("interrupted by disconnect (not orphans): 5"));
+        assert!(text.contains("orphaned causes: 6"));
+    }
+
+    #[test]
+    fn unclosed_outage_extends_to_the_end_of_the_trace() {
+        let events = vec![
+            jev(1.0, TraceStage::Disconnect, 0, 3),
+            // Session never comes back; late dead decisions stay
+            // interrupted, not orphaned.
+            ev(1, 9.0, TraceStage::Decision, 8),
+        ];
+        let r = analyze(&events);
+        assert_eq!(r.interrupted, vec![8]);
+        assert!(r.orphans.is_empty());
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! error summary of Section 6.3.
 
 use anor_bench::{
-    finish_telemetry, finish_tracer, header, jobs_from_args, scaled, telemetry_from_args,
-    tracer_from_args,
+    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
+    scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig10::{self, Fig10Config, Fig10Policy};
 use anor_types::Seconds;
@@ -17,11 +17,13 @@ fn main() {
     );
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
+    let faults = faults_from_args();
     let cfg = Fig10Config {
         horizon: scaled(Seconds(3600.0), Seconds(900.0)),
         telemetry: telemetry.clone(),
         tracer: tracer.clone(),
         jobs: jobs_from_args(),
+        faults: faults.clone(),
         ..Fig10Config::default()
     };
     let out = fig10::run(&cfg).expect("demand-response run failed");
@@ -51,6 +53,9 @@ fn main() {
             policy.label(),
             p90 * 100.0
         );
+    }
+    if faults.is_some() {
+        chaos_summary(&telemetry);
     }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);

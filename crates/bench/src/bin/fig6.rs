@@ -3,8 +3,8 @@
 //! the emulated cluster over TCP.
 
 use anor_bench::{
-    finish_telemetry, finish_tracer, header, jobs_from_args, scaled, telemetry_from_args,
-    tracer_from_args,
+    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
+    scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig6;
 use anor_core::render::render_bars;
@@ -16,9 +16,17 @@ fn main() {
     );
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
+    let faults = faults_from_args();
     let trials = scaled(3, 1);
-    let bars = fig6::run_pooled(trials, 6, &telemetry, tracer.as_ref(), jobs_from_args())
-        .expect("emulated run failed");
+    let bars = fig6::run_chaos(
+        trials,
+        6,
+        &telemetry,
+        tracer.as_ref(),
+        jobs_from_args(),
+        faults.as_ref(),
+    )
+    .expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -31,6 +39,9 @@ fn main() {
         "paper anchors: BT degrades when misclassified (either direction);\n\
          feedback recovers most of the loss in both cases."
     );
+    if faults.is_some() {
+        chaos_summary(&telemetry);
+    }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);
 }

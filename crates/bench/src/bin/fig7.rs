@@ -2,8 +2,8 @@
 //! one potentially misclassified as IS.
 
 use anor_bench::{
-    finish_telemetry, finish_tracer, header, jobs_from_args, scaled, telemetry_from_args,
-    tracer_from_args,
+    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
+    scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig7;
 use anor_core::render::render_bars;
@@ -15,9 +15,17 @@ fn main() {
     );
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
+    let faults = faults_from_args();
     let trials = scaled(3, 1);
-    let bars = fig7::run_pooled(trials, 7, &telemetry, tracer.as_ref(), jobs_from_args())
-        .expect("emulated run failed");
+    let bars = fig7::run_chaos(
+        trials,
+        7,
+        &telemetry,
+        tracer.as_ref(),
+        jobs_from_args(),
+        faults.as_ref(),
+    )
+    .expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -30,6 +38,9 @@ fn main() {
         "paper anchors: with identical job types, agnostic ≈ precharacterized;\n\
          misclassifying one instance slows it; feedback recovers."
     );
+    if faults.is_some() {
+        chaos_summary(&telemetry);
+    }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);
 }

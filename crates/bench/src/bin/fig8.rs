@@ -2,8 +2,8 @@
 //! one potentially misclassified as EP.
 
 use anor_bench::{
-    finish_telemetry, finish_tracer, header, jobs_from_args, scaled, telemetry_from_args,
-    tracer_from_args,
+    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
+    scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig8;
 use anor_core::render::render_bars;
@@ -15,9 +15,17 @@ fn main() {
     );
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
+    let faults = faults_from_args();
     let trials = scaled(6, 1);
-    let bars = fig8::run_pooled(trials, 8, &telemetry, tracer.as_ref(), jobs_from_args())
-        .expect("emulated run failed");
+    let bars = fig8::run_chaos(
+        trials,
+        8,
+        &telemetry,
+        tracer.as_ref(),
+        jobs_from_args(),
+        faults.as_ref(),
+    )
+    .expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs
@@ -31,6 +39,9 @@ fn main() {
          misclassified instance's sibling sees a small slowdown; feedback\n\
          recovers part of it."
     );
+    if faults.is_some() {
+        chaos_summary(&telemetry);
+    }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);
 }

@@ -103,6 +103,74 @@ pub fn finish_telemetry(telemetry: &anor_telemetry::Telemetry) {
     }
 }
 
+/// Build a chaos [`FaultPlan`](anor_cluster::FaultPlan) from a
+/// `--faults <spec>` command-line option (e.g.
+/// `--faults drop@17,corrupt@42,delay@5:3`), seeded from an optional
+/// `--fault-seed N`. Returns `None` when absent; a malformed spec is an
+/// operator error and aborts the run rather than silently running
+/// fault-free.
+pub fn faults_from_args() -> Option<anor_cluster::FaultPlan> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let spec = {
+        let mut it = argv.iter();
+        let mut found = None;
+        while let Some(arg) = it.next() {
+            if arg == "--faults" {
+                found = it.next();
+                break;
+            }
+        }
+        found?
+    };
+    let seed = {
+        let mut it = argv.iter();
+        let mut seed = 0x5eed_u64;
+        while let Some(arg) = it.next() {
+            if arg == "--fault-seed" {
+                if let Some(s) = it.next() {
+                    match s.parse() {
+                        Ok(n) => seed = n,
+                        Err(_) => {
+                            eprintln!("--fault-seed {s}: not a number");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+        }
+        seed
+    };
+    match anor_cluster::FaultPlan::parse(spec) {
+        Ok(plan) => Some(plan.seeded(seed)),
+        Err(e) => {
+            eprintln!("--faults {spec}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print the greppable end-of-run chaos summary (only meaningful when a
+/// fault plan was active): session reconnects, injected faults, expired
+/// leases and currently reclaimed watts, all read from the shared
+/// telemetry handle.
+pub fn chaos_summary(telemetry: &anor_telemetry::Telemetry) {
+    let reconnects = telemetry
+        .counter("endpoint_session_reconnects_total", &[])
+        .get();
+    let injected = telemetry
+        .counter("transport_faults_injected_total", &[("role", "endpoint")])
+        .get()
+        + telemetry
+            .counter("transport_faults_injected_total", &[("role", "budgeter")])
+            .get();
+    let expired = telemetry.counter("leases_expired_total", &[]).get();
+    let reclaimed = telemetry.gauge("watts_reclaimed", &[]).get();
+    println!(
+        "chaos: reconnects={reconnects} faults_injected={injected} \
+         leases_expired={expired} watts_reclaimed={reclaimed:.1}"
+    );
+}
+
 /// Build the run's causal [`Tracer`](anor_telemetry::Tracer) from a
 /// `--trace <dir>` command-line option: directory-backed when present
 /// (events stream to `<dir>/trace.jsonl`, flight-recorder postmortems

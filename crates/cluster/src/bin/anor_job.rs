@@ -15,7 +15,10 @@
 //! `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
 //! Prometheus exposition plus summary table are written on exit. With
 //! `--trace <dir>`, cap receipts, policy/MSR writes and sample sends are
-//! recorded to `<dir>/trace.jsonl` for `anor-trace`.
+//! recorded to `<dir>/trace.jsonl` for `anor-trace`. With
+//! `--faults drop@17,corrupt@42` (and optional `--fault-seed N`), a
+//! seeded chaos schedule is injected into the endpoint's send path; the
+//! endpoint reconnects with backoff and resumes its session.
 
 use anor_cluster::{Args, JobEndpoint};
 use anor_geopm::JobRuntime;
@@ -68,18 +71,24 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => Some(Tracer::to_dir(dir)?),
         None => None,
     };
-    let mut endpoint = JobEndpoint::connect_with(
+    let mut builder = JobEndpoint::builder(
         connect,
         job,
         &announced,
         nodes_wanted,
         modeler_side,
         modeler,
-        telemetry.clone(),
-    )?;
+    )
+    .telemetry(telemetry.clone());
+    if let Some(plan) = args.fault_plan()? {
+        builder = builder.faults(plan);
+    }
+    if let Some(t) = &tracer {
+        builder = builder.tracer(t);
+    }
+    let mut endpoint = builder.connect()?;
     if let Some(t) = &tracer {
         runtime.attach_tracer(t);
-        endpoint.attach_tracer(t);
     }
 
     let dt = Seconds(0.5);

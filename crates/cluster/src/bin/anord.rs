@@ -14,7 +14,10 @@
 //! With `--telemetry <dir>`, events stream to `<dir>/events.jsonl` and a
 //! Prometheus exposition plus summary table are written on exit. With
 //! `--trace <dir>`, each rebalance decision and every cap/sample hop is
-//! recorded to `<dir>/trace.jsonl` for `anor-trace`.
+//! recorded to `<dir>/trace.jsonl` for `anor-trace`. With
+//! `--faults drop@17,corrupt@42` (and optional `--fault-seed N`), a
+//! seeded chaos schedule is injected into each accepted connection's
+//! send path.
 //!
 //! Prints `anord listening on <addr>` once ready (machine-readable for
 //! launchers), then a completion line per job.
@@ -74,10 +77,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         None => None,
     };
     let cfg = BudgeterConfig::new(policy, feedback);
-    let (mut daemon, addr) = ClusterBudgeter::bind_addr_with(cfg, telemetry.clone(), listen)?;
+    let mut builder = ClusterBudgeter::builder(cfg)
+        .addr(listen)
+        .telemetry(telemetry.clone());
     if let Some(t) = &tracer {
-        daemon.attach_tracer(t);
+        builder = builder.tracer(t);
     }
+    if let Some(plan) = args.fault_plan()? {
+        builder = builder.faults(plan);
+    }
+    let (mut daemon, addr) = builder.bind()?;
     println!("anord listening on {addr}");
     std::io::stdout().flush()?;
 

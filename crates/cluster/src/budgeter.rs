@@ -11,8 +11,19 @@
 //! may be wrong (misclassification) or unknown (then a configurable
 //! default assumption applies, Section 6.1.2). With feedback enabled,
 //! incoming `Model` messages replace the believed curve.
+//!
+//! ## Leases
+//!
+//! A registered job holds a *power lease*: when its connection drops the
+//! budgeter keeps the job's watts reserved for [`LeaseConfig::miss_pumps`]
+//! control passes so a quick endpoint reconnect resumes with an identical
+//! cap. Once the lease expires the watts are reclaimed into the pool and
+//! redistributed; a later `Resume` restores the registration (and is
+//! answered with a `ResumeAck` carrying the last cap on record, or a
+//! negative cap when there is none).
 
-use crate::codec::{FramedStream, TransportMetrics};
+use crate::codec::{FramedStream, StreamOptions, TransportMetrics};
+use crate::session::{FaultPlan, SessionState};
 use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter};
 use anor_telemetry::{CauseId, Counter, Gauge, Histogram, Telemetry, Timer, TraceStage, Tracer};
 use anor_types::msg::{ClusterToJob, JobToCluster};
@@ -87,6 +98,45 @@ impl BudgeterConfig {
     }
 }
 
+/// Power-lease liveness settings: how long a disconnected job keeps its
+/// watts reserved before the budgeter reclaims them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// Track per-job leases at all? When off, a lost connection removes
+    /// its jobs immediately (the pre-lease behaviour).
+    pub enabled: bool,
+    /// Control passes a job may spend disconnected before its lease
+    /// expires and its watts return to the pool.
+    pub miss_pumps: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            enabled: true,
+            miss_pumps: 200,
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// Leases off: a disconnect strands its jobs immediately.
+    pub fn disabled() -> Self {
+        LeaseConfig {
+            enabled: false,
+            miss_pumps: u32::MAX,
+        }
+    }
+
+    /// Leases on with an explicit miss budget.
+    pub fn after_misses(miss_pumps: u32) -> Self {
+        LeaseConfig {
+            enabled: true,
+            miss_pumps: miss_pumps.max(1),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct JobEntry {
     view: JobView,
@@ -102,6 +152,36 @@ struct JobEntry {
     /// Consecutive samples with draw far below the assigned cap.
     under_draw_streak: u32,
     done: Option<Seconds>,
+    /// Budgeter-side belief about the session carrying this job.
+    state: SessionState,
+    /// Control passes spent disconnected (lease countdown).
+    missed_pumps: u32,
+    /// Watts taken back when the lease expired — still owed to the job
+    /// should it resume, and exactly what the reclaim counters reported.
+    reclaimed: Option<Watts>,
+}
+
+impl JobEntry {
+    fn new(view: JobView, conn: usize) -> Self {
+        JobEntry {
+            view,
+            conn,
+            last_cap: None,
+            samples_seen: 0,
+            models_seen: 0,
+            peak_node_power: Watts::ZERO,
+            under_draw_streak: 0,
+            done: None,
+            state: SessionState::Connected,
+            missed_pumps: 0,
+            reclaimed: None,
+        }
+    }
+
+    /// Counted into the assignment? Done jobs and expired leases are not.
+    fn holds_lease(&self) -> bool {
+        self.done.is_none() && !self.state.is_gone()
+    }
 }
 
 /// Cached metric handles for the daemon's own control loop (the
@@ -113,7 +193,11 @@ struct BudgeterMetrics {
     msgs_sample: Counter,
     msgs_model: Counter,
     msgs_done: Counter,
+    msgs_resume: Counter,
     active_jobs: Gauge,
+    leases_expired: Counter,
+    watts_reclaimed: Gauge,
+    conns_quarantined: Counter,
 }
 
 impl BudgeterMetrics {
@@ -124,8 +208,122 @@ impl BudgeterMetrics {
             msgs_sample: telemetry.counter("budgeter_msgs_total", &[("kind", "sample")]),
             msgs_model: telemetry.counter("budgeter_msgs_total", &[("kind", "model")]),
             msgs_done: telemetry.counter("budgeter_msgs_total", &[("kind", "done")]),
+            msgs_resume: telemetry.counter("budgeter_msgs_total", &[("kind", "resume")]),
             active_jobs: telemetry.gauge("budgeter_active_jobs", &[]),
+            leases_expired: telemetry.counter("leases_expired_total", &[]),
+            watts_reclaimed: telemetry.gauge("watts_reclaimed", &[]),
+            conns_quarantined: telemetry.counter("budgeter_conns_quarantined_total", &[]),
         }
+    }
+}
+
+/// Builder for [`ClusterBudgeter`] — the one construction path replacing
+/// the old `bind`/`bind_addr`/`bind_with`/`bind_addr_with` quartet.
+///
+/// ```no_run
+/// # use anor_cluster::budgeter::{BudgetPolicy, BudgeterConfig, ClusterBudgeter, LeaseConfig};
+/// let cfg = BudgeterConfig::new(BudgetPolicy::EvenSlowdown, true);
+/// let (daemon, addr) = ClusterBudgeter::builder(cfg)
+///     .addr("127.0.0.1:0")
+///     .lease(LeaseConfig::after_misses(50))
+///     .bind()?;
+/// # let _ = (daemon, addr); Ok::<(), anor_types::AnorError>(())
+/// ```
+#[derive(Debug)]
+pub struct BudgeterBuilder {
+    cfg: BudgeterConfig,
+    addr: String,
+    listener: Option<TcpListener>,
+    telemetry: Option<Telemetry>,
+    tracer: Option<Tracer>,
+    lease: LeaseConfig,
+    faults: Option<FaultPlan>,
+}
+
+impl BudgeterBuilder {
+    fn new(cfg: BudgeterConfig) -> Self {
+        BudgeterBuilder {
+            cfg,
+            addr: "127.0.0.1:0".to_string(),
+            listener: None,
+            telemetry: None,
+            tracer: None,
+            lease: LeaseConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// Listen address (default `127.0.0.1:0`, an ephemeral port).
+    pub fn addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Adopt an already-bound listener instead of binding `addr`. This is
+    /// how a restarted daemon keeps its port (and how tests kill and
+    /// revive a budgeter without racing `TIME_WAIT`).
+    pub fn listener(mut self, listener: TcpListener) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// Record into a shared [`Telemetry`] handle instead of a private
+    /// in-memory one.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Trace every rebalance decision, cap send, inbound sample, and
+    /// lease transition into `tracer`; on peer failures the flight
+    /// recorder is dumped to disk.
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Power-lease liveness settings (default: [`LeaseConfig::default`]).
+    pub fn lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Inject chaos into every accepted connection: each gets its own
+    /// [`FaultPlan::fork`] of `plan`, salted by accept order.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Bind (or adopt the supplied listener) and construct the daemon.
+    /// Returns the daemon and the address endpoints should connect to.
+    pub fn bind(self) -> Result<(ClusterBudgeter, SocketAddr)> {
+        let listener = match self.listener {
+            Some(l) => l,
+            None => TcpListener::bind(self.addr.as_str())?,
+        };
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let telemetry = self.telemetry.unwrap_or_default();
+        let transport = TransportMetrics::new(&telemetry, "budgeter");
+        let metrics = BudgeterMetrics::new(&telemetry);
+        Ok((
+            ClusterBudgeter {
+                cfg: self.cfg,
+                listener,
+                conns: Vec::new(),
+                jobs: HashMap::new(),
+                completed: Vec::new(),
+                telemetry,
+                transport,
+                metrics,
+                tracer: self.tracer,
+                lease: self.lease,
+                faults: self.faults,
+                accepted: 0,
+            },
+            addr,
+        ))
     }
 }
 
@@ -141,52 +339,53 @@ pub struct ClusterBudgeter {
     transport: TransportMetrics,
     metrics: BudgeterMetrics,
     tracer: Option<Tracer>,
+    lease: LeaseConfig,
+    faults: Option<FaultPlan>,
+    accepted: u64,
 }
 
 impl ClusterBudgeter {
-    /// Bind on an ephemeral localhost port. Returns the daemon and the
-    /// address endpoints should connect to.
+    /// Start building a daemon over `cfg`. See [`BudgeterBuilder`].
+    pub fn builder(cfg: BudgeterConfig) -> BudgeterBuilder {
+        BudgeterBuilder::new(cfg)
+    }
+
+    /// Bind on an ephemeral localhost port.
+    #[deprecated(note = "use ClusterBudgeter::builder(cfg).bind(); removed after one release")]
     pub fn bind(cfg: BudgeterConfig) -> Result<(Self, SocketAddr)> {
-        Self::bind_addr(cfg, "127.0.0.1:0")
+        ClusterBudgeter::builder(cfg).bind()
     }
 
-    /// Bind on an explicit address (the standalone `anord` daemon).
+    /// Bind on an explicit address.
+    #[deprecated(
+        note = "use ClusterBudgeter::builder(cfg).addr(addr).bind(); removed after one release"
+    )]
     pub fn bind_addr(cfg: BudgeterConfig, addr: &str) -> Result<(Self, SocketAddr)> {
-        Self::bind_addr_with(cfg, Telemetry::new(), addr)
+        ClusterBudgeter::builder(cfg).addr(addr).bind()
     }
 
-    /// Like [`ClusterBudgeter::bind`], recording into a shared
-    /// [`Telemetry`] handle instead of a private in-memory one.
+    /// Bind on an ephemeral port with shared telemetry.
+    #[deprecated(
+        note = "use ClusterBudgeter::builder(cfg).telemetry(t).bind(); removed after one release"
+    )]
     pub fn bind_with(cfg: BudgeterConfig, telemetry: Telemetry) -> Result<(Self, SocketAddr)> {
-        Self::bind_addr_with(cfg, telemetry, "127.0.0.1:0")
+        ClusterBudgeter::builder(cfg).telemetry(telemetry).bind()
     }
 
-    /// Explicit address *and* explicit telemetry (the standalone daemon
-    /// with `--telemetry`).
+    /// Explicit address *and* explicit telemetry.
+    #[deprecated(
+        note = "use ClusterBudgeter::builder(cfg).telemetry(t).addr(addr).bind(); \
+                removed after one release"
+    )]
     pub fn bind_addr_with(
         cfg: BudgeterConfig,
         telemetry: Telemetry,
         addr: &str,
     ) -> Result<(Self, SocketAddr)> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let transport = TransportMetrics::new(&telemetry, "budgeter");
-        let metrics = BudgeterMetrics::new(&telemetry);
-        Ok((
-            ClusterBudgeter {
-                cfg,
-                listener,
-                conns: Vec::new(),
-                jobs: HashMap::new(),
-                completed: Vec::new(),
-                telemetry,
-                transport,
-                metrics,
-                tracer: None,
-            },
-            addr,
-        ))
+        ClusterBudgeter::builder(cfg)
+            .telemetry(telemetry)
+            .addr(addr)
+            .bind()
     }
 
     /// The telemetry handle this daemon records into.
@@ -200,12 +399,23 @@ impl ClusterBudgeter {
         self.tracer = Some(tracer.clone());
     }
 
-    /// One control pass: accept connections, ingest messages, recompute
-    /// the assignment over active jobs for `busy_budget` (total CPU watts
-    /// for all job-occupied nodes), and send changed caps.
+    /// Tear the daemon down but keep its bound socket: a restarted
+    /// budgeter built with [`BudgeterBuilder::listener`] keeps the same
+    /// address, so endpoints' reconnect loops find it again. All session
+    /// state (jobs, leases, caps) dies with the daemon — resuming
+    /// endpoints re-register via `Resume`.
+    pub fn into_listener(self) -> TcpListener {
+        self.listener
+    }
+
+    /// One control pass: accept connections, ingest messages, advance
+    /// lease countdowns, recompute the assignment over active jobs for
+    /// `busy_budget` (total CPU watts for all job-occupied nodes), and
+    /// send changed caps.
     pub fn pump(&mut self, busy_budget: Watts) -> Result<()> {
         self.accept_new()?;
         self.ingest()?;
+        self.tick_leases();
         let out = self.redistribute(busy_budget);
         self.metrics.active_jobs.set(self.active_jobs() as f64);
         out
@@ -214,10 +424,14 @@ impl ClusterBudgeter {
     fn accept_new(&mut self) -> Result<()> {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => self.conns.push(Some(FramedStream::with_metrics(
-                    stream,
-                    self.transport.clone(),
-                )?)),
+                Ok((stream, _)) => {
+                    self.accepted += 1;
+                    let mut opts = StreamOptions::default().metrics(self.transport.clone());
+                    if let Some(plan) = &self.faults {
+                        opts = opts.faults(plan.fork(self.accepted));
+                    }
+                    self.conns.push(Some(FramedStream::new(stream, opts)?));
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) => return Err(e.into()),
             }
@@ -251,11 +465,15 @@ impl ClusterBudgeter {
             };
             stream.flush_some()?;
             // A misbehaving peer (malformed frames, oversized length
-            // prefix) must not take the daemon down: treat its protocol
-            // errors like a disconnect and drop only that connection.
+            // prefix) must not take the daemon down — and must not spin
+            // the pump loop either: quarantine the connection (hard
+            // shutdown + counter + postmortem) so a reject-storm from a
+            // hostile or corrupted peer costs one pass, not every pass.
             let (frames, mut closed) = match stream.recv_frames() {
                 Ok(frames) => (frames, stream.is_closed()),
                 Err(AnorError::Protocol(e)) => {
+                    stream.shutdown_now();
+                    self.metrics.conns_quarantined.inc();
                     if let Some(t) = &self.tracer {
                         t.record_detail(TraceStage::TransportError, CauseId::NONE, &e);
                         t.dump_postmortem("budgeter-protocol-error");
@@ -268,6 +486,10 @@ impl ClusterBudgeter {
                 let msg = match JobToCluster::decode(body) {
                     Ok(m) => m,
                     Err(e) => {
+                        if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                            stream.shutdown_now();
+                        }
+                        self.metrics.conns_quarantined.inc();
                         if let Some(t) = &self.tracer {
                             t.record_detail(
                                 TraceStage::TransportError,
@@ -296,19 +518,71 @@ impl ClusterBudgeter {
                             ],
                         );
                         let view = self.resolve_view(job, &type_name, nodes)?;
-                        self.jobs.insert(
-                            job,
-                            JobEntry {
-                                view,
-                                conn: idx,
-                                last_cap: None,
-                                samples_seen: 0,
-                                models_seen: 0,
-                                peak_node_power: Watts::ZERO,
-                                under_draw_streak: 0,
-                                done: None,
-                            },
+                        self.jobs.insert(job, JobEntry::new(view, idx));
+                    }
+                    JobToCluster::Resume {
+                        job,
+                        type_name,
+                        nodes,
+                        believed_cap,
+                        cause,
+                    } => {
+                        self.metrics.msgs_resume.inc();
+                        self.telemetry.event(
+                            "budgeter_resume",
+                            &[
+                                ("job", job.0.into()),
+                                ("believed_cap", believed_cap.value().into()),
+                            ],
                         );
+                        if let Some(t) = &self.tracer {
+                            t.record_job(
+                                TraceStage::Resume,
+                                CauseId(cause),
+                                job.0,
+                                Some(believed_cap.value()),
+                            );
+                        }
+                        if !self.jobs.contains_key(&job) {
+                            // No record of this job (the daemon restarted,
+                            // or it was evicted): re-register from the
+                            // resume announcement as if it were a Hello.
+                            let view = self.resolve_view(job, &type_name, nodes)?;
+                            self.jobs.insert(job, JobEntry::new(view, idx));
+                        }
+                        let mut restored = None;
+                        let mut ack_cap = Watts(-1.0);
+                        if let Some(e) = self.jobs.get_mut(&job) {
+                            e.conn = idx;
+                            e.missed_pumps = 0;
+                            e.state = SessionState::Connected;
+                            restored = e.reclaimed.take();
+                            if let Some(cap) = e.last_cap {
+                                ack_cap = cap;
+                            }
+                        }
+                        if let Some(w) = restored {
+                            let g = &self.metrics.watts_reclaimed;
+                            g.set((g.get() - w.value()).max(0.0));
+                            if let Some(t) = &self.tracer {
+                                t.record_full(
+                                    TraceStage::LeaseRestored,
+                                    CauseId(cause),
+                                    Some(job.0),
+                                    Some(w.value()),
+                                    Some(format!("{w} restored to resumed job")),
+                                );
+                            }
+                        }
+                        if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                            stream.send(
+                                ClusterToJob::ResumeAck {
+                                    cap: ack_cap,
+                                    cause,
+                                }
+                                .encode(),
+                            )?;
+                        }
                     }
                     JobToCluster::Sample(s) => {
                         self.metrics.msgs_sample.inc();
@@ -321,6 +595,7 @@ impl ClusterBudgeter {
                             );
                         }
                         if let Some(e) = self.jobs.get_mut(&s.job) {
+                            e.missed_pumps = 0;
                             e.samples_seen += 1;
                             let per_node = s.avg_power / e.view.nodes.max(1) as f64;
                             e.peak_node_power = e.peak_node_power.max(per_node);
@@ -365,6 +640,7 @@ impl ClusterBudgeter {
                             t.record_job(TraceStage::ModelRx, CauseId(cause), job.0, None);
                         }
                         if let Some(e) = self.jobs.get_mut(&job) {
+                            e.missed_pumps = 0;
                             e.models_seen += 1;
                             // The "per-job retrain count" the summary
                             // table reports: every Model push is one
@@ -384,6 +660,7 @@ impl ClusterBudgeter {
                             &[("job", job.0.into()), ("elapsed_s", elapsed.value().into())],
                         );
                         if let Some(e) = self.jobs.get_mut(&job) {
+                            e.missed_pumps = 0;
                             e.done = Some(elapsed);
                         }
                         self.completed.push((job, elapsed));
@@ -391,24 +668,35 @@ impl ClusterBudgeter {
                 }
             }
             if closed {
-                // Any job on this connection that never said Done is gone.
-                let abandoned: Vec<JobId> = self
+                let lost: Vec<JobId> = self
                     .jobs
                     .iter()
-                    .filter(|(_, e)| e.conn == idx && e.done.is_none())
+                    .filter(|(_, e)| e.conn == idx && e.done.is_none() && e.state.is_connected())
                     .map(|(&id, _)| id)
                     .collect();
-                if !abandoned.is_empty() {
+                if !lost.is_empty() {
                     if let Some(t) = &self.tracer {
                         t.record_detail(
                             TraceStage::Disconnect,
                             CauseId::NONE,
-                            &format!("conn {idx} lost with {} active job(s)", abandoned.len()),
+                            &format!("conn {idx} lost with {} active job(s)", lost.len()),
                         );
                         t.dump_postmortem("endpoint-disconnect");
                     }
                 }
-                self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
+                if self.lease.enabled {
+                    // The lease keeps these jobs' watts reserved: mark
+                    // them reconnecting and start the miss countdown.
+                    for id in lost {
+                        if let Some(e) = self.jobs.get_mut(&id) {
+                            e.state = SessionState::Reconnecting { attempt: 0 };
+                        }
+                    }
+                } else {
+                    // Pre-lease behaviour: a lost connection strands its
+                    // jobs immediately.
+                    self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
+                }
                 if let Some(slot) = self.conns.get_mut(idx) {
                     *slot = None;
                 }
@@ -417,13 +705,71 @@ impl ClusterBudgeter {
         Ok(())
     }
 
+    /// Advance the lease countdown for every disconnected job; expire
+    /// leases whose miss budget ran out, reclaiming their watts into the
+    /// pool (the very next redistribute pass hands them to the surviving
+    /// jobs).
+    fn tick_leases(&mut self) {
+        if !self.lease.enabled {
+            return;
+        }
+        let mut expired: Vec<(JobId, Watts)> = Vec::new();
+        for (&id, e) in self.jobs.iter_mut() {
+            if !e.holds_lease() {
+                continue;
+            }
+            let connected = self
+                .conns
+                .get(e.conn)
+                .and_then(Option::as_ref)
+                .is_some_and(|s| !s.is_closed());
+            if connected {
+                continue;
+            }
+            e.missed_pumps = e.missed_pumps.saturating_add(1);
+            e.state = SessionState::Reconnecting {
+                attempt: e.missed_pumps,
+            };
+            if e.missed_pumps >= self.lease.miss_pumps {
+                let watts = e.last_cap.unwrap_or(Watts::ZERO) * f64::from(e.view.nodes.max(1));
+                e.state = SessionState::Gone;
+                e.reclaimed = Some(watts);
+                expired.push((id, watts));
+            }
+        }
+        for (id, watts) in expired {
+            self.metrics.leases_expired.inc();
+            let g = &self.metrics.watts_reclaimed;
+            g.set(g.get() + watts.value());
+            self.telemetry.event(
+                "budgeter_lease_expired",
+                &[("job", id.0.into()), ("watts", watts.value().into())],
+            );
+            if let Some(t) = &self.tracer {
+                let cause = t.next_cause();
+                t.record_full(
+                    TraceStage::LeaseExpired,
+                    cause,
+                    Some(id.0),
+                    Some(watts.value()),
+                    Some(format!(
+                        "lease expired after {} missed pump(s); {watts} reclaimed",
+                        self.lease.miss_pumps
+                    )),
+                );
+                t.dump_postmortem("lease-expired");
+            }
+        }
+    }
+
     fn redistribute(&mut self, busy_budget: Watts) -> Result<()> {
         // Collect (id, view) pairs in one pass so `views` stays aligned
         // with the ids even if an entry were to vanish mid-iteration.
+        // Expired leases are excluded: their watts are back in the pool.
         let mut active: Vec<(JobId, JobView)> = self
             .jobs
             .iter()
-            .filter(|(_, e)| e.done.is_none())
+            .filter(|(_, e)| e.holds_lease())
             .map(|(&id, e)| (id, e.view.clone()))
             .collect();
         if active.is_empty() {
@@ -490,9 +836,9 @@ impl ClusterBudgeter {
         Ok(())
     }
 
-    /// Jobs currently registered and not done.
+    /// Jobs currently registered, not done, and holding a live lease.
     pub fn active_jobs(&self) -> usize {
-        self.jobs.values().filter(|e| e.done.is_none()).count()
+        self.jobs.values().filter(|e| e.holds_lease()).count()
     }
 
     /// The last cap sent per job, sorted by job id.
@@ -513,6 +859,29 @@ impl ClusterBudgeter {
         self.jobs.get(&job).map(|e| &e.view)
     }
 
+    /// The budgeter's belief about the session carrying a job.
+    pub fn job_session(&self, job: JobId) -> Option<SessionState> {
+        self.jobs.get(&job).map(|e| e.state)
+    }
+
+    /// Session belief per registered job, sorted by job id.
+    pub fn session_states(&self) -> Vec<(JobId, SessionState)> {
+        let mut v: Vec<(JobId, SessionState)> =
+            self.jobs.iter().map(|(&id, e)| (id, e.state)).collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Watts currently reclaimed from expired leases and not yet restored
+    /// (the double-count invariant: reclaimed + allocated == budget is
+    /// checked by summing this against live assignments).
+    pub fn reclaimed_watts(&self) -> Watts {
+        self.jobs
+            .values()
+            .filter_map(|e| e.reclaimed)
+            .fold(Watts::ZERO, |acc, w| acc + w)
+    }
+
     /// Completed jobs with their reported elapsed times.
     pub fn completed(&self) -> &[(JobId, Seconds)] {
         &self.completed
@@ -527,7 +896,11 @@ mod tests {
     use std::net::TcpStream;
 
     fn connect(addr: SocketAddr) -> FramedStream {
-        FramedStream::new(TcpStream::connect(addr).unwrap()).unwrap()
+        FramedStream::new(TcpStream::connect(addr).unwrap(), StreamOptions::default()).unwrap()
+    }
+
+    fn bind(cfg: BudgeterConfig) -> (ClusterBudgeter, SocketAddr) {
+        ClusterBudgeter::builder(cfg).bind().unwrap()
     }
 
     fn hello(job: u64, name: &str, nodes: u32) -> bytes::Bytes {
@@ -558,8 +931,7 @@ mod tests {
 
     #[test]
     fn hello_registers_job_and_cap_is_sent() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false));
         let mut client = connect(addr);
         client.send(hello(1, "bt.D.81", 2)).unwrap();
         pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
@@ -576,12 +948,12 @@ mod tests {
         };
         // 400 W over 2 nodes -> 200 W/node.
         assert!((cap.value() - 200.0).abs() < 2.0, "cap {cap}");
+        assert_eq!(b.job_session(JobId(1)), Some(SessionState::Connected));
     }
 
     #[test]
     fn two_jobs_split_budget_by_policy() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false));
         let mut bt = connect(addr);
         let mut sp = connect(addr);
         bt.send(hello(1, "bt.D.81", 2)).unwrap();
@@ -610,7 +982,7 @@ mod tests {
         ] {
             let mut cfg = BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false);
             cfg.unknown_default = default;
-            let (mut b, addr) = ClusterBudgeter::bind(cfg).unwrap();
+            let (mut b, addr) = bind(cfg);
             let mut client = connect(addr);
             client.send(hello(9, "mystery.X.1", 1)).unwrap();
             pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -629,9 +1001,7 @@ mod tests {
     #[test]
     fn feedback_updates_view_only_when_enabled() {
         for feedback in [false, true] {
-            let (mut b, addr) =
-                ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, feedback))
-                    .unwrap();
+            let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, feedback));
             let mut client = connect(addr);
             client.send(hello(3, "is.D.32", 1)).unwrap();
             pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -662,8 +1032,7 @@ mod tests {
 
     #[test]
     fn done_and_disconnect_deactivate_job() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::Uniform, false));
         let mut client = connect(addr);
         client.send(hello(5, "mg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -684,20 +1053,140 @@ mod tests {
     }
 
     #[test]
-    fn abrupt_disconnect_without_done_removes_job() {
+    fn abrupt_disconnect_expires_the_lease_and_reclaims_watts() {
         let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
+            ClusterBudgeter::builder(BudgeterConfig::new(BudgetPolicy::Uniform, false))
+                .lease(LeaseConfig::after_misses(10))
+                .bind()
+                .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(6, "cg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        pump_until(&mut b, Watts(200.0), |b| b.job_caps()[0].1.is_some());
+        drop(client);
+        // Disconnect first parks the job on its lease...
+        pump_until(&mut b, Watts(200.0), |b| {
+            matches!(
+                b.job_session(JobId(6)),
+                Some(SessionState::Reconnecting { .. })
+            )
+        });
+        assert_eq!(b.active_jobs(), 1, "leased job still holds its watts");
+        // ...then the miss budget runs out and the watts come back.
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 0);
+        assert_eq!(b.job_session(JobId(6)), Some(SessionState::Gone));
+        assert!(b.reclaimed_watts().value() > 0.0, "watts were reclaimed");
+        assert_eq!(b.telemetry().counter("leases_expired_total", &[]).get(), 1);
+    }
+
+    #[test]
+    fn lease_disabled_strands_jobs_immediately() {
+        let (mut b, addr) =
+            ClusterBudgeter::builder(BudgeterConfig::new(BudgetPolicy::Uniform, false))
+                .lease(LeaseConfig::disabled())
+                .bind()
+                .unwrap();
         let mut client = connect(addr);
         client.send(hello(6, "cg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
         drop(client);
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 0);
+        assert_eq!(b.job_session(JobId(6)), None, "entry removed outright");
+    }
+
+    #[test]
+    fn resume_restores_the_lease_and_acks_the_last_cap() {
+        let (mut b, addr) =
+            ClusterBudgeter::builder(BudgeterConfig::new(BudgetPolicy::Uniform, false))
+                .lease(LeaseConfig::after_misses(5))
+                .bind()
+                .unwrap();
+        let mut client = connect(addr);
+        client.send(hello(4, "mg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        pump_until(&mut b, Watts(200.0), |b| b.job_caps()[0].1.is_some());
+        let cap_before = b.job_caps()[0].1.unwrap();
+        drop(client);
+        // Let the lease fully expire so restore has something to undo.
+        pump_until(&mut b, Watts(200.0), |b| {
+            b.job_session(JobId(4)) == Some(SessionState::Gone)
+        });
+        assert!(b.reclaimed_watts().value() > 0.0);
+        // A new connection resumes the same job id.
+        let mut revived = connect(addr);
+        revived
+            .send(
+                JobToCluster::Resume {
+                    job: JobId(4),
+                    type_name: "mg.D.32".into(),
+                    nodes: 1,
+                    believed_cap: cap_before,
+                    cause: 77,
+                }
+                .encode(),
+            )
+            .unwrap();
+        pump_until(&mut b, Watts(200.0), |b| {
+            b.job_session(JobId(4)) == Some(SessionState::Connected)
+        });
+        assert_eq!(b.active_jobs(), 1, "resumed job holds its lease again");
+        assert_eq!(
+            b.reclaimed_watts(),
+            Watts::ZERO,
+            "restored, not double-counted"
+        );
+        // The ack carries the cap on record.
+        let mut acks = Vec::new();
+        pump_until(&mut b, Watts(200.0), |_| {
+            revived.flush_some().unwrap();
+            for f in revived.recv_frames().unwrap() {
+                if let Ok(ClusterToJob::ResumeAck { cap, cause }) = ClusterToJob::decode(f) {
+                    acks.push((cap, cause));
+                }
+            }
+            !acks.is_empty()
+        });
+        assert_eq!(acks[0], (cap_before, 77));
+    }
+
+    #[test]
+    fn resume_of_an_unknown_job_registers_like_hello() {
+        // A restarted budgeter has no record: the Resume re-registers the
+        // job and the ack's negative cap says "nothing on file".
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::Uniform, false));
+        let mut client = connect(addr);
+        client
+            .send(
+                JobToCluster::Resume {
+                    job: JobId(12),
+                    type_name: "bt.D.81".into(),
+                    nodes: 2,
+                    believed_cap: Watts(190.0),
+                    cause: 5,
+                }
+                .encode(),
+            )
+            .unwrap();
+        pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
+        assert_eq!(b.believed_view(JobId(12)).unwrap().nodes, 2);
+        let mut acks = Vec::new();
+        pump_until(&mut b, Watts(400.0), |_| {
+            client.flush_some().unwrap();
+            for f in client.recv_frames().unwrap() {
+                if let Ok(ClusterToJob::ResumeAck { cap, cause }) = ClusterToJob::decode(f) {
+                    acks.push((cap, cause));
+                }
+            }
+            !acks.is_empty()
+        });
+        let (cap, cause) = acks[0];
+        assert!(cap.value() < 0.0, "no cap on file after a restart");
+        assert_eq!(cause, 5);
     }
 
     #[test]
     fn samples_are_counted() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::Uniform, false));
         let mut client = connect(addr);
         client.send(hello(7, "lu.D.42", 1)).unwrap();
         for i in 0..5u64 {
@@ -722,9 +1211,8 @@ mod tests {
     }
 
     #[test]
-    fn malformed_peer_is_dropped_without_killing_the_daemon() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false)).unwrap();
+    fn malformed_peer_is_quarantined_without_killing_the_daemon() {
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, false));
         // A healthy job...
         let mut good = connect(addr);
         good.send(hello(1, "bt.D.81", 2)).unwrap();
@@ -744,6 +1232,14 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(b.active_jobs(), 1, "healthy job must survive");
+        // The hostile connection was quarantined, not just ignored.
+        assert!(
+            b.telemetry()
+                .counter("budgeter_conns_quarantined_total", &[])
+                .get()
+                >= 1,
+            "quarantine must be counted"
+        );
         // And the healthy job still gets budget updates.
         pump_until(&mut b, Watts(560.0), |b| b.job_caps()[0].1.is_some());
     }
@@ -751,11 +1247,11 @@ mod tests {
     #[test]
     fn telemetry_records_rebalances_messages_and_retrains() {
         let telemetry = Telemetry::new();
-        let (mut b, addr) = ClusterBudgeter::bind_with(
-            BudgeterConfig::new(BudgetPolicy::EvenSlowdown, true),
-            telemetry.clone(),
-        )
-        .unwrap();
+        let (mut b, addr) =
+            ClusterBudgeter::builder(BudgeterConfig::new(BudgetPolicy::EvenSlowdown, true))
+                .telemetry(telemetry.clone())
+                .bind()
+                .unwrap();
         let mut client = connect(addr);
         client.send(hello(11, "bt.D.81", 2)).unwrap();
         pump_until(&mut b, Watts(400.0), |b| b.active_jobs() == 1);
@@ -801,8 +1297,7 @@ mod tests {
 
     #[test]
     fn caps_resent_only_on_material_change() {
-        let (mut b, addr) =
-            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
+        let (mut b, addr) = bind(BudgeterConfig::new(BudgetPolicy::Uniform, false));
         let mut client = connect(addr);
         client.send(hello(8, "mg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
@@ -825,5 +1320,24 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bind_shims_still_work() {
+        let (mut b, addr) =
+            ClusterBudgeter::bind(BudgeterConfig::new(BudgetPolicy::Uniform, false)).unwrap();
+        let mut client = connect(addr);
+        client.send(hello(2, "mg.D.32", 1)).unwrap();
+        pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
+        // bind_with shares the caller's telemetry handle.
+        let telemetry = Telemetry::new();
+        let (b2, _) = ClusterBudgeter::bind_with(
+            BudgeterConfig::new(BudgetPolicy::Uniform, false),
+            telemetry.clone(),
+        )
+        .unwrap();
+        b2.telemetry().counter("shim_probe", &[]).inc();
+        assert_eq!(telemetry.counter("shim_probe", &[]).get(), 1);
     }
 }

@@ -70,6 +70,20 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `--faults <spec>` chaos schedule, if present — e.g.
+    /// `drop@17,corrupt@42,delay@5:3` — with its corruption seed taken
+    /// from `--fault-seed` (default `0x5eed`). Shared by every binary
+    /// that can run under injected transport faults.
+    pub fn fault_plan(&self) -> Result<Option<crate::session::FaultPlan>> {
+        match self.get("faults") {
+            None => Ok(None),
+            Some(spec) => {
+                let seed: u64 = self.get_or("fault-seed", 0x5eed)?;
+                Ok(Some(crate::session::FaultPlan::parse(spec)?.seeded(seed)))
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,12 +7,13 @@
 //! real sockets code path (localhost TCP) without tying experiment time
 //! to wall-clock time.
 
+use crate::session::{corrupt_byte, FaultKind, FaultPlan};
 use anor_telemetry::{Counter, Telemetry};
 use anor_types::msg::{take_frame, MAX_FRAME_LEN};
 use anor_types::{AnorError, Result};
 use bytes::{Bytes, BytesMut};
 use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 
 /// Cached counter handles for one side of the wire protocol. Cloning is
 /// cheap (each counter is an `Arc`'d atomic); every [`FramedStream`] on
@@ -25,6 +26,7 @@ pub struct TransportMetrics {
     bytes_rx: Counter,
     reconnects: Counter,
     oversize_rejected: Counter,
+    faults_injected: Counter,
 }
 
 impl TransportMetrics {
@@ -39,6 +41,7 @@ impl TransportMetrics {
             bytes_rx: telemetry.counter("transport_bytes_rx_total", labels),
             reconnects: telemetry.counter("transport_reconnects_total", labels),
             oversize_rejected: telemetry.counter("transport_oversize_rejected_total", labels),
+            faults_injected: telemetry.counter("transport_faults_injected_total", labels),
         }
     }
 
@@ -47,9 +50,42 @@ impl TransportMetrics {
         self.reconnects.inc();
     }
 
+    /// Connections (re-)established on this role so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.get()
+    }
+
     /// Frames rejected for an oversized length prefix so far.
     pub fn oversize_rejected(&self) -> u64 {
         self.oversize_rejected.get()
+    }
+
+    /// Chaos faults injected into streams on this role so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.get()
+    }
+}
+
+/// Construction options for a [`FramedStream`]: optional transport
+/// metrics and an optional chaos [`FaultPlan`]. Replaces the old
+/// `new`/`with_metrics` constructor pair.
+#[derive(Debug, Default, Clone)]
+pub struct StreamOptions {
+    metrics: Option<TransportMetrics>,
+    faults: Option<FaultPlan>,
+}
+
+impl StreamOptions {
+    /// Count frames/bytes/connections into the given transport series.
+    pub fn metrics(mut self, metrics: TransportMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Inject the given chaos schedule into the stream's send path.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -61,30 +97,41 @@ pub struct FramedStream {
     outbuf: BytesMut,
     closed: bool,
     metrics: Option<TransportMetrics>,
+    faults: Option<FaultPlan>,
+    /// Frames held back by an injected [`FaultKind::Delay`], with the
+    /// number of further sends to wait before queueing each.
+    delayed: Vec<(u32, Bytes)>,
 }
 
 impl FramedStream {
     /// Wrap a connected stream: switches it to non-blocking mode and
     /// disables Nagle (control messages are tiny and latency-sensitive).
-    pub fn new(stream: TcpStream) -> Result<Self> {
+    /// When `opts` carries metrics, the connection itself is counted.
+    pub fn new(stream: TcpStream, opts: StreamOptions) -> Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
+        if let Some(m) = &opts.metrics {
+            m.connection_opened();
+        }
         Ok(FramedStream {
             stream,
             inbuf: BytesMut::with_capacity(4096),
             outbuf: BytesMut::with_capacity(4096),
             closed: false,
-            metrics: None,
+            metrics: opts.metrics,
+            faults: opts.faults,
+            delayed: Vec::new(),
         })
     }
 
     /// Like [`FramedStream::new`], but counting frames/bytes into the
     /// given transport series (also counts the connection itself).
+    #[deprecated(
+        note = "use FramedStream::new(stream, StreamOptions::default().metrics(..)); \
+                         removed after one release"
+    )]
     pub fn with_metrics(stream: TcpStream, metrics: TransportMetrics) -> Result<Self> {
-        metrics.connection_opened();
-        let mut s = FramedStream::new(stream)?;
-        s.metrics = Some(metrics);
-        Ok(s)
+        FramedStream::new(stream, StreamOptions::default().metrics(metrics))
     }
 
     /// Attach transport metrics to an already-wrapped stream.
@@ -92,13 +139,76 @@ impl FramedStream {
         self.metrics = Some(metrics);
     }
 
-    /// Queue an encoded frame and try to flush.
+    /// Queue an encoded frame and try to flush. An attached [`FaultPlan`]
+    /// is consulted here: the session's cumulative frame counter advances
+    /// once per call and a scheduled fault rewrites, delays, duplicates
+    /// or drops the frame (possibly cutting the connection).
     pub fn send(&mut self, frame: Bytes) -> Result<()> {
         if let Some(m) = &self.metrics {
             m.frames_tx.inc();
         }
-        self.outbuf.extend_from_slice(&frame);
+        let held = self.delayed.len();
+        match self.faults.as_ref().and_then(|p| p.on_frame()) {
+            None => self.outbuf.extend_from_slice(&frame),
+            Some((kind, seed)) => self.inject(kind, seed, frame),
+        }
+        // Only age holdbacks that predate this call: a frame delayed by
+        // this very send must wait for *further* frames, not release
+        // behind itself.
+        self.release_delayed(held);
         self.flush_some()
+    }
+
+    /// Apply one scheduled fault to the frame about to be queued.
+    fn inject(&mut self, kind: FaultKind, seed: u64, frame: Bytes) {
+        if let Some(m) = &self.metrics {
+            m.faults_injected.inc();
+        }
+        match kind {
+            FaultKind::Drop => {
+                // The frame is lost and the connection dies with it.
+                self.closed = true;
+                let _ = self.stream.shutdown(Shutdown::Both);
+            }
+            FaultKind::Delay(holdback) => {
+                self.delayed.push((holdback.max(1), frame));
+            }
+            FaultKind::Duplicate => {
+                self.outbuf.extend_from_slice(&frame);
+                self.outbuf.extend_from_slice(&frame);
+            }
+            FaultKind::Truncate => {
+                // Half the frame goes out, then the connection is cut
+                // mid-frame; flush eagerly so the prefix actually lands.
+                self.outbuf.extend_from_slice(&frame[..frame.len() / 2]);
+                let _ = self.flush_some();
+                self.closed = true;
+                let _ = self.stream.shutdown(Shutdown::Both);
+            }
+            FaultKind::Corrupt => {
+                let bad = corrupt_byte(&frame, seed);
+                self.outbuf.extend_from_slice(&bad);
+            }
+        }
+    }
+
+    /// Queue any delayed frames whose holdback has elapsed. Only the
+    /// first `aging` entries count this send against their holdback;
+    /// entries past that index were pushed by the current call.
+    fn release_delayed(&mut self, aging: usize) {
+        if aging == 0 || self.delayed.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.delayed);
+        for (i, (countdown, frame)) in pending.into_iter().enumerate() {
+            if i >= aging {
+                self.delayed.push((countdown, frame));
+            } else if countdown <= 1 {
+                self.outbuf.extend_from_slice(&frame);
+            } else {
+                self.delayed.push((countdown - 1, frame));
+            }
+        }
     }
 
     /// Write as much buffered output as the socket accepts right now.
@@ -198,6 +308,15 @@ impl FramedStream {
     pub fn pending_out(&self) -> usize {
         self.outbuf.len()
     }
+
+    /// Cut the connection now: mark the stream closed and shut the
+    /// socket down both ways so the peer sees EOF immediately. The
+    /// budgeter uses this to quarantine a misbehaving peer instead of
+    /// letting a reject-storm spin the pump loop.
+    pub fn shutdown_now(&mut self) {
+        self.closed = true;
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
 }
 
 #[cfg(test)]
@@ -210,13 +329,17 @@ mod tests {
     // `Telemetry` / `TransportMetrics` come through `super::*`.
 
     fn pair() -> (FramedStream, FramedStream) {
+        pair_with(StreamOptions::default())
+    }
+
+    fn pair_with(client_opts: StreamOptions) -> (FramedStream, FramedStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = TcpStream::connect(addr).unwrap();
         let (server, _) = listener.accept().unwrap();
         (
-            FramedStream::new(client).unwrap(),
-            FramedStream::new(server).unwrap(),
+            FramedStream::new(client, client_opts).unwrap(),
+            FramedStream::new(server, StreamOptions::default()).unwrap(),
         )
     }
 
@@ -368,7 +491,7 @@ mod tests {
     }
 
     #[test]
-    fn with_metrics_counts_the_connection() {
+    fn metrics_option_counts_the_connection() {
         let t = Telemetry::new();
         let metrics = TransportMetrics::new(&t, "endpoint");
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -376,13 +499,134 @@ mod tests {
         for _ in 0..3 {
             let stream = TcpStream::connect(addr).unwrap();
             let _ = listener.accept().unwrap();
-            let _fs = FramedStream::with_metrics(stream, metrics.clone()).unwrap();
+            let _fs = FramedStream::new(stream, StreamOptions::default().metrics(metrics.clone()))
+                .unwrap();
         }
         assert_eq!(
             t.counter("transport_reconnects_total", &[("role", "endpoint")])
                 .get(),
             3
         );
+        assert_eq!(metrics.reconnects(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_metrics_shim_delegates() {
+        let t = Telemetry::new();
+        let metrics = TransportMetrics::new(&t, "endpoint");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let _ = listener.accept().unwrap();
+        let _fs = FramedStream::with_metrics(stream, metrics.clone()).unwrap();
+        assert_eq!(metrics.reconnects(), 1);
+    }
+
+    // ---- chaos injection ----------------------------------------------
+
+    use crate::session::FaultPlan;
+
+    fn drain_ok(server: &mut FramedStream) -> Vec<Bytes> {
+        // Chaos plans may corrupt framing; protocol errors are expected
+        // and must not panic — they just end the drain.
+        server.recv_frames().unwrap_or_default()
+    }
+
+    #[test]
+    fn drop_fault_cuts_the_connection_at_the_scheduled_frame() {
+        let plan = FaultPlan::parse("drop@2").unwrap();
+        let (mut client, mut server) = pair_with(StreamOptions::default().faults(plan.clone()));
+        client.send(ClusterToJob::RequestSample.encode()).unwrap();
+        client.send(ClusterToJob::Shutdown.encode()).unwrap(); // dropped
+        assert!(client.is_closed());
+        assert_eq!(plan.injected(), 1);
+        let mut got = Vec::new();
+        pump_until(|| {
+            got.extend(drain_ok(&mut server));
+            server.is_closed()
+        });
+        // Only the first frame ever arrived.
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_repeats_the_frame() {
+        let plan = FaultPlan::parse("dup@1").unwrap();
+        let (mut client, mut server) = pair_with(StreamOptions::default().faults(plan));
+        client.send(ClusterToJob::Shutdown.encode()).unwrap();
+        let mut got = Vec::new();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            got.extend(drain_ok(&mut server));
+            got.len() == 2
+        });
+        for body in got {
+            assert_eq!(ClusterToJob::decode(body).unwrap(), ClusterToJob::Shutdown);
+        }
+    }
+
+    #[test]
+    fn delay_fault_reorders_behind_later_frames() {
+        let plan = FaultPlan::parse("delay@1:1").unwrap();
+        let (mut client, mut server) = pair_with(StreamOptions::default().faults(plan));
+        client.send(ClusterToJob::Shutdown.encode()).unwrap(); // held back
+        client.send(ClusterToJob::RequestSample.encode()).unwrap();
+        let mut got = Vec::new();
+        pump_until(|| {
+            client.flush_some().unwrap();
+            got.extend(drain_ok(&mut server));
+            got.len() == 2
+        });
+        let first = ClusterToJob::decode(got.remove(0)).unwrap();
+        let second = ClusterToJob::decode(got.remove(0)).unwrap();
+        assert_eq!(first, ClusterToJob::RequestSample);
+        assert_eq!(second, ClusterToJob::Shutdown);
+    }
+
+    #[test]
+    fn corrupt_fault_never_panics_the_receiver() {
+        let plan = FaultPlan::parse("corrupt@1").unwrap().seeded(7);
+        let (mut client, mut server) = pair_with(StreamOptions::default().faults(plan));
+        client.send(ClusterToJob::Shutdown.encode()).unwrap();
+        for _ in 0..10 {
+            client.flush_some().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(client);
+        // Whatever the flipped byte did (desync, oversize, bad tag), the
+        // receiver must surface it as data/err, never a panic.
+        pump_until(|| match server.recv_frames() {
+            Ok(frames) => {
+                for b in frames {
+                    let _ = ClusterToJob::decode(b);
+                }
+                server.is_closed()
+            }
+            Err(_) => true,
+        });
+    }
+
+    #[test]
+    fn truncate_fault_cuts_mid_frame() {
+        let plan = FaultPlan::parse("trunc@1").unwrap();
+        let (mut client, mut server) = pair_with(StreamOptions::default().faults(plan));
+        client
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(200.0),
+                    cause: 9,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(client.is_closed());
+        let mut got = Vec::new();
+        pump_until(|| {
+            got.extend(drain_ok(&mut server));
+            server.is_closed()
+        });
+        assert!(got.is_empty(), "a half frame must never decode");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! under a single virtual clock so an hour-long schedule replays in
 //! seconds while exercising the same code paths end to end.
 
-use crate::budgeter::{BudgeterConfig, ClusterBudgeter};
+use crate::budgeter::{BudgeterConfig, ClusterBudgeter, LeaseConfig};
 use crate::endpoint::JobEndpoint;
+use crate::session::{FaultPlan, RetryPolicy};
 use anor_aqa::{PowerTarget, TrackingRecorder};
 use anor_geopm::{JobReport, JobRuntime};
 use anor_model::{DriftDetector, ModelerConfig, PowerModeler};
@@ -58,6 +59,14 @@ pub struct EmulatorConfig {
     /// the per-job modelers. `None` disables tracing entirely; runners
     /// pass `Tracer::to_dir(..)` for `--trace <dir>`.
     pub tracer: Option<Tracer>,
+    /// Seeded chaos schedule injected into every endpoint's transport
+    /// (each job gets an independent [`FaultPlan::fork`] so the schedule
+    /// stays deterministic per job). `None` runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Endpoint reconnect policy for lost budgeter links.
+    pub retry: RetryPolicy,
+    /// Budgeter-side lease policy for silent/disconnected jobs.
+    pub lease: LeaseConfig,
 }
 
 impl EmulatorConfig {
@@ -78,6 +87,9 @@ impl EmulatorConfig {
             setup_teardown: Seconds::ZERO,
             telemetry: Telemetry::new(),
             tracer: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+            lease: LeaseConfig::default(),
         }
     }
 
@@ -90,6 +102,26 @@ impl EmulatorConfig {
     /// Causally trace the run into `tracer` (builder style).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Inject a seeded chaos schedule into every endpoint's transport
+    /// (builder style). Pairs naturally with [`LeaseConfig::after_misses`]
+    /// so reclaimed leases are observable within short runs.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Override the endpoint reconnect policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the budgeter lease policy (builder style).
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
         self
     }
 }
@@ -274,6 +306,41 @@ impl EmulatedCluster {
         }
     }
 
+    /// Build and connect one job-tier endpoint with the harness-wide
+    /// session knobs (retry, per-job fault fork, telemetry, tracer).
+    #[allow(clippy::too_many_arguments)]
+    fn connect_endpoint(
+        &self,
+        addr: std::net::SocketAddr,
+        job_id: JobId,
+        announced: &str,
+        nodes: u32,
+        modeler_side: anor_geopm::EndpointModeler,
+        believed: &anor_types::JobTypeSpec,
+        telemetry: &Telemetry,
+    ) -> Result<JobEndpoint> {
+        let cfg = &self.cfg;
+        let mut b = JobEndpoint::builder(
+            addr,
+            job_id,
+            announced,
+            nodes,
+            modeler_side,
+            self.modeler_for(believed),
+        )
+        .telemetry(telemetry.clone())
+        .retry(cfg.retry);
+        if let Some(plan) = &cfg.faults {
+            // Independent per-job schedule: same spec, salted seed, own
+            // frame counter — deterministic across runs with one seed.
+            b = b.faults(plan.fork(job_id.0));
+        }
+        if let Some(t) = &cfg.tracer {
+            b = b.tracer(t);
+        }
+        b.connect()
+    }
+
     fn run(&self, setups: &[JobSetup], mode: PowerMode, trace: bool) -> Result<RunReport> {
         if setups.is_empty() {
             return Ok(RunReport {
@@ -308,10 +375,13 @@ impl EmulatedCluster {
         let measured_gauge = telemetry.gauge("emulator_measured_watts", &[]);
         let mut bcfg = BudgeterConfig::new(cfg.policy, cfg.feedback);
         bcfg.catalog = cfg.catalog.clone();
-        let (mut budgeter, addr) = ClusterBudgeter::bind_with(bcfg, telemetry.clone())?;
+        let mut builder = ClusterBudgeter::builder(bcfg)
+            .telemetry(telemetry.clone())
+            .lease(cfg.lease);
         if let Some(t) = &cfg.tracer {
-            budgeter.attach_tracer(t);
+            builder = builder.tracer(t);
         }
+        let (mut budgeter, addr) = builder.bind()?;
         telemetry.event(
             "run_started",
             &[
@@ -421,18 +491,17 @@ impl EmulatedCluster {
                     };
                     runtime.attach_telemetry(&telemetry);
                     let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
-                    let mut endpoint = JobEndpoint::connect_with(
+                    let endpoint = self.connect_endpoint(
                         addr,
                         job_id,
                         &setup.announced,
                         spec.nodes,
                         modeler_side,
-                        self.modeler_for(&believed),
-                        telemetry.clone(),
+                        &believed,
+                        &telemetry,
                     )?;
                     if let Some(t) = &cfg.tracer {
                         runtime.attach_tracer(t);
-                        endpoint.attach_tracer(t);
                     }
                     telemetry.event(
                         "job_started",
@@ -482,18 +551,17 @@ impl EmulatedCluster {
                 };
                 runtime.attach_telemetry(&telemetry);
                 let believed = cfg.catalog.find(&setup.announced).unwrap_or(&spec).clone();
-                let mut endpoint = JobEndpoint::connect_with(
+                let endpoint = self.connect_endpoint(
                     addr,
                     job_id,
                     &setup.announced,
                     spec.nodes,
                     modeler_side,
-                    self.modeler_for(&believed),
-                    telemetry.clone(),
+                    &believed,
+                    &telemetry,
                 )?;
                 if let Some(t) = &cfg.tracer {
                     runtime.attach_tracer(t);
-                    endpoint.attach_tracer(t);
                 }
                 telemetry.event(
                     "job_started",

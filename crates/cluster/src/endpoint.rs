@@ -7,7 +7,8 @@
 //! the budgeter become agent policies — optionally dithered while the
 //! model is under-identified.
 
-use crate::codec::{FramedStream, TransportMetrics};
+use crate::codec::{FramedStream, StreamOptions, TransportMetrics};
+use crate::session::{FaultPlan, RetryPolicy, SessionState};
 use anor_geopm::{AgentPolicy, EndpointModeler};
 use anor_model::{ModelSource, PowerModeler};
 use anor_telemetry::{CauseId, Counter, Telemetry, TraceStage, Tracer};
@@ -22,6 +23,8 @@ struct EndpointMetrics {
     policies_applied: Counter,
     samples_forwarded: Counter,
     models_pushed: Counter,
+    session_reconnects: Counter,
+    sessions_gone: Counter,
 }
 
 impl EndpointMetrics {
@@ -30,8 +33,123 @@ impl EndpointMetrics {
             policies_applied: telemetry.counter("endpoint_policies_applied_total", &[]),
             samples_forwarded: telemetry.counter("endpoint_samples_forwarded_total", &[]),
             models_pushed: telemetry.counter("endpoint_models_pushed_total", &[]),
+            session_reconnects: telemetry.counter("endpoint_session_reconnects_total", &[]),
+            sessions_gone: telemetry.counter("endpoint_sessions_gone_total", &[]),
             telemetry,
         }
+    }
+}
+
+/// Everything needed to (re-)establish the budgeter link and introduce
+/// the job: kept on the endpoint so a reconnect can replay the
+/// registration without help from the caller.
+#[derive(Debug, Clone)]
+struct SessionConfig {
+    addr: SocketAddr,
+    announced_type: String,
+    retry: RetryPolicy,
+    faults: Option<FaultPlan>,
+}
+
+/// Builds a [`JobEndpoint`]. Replaces the old `connect`/`connect_with`
+/// constructor pair and is where new session knobs land: retry policy,
+/// chaos fault plan, telemetry and tracing.
+#[derive(Debug)]
+pub struct EndpointBuilder {
+    addr: SocketAddr,
+    job: JobId,
+    announced_type: String,
+    nodes: u32,
+    endpoint: EndpointModeler,
+    modeler: PowerModeler,
+    telemetry: Option<Telemetry>,
+    tracer: Option<Tracer>,
+    retry: RetryPolicy,
+    faults: Option<FaultPlan>,
+}
+
+impl EndpointBuilder {
+    /// Record transport and round-trip series into a shared handle.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Trace cap receipt, policy writes, sample forwarding, retrains and
+    /// session transitions.
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Reconnect policy for lost budgeter connections (defaults to
+    /// [`RetryPolicy::default`]; use [`RetryPolicy::disabled`] to make
+    /// the first disconnect final).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Inject a chaos [`FaultPlan`] into the endpoint's send path. The
+    /// plan's cumulative frame counter spans reconnects.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Connect to the budgeter and introduce the job.
+    pub fn connect(self) -> Result<JobEndpoint> {
+        let telemetry = self.telemetry.unwrap_or_default();
+        self.endpoint.attach_telemetry(&telemetry);
+        let transport = TransportMetrics::new(&telemetry, "endpoint");
+        let session = SessionConfig {
+            addr: self.addr,
+            announced_type: self.announced_type.clone(),
+            retry: self.retry,
+            faults: self.faults,
+        };
+        let mut opts = StreamOptions::default().metrics(transport.clone());
+        if let Some(p) = &session.faults {
+            opts = opts.faults(p.clone());
+        }
+        let mut stream = FramedStream::new(TcpStream::connect(session.addr)?, opts)?;
+        stream.send(
+            JobToCluster::Hello {
+                job: self.job,
+                type_name: self.announced_type,
+                nodes: self.nodes,
+            }
+            .encode(),
+        )?;
+        let mut modeler = self.modeler;
+        let tracer = self.tracer;
+        if let Some(t) = &tracer {
+            modeler.attach_tracer(t);
+        }
+        Ok(JobEndpoint {
+            job: self.job,
+            nodes: self.nodes,
+            stream,
+            endpoint: self.endpoint,
+            modeler,
+            last_sample_seq: 0,
+            budget_cap: None,
+            last_policy_at: None,
+            control_interval: Seconds(2.0),
+            sample_interval: Seconds(1.0),
+            last_sample_sent_at: None,
+            models_sent: 0,
+            shutdown_requested: false,
+            metrics: EndpointMetrics::new(telemetry),
+            tracer,
+            budget_cause: 0,
+            disconnect_dumped: false,
+            session,
+            transport,
+            state: SessionState::Connected,
+            next_attempt_at: None,
+            last_model: None,
+        })
     }
 }
 
@@ -55,13 +173,49 @@ pub struct JobEndpoint {
     tracer: Option<Tracer>,
     /// Cause of the budget cap currently in force (0 = untraced).
     budget_cause: u64,
-    /// Postmortem already dumped for a lost budgeter connection.
+    /// Postmortem already dumped for the current disconnect episode.
     disconnect_dumped: bool,
+    /// How to re-establish and re-introduce the session.
+    session: SessionConfig,
+    /// Transport series shared across reconnected streams.
+    transport: TransportMetrics,
+    /// Where the budgeter link currently stands.
+    state: SessionState,
+    /// Virtual deadline of the next reconnect attempt.
+    next_attempt_at: Option<Seconds>,
+    /// Last model pushed (or queued) — replayed after a resume, since
+    /// models are not individually acknowledged.
+    last_model: Option<JobToCluster>,
 }
 
 impl JobEndpoint {
+    /// Start building an endpoint for `job`. `announced_type` is the
+    /// type name the batch system believes (possibly wrong).
+    pub fn builder(
+        addr: SocketAddr,
+        job: JobId,
+        announced_type: &str,
+        nodes: u32,
+        endpoint: EndpointModeler,
+        modeler: PowerModeler,
+    ) -> EndpointBuilder {
+        EndpointBuilder {
+            addr,
+            job,
+            announced_type: announced_type.to_string(),
+            nodes,
+            endpoint,
+            modeler,
+            telemetry: None,
+            tracer: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+        }
+    }
+
     /// Connect to the budgeter and introduce the job. `announced_type` is
     /// the type name the batch system believes (possibly wrong).
+    #[deprecated(note = "use JobEndpoint::builder(..).connect(); removed after one release")]
     pub fn connect(
         addr: SocketAddr,
         job: JobId,
@@ -70,19 +224,14 @@ impl JobEndpoint {
         endpoint: EndpointModeler,
         modeler: PowerModeler,
     ) -> Result<Self> {
-        Self::connect_with(
-            addr,
-            job,
-            announced_type,
-            nodes,
-            endpoint,
-            modeler,
-            Telemetry::new(),
-        )
+        Self::builder(addr, job, announced_type, nodes, endpoint, modeler).connect()
     }
 
-    /// Like [`JobEndpoint::connect`], recording transport and round-trip
-    /// series into a shared [`Telemetry`] handle.
+    /// Like `connect`, recording transport and round-trip series into a
+    /// shared [`Telemetry`] handle.
+    #[deprecated(
+        note = "use JobEndpoint::builder(..).telemetry(..).connect(); removed after one release"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn connect_with(
         addr: SocketAddr,
@@ -93,36 +242,9 @@ impl JobEndpoint {
         modeler: PowerModeler,
         telemetry: Telemetry,
     ) -> Result<Self> {
-        endpoint.attach_telemetry(&telemetry);
-        let transport = TransportMetrics::new(&telemetry, "endpoint");
-        let mut stream = FramedStream::with_metrics(TcpStream::connect(addr)?, transport)?;
-        stream.send(
-            JobToCluster::Hello {
-                job,
-                type_name: announced_type.to_string(),
-                nodes,
-            }
-            .encode(),
-        )?;
-        Ok(JobEndpoint {
-            job,
-            nodes,
-            stream,
-            endpoint,
-            modeler,
-            last_sample_seq: 0,
-            budget_cap: None,
-            last_policy_at: None,
-            control_interval: Seconds(2.0),
-            sample_interval: Seconds(1.0),
-            last_sample_sent_at: None,
-            models_sent: 0,
-            shutdown_requested: false,
-            metrics: EndpointMetrics::new(telemetry),
-            tracer: None,
-            budget_cause: 0,
-            disconnect_dumped: false,
-        })
+        Self::builder(addr, job, announced_type, nodes, endpoint, modeler)
+            .telemetry(telemetry)
+            .connect()
     }
 
     /// Trace cap receipt, policy writes, sample forwarding and retrains
@@ -134,6 +256,58 @@ impl JobEndpoint {
 
     /// One pass of the endpoint's control loop at virtual time `now`.
     pub fn pump(&mut self, now: Seconds) -> Result<()> {
+        if self.state.is_connected() {
+            self.pump_stream(now)?;
+            if self.stream.is_closed() {
+                self.on_disconnect(now);
+            }
+        } else {
+            self.try_reconnect(now);
+        }
+        // Fresh agent samples -> modeler (+ model push on retrain). The
+        // modeler keeps learning even while the link is down; the model
+        // is replayed on resume.
+        if let Some((sample, seq)) = self.endpoint.read_sample() {
+            if seq != self.last_sample_seq {
+                self.last_sample_seq = seq;
+                let per_node_cap = sample.cap / self.nodes as f64;
+                let retrained =
+                    self.modeler
+                        .observe(sample.epoch_count, sample.timestamp, per_node_cap);
+                if retrained {
+                    let model = JobToCluster::Model {
+                        job: self.job,
+                        curve: self.modeler.curve(),
+                        samples: self.modeler.observation_count() as u32,
+                        cause: self.modeler.cause(),
+                    };
+                    self.last_model = Some(model.clone());
+                    if self.state.is_connected() {
+                        self.stream.send(model.encode())?;
+                        self.models_sent += 1;
+                        self.metrics.models_pushed.inc();
+                    }
+                }
+                self.forward_sample(now, false)?;
+            }
+        }
+        // Periodic policy refresh (lets the dither alternate). The
+        // believed cap stays in force while reconnecting — power safety
+        // does not lapse with the TCP link — but a `Gone` session stops
+        // pretending it has a live budget.
+        let due = self
+            .last_policy_at
+            .is_none_or(|t| (now - t).value() >= self.control_interval.value());
+        if due && self.budget_cap.is_some() && !self.state.is_gone() {
+            self.apply_policy();
+            self.last_policy_at = Some(now);
+        }
+        Ok(())
+    }
+
+    /// Flush, drain and dispatch inbound budgeter frames on the live
+    /// stream.
+    fn pump_stream(&mut self, now: Seconds) -> Result<()> {
         self.stream.flush_some()?;
         // Inbound budgeter messages. A malformed frame or corrupt length
         // prefix from the budgeter must not kill the job: the endpoint
@@ -175,60 +349,139 @@ impl JobEndpoint {
                             Some(cap.value()),
                         );
                     }
-                    self.budget_cap = Some(cap);
-                    self.budget_cause = cause;
-                    self.modeler.set_cause(cause);
-                    // Apply promptly on change.
-                    self.apply_policy();
-                    self.last_policy_at = Some(now);
+                    self.adopt_cap(cap, cause, now);
+                }
+                ClusterToJob::ResumeAck { cap, cause } => {
+                    if let Some(t) = &self.tracer {
+                        t.record_job(
+                            TraceStage::Resume,
+                            CauseId(cause),
+                            self.job.0,
+                            Some(cap.value()),
+                        );
+                    }
+                    // A non-positive cap means the budgeter has nothing
+                    // on record (e.g. it restarted); keep the believed
+                    // cap until the next rebalance re-caps us.
+                    if cap.value() > 0.0 {
+                        self.adopt_cap(cap, cause, now);
+                    }
                 }
                 ClusterToJob::RequestSample => self.forward_sample(now, true)?,
                 ClusterToJob::Shutdown => self.shutdown_requested = true,
             }
         }
-        if self.stream.is_closed() && !self.disconnect_dumped {
+        Ok(())
+    }
+
+    /// Adopt a budgeter-supplied cap and apply it promptly.
+    fn adopt_cap(&mut self, cap: Watts, cause: u64, now: Seconds) {
+        self.budget_cap = Some(cap);
+        self.budget_cause = cause;
+        self.modeler.set_cause(cause);
+        self.apply_policy();
+        self.last_policy_at = Some(now);
+    }
+
+    /// The live stream just died: dump the flight recorder once and move
+    /// to `Reconnecting` (or straight to `Gone` when retry is disabled).
+    fn on_disconnect(&mut self, now: Seconds) {
+        if !self.disconnect_dumped {
             self.disconnect_dumped = true;
             if let Some(t) = &self.tracer {
-                t.record_detail(
+                t.record_job(
                     TraceStage::Disconnect,
                     CauseId(self.budget_cause),
-                    "budgeter connection lost",
+                    self.job.0,
+                    self.budget_cap.map(|c| c.value()),
                 );
                 t.dump_postmortem("budgeter-disconnect");
             }
         }
-        // Fresh agent samples -> modeler (+ model push on retrain).
-        if let Some((sample, seq)) = self.endpoint.read_sample() {
-            if seq != self.last_sample_seq {
-                self.last_sample_seq = seq;
-                let per_node_cap = sample.cap / self.nodes as f64;
-                let retrained =
-                    self.modeler
-                        .observe(sample.epoch_count, sample.timestamp, per_node_cap);
-                if retrained {
-                    self.stream.send(
-                        JobToCluster::Model {
-                            job: self.job,
-                            curve: self.modeler.curve(),
-                            samples: self.modeler.observation_count() as u32,
-                            cause: self.modeler.cause(),
-                        }
-                        .encode(),
-                    )?;
-                    self.models_sent += 1;
-                    self.metrics.models_pushed.inc();
+        if self.session.retry.enabled() {
+            self.state = SessionState::Reconnecting { attempt: 0 };
+            self.next_attempt_at = Some(Seconds(now.value() + self.session.retry.delay(1).value()));
+        } else {
+            self.go_gone();
+        }
+    }
+
+    /// Declared dead: retry budget exhausted (or retry disabled).
+    fn go_gone(&mut self) {
+        self.state = SessionState::Gone;
+        self.next_attempt_at = None;
+        self.metrics.sessions_gone.inc();
+        if let Some(t) = &self.tracer {
+            t.record_detail(
+                TraceStage::Disconnect,
+                CauseId(self.budget_cause),
+                "session gone: reconnect attempts exhausted",
+            );
+            t.dump_postmortem("session-gone");
+        }
+    }
+
+    /// Attempt one reconnect if its backoff deadline has passed.
+    fn try_reconnect(&mut self, now: Seconds) {
+        let SessionState::Reconnecting { attempt } = self.state else {
+            return;
+        };
+        let due = self
+            .next_attempt_at
+            .is_some_and(|t| now.value() >= t.value());
+        if !due {
+            return;
+        }
+        let attempt = attempt + 1;
+        match self.reopen() {
+            Ok(()) => {
+                self.state = SessionState::Connected;
+                self.next_attempt_at = None;
+                self.disconnect_dumped = false;
+                self.metrics.session_reconnects.inc();
+                if let Some(t) = &self.tracer {
+                    t.record_job(
+                        TraceStage::Reconnect,
+                        CauseId(self.budget_cause),
+                        self.job.0,
+                        self.budget_cap.map(|c| c.value()),
+                    );
                 }
-                self.forward_sample(now, false)?;
+            }
+            Err(_) if attempt >= self.session.retry.max_attempts => self.go_gone(),
+            Err(_) => {
+                self.state = SessionState::Reconnecting { attempt };
+                self.next_attempt_at = Some(Seconds(
+                    now.value() + self.session.retry.delay(attempt + 1).value(),
+                ));
             }
         }
-        // Periodic policy refresh (lets the dither alternate).
-        let due = self
-            .last_policy_at
-            .is_none_or(|t| (now - t).value() >= self.control_interval.value());
-        if due && self.budget_cap.is_some() {
-            self.apply_policy();
-            self.last_policy_at = Some(now);
+    }
+
+    /// Dial the budgeter again and replay the session introduction: a
+    /// `Resume` carrying the believed cap, then the last model (models
+    /// are not individually acknowledged, so the latest one is replayed
+    /// wholesale).
+    fn reopen(&mut self) -> Result<()> {
+        let mut opts = StreamOptions::default().metrics(self.transport.clone());
+        if let Some(p) = &self.session.faults {
+            opts = opts.faults(p.clone());
         }
+        let mut stream = FramedStream::new(TcpStream::connect(self.session.addr)?, opts)?;
+        stream.send(
+            JobToCluster::Resume {
+                job: self.job,
+                type_name: self.session.announced_type.clone(),
+                nodes: self.nodes,
+                believed_cap: self.budget_cap.unwrap_or(Watts(-1.0)),
+                cause: self.budget_cause,
+            }
+            .encode(),
+        )?;
+        if let Some(model) = self.last_model.clone() {
+            stream.send(model.encode())?;
+        }
+        self.stream = stream;
         Ok(())
     }
 
@@ -257,6 +510,11 @@ impl JobEndpoint {
     }
 
     fn forward_sample(&mut self, now: Seconds, force: bool) -> Result<()> {
+        if !self.state.is_connected() {
+            // Samples taken during an outage are not spooled: the cap is
+            // re-synced on resume and fresh samples follow immediately.
+            return Ok(());
+        }
         let Some((s, _)) = self.endpoint.read_sample() else {
             return Ok(());
         };
@@ -308,9 +566,20 @@ impl JobEndpoint {
         self.job
     }
 
-    /// Latest per-node budget received from the budgeter.
+    /// Latest per-node budget received from the budgeter. `None` once
+    /// the session is [`SessionState::Gone`] — a dead endpoint must not
+    /// report a stale cap as live (the silent-stranding bug).
     pub fn budget_cap(&self) -> Option<Watts> {
-        self.budget_cap
+        if self.state.is_gone() {
+            None
+        } else {
+            self.budget_cap
+        }
+    }
+
+    /// Where the budgeter link currently stands.
+    pub fn session_state(&self) -> SessionState {
+        self.state
     }
 
     /// Where the modeler's current curve came from.
@@ -357,11 +626,13 @@ mod tests {
         cfg.dither_hold_epochs = 0;
         let default = PowerCurve::from_anchor(Seconds(0.5), 0.1, CapRange::paper_node());
         let pm = PowerModeler::with_default(cfg, default);
-        let je = JobEndpoint::connect(addr, JobId(1), "bt.D.81", 2, modeler_side, pm).unwrap();
+        let je = JobEndpoint::builder(addr, JobId(1), "bt.D.81", 2, modeler_side, pm)
+            .connect()
+            .unwrap();
         let (stream, _) = listener.accept().unwrap();
         Harness {
             endpoint: je,
-            server: FramedStream::new(stream).unwrap(),
+            server: FramedStream::new(stream, StreamOptions::default()).unwrap(),
             agent: agent_side,
         }
     }
@@ -553,18 +824,12 @@ mod tests {
         cfg.dither_fraction = 0.0;
         let default = PowerCurve::from_anchor(Seconds(0.5), 0.1, CapRange::paper_node());
         let pm = PowerModeler::with_default(cfg, default);
-        let mut je = JobEndpoint::connect_with(
-            addr,
-            JobId(4),
-            "bt.D.81",
-            2,
-            modeler_side,
-            pm,
-            telemetry.clone(),
-        )
-        .unwrap();
+        let mut je = JobEndpoint::builder(addr, JobId(4), "bt.D.81", 2, modeler_side, pm)
+            .telemetry(telemetry.clone())
+            .connect()
+            .unwrap();
         let (stream, _) = listener.accept().unwrap();
-        let mut server = FramedStream::new(stream).unwrap();
+        let mut server = FramedStream::new(stream, StreamOptions::default()).unwrap();
         server
             .send(
                 ClusterToJob::SetPowerCap {
@@ -621,6 +886,185 @@ mod tests {
                 .get(),
             190.0
         );
+    }
+
+    fn modeler() -> PowerModeler {
+        let mut cfg = ModelerConfig::paper();
+        cfg.dither_fraction = 0.0;
+        let default = PowerCurve::from_anchor(Seconds(0.5), 0.1, CapRange::paper_node());
+        PowerModeler::with_default(cfg, default)
+    }
+
+    #[test]
+    fn reconnects_and_resumes_with_identical_cap() {
+        use crate::session::{RetryPolicy, SessionState};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (modeler_side, _agent) = endpoint_pair();
+        let retry = RetryPolicy {
+            base_delay: Seconds(0.5),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut je = JobEndpoint::builder(addr, JobId(9), "bt.D.81", 2, modeler_side, modeler())
+            .retry(retry)
+            .connect()
+            .unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = FramedStream::new(stream, StreamOptions::default()).unwrap();
+        server
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(205.0),
+                    cause: 11,
+                }
+                .encode(),
+            )
+            .unwrap();
+        for i in 0..100 {
+            server.flush_some().unwrap();
+            je.pump(Seconds(i as f64 * 0.01)).unwrap();
+            if je.budget_cap() == Some(Watts(205.0)) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(je.budget_cap(), Some(Watts(205.0)));
+        // Kill the budgeter side of the link.
+        drop(server);
+        let mut t = 1.0;
+        for _ in 0..100 {
+            je.pump(Seconds(t)).unwrap();
+            if !je.session_state().is_connected() {
+                break;
+            }
+            t += 0.1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            matches!(je.session_state(), SessionState::Reconnecting { .. }),
+            "{:?}",
+            je.session_state()
+        );
+        // The believed cap stays in force while reconnecting.
+        assert_eq!(je.budget_cap(), Some(Watts(205.0)));
+        // Advance virtual time past the backoff; the endpoint redials.
+        t += 1.0;
+        je.pump(Seconds(t)).unwrap();
+        assert!(je.session_state().is_connected(), "redial should succeed");
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = FramedStream::new(stream, StreamOptions::default()).unwrap();
+        // The first frame on the new connection is the Resume, carrying
+        // the cap the endpoint still believes.
+        let mut msgs = Vec::new();
+        for _ in 0..200 {
+            for body in server.recv_frames().unwrap() {
+                msgs.push(JobToCluster::decode(body).unwrap());
+            }
+            if !msgs.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let JobToCluster::Resume {
+            job,
+            believed_cap,
+            cause,
+            ..
+        } = &msgs[0]
+        else {
+            panic!("expected Resume first, got {msgs:?}");
+        };
+        assert_eq!(*job, JobId(9));
+        assert_eq!(*believed_cap, Watts(205.0));
+        assert_eq!(*cause, 11);
+        // Ack with the cap on record; the endpoint keeps an identical cap.
+        server
+            .send(
+                ClusterToJob::ResumeAck {
+                    cap: Watts(205.0),
+                    cause: 11,
+                }
+                .encode(),
+            )
+            .unwrap();
+        for _ in 0..100 {
+            server.flush_some().unwrap();
+            t += 0.1;
+            je.pump(Seconds(t)).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(je.budget_cap(), Some(Watts(205.0)));
+        assert!(je.session_state().is_connected());
+    }
+
+    #[test]
+    fn retry_disabled_goes_gone_and_stops_reporting_a_live_cap() {
+        use crate::session::RetryPolicy;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (modeler_side, _agent) = endpoint_pair();
+        let mut je = JobEndpoint::builder(addr, JobId(2), "sp.D.64", 1, modeler_side, modeler())
+            .retry(RetryPolicy::disabled())
+            .connect()
+            .unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = FramedStream::new(stream, StreamOptions::default()).unwrap();
+        server
+            .send(
+                ClusterToJob::SetPowerCap {
+                    cap: Watts(190.0),
+                    cause: 0,
+                }
+                .encode(),
+            )
+            .unwrap();
+        for i in 0..100 {
+            server.flush_some().unwrap();
+            je.pump(Seconds(i as f64 * 0.01)).unwrap();
+            if je.budget_cap().is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(je.budget_cap(), Some(Watts(190.0)));
+        drop(server);
+        drop(listener);
+        for i in 0..100 {
+            je.pump(Seconds(1.0 + i as f64 * 0.1)).unwrap();
+            if je.session_state().is_gone() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(je.session_state().is_gone());
+        assert_eq!(
+            je.budget_cap(),
+            None,
+            "a Gone session must not report a live cap"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_connect_shims_still_work() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (modeler_side, _agent) = endpoint_pair();
+        let je = JobEndpoint::connect(addr, JobId(1), "bt.D.81", 2, modeler_side, modeler());
+        assert!(je.is_ok());
+        let _ = listener.accept().unwrap();
+        let (modeler_side, _agent) = endpoint_pair();
+        let je = JobEndpoint::connect_with(
+            addr,
+            JobId(2),
+            "bt.D.81",
+            2,
+            modeler_side,
+            modeler(),
+            Telemetry::new(),
+        );
+        assert!(je.is_ok());
     }
 
     #[test]

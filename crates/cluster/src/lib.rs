@@ -19,6 +19,9 @@
 //!   folds received `Model` messages back into its views;
 //! * [`endpoint`] — the per-job job-tier process bridging the GEOPM
 //!   endpoint to the budgeter over TCP, running the power modeler;
+//! * [`session`] — the fault-tolerance layer: deterministic reconnect
+//!   backoff ([`RetryPolicy`]), session state ([`SessionState`]), and
+//!   the seeded chaos-injection schedule ([`FaultPlan`]);
 //! * [`emulator`] — a 16-node emulated cluster harness that wires
 //!   simulated nodes, GEOPM runtimes, endpoint processes and the budgeter
 //!   daemon together under a virtual clock (the real-hardware
@@ -29,9 +32,11 @@ pub mod cli;
 pub mod codec;
 pub mod emulator;
 pub mod endpoint;
+pub mod session;
 
-pub use budgeter::{BudgetPolicy, BudgeterConfig, ClusterBudgeter};
+pub use budgeter::{BudgetPolicy, BudgeterBuilder, BudgeterConfig, ClusterBudgeter, LeaseConfig};
 pub use cli::Args;
-pub use codec::FramedStream;
+pub use codec::{FramedStream, StreamOptions, TransportMetrics};
 pub use emulator::{EmulatedCluster, EmulatorConfig, JobResult, JobSetup, RunReport};
-pub use endpoint::JobEndpoint;
+pub use endpoint::{EndpointBuilder, JobEndpoint};
+pub use session::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, SessionState};

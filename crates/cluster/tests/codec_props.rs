@@ -40,6 +40,10 @@ fn cluster_to_job_reps() -> Vec<ClusterToJob> {
         },
         ClusterToJob::RequestSample,
         ClusterToJob::Shutdown,
+        ClusterToJob::ResumeAck {
+            cap: Watts(190.0),
+            cause: 17,
+        },
     ]
 }
 
@@ -61,6 +65,13 @@ fn job_to_cluster_reps() -> Vec<JobToCluster> {
             job: JobId(7),
             elapsed: Seconds(612.5),
         },
+        JobToCluster::Resume {
+            job: JobId(7),
+            type_name: "bt.D.81".into(),
+            nodes: 81,
+            believed_cap: Watts(187.5),
+            cause: 99,
+        },
     ]
 }
 
@@ -72,7 +83,8 @@ fn representatives_are_exhaustive() {
         match m {
             ClusterToJob::SetPowerCap { .. }
             | ClusterToJob::RequestSample
-            | ClusterToJob::Shutdown => {}
+            | ClusterToJob::Shutdown
+            | ClusterToJob::ResumeAck { .. } => {}
         }
     }
     for m in job_to_cluster_reps() {
@@ -80,7 +92,8 @@ fn representatives_are_exhaustive() {
             JobToCluster::Hello { .. }
             | JobToCluster::Sample(_)
             | JobToCluster::Model { .. }
-            | JobToCluster::Done { .. } => {}
+            | JobToCluster::Done { .. }
+            | JobToCluster::Resume { .. } => {}
         }
     }
 }
@@ -104,8 +117,8 @@ fn encode_tags_unique_per_direction() {
     // The v2 tag assignment is part of the protocol: encoders emit the
     // current version's tags only.
     assert_eq!(CODEC_VERSION, 2);
-    assert_eq!(down, [4, 2, 3]);
-    assert_eq!(up, [1, 5, 6, 4]);
+    assert_eq!(down, [4, 2, 3, 5]);
+    assert_eq!(up, [1, 5, 6, 4, 7]);
 }
 
 #[test]
@@ -178,12 +191,39 @@ proptest! {
         prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
     }
 
+    /// Resume round-trips, including the sentinel "no believed cap"
+    /// value (-1.0) the endpoint sends after a budgeter restart.
+    #[test]
+    fn resume_round_trips(
+        job in 0u64..u64::MAX,
+        type_name in "[a-zA-Z0-9._\\-]{0,64}",
+        nodes in 0u32..u32::MAX,
+        cap in -1.0f64..1e7,
+        cause in 0u64..u64::MAX,
+    ) {
+        let m = JobToCluster::Resume {
+            job: JobId(job),
+            type_name,
+            nodes,
+            believed_cap: Watts(cap),
+            cause,
+        };
+        prop_assert_eq!(JobToCluster::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
+    /// ResumeAck round-trips, including the "nothing on record" reply.
+    #[test]
+    fn resume_ack_round_trips(cap in -1.0f64..1e7, cause in 0u64..u64::MAX) {
+        let m = ClusterToJob::ResumeAck { cap: Watts(cap), cause };
+        prop_assert_eq!(ClusterToJob::decode(body_of(&m.encode())).unwrap(), m);
+    }
+
     /// Every strict prefix of a valid body is rejected with an error —
     /// never a panic, never a silent partial decode. (Every field of
     /// every message is load-bearing, so a truncated body cannot decode.)
     #[test]
     fn truncated_bodies_error_not_panic(
-        which in 0usize..4,
+        which in 0usize..5,
         cut_ppm in 0u32..1000,
     ) {
         let m = &job_to_cluster_reps()[which];

@@ -71,6 +71,7 @@ impl Default for Config {
             "crates/cluster/src/endpoint.rs",
             "crates/cluster/src/budgeter.rs",
             "crates/cluster/src/codec.rs",
+            "crates/cluster/src/session.rs",
             "crates/geopm/src/agent.rs",
             "crates/geopm/src/endpoint.rs",
             "crates/geopm/src/platformio.rs",

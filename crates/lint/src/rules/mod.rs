@@ -1,10 +1,11 @@
-//! The four rule families. Each rule is a pure function over one file's
+//! The five rule families. Each rule is a pure function over one file's
 //! token stream plus the engine [`Config`]; the engine runs all of them
 //! and merges diagnostics.
 
 pub mod codec;
 pub mod locks;
 pub mod panic_free;
+pub mod shims;
 pub mod units;
 
 use crate::config::Config;
@@ -18,5 +19,6 @@ pub fn run_all(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Ve
     out.extend(codec::check(path, toks, test_mask, cfg));
     out.extend(units::check(path, toks, test_mask, cfg));
     out.extend(locks::check(path, toks, test_mask, cfg));
+    out.extend(shims::check(path, toks, test_mask, cfg));
     out
 }

@@ -1,0 +1,175 @@
+//! Rule `ANOR-SHIM`: deprecated compatibility shims must be pure
+//! delegation.
+//!
+//! The builder-API migration keeps the old constructors alive for one
+//! release behind `#[deprecated]`. The deal that makes that safe is
+//! structural: a shim's body must be a *single delegation expression*
+//! into the replacement API — no statements, no control flow, no logic
+//! that could drift from the real implementation during the deprecation
+//! window. This rule enforces the deal: any `#[deprecated]` function
+//! whose body contains statements (`;`, `let`) or control flow
+//! (`if`/`match`/`for`/`while`/`loop`/`return`) is flagged, as is a
+//! deprecated function that does not call anything at all (a shim that
+//! re-implements instead of delegating usually grows one of those
+//! first). Audited exceptions go through the `allow ANOR-SHIM ...`
+//! list in `anor-lint.toml`.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub const RULE: &str = "ANOR-SHIM";
+
+pub fn check(path: &str, toks: &[Tok], test_mask: &[bool], _cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_attr_open(toks, i) || !toks[i + 2].is_ident("deprecated") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = close_bracket(toks, i + 1) else {
+            break;
+        };
+        // The attribute may decorate a struct, trait method decl, etc.;
+        // only `fn` items with bodies are in scope.
+        let Some((fn_idx, name)) = fn_after(toks, attr_end + 1) else {
+            i = attr_end + 1;
+            continue;
+        };
+        if test_mask.get(fn_idx).copied().unwrap_or(false) {
+            // Test-local shims (fixtures, harness helpers) are not part
+            // of the public deprecation surface.
+            i = attr_end + 1;
+            continue;
+        }
+        let Some((body_start, body_end)) = block_after(toks, fn_idx) else {
+            i = attr_end + 1;
+            continue;
+        };
+        check_body(path, &name, &toks[body_start..body_end], &mut out);
+        i = body_end;
+    }
+    out
+}
+
+fn check_body(path: &str, name: &str, body: &[Tok], out: &mut Vec<Diagnostic>) {
+    let line = body.first().map(|t| t.line).unwrap_or(0);
+    let offender = body.iter().find(|t| {
+        t.is_punct(';')
+            || (t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "let" | "if" | "match" | "for" | "while" | "loop" | "return" | "unsafe"
+                ))
+    });
+    if let Some(tok) = offender {
+        out.push(Diagnostic::new(
+            RULE,
+            path,
+            tok.line,
+            format!(
+                "deprecated shim `{name}` contains `{}`: shims must be a single \
+                 delegation expression",
+                tok.text
+            ),
+            "make the body one expression that forwards to the replacement API \
+             (e.g. `Self::builder(..).connect()`); logic in a shim drifts from the \
+             real implementation during the deprecation window",
+            format!("fn {name}"),
+        ));
+        return;
+    }
+    if !body.iter().any(|t| t.is_punct('(')) {
+        out.push(Diagnostic::new(
+            RULE,
+            path,
+            line,
+            format!("deprecated shim `{name}` delegates to nothing"),
+            "a deprecated function must forward to its replacement, not carry its \
+             own implementation",
+            format!("fn {name}"),
+        ));
+    }
+}
+
+/// Is `toks[i..]` the start of an attribute, `# [ ident`?
+fn is_attr_open(toks: &[Tok], i: usize) -> bool {
+    toks[i].is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn close_bracket(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Find the `fn` this attribute decorates, skipping further attributes
+/// and modifiers (`pub`, `pub(crate)`, `const`, `async`, `extern`).
+/// Returns the `fn` token index and the function name.
+fn fn_after(toks: &[Tok], mut i: usize) -> Option<(usize, String)> {
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            i = close_bracket(toks, i + 1)? + 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let name = toks
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone())?;
+            return Some((i, name));
+        }
+        let modifier = matches!(
+            t.text.as_str(),
+            "pub" | "crate" | "super" | "in" | "const" | "async" | "unsafe" | "extern"
+        ) || t.is_punct('(')
+            || t.is_punct(')')
+            || t.kind == TokKind::Str; // `extern "C"`
+        if !modifier {
+            return None; // Decorates a non-fn item.
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The `{ ... }` block following position `i` (range strictly inside the
+/// braces), bailing at a `;` first (trait method declarations).
+fn block_after(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    let start = j + 1;
+    let mut depth = 1i32;
+    let mut k = start;
+    while k < toks.len() {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((start, k));
+            }
+        }
+        k += 1;
+    }
+    None
+}

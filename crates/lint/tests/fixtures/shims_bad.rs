@@ -1,0 +1,37 @@
+//! ANOR-SHIM bad fixture: deprecated functions that do more than
+//! delegate. Not compiled — linted as text by tests/rules.rs.
+
+pub struct Widget {
+    size: u32,
+}
+
+impl Widget {
+    pub fn build(size: u32) -> Widget {
+        Widget { size }
+    }
+
+    // Statements inside a shim: the `let` (and the `;`) mean the old
+    // entry point carries logic the new one does not.
+    #[deprecated(note = "use Widget::build")]
+    pub fn make(size: u32) -> Widget {
+        let doubled = size * 2;
+        Widget::build(doubled)
+    }
+
+    // Control flow inside a shim: behavior forks from the replacement.
+    #[deprecated(note = "use Widget::build")]
+    pub fn make_checked(size: u32) -> Widget {
+        if size > 4 {
+            Widget::build(size)
+        } else {
+            Widget::build(4)
+        }
+    }
+
+    // A deprecated fn that calls nothing is a parallel implementation,
+    // not a shim.
+    #[deprecated(note = "use Widget::build")]
+    pub fn make_raw(size: u32) -> Widget {
+        Widget { size }
+    }
+}

@@ -1,0 +1,36 @@
+//! ANOR-SHIM good fixture: delegation-only deprecated shims (and
+//! deprecated non-fn items, which are out of scope). Not compiled —
+//! linted as text by tests/rules.rs.
+
+#[deprecated(note = "renamed to Widget")]
+pub struct OldWidget;
+
+pub struct Widget {
+    size: u32,
+}
+
+impl Widget {
+    pub fn build(size: u32) -> Widget {
+        Widget { size }
+    }
+
+    pub fn build_with(size: u32, scale: u32) -> Widget {
+        Widget { size: size * scale }
+    }
+
+    // A single delegation expression — the only thing a shim may be.
+    #[deprecated(note = "use Widget::build")]
+    pub fn make(size: u32) -> Widget {
+        Widget::build(size)
+    }
+
+    // Multi-line builder chains are still one expression.
+    #[deprecated(note = "use Widget::build_with")]
+    #[allow(clippy::new_ret_no_self)]
+    pub fn make_scaled(size: u32, scale: u32) -> Widget {
+        Widget::build_with(
+            size,
+            scale,
+        )
+    }
+}

@@ -94,6 +94,31 @@ fn locks_bad_fixture_flags_stall_and_inversion() {
 }
 
 #[test]
+fn shims_bad_fixture_flags_every_non_delegating_shim() {
+    let diags = lint(
+        "crates/cluster/src/compat.rs",
+        include_str!("fixtures/shims_bad.rs"),
+    );
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    // `let` statement, `if` control flow, call-free body.
+    assert_eq!(rule_count(&diags, "ANOR-SHIM"), 3, "{diags:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`make` contains `let`")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`make_checked` contains `if`")));
+    assert!(msgs.iter().any(|m| m.contains("delegates to nothing")));
+}
+
+#[test]
+fn shims_good_fixture_is_clean() {
+    let diags = lint(
+        "crates/cluster/src/compat.rs",
+        include_str!("fixtures/shims_good.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn locks_good_fixture_is_clean() {
     let diags = lint(
         "crates/telemetry/src/registry.rs",

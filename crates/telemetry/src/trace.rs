@@ -100,6 +100,16 @@ pub enum TraceStage {
     TransportError,
     /// A peer connection closed or died.
     Disconnect,
+    /// An endpoint re-established its budgeter connection.
+    Reconnect,
+    /// A session resumed: the endpoint re-registered (`Resume`) or the
+    /// budgeter acknowledged one (`ResumeAck`).
+    Resume,
+    /// The budgeter's power lease on a disconnected job ran out and its
+    /// watts were reclaimed into the pool.
+    LeaseExpired,
+    /// A reclaimed lease was handed back to a resuming job.
+    LeaseRestored,
 }
 
 impl TraceStage {
@@ -117,6 +127,10 @@ impl TraceStage {
             TraceStage::ModelRx => "model_rx",
             TraceStage::TransportError => "transport_error",
             TraceStage::Disconnect => "disconnect",
+            TraceStage::Reconnect => "reconnect",
+            TraceStage::Resume => "resume",
+            TraceStage::LeaseExpired => "lease_expired",
+            TraceStage::LeaseRestored => "lease_restored",
         }
     }
 
@@ -134,6 +148,10 @@ impl TraceStage {
             "model_rx" => TraceStage::ModelRx,
             "transport_error" => TraceStage::TransportError,
             "disconnect" => TraceStage::Disconnect,
+            "reconnect" => TraceStage::Reconnect,
+            "resume" => TraceStage::Resume,
+            "lease_expired" => TraceStage::LeaseExpired,
+            "lease_restored" => TraceStage::LeaseRestored,
             _ => return None,
         })
     }
@@ -577,6 +595,10 @@ mod tests {
             TraceStage::ModelRx,
             TraceStage::TransportError,
             TraceStage::Disconnect,
+            TraceStage::Reconnect,
+            TraceStage::Resume,
+            TraceStage::LeaseExpired,
+            TraceStage::LeaseRestored,
         ] {
             assert_eq!(TraceStage::parse(stage.as_str()), Some(stage));
         }

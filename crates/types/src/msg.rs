@@ -21,6 +21,10 @@
 //! tag 4, `Sample` v2 = tag 5, `Model` v2 = tag 6); the v1 tags remain
 //! decodable and yield a zero (`unknown`) cause, so a v2 budgeter can
 //! ingest frames from a v1 job endpoint and vice versa.
+//!
+//! The session-resume handshake (`Resume` = job tag 7, `ResumeAck` =
+//! cluster tag 5) rides the same scheme: fresh tags, so v1/v2 peers that
+//! never reconnect are byte-for-byte unaffected.
 
 use crate::curve::PowerCurve;
 use crate::error::AnorError;
@@ -77,6 +81,19 @@ pub enum ClusterToJob {
     RequestSample,
     /// The budgeter is shutting down or the job was cancelled.
     Shutdown,
+    /// Reply to a [`JobToCluster::Resume`]: re-syncs the cap the budgeter
+    /// holds on record for the job so a `SetPowerCap` lost to the
+    /// disconnect is replayed rather than dropped.
+    ResumeAck {
+        /// Per-node cap currently on record. A non-positive value means
+        /// the budgeter has no cap on record (e.g. it restarted and lost
+        /// state); the endpoint keeps its believed cap until the next
+        /// rebalance sends a fresh `SetPowerCap`.
+        cap: Watts,
+        /// Causal-trace id of the decision that produced the cap (`0` =
+        /// none on record).
+        cause: u64,
+    },
 }
 
 /// Messages a job-tier endpoint sends to the cluster tier.
@@ -114,6 +131,24 @@ pub enum JobToCluster {
         /// Wall-clock the application section ran (the "Application
         /// Totals" figure from GEOPM reports).
         elapsed: Seconds,
+    },
+    /// First message on a *re-established* connection: re-register the
+    /// job and report the cap the endpoint still believes, so the
+    /// budgeter can restore a reclaimed lease and re-sync the cap via
+    /// [`ClusterToJob::ResumeAck`].
+    Resume {
+        /// Cluster-assigned job id (unchanged across reconnects).
+        job: JobId,
+        /// Announced job-type name, replayed from the original hello.
+        type_name: String,
+        /// Number of compute nodes the job occupies.
+        nodes: u32,
+        /// Per-node cap the endpoint was enforcing when the connection
+        /// dropped (non-positive = it never received one).
+        believed_cap: Watts,
+        /// Causal-trace id of the decision behind `believed_cap` (`0` =
+        /// none).
+        cause: u64,
     },
 }
 
@@ -177,6 +212,11 @@ impl ClusterToJob {
             }
             ClusterToJob::RequestSample => body.put_u8(2),
             ClusterToJob::Shutdown => body.put_u8(3),
+            ClusterToJob::ResumeAck { cap, cause } => {
+                body.put_u8(5);
+                body.put_f64(cap.value());
+                body.put_u64(*cause);
+            }
         }
         frame(body)
     }
@@ -199,6 +239,13 @@ impl ClusterToJob {
             4 => {
                 need(&body, 16, "SetPowerCap v2")?;
                 Ok(ClusterToJob::SetPowerCap {
+                    cap: Watts(body.get_f64()),
+                    cause: body.get_u64(),
+                })
+            }
+            5 => {
+                need(&body, 16, "ResumeAck")?;
+                Ok(ClusterToJob::ResumeAck {
                     cap: Watts(body.get_f64()),
                     cause: body.get_u64(),
                 })
@@ -249,6 +296,20 @@ impl JobToCluster {
                 body.put_u8(4);
                 body.put_u64(job.0);
                 body.put_f64(elapsed.value());
+            }
+            JobToCluster::Resume {
+                job,
+                type_name,
+                nodes,
+                believed_cap,
+                cause,
+            } => {
+                body.put_u8(7);
+                body.put_u64(job.0);
+                put_string(&mut body, type_name);
+                body.put_u32(*nodes);
+                body.put_f64(believed_cap.value());
+                body.put_u64(*cause);
             }
         }
         frame(body)
@@ -326,6 +387,19 @@ impl JobToCluster {
                     cause: body.get_u64(),
                 })
             }
+            7 => {
+                need(&body, 8, "Resume job id")?;
+                let job = JobId(body.get_u64());
+                let type_name = get_string(&mut body)?;
+                need(&body, 4 + 8 + 8, "Resume nodes+cap+cause")?;
+                Ok(JobToCluster::Resume {
+                    job,
+                    type_name,
+                    nodes: body.get_u32(),
+                    believed_cap: Watts(body.get_f64()),
+                    cause: body.get_u64(),
+                })
+            }
             t => Err(AnorError::protocol(format!("unknown JobToCluster tag {t}"))),
         }
     }
@@ -390,6 +464,10 @@ mod tests {
             },
             ClusterToJob::RequestSample,
             ClusterToJob::Shutdown,
+            ClusterToJob::ResumeAck {
+                cap: Watts(192.5),
+                cause: 1234,
+            },
         ];
         for m in msgs {
             let decoded = ClusterToJob::decode(strip_len(m.encode())).unwrap();
@@ -416,11 +494,49 @@ mod tests {
                 job: JobId(7),
                 elapsed: Seconds(612.5),
             },
+            JobToCluster::Resume {
+                job: JobId(7),
+                type_name: "bt.D.81".into(),
+                nodes: 2,
+                believed_cap: Watts(187.5),
+                cause: 4096,
+            },
         ];
         for m in msgs {
             let decoded = JobToCluster::decode(strip_len(m.encode())).unwrap();
             assert_eq!(decoded, m);
         }
+    }
+
+    // ---- session resume handshake -------------------------------------
+
+    #[test]
+    fn resume_without_believed_cap_round_trips() {
+        let m = JobToCluster::Resume {
+            job: JobId(3),
+            type_name: "unknown".into(),
+            nodes: 4,
+            believed_cap: Watts(-1.0),
+            cause: 0,
+        };
+        assert_eq!(JobToCluster::decode(strip_len(m.encode())).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_resume_frames_rejected() {
+        // A Resume cut off before the believed cap.
+        let mut body = BytesMut::new();
+        body.put_u8(7);
+        body.put_u64(3);
+        body.put_u16(2);
+        body.put_slice(b"bt");
+        body.put_u32(4);
+        assert!(JobToCluster::decode(body.freeze()).is_err());
+        // A ResumeAck missing its cause.
+        let mut body = BytesMut::new();
+        body.put_u8(5);
+        body.put_f64(187.5);
+        assert!(ClusterToJob::decode(body.freeze()).is_err());
     }
 
     // ---- codec version bump (v1 → v2) --------------------------------
