@@ -49,6 +49,32 @@ grep -E "chaos: reconnects=[1-9][0-9]*" "$CHAOS_OUT" >/dev/null \
     || { echo "chaos smoke: no reconnect recovered from the injected faults"; \
          grep "chaos:" "$CHAOS_OUT" || true; exit 1; }
 
+echo "==> ops smoke: anord --status-addr + anor-top --fetch"
+OPS_OUT="$SMOKE_DIR/anord.txt"
+./target/release/anord --listen 127.0.0.1:0 --status-addr 127.0.0.1:0 \
+    --budget 400 --duration-secs 20 > "$OPS_OUT" &
+ANORD_PID=$!
+STATUS_ADDR=""
+for _ in $(seq 1 100); do
+    STATUS_ADDR="$(sed -n 's/^anord status on //p' "$OPS_OUT")"
+    [ -n "$STATUS_ADDR" ] && break
+    kill -0 "$ANORD_PID" 2>/dev/null \
+        || { echo "ops smoke: anord exited early"; cat "$OPS_OUT"; exit 1; }
+    sleep 0.1
+done
+[ -n "$STATUS_ADDR" ] \
+    || { echo "ops smoke: anord never announced its status endpoint"; cat "$OPS_OUT"; exit 1; }
+HEALTH="$(./target/release/anor-top --addr "$STATUS_ADDR" --fetch /health)" \
+    || { echo "ops smoke: GET /health failed"; kill "$ANORD_PID"; exit 1; }
+[ "$HEALTH" = "ok" ] \
+    || { echo "ops smoke: /health said '$HEALTH', expected 'ok'"; kill "$ANORD_PID"; exit 1; }
+./target/release/anor-top --addr "$STATUS_ADDR" --fetch /metrics | grep -q '# TYPE' \
+    || { echo "ops smoke: /metrics served no Prometheus type lines"; kill "$ANORD_PID"; exit 1; }
+./target/release/anor-top --addr "$STATUS_ADDR" --fetch /status | grep -q '"pumps"' \
+    || { echo "ops smoke: /status served no snapshot"; kill "$ANORD_PID"; exit 1; }
+kill "$ANORD_PID" 2>/dev/null || true
+wait "$ANORD_PID" 2>/dev/null || true
+
 # The builder API redesign keeps the old constructors alive as
 # deprecated delegation shims for one release. New call sites must not
 # appear: the only files allowed to mention them are the ones defining

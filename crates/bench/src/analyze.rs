@@ -141,6 +141,12 @@ pub struct TraceReport {
     /// job's session was down, so "orphan" would mislabel a known,
     /// recoverable outage as a causality bug.
     pub interrupted: Vec<u64>,
+    /// Decisions from an analytic trace: the whole trace carries no
+    /// actuation stage (no wire, MSR, or sample events), so chains
+    /// cannot exist by construction — e.g. `fig4 --trace`, which sweeps
+    /// budgets without driving hardware. Calling these orphans would
+    /// mislabel every analytic run as a causality bug.
+    pub standalone: Vec<u64>,
     /// decision → cap on the wire.
     pub decision_to_wire: LatencyStats,
     /// decision → endpoint receipt.
@@ -220,6 +226,12 @@ impl TraceReport {
                 "interrupted by disconnect (not orphans): {}{}\n",
                 shown.join(", "),
                 ell
+            ));
+        }
+        if !self.standalone.is_empty() {
+            out.push_str(&format!(
+                "standalone decisions (analytic trace, no actuation stages): {}\n",
+                self.standalone.len()
             ));
         }
         out
@@ -307,6 +319,19 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
     windows.extend(open.into_values().map(|t0| (t0, f64::INFINITY)));
     let in_outage =
         |ts: Option<f64>| ts.is_some_and(|t| windows.iter().any(|&(a, b)| t >= a && t <= b));
+    // Whether any event in the trace belongs to the actuation path at
+    // all; without one the run was analytic and no decision can chain.
+    let has_actuation = events.iter().any(|e| {
+        matches!(
+            e.stage,
+            TraceStage::CapTx
+                | TraceStage::CapRx
+                | TraceStage::PolicyWrite
+                | TraceStage::MsrWrite
+                | TraceStage::SampleTx
+                | TraceStage::SampleRx
+        )
+    });
     let mut to_wire = Vec::new();
     let mut to_rx = Vec::new();
     let mut to_msr = Vec::new();
@@ -322,6 +347,8 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
             // causality bug: report it as interrupted, not orphaned.
             if in_outage(chain.decision) || in_outage(chain.cap_tx) {
                 report.interrupted.push(chain.cause);
+            } else if !has_actuation {
+                report.standalone.push(chain.cause);
             } else {
                 report.orphans.push(chain.cause);
             }
@@ -405,6 +432,27 @@ mod tests {
         let r = analyze(&events);
         assert_eq!(r.complete, 1);
         assert_eq!(r.orphans, vec![1]);
+    }
+
+    #[test]
+    fn decision_only_trace_is_standalone_not_orphaned() {
+        // An analytic run (fig4/fig11 summary records) has no actuation
+        // path anywhere in the trace, so its decisions are standalone.
+        let events = vec![
+            ev(0, 1.0, TraceStage::Decision, 1),
+            ev(1, 2.0, TraceStage::Decision, 2),
+        ];
+        let r = analyze(&events);
+        assert!(r.orphans.is_empty());
+        assert_eq!(r.standalone, vec![1, 2]);
+        assert!(r.render().contains("standalone decisions"));
+        // One actuation event anywhere re-arms orphan detection: a
+        // hardware-driving run must not hide dead decisions.
+        let mut with_actuation = events.clone();
+        with_actuation.push(ev(2, 2.1, TraceStage::CapTx, 2));
+        let r = analyze(&with_actuation);
+        assert_eq!(r.orphans, vec![1, 2]);
+        assert!(r.standalone.is_empty());
     }
 
     #[test]

@@ -1,15 +1,21 @@
 //! Regenerates Fig. 11: 90th-percentile QoS degradation vs per-node
 //! performance-variation level on the simulated 1000-node cluster.
 
-use anor_bench::{header, jobs_from_args, quick_mode};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, jobs_from_args, quick_mode, telemetry_from_args,
+    tracer_from_args,
+};
 use anor_core::experiments::fig11::{self, Fig11Config};
 use anor_core::render::render_table;
+use anor_telemetry::TraceStage;
 
 fn main() {
     header(
         "Fig. 11",
         "90th-percentile QoS degradation vs performance variation (1000 nodes)",
     );
+    let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let mut cfg = if quick_mode() {
         Fig11Config::quick()
     } else {
@@ -31,5 +37,35 @@ fn main() {
             "tracking constraint met at ±{level}%: {:.0}% of trials (paper: all levels within constraint)",
             frac * 100.0
         );
+        // One event/trace record per variation level: the mean p90 QoS
+        // across types and the tracking-constraint pass fraction.
+        let mean_qos = {
+            let ys: Vec<f64> = out.series.iter().filter_map(|s| s.y_at(*level)).collect();
+            if ys.is_empty() {
+                0.0
+            } else {
+                ys.iter().sum::<f64>() / ys.len() as f64
+            }
+        };
+        telemetry.event(
+            "fig11_level",
+            &[
+                ("level_pct", (*level).into()),
+                ("mean_p90_qos", mean_qos.into()),
+                ("tracking_ok_fraction", (*frac).into()),
+            ],
+        );
+        if let Some(t) = &tracer {
+            t.record_detail(
+                TraceStage::Decision,
+                t.next_cause(),
+                &format!(
+                    "fig11 level ±{level}%: mean p90 QoS {mean_qos:.2}, tracking ok {:.0}%",
+                    frac * 100.0
+                ),
+            );
+        }
     }
+    finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

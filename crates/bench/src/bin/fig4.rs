@@ -2,15 +2,20 @@
 //! one instance under a range of shared power budgets, comparing the
 //! even-slowdown (ideal) and even-power-caps budgeters.
 
-use anor_bench::{header, jobs_from_args};
+use anor_bench::{
+    finish_telemetry, finish_tracer, header, jobs_from_args, telemetry_from_args, tracer_from_args,
+};
 use anor_core::experiments::fig4;
 use anor_core::render::render_table;
+use anor_telemetry::TraceStage;
 
 fn main() {
     header(
         "Fig. 4",
         "Job slowdown (%) vs shared cluster budget, two budgeters",
     );
+    let telemetry = telemetry_from_args();
+    let tracer = tracer_from_args();
     let out = fig4::run_pooled(jobs_from_args());
     println!(
         "{}",
@@ -24,6 +29,36 @@ fn main() {
         "{}",
         render_table("Even Power Caps budgeter", "budget_w", &out.even_power)
     );
+    // One event/trace record per (policy, budget) point, carrying the
+    // worst per-type slowdown — the quantity the figure argues about.
+    for (policy, series) in [
+        ("even_slowdown", &out.even_slowdown),
+        ("even_power", &out.even_power),
+    ] {
+        for &budget in &fig4::budgets() {
+            let worst = series
+                .iter()
+                .map(|s| s.y_at(budget).unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            telemetry.event(
+                "fig4_point",
+                &[
+                    ("policy", policy.into()),
+                    ("budget_w", budget.into()),
+                    ("worst_slowdown_pct", worst.into()),
+                ],
+            );
+            if let Some(t) = &tracer {
+                t.record_full(
+                    TraceStage::Decision,
+                    t.next_cause(),
+                    None,
+                    Some(budget),
+                    Some(format!("fig4 {policy} worst {worst:.2}%")),
+                );
+            }
+        }
+    }
     // Paper anchor: even-slowdown reduces the worst job's slowdown in the
     // mid-range; no flexibility at the extremes.
     for budget in [1500.0, 2100.0, 2700.0, 3000.0] {
@@ -39,4 +74,6 @@ fn main() {
             worst(&out.even_slowdown)
         );
     }
+    finish_telemetry(&telemetry);
+    finish_tracer(&tracer);
 }

@@ -15,15 +15,22 @@
 //! - `fig4`: the analytic budget sweep.
 //! - `sim_step_1000x600`: 600 simulated seconds of a 1000-node
 //!   `TabularSim` at 75% utilization — the per-tick hot path.
+//! - `status_snapshot`: 10k snapshot+render passes over a live budgeter
+//!   with 8 registered job sessions — the per-pump cost the ops plane
+//!   adds when `--status-addr` is active.
 //!
 //! Each bench reports the median of K runs (default 5; 3 with
 //! `--quick`, which also shrinks the fig11 scenario).
 
+use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
+use anor_cluster::{BudgetPolicy, FramedStream, StreamOptions};
 use anor_core::aqa::{poisson_schedule, PowerTarget, RegulationSignal};
 use anor_core::experiments::{fig11, fig4};
 use anor_core::platform::PerformanceVariation;
 use anor_core::sim::{SimConfig, SimPowerPolicy, TabularSim};
 use anor_core::types::{QosConstraint, Seconds, Watts};
+use anor_types::msg::JobToCluster;
+use anor_types::JobId;
 use std::time::Instant;
 
 struct BenchResult {
@@ -110,6 +117,41 @@ fn sim_step_loop(nodes: u32, ticks: usize) {
     assert!(sim.measured_power().value() > 0.0);
 }
 
+/// A live budgeter with `sessions` registered jobs, for the snapshot
+/// bench. The returned streams keep the sessions connected.
+fn snapshot_fixture(sessions: u64) -> (ClusterBudgeter, Vec<FramedStream>) {
+    let (mut b, addr) = ClusterBudgeter::builder(BudgeterConfig::new(BudgetPolicy::Uniform, false))
+        .bind()
+        .expect("bind budgeter");
+    let mut streams = Vec::new();
+    for job in 1..=sessions {
+        let mut s = FramedStream::new(
+            std::net::TcpStream::connect(addr).expect("connect"),
+            StreamOptions::default(),
+        )
+        .expect("framed stream");
+        s.send(
+            JobToCluster::Hello {
+                job: JobId(job),
+                type_name: "cg.D.32".into(),
+                nodes: 2,
+            }
+            .encode(),
+        )
+        .expect("hello");
+        streams.push(s);
+    }
+    // Pump until every session is registered and capped.
+    for _ in 0..1000 {
+        b.pump(Watts(840.0)).expect("pump");
+        if b.status_snapshot().active_jobs == sessions as usize {
+            return (b, streams);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("sessions never registered");
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -137,7 +179,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let runs = args
         .iter()
         .position(|a| a == "--runs")
@@ -147,7 +189,7 @@ fn main() {
 
     anor_bench::header(
         "perfsuite",
-        "Benchmark trajectory harness (medians land in BENCH_PR4.json)",
+        "Benchmark trajectory harness (medians land in BENCH_PR6.json)",
     );
     let mut results = Vec::new();
     for jobs in [1usize, 8] {
@@ -187,6 +229,27 @@ fn main() {
     println!("sim_step_{nodes}x{ticks}: median {median:.3} s over {runs} run(s)");
     results.push(BenchResult {
         bench: format!("sim_step_{nodes}x{ticks}"),
+        median_s: median,
+        runs,
+        jobs: 1,
+    });
+
+    let (b, _streams) = snapshot_fixture(8);
+    let iters = 10_000usize;
+    let median = median_secs(runs, || {
+        for _ in 0..iters {
+            let snap = b.status_snapshot();
+            assert_eq!(snap.jobs.len(), 8);
+            assert!(!snap.to_json().is_empty());
+        }
+    });
+    println!(
+        "status_snapshot: median {median:.3} s per {iters} snapshot+render passes \
+         over {runs} run(s) ({:.1} µs/pass)",
+        median / iters as f64 * 1e6
+    );
+    results.push(BenchResult {
+        bench: "status_snapshot".to_string(),
         median_s: median,
         runs,
         jobs: 1,

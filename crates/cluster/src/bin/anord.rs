@@ -17,16 +17,22 @@
 //! recorded to `<dir>/trace.jsonl` for `anor-trace`. With
 //! `--faults drop@17,corrupt@42` (and optional `--fault-seed N`), a
 //! seeded chaos schedule is injected into each accepted connection's
-//! send path.
+//! send path. With `--status-addr host:port`, a dependency-free HTTP
+//! introspection endpoint serves `/metrics` (Prometheus text), `/health`
+//! and `/status` (live JSON snapshot: sessions, leases, pool watts, pump
+//! latency, auditor verdict) — poll it with `anor-top`.
 //!
 //! Prints `anord listening on <addr>` once ready (machine-readable for
-//! launchers), then a completion line per job.
+//! launchers, ditto `anord status on <addr>`), then a completion line
+//! per job.
 
 use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
-use anor_cluster::{Args, BudgetPolicy};
+use anor_cluster::{Args, BudgetPolicy, StatusBoard};
+use anor_telemetry::ops::{OpsServer, StatusProvider};
 use anor_telemetry::{Telemetry, Tracer};
 use anor_types::{Seconds, Watts};
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn parse_policy(name: &str) -> Result<BudgetPolicy, String> {
@@ -86,8 +92,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(plan) = args.fault_plan()? {
         builder = builder.faults(plan);
     }
+    // The live ops plane: --status-addr starts the introspection endpoint
+    // (`/metrics`, `/health`, `/status`) and has the budgeter publish a
+    // status snapshot each control pass.
+    let mut ops = None;
+    if let Some(status_addr) = args.get("status-addr") {
+        let board = StatusBoard::new();
+        builder = builder.status(board.clone());
+        let provider: StatusProvider = Arc::new(move || board.render_json());
+        ops = Some(OpsServer::bind(status_addr, telemetry.clone(), provider)?);
+    }
     let (mut daemon, addr) = builder.bind()?;
     println!("anord listening on {addr}");
+    if let Some(server) = &ops {
+        println!("anord status on {}", server.local_addr());
+    }
     std::io::stdout().flush()?;
 
     let start = Instant::now();

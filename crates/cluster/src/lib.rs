@@ -22,6 +22,9 @@
 //! * [`session`] — the fault-tolerance layer: deterministic reconnect
 //!   backoff ([`RetryPolicy`]), session state ([`SessionState`]), and
 //!   the seeded chaos-injection schedule ([`FaultPlan`]);
+//! * [`status`] — the live ops surface: the budgeter publishes a
+//!   [`StatusSnapshot`] each control pass into a [`StatusBoard`] that the
+//!   introspection endpoint serves as `GET /status` JSON;
 //! * [`emulator`] — a 16-node emulated cluster harness that wires
 //!   simulated nodes, GEOPM runtimes, endpoint processes and the budgeter
 //!   daemon together under a virtual clock (the real-hardware
@@ -33,6 +36,7 @@ pub mod codec;
 pub mod emulator;
 pub mod endpoint;
 pub mod session;
+pub mod status;
 
 pub use budgeter::{BudgetPolicy, BudgeterBuilder, BudgeterConfig, ClusterBudgeter, LeaseConfig};
 pub use cli::Args;
@@ -40,3 +44,4 @@ pub use codec::{FramedStream, StreamOptions, TransportMetrics};
 pub use emulator::{EmulatedCluster, EmulatorConfig, JobResult, JobSetup, RunReport};
 pub use endpoint::{EndpointBuilder, JobEndpoint};
 pub use session::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, SessionState};
+pub use status::{parse_json, JobStatus, Json, StatusBoard, StatusSnapshot};

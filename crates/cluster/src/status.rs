@@ -1,0 +1,559 @@
+//! The budgeter's live status surface.
+//!
+//! The budgeter publishes a [`StatusSnapshot`] of its session, lease and
+//! pool state into a [`StatusBoard`] once per control pass; the ops
+//! endpoint (`anord --status-addr`) serves the board's pre-rendered JSON
+//! on `GET /status` and `anor-top` polls it. Publishing renders the JSON
+//! *outside* the board lock and swaps a `String` under it, so neither the
+//! pump hot path nor a slow scraper ever holds the lock for more than a
+//! pointer swap or a clone.
+//!
+//! The module also carries [`parse_json`], a minimal nested-JSON reader
+//! (objects, arrays, strings, numbers, booleans, null). The telemetry
+//! crate's `parse_line` is flat-only by design; `anor-top` and the
+//! integration tests need to walk the `jobs` array, and the workspace
+//! takes no serde dependency.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Per-job row in a [`StatusSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: u64,
+    /// Session-state label: `connected`, `reconnecting` or `gone`.
+    pub state: String,
+    /// Control passes spent disconnected (lease countdown).
+    pub missed_pumps: u32,
+    /// Last cap sent, watts per node (absent before the first cap).
+    pub cap: Option<f64>,
+    /// Nodes the job occupies.
+    pub nodes: u32,
+    /// Samples ingested from the job tier.
+    pub samples: u64,
+    /// Models ingested from the job tier.
+    pub models: u64,
+    /// Watts reclaimed from this job's expired lease, still owed on resume.
+    pub reclaimed: Option<f64>,
+    /// Has the job reported completion?
+    pub done: bool,
+}
+
+/// One coherent, cheap-to-take snapshot of a running budgeter: pool and
+/// lease watts, per-connection session state, pump-latency percentiles,
+/// flight-recorder depth and the invariant-auditor verdict. Rendered to
+/// JSON for `GET /status`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatusSnapshot {
+    /// Busy budget handed to the most recent pump (watts).
+    pub budget: f64,
+    /// Control passes executed so far.
+    pub pumps: u64,
+    /// Jobs registered, not done, holding a live lease.
+    pub active_jobs: usize,
+    /// Connection slots currently open.
+    pub conns_open: usize,
+    /// Connections accepted over the daemon's lifetime.
+    pub accepted: u64,
+    /// Jobs that reported completion.
+    pub completed: usize,
+    /// Σ last-cap × nodes over lease holders (watts allocated out of the pool).
+    pub allocated_watts: f64,
+    /// Watts reclaimed from expired leases, not yet restored.
+    pub reclaimed_watts: f64,
+    /// Invariant-auditor violations observed so far (0 in a healthy run).
+    pub invariant_violations: u64,
+    /// Pump latency percentiles, seconds.
+    pub pump_p50: f64,
+    /// 90th-percentile pump latency, seconds.
+    pub pump_p90: f64,
+    /// 99th-percentile pump latency, seconds.
+    pub pump_p99: f64,
+    /// Events currently buffered in the trace flight recorder.
+    pub ring_depth: usize,
+    /// Trace events recorded over the run.
+    pub trace_recorded: u64,
+    /// Postmortem dumps written so far.
+    pub postmortems: u64,
+    /// Per-job rows, sorted by job id.
+    pub jobs: Vec<JobStatus>,
+}
+
+fn push_json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `f64` → JSON number: finite values render plainly, non-finite ones
+/// (which JSON cannot carry) clamp to `null`-free sentinels.
+fn push_json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+impl StatusSnapshot {
+    /// Render the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256 + self.jobs.len() * 128);
+        let _ = write!(
+            o,
+            "{{\"budget\":{},\"pumps\":{},\"active_jobs\":{},\"conns_open\":{},\
+             \"accepted\":{},\"completed\":{},",
+            fnum(self.budget),
+            self.pumps,
+            self.active_jobs,
+            self.conns_open,
+            self.accepted,
+            self.completed
+        );
+        let _ = write!(
+            o,
+            "\"allocated_watts\":{},\"reclaimed_watts\":{},\"invariant_violations\":{},",
+            fnum(self.allocated_watts),
+            fnum(self.reclaimed_watts),
+            self.invariant_violations
+        );
+        let _ = write!(
+            o,
+            "\"pump_p50\":{},\"pump_p90\":{},\"pump_p99\":{},",
+            fnum(self.pump_p50),
+            fnum(self.pump_p90),
+            fnum(self.pump_p99)
+        );
+        let _ = write!(
+            o,
+            "\"ring_depth\":{},\"trace_recorded\":{},\"postmortems\":{},\"jobs\":[",
+            self.ring_depth, self.trace_recorded, self.postmortems
+        );
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{{\"job\":{},\"state\":", j.job);
+            push_json_str(&mut o, &j.state);
+            let _ = write!(o, ",\"missed_pumps\":{},\"cap\":", j.missed_pumps);
+            match j.cap {
+                Some(c) => push_json_num(&mut o, c),
+                None => o.push_str("null"),
+            }
+            let _ = write!(
+                o,
+                ",\"nodes\":{},\"samples\":{},\"models\":{},\"reclaimed\":",
+                j.nodes, j.samples, j.models
+            );
+            match j.reclaimed {
+                Some(w) => push_json_num(&mut o, w),
+                None => o.push_str("null"),
+            }
+            let _ = write!(o, ",\"done\":{}}}", j.done);
+        }
+        o.push_str("]}");
+        o
+    }
+}
+
+fn fnum(v: f64) -> String {
+    let mut s = String::new();
+    push_json_num(&mut s, v);
+    s
+}
+
+/// Shared hand-off point between the budgeter (writer, once per pump) and
+/// the ops endpoint (reader, once per `GET /status`). Clone freely — all
+/// clones share the same board.
+#[derive(Debug, Clone)]
+pub struct StatusBoard {
+    board: Arc<Mutex<String>>,
+}
+
+impl Default for StatusBoard {
+    fn default() -> Self {
+        StatusBoard::new()
+    }
+}
+
+impl StatusBoard {
+    /// An empty board (renders a default snapshot until first publish).
+    pub fn new() -> Self {
+        StatusBoard {
+            board: Arc::new(Mutex::new(StatusSnapshot::default().to_json())),
+        }
+    }
+
+    /// Render `snapshot` and swap it in. Rendering happens outside the
+    /// lock; the hold is a single `String` swap.
+    pub fn publish(&self, snapshot: &StatusSnapshot) {
+        let json = snapshot.to_json();
+        *self.board.lock() = json;
+    }
+
+    /// The most recently published JSON (a clone; the lock hold is short).
+    pub fn render_json(&self) -> String {
+        self.board.lock().clone()
+    }
+}
+
+// ---- minimal JSON reader -------------------------------------------------
+
+/// A parsed JSON value. Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (None on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value truncated to u64 (0 floor), if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|v| if v >= 0.0 { v as u64 } else { 0 })
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Strict enough for round-tripping
+/// [`StatusSnapshot::to_json`]; not a general validator (it tolerates
+/// trailing garbage after the top-level value).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_str(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err(format!("unexpected end of JSON at byte {pos}")),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let raw = bytes.get(start..*pos).unwrap_or_default();
+    std::str::from_utf8(raw)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    // Caller checked the opening quote.
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).unwrap_or_default();
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = bytes.get(*pos..).unwrap_or_default();
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| format!("non-UTF-8 string at byte {pos}"))?;
+                match s.chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StatusSnapshot {
+        StatusSnapshot {
+            budget: 400.0,
+            pumps: 17,
+            active_jobs: 2,
+            conns_open: 2,
+            accepted: 3,
+            completed: 1,
+            allocated_watts: 399.5,
+            reclaimed_watts: 120.0,
+            invariant_violations: 0,
+            pump_p50: 0.0004,
+            pump_p90: 0.0011,
+            pump_p99: 0.0032,
+            ring_depth: 812,
+            trace_recorded: 2048,
+            postmortems: 1,
+            jobs: vec![
+                JobStatus {
+                    job: 1,
+                    state: "connected".to_string(),
+                    missed_pumps: 0,
+                    cap: Some(199.75),
+                    nodes: 2,
+                    samples: 40,
+                    models: 3,
+                    reclaimed: None,
+                    done: false,
+                },
+                JobStatus {
+                    job: 2,
+                    state: "gone".to_string(),
+                    missed_pumps: 8,
+                    cap: Some(120.0),
+                    nodes: 1,
+                    samples: 12,
+                    models: 1,
+                    reclaimed: Some(120.0),
+                    done: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_parser() {
+        let snap = snapshot();
+        let json = snap.to_json();
+        let v = parse_json(&json).unwrap();
+        assert_eq!(v.get("budget").and_then(Json::as_f64), Some(400.0));
+        assert_eq!(v.get("pumps").and_then(Json::as_u64), Some(17));
+        assert_eq!(
+            v.get("invariant_violations").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(v.get("reclaimed_watts").and_then(Json::as_f64), Some(120.0));
+        let jobs = v.get("jobs").and_then(Json::as_array).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].get("state").and_then(Json::as_str),
+            Some("connected")
+        );
+        assert_eq!(jobs[0].get("cap").and_then(Json::as_f64), Some(199.75));
+        assert_eq!(jobs[1].get("reclaimed").and_then(Json::as_f64), Some(120.0));
+        assert_eq!(jobs[1].get("done").and_then(Json::as_bool), Some(false));
+        assert_eq!(jobs[0].get("reclaimed"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn board_swaps_published_snapshots() {
+        let board = StatusBoard::new();
+        let empty = parse_json(&board.render_json()).unwrap();
+        assert_eq!(empty.get("pumps").and_then(Json::as_u64), Some(0));
+        board.publish(&snapshot());
+        let v = parse_json(&board.render_json()).unwrap();
+        assert_eq!(v.get("pumps").and_then(Json::as_u64), Some(17));
+        // Clones share the board.
+        let clone = board.clone();
+        assert_eq!(clone.render_json(), board.render_json());
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_errors() {
+        let v = parse_json("{\"a\":[1,-2.5,\"x\\\"y\\n\",true,null],\"b\":{\"c\":3e2}}").unwrap();
+        let a = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_str(), Some("x\"y\n"));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(a[4], Json::Null);
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_f64),
+            Some(300.0)
+        );
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse_json("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+}

@@ -131,6 +131,16 @@ impl EvenSlowdownBudgeter {
     fn caps_at(&self, s: f64, jobs: &[JobView]) -> Vec<Watts> {
         jobs.iter().map(|j| j.cap_for_slowdown(s)).collect()
     }
+
+    /// [`Self::caps_at`] into an existing buffer: the bisection loop
+    /// re-evaluates caps up to `max_iters` times per assignment and this
+    /// is the budgeter's per-pump (and the simulator's per-tick) hot
+    /// path, so it must not allocate per iteration.
+    fn fill_caps(&self, s: f64, jobs: &[JobView], caps: &mut [Watts]) {
+        for (j, c) in jobs.iter().zip(caps.iter_mut()) {
+            *c = j.cap_for_slowdown(s);
+        }
+    }
 }
 
 impl Budgeter for EvenSlowdownBudgeter {
@@ -159,15 +169,57 @@ impl Budgeter for EvenSlowdownBudgeter {
         let mut caps = at_min;
         for _ in 0..self.max_iters {
             let mid = 0.5 * (lo + hi);
-            caps = self.caps_at(mid, jobs);
+            self.fill_caps(mid, jobs, &mut caps);
             let total = total_power(jobs, &caps);
             if (total - budget).abs().value() <= self.tolerance.value() {
-                break;
+                return caps;
             }
             if total.value() > budget.value() {
                 lo = mid; // too much power -> allow more slowdown
             } else {
                 hi = mid;
+            }
+            // Once the bracket is a ULP wide the midpoint reproduces an
+            // endpoint and further iterations re-evaluate the same s
+            // forever; stop refining.
+            if hi - lo <= hi * f64::EPSILON {
+                break;
+            }
+        }
+        // A believed curve with flat spans makes total power
+        // discontinuous in s, so the budget crossing can sit inside a
+        // jump the tolerance never meets and the final midpoint may land
+        // on the over-budget side. Take the under-budget side (`hi` only
+        // ever adopts midpoints whose total fit) — the budgeter must
+        // never assign more watts than it was given — then spend the
+        // stranded gap performance-agnostically: jobs whose flat spans
+        // caused the jump are belief-indifferent across it, so the only
+        // defensible split of the leftover watts is uniform per node.
+        if total_power(jobs, &caps).value() > budget.value() + self.tolerance.value() {
+            caps = self.caps_at(hi, jobs);
+        }
+        let mut spare = (budget - total_power(jobs, &caps)).value();
+        // Equal watts per node among every job still below its p_max,
+        // saturating and redistributing until the gap is spent. Each
+        // round saturates at least one job, so the loop is bounded.
+        for _ in 0..=jobs.len() {
+            if spare <= 1e-9 {
+                break;
+            }
+            let taker_nodes: f64 = jobs
+                .iter()
+                .zip(&caps)
+                .filter(|&(j, &c)| c < j.p_max())
+                .map(|(j, _)| f64::from(j.nodes))
+                .sum();
+            if taker_nodes <= 0.0 {
+                break;
+            }
+            let per_node = Watts(spare / taker_nodes);
+            for (j, c) in jobs.iter().zip(caps.iter_mut()) {
+                let grant = per_node.min(j.p_max() - *c).max(Watts::ZERO);
+                spare -= grant.value() * f64::from(j.nodes);
+                *c += grant;
             }
         }
         caps
@@ -317,6 +369,31 @@ mod tests {
         let caps = EvenSlowdownBudgeter::default().assign(Watts(10.0), &jobs);
         assert_eq!(caps[0], jobs[0].p_min());
         assert_eq!(caps[1], jobs[1].p_min());
+    }
+
+    #[test]
+    fn even_slowdown_never_over_allocates_on_flat_curves() {
+        use anor_types::{CapRange, PowerCurve, Seconds};
+        // A feedback-retrained believed curve can be perfectly flat
+        // (zero sensitivity): total power is then discontinuous in s and
+        // the bisection tolerance can never be met at the crossing. The
+        // assignment must exit on the under-budget side — handing out
+        // more watts than the budget breaks cluster conservation.
+        let mut jobs = views(&["bt.D.81", "sp.D.81"]); // 2 + 2 nodes
+        let flat = PowerCurve::from_anchor(Seconds(100.0), 0.0, CapRange::paper_node());
+        jobs[1] = jobs[1].clone().with_curve(flat);
+        let floor: f64 = jobs
+            .iter()
+            .map(|j| j.p_min().value() * j.nodes as f64)
+            .sum();
+        for budget in [600.0, 700.0, 840.0, 900.0, 1000.0] {
+            let caps = EvenSlowdownBudgeter::default().assign(Watts(budget), &jobs);
+            let spent = total(&jobs, &caps);
+            assert!(
+                spent <= budget.max(floor) + 1.0,
+                "budget {budget}: assigned {spent}"
+            );
+        }
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! themselves cheap atomics meant to be cached at construction time, so
 //! steady-state recording takes no lock.
 
+pub mod ops;
 mod registry;
 mod render;
 mod sink;
 mod span;
 pub mod trace;
 
+pub use ops::{http_get, OpsServer, StatusProvider};
 pub use registry::{Counter, Gauge, Histogram, MetricId, Registry, Snapshot};
 pub use sink::{
     parse_line, read_events, render_line, Event, EventLog, Value, DEFAULT_ROTATE_BYTES,

@@ -264,6 +264,27 @@ pub struct MetricId {
     pub labels: Vec<(String, String)>,
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// inside `k="v"` bodies, backslash, double-quote and line-feed must be
+/// written as `\\`, `\"` and `\n` or a hostile label (a job type name
+/// with a quote, an error string with a newline) corrupts the scrape.
+/// Clean values (the overwhelmingly common case) are returned borrowed.
+pub(crate) fn escape_label(v: &str) -> std::borrow::Cow<'_, str> {
+    if !v.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len() + 8);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 impl MetricId {
     fn new(name: &str, labels: &[(&str, &str)]) -> Self {
         let mut labels: Vec<(String, String)> = labels
@@ -277,7 +298,8 @@ impl MetricId {
         }
     }
 
-    /// `name{k="v",...}` (or bare name without labels).
+    /// `name{k="v",...}` (or bare name without labels), with label
+    /// values escaped per the Prometheus text format.
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -285,7 +307,7 @@ impl MetricId {
         let body: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
             .collect();
         format!("{}{{{}}}", self.name, body.join(","))
     }
@@ -450,6 +472,23 @@ mod tests {
         let g = r.gauge("queue_depth", &[]);
         g.set(7.5);
         assert_eq!(r.gauge("queue_depth", &[]).get(), 7.5);
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("m", &[("type", "bt\".D\\81\nboom")]).inc();
+        let snaps = r.snapshot();
+        assert_eq!(
+            snaps[0].id().render(),
+            "m{type=\"bt\\\".D\\\\81\\nboom\"}",
+            "quote, backslash and newline must be escaped"
+        );
+        // Clean labels render unchanged (no allocation-churn regression).
+        assert!(matches!(
+            escape_label("bt.D.81"),
+            std::borrow::Cow::Borrowed("bt.D.81")
+        ));
     }
 
     #[test]

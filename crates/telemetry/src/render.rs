@@ -1,7 +1,7 @@
 //! Renderers over registry snapshots: Prometheus-style text exposition
 //! and the human-facing end-of-run summary table.
 
-use crate::registry::Snapshot;
+use crate::registry::{escape_label, Snapshot};
 use std::fmt::Write;
 
 /// Prometheus text exposition (counters as `_total` convention is the
@@ -42,8 +42,10 @@ pub(crate) fn prometheus(snapshots: &[Snapshot]) -> String {
                         "+Inf".to_string()
                     };
                     labels.push(("le".to_string(), le));
-                    let body: Vec<String> =
-                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    let body: Vec<String> = labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                        .collect();
                     let _ = writeln!(out, "{}_bucket{{{}}} {cum}", id.name, body.join(","));
                 }
                 let base = id.render();
@@ -181,6 +183,31 @@ mod tests {
         assert!(text.contains("sim_jobs_running 12"));
         assert!(text.contains("budgeter_rebalance_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("budgeter_rebalance_seconds_count 3"));
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let r = Registry::new();
+        r.counter("jobs_total", &[("type", "bt\"D\\81\nboom")])
+            .inc();
+        let h = r.histogram_with_bounds("lat", &[("peer", "a\"b")], vec![1.0]);
+        h.observe(0.5);
+        let text = prometheus(&r.snapshot());
+        assert!(
+            text.contains("jobs_total{type=\"bt\\\"D\\\\81\\nboom\"} 1"),
+            "counter label must be escaped: {text}"
+        );
+        assert!(
+            text.contains("lat_bucket{peer=\"a\\\"b\",le=\"1\"} 1"),
+            "histogram bucket labels must be escaped: {text}"
+        );
+        // The raw newline never splits the series across physical lines:
+        // the whole hostile value stays on the one counter line.
+        let line = text
+            .lines()
+            .find(|l| l.contains("boom"))
+            .expect("hostile series rendered");
+        assert!(line.starts_with("jobs_total{") && line.ends_with("\"} 1"));
     }
 
     #[test]

@@ -210,6 +210,11 @@ impl RotatingFile {
         PathBuf::from(s)
     }
 
+    /// Flush the outgoing file, shift the rotated chain, and open a
+    /// fresh active file. Buffered lines are flushed *before* any rename
+    /// so a rotated file is always complete; on any failure the current
+    /// writer stays usable (an open fd survives a rename on POSIX), so
+    /// the caller can keep appending rather than dropping records.
     fn rotate(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
         let _ = std::fs::remove_file(self.rotated_path(ROTATE_KEEP));
@@ -225,7 +230,11 @@ impl RotatingFile {
     fn write_line(&mut self, line: &str) -> std::io::Result<()> {
         let len = line.len() as u64 + 1;
         if self.bytes + len > self.max_bytes && self.bytes > 0 {
-            self.rotate()?;
+            // A failed rotation (rename or create error) must never cost
+            // the in-flight record: fall through and append it to the
+            // writer we still hold, letting the active file exceed the
+            // cap until a later rotation succeeds.
+            let _ = self.rotate();
         }
         writeln!(self.writer, "{line}")?;
         self.bytes += len;
@@ -583,6 +592,75 @@ mod tests {
         for ev in read_events(&path).unwrap() {
             assert_eq!(ev.event, "tick");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_boundary_loses_no_records() {
+        let dir = std::env::temp_dir().join(format!(
+            "anor-telemetry-rotate-boundary-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let lines: Vec<String> = (0..20u64)
+            .map(|i| render_line(0.0, "tick", &[("n", i.into())]))
+            .collect();
+        // Cap sized so exactly one rotation fires, mid-stream: the first
+        // 12 records fill the file and record 13 lands on the boundary.
+        let cap: u64 = lines.iter().take(12).map(|l| l.len() as u64 + 1).sum();
+        let log = EventLog::file_with_rotation(&path, cap).unwrap();
+        for l in &lines {
+            log.push(l.clone());
+        }
+        log.flush().unwrap();
+        assert_eq!(log.written(), 20);
+        assert_eq!(log.dropped(), 0);
+        // Rotated file + active file together hold every record exactly
+        // once, in order: nothing dropped or duplicated at the boundary.
+        let rotated = PathBuf::from(format!("{}.1", path.display()));
+        let mut ns = Vec::new();
+        for p in [&rotated, &path] {
+            for ev in read_events(p).unwrap() {
+                ns.push(ev.num("n").unwrap() as u64);
+            }
+        }
+        assert_eq!(ns, (0..20).collect::<Vec<u64>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rotation_never_drops_the_in_flight_record() {
+        let dir = std::env::temp_dir().join(format!(
+            "anor-telemetry-rotate-fail-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        // Block every slot in the rotation chain with a non-empty
+        // directory so each rename inside rotate() fails.
+        for n in 1..=ROTATE_KEEP {
+            let block = PathBuf::from(format!("{}.{n}", path.display()));
+            std::fs::create_dir_all(&block).unwrap();
+            std::fs::write(block.join("occupied"), "x").unwrap();
+        }
+        let log = EventLog::file_with_rotation(&path, 64).unwrap();
+        for i in 0..10u64 {
+            log.push(render_line(0.0, "tick", &[("n", i.into())]));
+        }
+        log.flush().unwrap();
+        assert_eq!(log.written(), 10, "rotation failure must not drop records");
+        assert_eq!(log.dropped(), 0);
+        let events = read_events(&path).unwrap();
+        assert_eq!(
+            events.len(),
+            10,
+            "every record lands in the (oversized) active file"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -110,6 +110,11 @@ pub enum TraceStage {
     LeaseExpired,
     /// A reclaimed lease was handed back to a resuming job.
     LeaseRestored,
+    /// The continuous invariant auditor caught a broken budgeter
+    /// invariant (watts conservation, lease double-count, session-state
+    /// consistency); the detail names the invariant and the observed
+    /// values.
+    InvariantViolation,
 }
 
 impl TraceStage {
@@ -131,6 +136,7 @@ impl TraceStage {
             TraceStage::Resume => "resume",
             TraceStage::LeaseExpired => "lease_expired",
             TraceStage::LeaseRestored => "lease_restored",
+            TraceStage::InvariantViolation => "invariant_violation",
         }
     }
 
@@ -152,6 +158,7 @@ impl TraceStage {
             "resume" => TraceStage::Resume,
             "lease_expired" => TraceStage::LeaseExpired,
             "lease_restored" => TraceStage::LeaseRestored,
+            "invariant_violation" => TraceStage::InvariantViolation,
             _ => return None,
         })
     }
@@ -447,6 +454,13 @@ impl Tracer {
         self.inner.ring.lock().snapshot()
     }
 
+    /// Events currently held by the flight recorder (≤ its capacity).
+    /// One short lock hold and a length read — cheap enough for a
+    /// status endpoint to poll.
+    pub fn ring_depth(&self) -> usize {
+        self.inner.ring.lock().buf.len()
+    }
+
     /// Flush the streaming sink (no-op for in-memory tracers).
     pub fn flush(&self) -> std::io::Result<()> {
         if let Some(w) = &mut *self.inner.sink.lock() {
@@ -599,6 +613,7 @@ mod tests {
             TraceStage::Resume,
             TraceStage::LeaseExpired,
             TraceStage::LeaseRestored,
+            TraceStage::InvariantViolation,
         ] {
             assert_eq!(TraceStage::parse(stage.as_str()), Some(stage));
         }
