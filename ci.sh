@@ -41,13 +41,30 @@ echo "$REPORT" | grep -E "complete chains: [1-9][0-9]*" >/dev/null \
 echo "$REPORT" | grep -E ", 0 malformed," >/dev/null \
     || { echo "trace smoke: malformed trace events"; echo "$REPORT"; exit 1; }
 
-echo "==> chaos smoke: fig6 --faults drop@17,corrupt@42"
+echo "==> chaos smoke: fig6 --faults drop@17,corrupt@42 --record"
 CHAOS_OUT="$SMOKE_DIR/chaos.txt"
-ANOR_QUICK=1 ./target/release/fig6 --faults drop@17,corrupt@42 > "$CHAOS_OUT" \
+REC_DIR="$SMOKE_DIR/rec"
+ANOR_QUICK=1 ./target/release/fig6 --faults drop@17,corrupt@42 --record "$REC_DIR" \
+    > "$CHAOS_OUT" \
     || { echo "chaos smoke: fig6 failed under fault injection"; cat "$CHAOS_OUT"; exit 1; }
 grep -E "chaos: reconnects=[1-9][0-9]*" "$CHAOS_OUT" >/dev/null \
     || { echo "chaos smoke: no reconnect recovered from the injected faults"; \
          grep "chaos:" "$CHAOS_OUT" || true; exit 1; }
+
+echo "==> replay smoke: anor-replay --verify on the recorded chaos run"
+REC_COUNT=0
+for REC in "$REC_DIR"/*.rec; do
+    [ -e "$REC" ] || break
+    REPLAY_OUT="$(./target/release/anor-replay --rec "$REC" --verify)" \
+        || { echo "replay smoke: verify failed for $REC"; echo "$REPLAY_OUT"; exit 1; }
+    echo "$REPLAY_OUT" | grep -q "zero invariant violations" \
+        || { echo "replay smoke: invariant violations replaying $REC"; \
+             echo "$REPLAY_OUT"; exit 1; }
+    REC_COUNT=$((REC_COUNT + 1))
+done
+[ "$REC_COUNT" -gt 0 ] \
+    || { echo "replay smoke: fig6 --record produced no recordings"; exit 1; }
+echo "    verified $REC_COUNT recording(s) byte-identical"
 
 echo "==> ops smoke: anord --status-addr + anor-top --fetch"
 OPS_OUT="$SMOKE_DIR/anord.txt"

@@ -8,9 +8,12 @@
 //! time (all other cases under 17%).
 
 use anor_aqa::{poisson_schedule, PowerTarget, RegulationSignal, TrackingRecorder};
-use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, FaultPlan, JobSetup};
+use anor_cluster::{
+    recorder_meta, BudgetPolicy, BudgeterConfig, EmulatedCluster, EmulatorConfig, FaultPlan,
+    JobSetup,
+};
 use anor_exec::ExecPool;
-use anor_telemetry::{Telemetry, Tracer};
+use anor_telemetry::{FlightRecorder, Telemetry, Tracer};
 use anor_types::stats::OnlineStats;
 use anor_types::{Result, Seconds, Watts};
 
@@ -80,6 +83,10 @@ pub struct Fig10Config {
     /// transport (the `--faults <spec>` path); forked per policy so the
     /// four runs see identical, independent fault schedules.
     pub faults: Option<FaultPlan>,
+    /// Optional flight-recording directory (the `--record <dir>` path):
+    /// each policy's budgeter records into `<dir>/fig10-<policy>.rec`
+    /// for `anor-replay`.
+    pub record: Option<std::path::PathBuf>,
 }
 
 impl Default for Fig10Config {
@@ -95,6 +102,7 @@ impl Default for Fig10Config {
             tracer: None,
             jobs: 0,
             faults: None,
+            record: None,
         }
     }
 }
@@ -166,6 +174,15 @@ fn run_policy(
         ecfg = ecfg.with_faults(plan.fork(salt.unwrap_or(0) as u64 + 1));
     }
     ecfg.seed = cfg.seed;
+    let mut cell_rec = None;
+    if let Some(dir) = &cfg.record {
+        let bcfg = BudgeterConfig::new(budget_policy, feedback);
+        let meta = recorder_meta(&bcfg, &ecfg.lease, cfg.seed);
+        let path = dir.join(format!("fig10-{}.rec", policy.label().to_lowercase()));
+        let rec = FlightRecorder::create(path, meta)?;
+        ecfg = ecfg.with_recorder(rec.clone());
+        cell_rec = Some(rec);
+    }
     let jobs: Vec<JobSetup> = jobs
         .iter()
         .map(|j| {
@@ -188,6 +205,9 @@ fn run_policy(
     };
     let cluster = EmulatedCluster::new(ecfg);
     let report = cluster.run_demand_response(&jobs, target, true)?;
+    if let Some(rec) = cell_rec {
+        rec.flush()?;
+    }
     // Per-type stats.
     let mut cells = Vec::new();
     for name in type_names {

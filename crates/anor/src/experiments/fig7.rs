@@ -3,8 +3,8 @@
 //! misclassified as IS. The paper uses 3 back-to-back trials.
 
 use super::hw::{
-    run_configs, run_configs_chaos, run_configs_pooled, run_configs_traced, run_configs_with,
-    HwBar, HwConfig,
+    run_configs, run_configs_chaos, run_configs_pooled, run_configs_recorded, run_configs_traced,
+    run_configs_with, HwBar, HwConfig,
 };
 use anor_cluster::{BudgetPolicy, FaultPlan, JobSetup};
 use anor_telemetry::{Telemetry, Tracer};
@@ -92,6 +92,32 @@ pub fn run_chaos(
     faults: Option<&FaultPlan>,
 ) -> Result<Vec<HwBar>> {
     run_configs_chaos(&configs(), trials, seed, telemetry, tracer, jobs, faults)
+}
+
+/// [`run_chaos`] plus an optional flight-recording directory (the
+/// `--record <dir>` path): every (configuration, trial) cell's budgeter
+/// is recorded into `<dir>/<label>-c<ci>-t<trial>.rec` for
+/// `anor-replay --verify`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recorded(
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+    record_dir: Option<&std::path::Path>,
+) -> Result<Vec<HwBar>> {
+    run_configs_recorded(
+        &configs(),
+        trials,
+        seed,
+        telemetry,
+        tracer,
+        jobs,
+        faults,
+        record_dir,
+    )
 }
 
 #[cfg(test)]

@@ -5,11 +5,15 @@
 //! uncapped execution time, across budgeter configurations and repeated
 //! trials.
 
-use anor_cluster::{BudgetPolicy, EmulatedCluster, EmulatorConfig, FaultPlan, JobSetup};
+use anor_cluster::{
+    recorder_meta, BudgetPolicy, BudgeterConfig, EmulatedCluster, EmulatorConfig, FaultPlan,
+    JobSetup,
+};
 use anor_exec::ExecPool;
-use anor_telemetry::{Telemetry, Tracer};
+use anor_telemetry::{FlightRecorder, Telemetry, Tracer};
 use anor_types::stats::{mean, std_dev};
 use anor_types::{Result, Watts};
+use std::path::Path;
 
 /// The shared budget: 75% of the 4-node TDP (0.75 × 4 × 280 W).
 pub const SHARED_BUDGET: Watts = Watts(840.0);
@@ -113,6 +117,41 @@ pub fn run_configs_chaos(
     jobs: usize,
     faults: Option<&FaultPlan>,
 ) -> Result<Vec<HwBar>> {
+    run_configs_recorded(configs, trials, seed, telemetry, tracer, jobs, faults, None)
+}
+
+/// Filesystem-safe slug of a configuration label (for per-cell recording
+/// file names).
+fn label_slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// [`run_configs_chaos`] plus an optional flight-recording directory (the
+/// `--record <dir>` path of the figure binaries). Every (configuration,
+/// trial) cell records its budgeter into
+/// `<dir>/<label>-c<ci>-t<trial>.rec`, replayable with
+/// `anor-replay --verify` — including chaos runs, because each cell's
+/// fault fork is deterministic.
+#[allow(clippy::too_many_arguments)]
+pub fn run_configs_recorded(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+    tracer: Option<&Tracer>,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+    record_dir: Option<&Path>,
+) -> Result<Vec<HwBar>> {
     let grid: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
         .collect();
@@ -128,8 +167,24 @@ pub fn run_configs_chaos(
             ecfg = ecfg.with_faults(plan.fork(((ci as u64) << 32) ^ (trial as u64 + 1)));
         }
         ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
+        let mut cell_rec = None;
+        if let Some(dir) = record_dir {
+            let bcfg = BudgeterConfig::new(cfg.policy, cfg.feedback);
+            let meta = recorder_meta(&bcfg, &ecfg.lease, ecfg.seed);
+            let path = dir.join(format!(
+                "{}-c{ci}-t{}.rec",
+                label_slug(&cfg.label),
+                trial + 1
+            ));
+            let rec = FlightRecorder::create(path, meta)?;
+            ecfg = ecfg.with_recorder(rec.clone());
+            cell_rec = Some(rec);
+        }
         let cluster = EmulatedCluster::new(ecfg);
         let report = cluster.run_static(&cfg.jobs, SHARED_BUDGET)?;
+        if let Some(rec) = cell_rec {
+            rec.flush()?;
+        }
         Ok(report
             .jobs
             .iter()

@@ -380,6 +380,88 @@ pub fn analyze(events: &[TraceEvent]) -> TraceReport {
     report
 }
 
+/// One row of a `BENCH_PR<N>.json` perf-trajectory file (schema in
+/// DESIGN.md § Performance). Keyed by `(bench, jobs)` when comparing
+/// across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Worker count the bench ran with.
+    pub jobs: u64,
+    /// Median wall-clock seconds.
+    pub median_s: f64,
+    /// Fastest run (absent in pre-PR7 files).
+    pub min_s: Option<f64>,
+    /// Run-to-run standard deviation (absent in pre-PR7 files).
+    pub stddev_s: Option<f64>,
+}
+
+/// Parse the rows of a `BENCH_PR<N>.json` file. Tolerates the pre-PR7
+/// schema (no `min_s`/`stddev_s`) so older trajectory files stay
+/// comparable.
+pub fn parse_bench_file(text: &str) -> Result<Vec<BenchRow>, String> {
+    let v = anor_cluster::parse_json(text).map_err(|e| e.to_string())?;
+    let arr = v
+        .as_array()
+        .ok_or_else(|| "expected a JSON array of bench rows".to_string())?;
+    let mut rows = Vec::with_capacity(arr.len());
+    for (i, row) in arr.iter().enumerate() {
+        let bench = row
+            .get("bench")
+            .and_then(anor_cluster::Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing `bench`"))?
+            .to_string();
+        let median_s = row
+            .get("median_s")
+            .and_then(anor_cluster::Json::as_f64)
+            .ok_or_else(|| format!("row {i}: missing `median_s`"))?;
+        rows.push(BenchRow {
+            bench,
+            jobs: row
+                .get("jobs")
+                .and_then(anor_cluster::Json::as_u64)
+                .unwrap_or(1),
+            median_s,
+            min_s: row.get("min_s").and_then(anor_cluster::Json::as_f64),
+            stddev_s: row.get("stddev_s").and_then(anor_cluster::Json::as_f64),
+        });
+    }
+    Ok(rows)
+}
+
+/// Compare a perfsuite run against a prior PR's trajectory file and
+/// describe every benchmark whose median slowed by more than
+/// `threshold` (fractional: 0.10 flags >10% regressions). Benches
+/// present on only one side are skipped — a renamed or new bench is not
+/// a regression.
+pub fn flag_regressions(prior: &[BenchRow], current: &[BenchRow], threshold: f64) -> Vec<String> {
+    let mut flags = Vec::new();
+    for cur in current {
+        let Some(old) = prior
+            .iter()
+            .find(|p| p.bench == cur.bench && p.jobs == cur.jobs)
+        else {
+            continue;
+        };
+        if old.median_s <= 0.0 {
+            continue;
+        }
+        let ratio = cur.median_s / old.median_s;
+        if ratio > 1.0 + threshold {
+            flags.push(format!(
+                "{} (jobs={}): median {:.3}s -> {:.3}s (+{:.1}%)",
+                cur.bench,
+                cur.jobs,
+                old.median_s,
+                cur.median_s,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    flags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +648,44 @@ mod tests {
         assert!((s.p90 - 90.0).abs() < 1.01);
         assert!((s.p99 - 99.0).abs() < 1.01);
         assert_eq!(LatencyStats::from_samples(vec![]).count, 0);
+    }
+
+    #[test]
+    fn bench_rows_parse_old_and_new_schemas() {
+        let old = r#"[{"bench": "fig4", "median_s": 0.5, "runs": 5, "jobs": 1}]"#;
+        let rows = parse_bench_file(old).unwrap();
+        assert_eq!(rows[0].bench, "fig4");
+        assert_eq!(rows[0].jobs, 1);
+        assert_eq!(rows[0].min_s, None);
+        let new = r#"[{"bench": "fig4", "median_s": 0.5, "min_s": 0.45,
+                       "stddev_s": 0.02, "runs": 5, "jobs": 1}]"#;
+        let rows = parse_bench_file(new).unwrap();
+        assert_eq!(rows[0].min_s, Some(0.45));
+        assert_eq!(rows[0].stddev_s, Some(0.02));
+        assert!(parse_bench_file("{}").is_err());
+        assert!(parse_bench_file(r#"[{"median_s": 1.0}]"#).is_err());
+    }
+
+    #[test]
+    fn regressions_flagged_beyond_threshold() {
+        let row = |bench: &str, jobs: u64, median: f64| BenchRow {
+            bench: bench.to_string(),
+            jobs,
+            median_s: median,
+            min_s: None,
+            stddev_s: None,
+        };
+        let prior = vec![row("a", 1, 1.0), row("b", 1, 1.0), row("b", 8, 1.0)];
+        let current = vec![
+            row("a", 1, 1.05),  // +5%: under threshold
+            row("b", 1, 1.2),   // +20%: flagged
+            row("b", 8, 0.9),   // faster: fine
+            row("new", 1, 9.0), // no baseline: skipped
+        ];
+        let flags = flag_regressions(&prior, &current, 0.10);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("b (jobs=1)"));
+        assert!(flags[0].contains("+20.0%"));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! error summary of Section 6.3.
 
 use anor_bench::{
-    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
-    scaled, telemetry_from_args, tracer_from_args,
+    chaos_summary, faults_from_args, finish_recording, finish_telemetry, finish_tracer, header,
+    jobs_from_args, record_dir_from_args, scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig10::{self, Fig10Config, Fig10Policy};
 use anor_types::Seconds;
@@ -18,12 +18,14 @@ fn main() {
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
     let faults = faults_from_args();
+    let record = record_dir_from_args();
     let cfg = Fig10Config {
         horizon: scaled(Seconds(3600.0), Seconds(900.0)),
         telemetry: telemetry.clone(),
         tracer: tracer.clone(),
         jobs: jobs_from_args(),
         faults: faults.clone(),
+        record: record.clone(),
         ..Fig10Config::default()
     };
     let out = fig10::run(&cfg).expect("demand-response run failed");
@@ -59,4 +61,5 @@ fn main() {
     }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);
+    finish_recording(&record);
 }

@@ -2,8 +2,8 @@
 //! one potentially misclassified as EP.
 
 use anor_bench::{
-    chaos_summary, faults_from_args, finish_telemetry, finish_tracer, header, jobs_from_args,
-    scaled, telemetry_from_args, tracer_from_args,
+    chaos_summary, faults_from_args, finish_recording, finish_telemetry, finish_tracer, header,
+    jobs_from_args, record_dir_from_args, scaled, telemetry_from_args, tracer_from_args,
 };
 use anor_core::experiments::fig8;
 use anor_core::render::render_bars;
@@ -16,14 +16,16 @@ fn main() {
     let telemetry = telemetry_from_args();
     let tracer = tracer_from_args();
     let faults = faults_from_args();
+    let record = record_dir_from_args();
     let trials = scaled(6, 1);
-    let bars = fig8::run_chaos(
+    let bars = fig8::run_recorded(
         trials,
         8,
         &telemetry,
         tracer.as_ref(),
         jobs_from_args(),
         faults.as_ref(),
+        record.as_deref(),
     )
     .expect("emulated run failed");
     for bar in &bars {
@@ -44,4 +46,5 @@ fn main() {
     }
     finish_telemetry(&telemetry);
     finish_tracer(&tracer);
+    finish_recording(&record);
 }

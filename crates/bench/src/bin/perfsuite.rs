@@ -4,7 +4,7 @@
 //! (schema documented in DESIGN.md § Performance).
 //!
 //! ```text
-//! perfsuite [--quick] [--out PATH] [--runs K]
+//! perfsuite [--quick] [--out PATH] [--runs K] [--baseline PATH]
 //! ```
 //!
 //! Benches:
@@ -19,9 +19,13 @@
 //!   with 8 registered job sessions — the per-pump cost the ops plane
 //!   adds when `--status-addr` is active.
 //!
-//! Each bench reports the median of K runs (default 5; 3 with
-//! `--quick`, which also shrinks the fig11 scenario).
+//! Each bench reports the min, median and run-to-run standard deviation
+//! of K runs (default 5; 3 with `--quick`, which also shrinks the fig11
+//! scenario). When the prior PR's trajectory file exists (`--baseline`,
+//! default `BENCH_PR6.json`), medians that slowed by more than 10% are
+//! flagged as `PERF REGRESSION` lines.
 
+use anor_bench::analyze::{flag_regressions, parse_bench_file, BenchRow};
 use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
 use anor_cluster::{BudgetPolicy, FramedStream, StreamOptions};
 use anor_core::aqa::{poisson_schedule, PowerTarget, RegulationSignal};
@@ -30,18 +34,22 @@ use anor_core::platform::PerformanceVariation;
 use anor_core::sim::{SimConfig, SimPowerPolicy, TabularSim};
 use anor_core::types::{QosConstraint, Seconds, Watts};
 use anor_types::msg::JobToCluster;
+use anor_types::stats::std_dev;
 use anor_types::JobId;
 use std::time::Instant;
 
 struct BenchResult {
     bench: String,
+    min_s: f64,
     median_s: f64,
+    stddev_s: f64,
     runs: usize,
     jobs: usize,
 }
 
-/// Median wall-clock seconds over `runs` invocations.
-fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+/// Min / median / run-to-run standard deviation of wall-clock seconds
+/// over `runs` invocations.
+fn timed_runs(runs: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
     let mut samples: Vec<f64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
@@ -50,7 +58,8 @@ fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
         })
         .collect();
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    let sigma = std_dev(&samples);
+    (samples[0], samples[samples.len() / 2], sigma)
 }
 
 fn fig11_small(quick: bool, jobs: usize) -> fig11::Fig11Config {
@@ -160,9 +169,12 @@ fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"median_s\": {:.6}, \"runs\": {}, \"jobs\": {}}}{}\n",
+            "  {{\"bench\": \"{}\", \"min_s\": {:.6}, \"median_s\": {:.6}, \
+             \"stddev_s\": {:.6}, \"runs\": {}, \"jobs\": {}}}{}\n",
             json_escape(&r.bench),
+            r.min_s,
             r.median_s,
+            r.stddev_s,
             r.runs,
             r.jobs,
             if i + 1 < results.len() { "," } else { "" }
@@ -179,6 +191,11 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let runs = args
         .iter()
@@ -189,18 +206,23 @@ fn main() {
 
     anor_bench::header(
         "perfsuite",
-        "Benchmark trajectory harness (medians land in BENCH_PR6.json)",
+        "Benchmark trajectory harness (stats land in BENCH_PR7.json)",
     );
     let mut results = Vec::new();
     for jobs in [1usize, 8] {
         let cfg = fig11_small(quick, jobs);
-        let median = median_secs(runs, || {
+        let (min, median, sigma) = timed_runs(runs, || {
             fig11::run(&cfg).expect("fig11 run failed");
         });
-        println!("fig11_small --jobs {jobs}: median {median:.3} s over {runs} run(s)");
+        println!(
+            "fig11_small --jobs {jobs}: median {median:.3} s (min {min:.3}, σ {sigma:.3}) \
+             over {runs} run(s)"
+        );
         results.push(BenchResult {
             bench: "fig11_small".to_string(),
+            min_s: min,
             median_s: median,
+            stddev_s: sigma,
             runs,
             jobs,
         });
@@ -212,31 +234,38 @@ fn main() {
         serial / parallel.max(1e-9)
     );
 
-    let median = median_secs(runs, || {
+    let (min, median, sigma) = timed_runs(runs, || {
         let out = fig4::run_pooled(1);
         assert_eq!(out.even_slowdown.len(), 8);
     });
-    println!("fig4: median {median:.3} s over {runs} run(s)");
+    println!("fig4: median {median:.3} s (min {min:.3}, σ {sigma:.3}) over {runs} run(s)");
     results.push(BenchResult {
         bench: "fig4".to_string(),
+        min_s: min,
         median_s: median,
+        stddev_s: sigma,
         runs,
         jobs: 1,
     });
 
     let (nodes, ticks) = if quick { (1000, 200) } else { (1000, 600) };
-    let median = median_secs(runs, || sim_step_loop(nodes, ticks));
-    println!("sim_step_{nodes}x{ticks}: median {median:.3} s over {runs} run(s)");
+    let (min, median, sigma) = timed_runs(runs, || sim_step_loop(nodes, ticks));
+    println!(
+        "sim_step_{nodes}x{ticks}: median {median:.3} s (min {min:.3}, σ {sigma:.3}) \
+         over {runs} run(s)"
+    );
     results.push(BenchResult {
         bench: format!("sim_step_{nodes}x{ticks}"),
+        min_s: min,
         median_s: median,
+        stddev_s: sigma,
         runs,
         jobs: 1,
     });
 
     let (b, _streams) = snapshot_fixture(8);
     let iters = 10_000usize;
-    let median = median_secs(runs, || {
+    let (min, median, sigma) = timed_runs(runs, || {
         for _ in 0..iters {
             let snap = b.status_snapshot();
             assert_eq!(snap.jobs.len(), 8);
@@ -245,12 +274,14 @@ fn main() {
     });
     println!(
         "status_snapshot: median {median:.3} s per {iters} snapshot+render passes \
-         over {runs} run(s) ({:.1} µs/pass)",
+         over {runs} run(s) ({:.1} µs/pass, min {min:.3} s, σ {sigma:.3} s)",
         median / iters as f64 * 1e6
     );
     results.push(BenchResult {
         bench: "status_snapshot".to_string(),
+        min_s: min,
         median_s: median,
+        stddev_s: sigma,
         runs,
         jobs: 1,
     });
@@ -261,5 +292,36 @@ fn main() {
             eprintln!("failed to write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    // Compare against the prior PR's trajectory file, when present:
+    // medians more than 10% slower are operator-visible regressions
+    // (advisory — perf on shared CI machines is noisy, so the exit
+    // status stays 0).
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_bench_file(&text) {
+            Ok(prior) => {
+                let current: Vec<BenchRow> = results
+                    .iter()
+                    .map(|r| BenchRow {
+                        bench: r.bench.clone(),
+                        jobs: r.jobs as u64,
+                        median_s: r.median_s,
+                        min_s: Some(r.min_s),
+                        stddev_s: Some(r.stddev_s),
+                    })
+                    .collect();
+                let flags = flag_regressions(&prior, &current, 0.10);
+                if flags.is_empty() {
+                    println!("no >10% median regressions vs {baseline_path}");
+                } else {
+                    for f in &flags {
+                        println!("PERF REGRESSION vs {baseline_path}: {f}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("{baseline_path}: unparseable baseline ({e}); skipping comparison"),
+        },
+        Err(_) => println!("baseline {baseline_path} not found; skipping regression comparison"),
     }
 }

@@ -171,6 +171,40 @@ pub fn chaos_summary(telemetry: &anor_telemetry::Telemetry) {
     );
 }
 
+/// Parse a `--record <dir>` command-line option for budgeter flight
+/// recording. Creates the directory eagerly so a typo'd path fails the
+/// run before hours of emulation; returns `None` when the option is
+/// absent. The figure runners write one `.rec` per emulated cell,
+/// replayable with `anor-replay --verify`.
+pub fn record_dir_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--record" {
+            if let Some(dir) = args.next() {
+                let dir = std::path::PathBuf::from(dir);
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("--record {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                return Some(dir);
+            }
+        }
+    }
+    None
+}
+
+/// Print where a `--record` run's flight recordings went and how to
+/// verify them.
+pub fn finish_recording(record_dir: &Option<std::path::PathBuf>) {
+    if let Some(dir) = record_dir {
+        println!();
+        println!(
+            "flight recordings written to {}; verify with: anor-replay --rec <file> --verify",
+            dir.display()
+        );
+    }
+}
+
 /// Build the run's causal [`Tracer`](anor_telemetry::Tracer) from a
 /// `--trace <dir>` command-line option: directory-backed when present
 /// (events stream to `<dir>/trace.jsonl`, flight-recorder postmortems

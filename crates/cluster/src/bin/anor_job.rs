@@ -18,13 +18,16 @@
 //! recorded to `<dir>/trace.jsonl` for `anor-trace`. With
 //! `--faults drop@17,corrupt@42` (and optional `--fault-seed N`), a
 //! seeded chaos schedule is injected into the endpoint's send path; the
-//! endpoint reconnects with backoff and resumes its session.
+//! endpoint reconnects with backoff and resumes its session. With
+//! `--record <dir>`, the endpoint's wire traffic (inbound caps, outbound
+//! samples/models, session transitions) is flight-recorded to
+//! `<dir>/job-<id>.rec` for inspection with `anor-replay`.
 
 use anor_cluster::{Args, JobEndpoint};
 use anor_geopm::JobRuntime;
 use anor_model::{ModelerConfig, PowerModeler};
 use anor_platform::Node;
-use anor_telemetry::{Telemetry, Tracer};
+use anor_telemetry::{FlightRecorder, RecordingMeta, Telemetry, Tracer};
 use anor_types::{standard_catalog, JobId, NodeId, Seconds};
 use std::time::Duration;
 
@@ -86,6 +89,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(t) = &tracer {
         builder = builder.tracer(t);
     }
+    // --record <dir>: flight-record the endpoint's wire traffic into
+    // <dir>/job-<id>.rec (role "endpoint" — inspectable, not replayable).
+    let mut recorder = None;
+    if let Some(dir) = args.get("record") {
+        let meta = RecordingMeta {
+            seed,
+            config: format!(
+                "job={} type={type_name} announced={announced} nodes={nodes_wanted}",
+                job.0
+            ),
+            role: "endpoint".to_string(),
+        };
+        let path = std::path::Path::new(dir).join(format!("job-{}.rec", job.0));
+        let rec = FlightRecorder::create(path, meta)?;
+        builder = builder.recorder(rec.clone());
+        recorder = Some(rec);
+    }
     let mut endpoint = builder.connect()?;
     if let Some(t) = &tracer {
         runtime.attach_tracer(t);
@@ -124,6 +144,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 dir.join("trace.jsonl").display()
             );
         }
+    }
+    if let Some(rec) = &recorder {
+        rec.flush()?;
+        println!(
+            "anor-job: recording written to {} ({} event(s), {} dropped)",
+            rec.path().display(),
+            rec.written(),
+            rec.dropped()
+        );
     }
     Ok(())
 }

@@ -13,6 +13,12 @@
 //! `--fetch PATH` is the scripting mode: one GET, body to stdout, exit
 //! status 1 on a non-200 response or an empty body. CI uses it as a
 //! `curl` substitute for smoke-checking `/health` and `/metrics`.
+//!
+//! The dashboard shows the daemon's build info, a pump-phase latency
+//! pane (where each control pass spends its time) and the per-job table.
+//! If the endpoint drops mid-poll, the last good snapshot stays on
+//! screen under a "disconnected, retrying" banner until the daemon
+//! answers again.
 
 use anor_cluster::status::{parse_json, Json};
 use anor_cluster::Args;
@@ -43,17 +49,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let interval = Duration::from_millis(args.get_or("interval-ms", 1000)?);
     let iterations: u64 = args.get_or("iterations", 0)?;
     let mut done = 0u64;
+    // The last successfully rendered frame: when the endpoint drops
+    // mid-poll the dashboard keeps showing it under a "disconnected"
+    // banner instead of flashing blank and losing the operator's state.
+    let mut last_good: Option<String> = None;
     // Clear once, then repaint from the home position each poll so the
     // dashboard refreshes in place.
     print!("\x1b[2J");
     loop {
-        let frame = match http_get(&addr, "/status", timeout) {
+        let outcome = match http_get(&addr, "/status", timeout) {
             Ok((200, body)) => match parse_json(&body) {
-                Ok(v) => render(&v),
-                Err(e) => format!("anor-top: malformed /status JSON: {e}\n"),
+                Ok(v) => Ok(render(&v)),
+                Err(e) => Err(format!("malformed /status JSON: {e}")),
             },
-            Ok((code, _)) => format!("anor-top: GET /status returned {code}\n"),
-            Err(e) => format!("anor-top: {addr} unreachable: {e}\n"),
+            Ok((code, _)) => Err(format!("GET /status returned {code}")),
+            Err(e) => Err(format!("{addr} unreachable: {e}")),
+        };
+        let frame = match outcome {
+            Ok(frame) => {
+                last_good = Some(frame.clone());
+                frame
+            }
+            Err(reason) => match &last_good {
+                Some(stale) => format!(
+                    "anor-top: disconnected, retrying — {reason}\n(showing last good snapshot)\n{stale}"
+                ),
+                None => format!("anor-top: disconnected, retrying — {reason}\n"),
+            },
         };
         // Home the cursor, repaint, clear anything left from the
         // previous (possibly taller) frame.
@@ -81,9 +103,11 @@ fn render(v: &Json) -> String {
     let mut out = String::with_capacity(1024);
     let violations = u(v, "invariant_violations");
     let verdict = if violations == 0 { "ok" } else { "VIOLATIONS" };
+    let build = v.get("build_version").and_then(Json::as_str).unwrap_or("?");
+    let git = v.get("git_hash").and_then(Json::as_str).unwrap_or("?");
     let _ = writeln!(
         out,
-        "anord  budget {:7.1} W   allocated {:7.1} W   reclaimed {:7.1} W   audit {verdict} ({violations})",
+        "anord {build} ({git})  budget {:7.1} W   allocated {:7.1} W   reclaimed {:7.1} W   audit {verdict} ({violations})",
         f(v, "budget"),
         f(v, "allocated_watts"),
         f(v, "reclaimed_watts"),
@@ -107,6 +131,25 @@ fn render(v: &Json) -> String {
         u(v, "trace_recorded"),
         u(v, "postmortems"),
     );
+    // Pump-phase profile: where each control pass spends its time.
+    let phases = v.get("phases").and_then(Json::as_array).unwrap_or(&[]);
+    if !phases.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>16} {:>12} {:>12} {:>12}",
+            "PHASE", "p50 s", "p90 s", "p99 s"
+        );
+        for p in phases {
+            let _ = writeln!(
+                out,
+                "{:>16} {:>12.6} {:>12.6} {:>12.6}",
+                p.get("phase").and_then(Json::as_str).unwrap_or("?"),
+                f(p, "p50"),
+                f(p, "p90"),
+                f(p, "p99"),
+            );
+        }
+    }
     let jobs = v.get("jobs").and_then(Json::as_array).unwrap_or(&[]);
     let _ = writeln!(
         out,

@@ -20,16 +20,19 @@
 //! send path. With `--status-addr host:port`, a dependency-free HTTP
 //! introspection endpoint serves `/metrics` (Prometheus text), `/health`
 //! and `/status` (live JSON snapshot: sessions, leases, pool watts, pump
-//! latency, auditor verdict) — poll it with `anor-top`.
+//! latency, auditor verdict) — poll it with `anor-top`. With
+//! `--record <dir>` (and optional `--seed N` stamped into the header),
+//! every inbound frame, connection/lease transition and emitted cap
+//! decision is flight-recorded to `<dir>/anord.rec` for `anor-replay`.
 //!
 //! Prints `anord listening on <addr>` once ready (machine-readable for
 //! launchers, ditto `anord status on <addr>`), then a completion line
 //! per job.
 
-use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
+use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter, LeaseConfig};
 use anor_cluster::{Args, BudgetPolicy, StatusBoard};
 use anor_telemetry::ops::{OpsServer, StatusProvider};
-use anor_telemetry::{Telemetry, Tracer};
+use anor_telemetry::{FlightRecorder, Telemetry, Tracer};
 use anor_types::{Seconds, Watts};
 use std::io::Write;
 use std::sync::Arc;
@@ -83,7 +86,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         None => None,
     };
     let cfg = BudgeterConfig::new(policy, feedback);
-    let mut builder = ClusterBudgeter::builder(cfg)
+    let mut builder = ClusterBudgeter::builder(cfg.clone())
         .addr(listen)
         .telemetry(telemetry.clone());
     if let Some(t) = &tracer {
@@ -91,6 +94,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(plan) = args.fault_plan()? {
         builder = builder.faults(plan);
+    }
+    // --record <dir>: flight-record every inbound frame and emitted
+    // decision into <dir>/anord.rec for `anor-replay`.
+    let mut recorder = None;
+    if let Some(dir) = args.get("record") {
+        let seed: u64 = args.get_or("seed", 0)?;
+        let meta = anor_cluster::recorder_meta(&cfg, &LeaseConfig::default(), seed);
+        let rec = FlightRecorder::create(std::path::Path::new(dir).join("anord.rec"), meta)?;
+        builder = builder.recorder(rec.clone());
+        recorder = Some(rec);
     }
     // The live ops plane: --status-addr starts the introspection endpoint
     // (`/metrics`, `/health`, `/status`) and has the budgeter publish a
@@ -152,6 +165,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 dir.join("trace.jsonl").display()
             );
         }
+    }
+    if let Some(rec) = &recorder {
+        rec.flush()?;
+        println!(
+            "anord: recording written to {} ({} event(s), {} dropped)",
+            rec.path().display(),
+            rec.written(),
+            rec.dropped()
+        );
     }
     Ok(())
 }

@@ -24,13 +24,17 @@
 
 use crate::codec::{FramedStream, StreamOptions, TransportMetrics};
 use crate::session::{FaultPlan, SessionState};
-use crate::status::{JobStatus, StatusBoard, StatusSnapshot};
+use crate::status::{JobStatus, PhaseStat, StatusBoard, StatusSnapshot};
 use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter};
-use anor_telemetry::{CauseId, Counter, Gauge, Histogram, Telemetry, Timer, TraceStage, Tracer};
+use anor_telemetry::{
+    BuildInfo, CauseId, Counter, FlightRecorder, Gauge, Histogram, RecEvent, Telemetry, Timer,
+    TraceStage, Tracer,
+};
 use anor_types::msg::{ClusterToJob, JobToCluster};
 use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
+use std::time::Instant;
 
 /// Which distribution rule the daemon runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +195,14 @@ impl JobEntry {
 struct BudgeterMetrics {
     rebalance: Histogram,
     pump: Histogram,
+    /// `pump_phase_seconds{phase=...}` — the pump split into its named
+    /// stages, in execution order.
+    phase_ingest: Histogram,
+    phase_lease_audit: Histogram,
+    phase_model_observe: Histogram,
+    phase_decide: Histogram,
+    phase_actuate: Histogram,
+    phase_invariant_audit: Histogram,
     msgs_hello: Counter,
     msgs_sample: Counter,
     msgs_model: Counter,
@@ -210,9 +222,16 @@ impl BudgeterMetrics {
     fn new(telemetry: &Telemetry) -> Self {
         let audit =
             |inv: &str| telemetry.counter("anor_invariant_violations_total", &[("invariant", inv)]);
+        let phase = |p: &str| telemetry.histogram("pump_phase_seconds", &[("phase", p)]);
         BudgeterMetrics {
             rebalance: telemetry.histogram("budgeter_rebalance_seconds", &[]),
             pump: telemetry.histogram("budgeter_pump_seconds", &[]),
+            phase_ingest: phase("ingest"),
+            phase_lease_audit: phase("lease-audit"),
+            phase_model_observe: phase("model-observe"),
+            phase_decide: phase("decide"),
+            phase_actuate: phase("actuate"),
+            phase_invariant_audit: phase("invariant-audit"),
             msgs_hello: telemetry.counter("budgeter_msgs_total", &[("kind", "hello")]),
             msgs_sample: telemetry.counter("budgeter_msgs_total", &[("kind", "sample")]),
             msgs_model: telemetry.counter("budgeter_msgs_total", &[("kind", "model")]),
@@ -234,6 +253,18 @@ impl BudgeterMetrics {
             + self.audit_double_count.get()
             + self.audit_gauge_drift.get()
             + self.audit_stale_session.get()
+    }
+
+    /// The pump phases in execution order, for the status snapshot.
+    fn phases(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("ingest", &self.phase_ingest),
+            ("lease-audit", &self.phase_lease_audit),
+            ("model-observe", &self.phase_model_observe),
+            ("decide", &self.phase_decide),
+            ("actuate", &self.phase_actuate),
+            ("invariant-audit", &self.phase_invariant_audit),
+        ]
     }
 }
 
@@ -259,6 +290,7 @@ pub struct BudgeterBuilder {
     lease: LeaseConfig,
     faults: Option<FaultPlan>,
     status: Option<StatusBoard>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl BudgeterBuilder {
@@ -272,6 +304,7 @@ impl BudgeterBuilder {
             lease: LeaseConfig::default(),
             faults: None,
             status: None,
+            recorder: None,
         }
     }
 
@@ -324,6 +357,16 @@ impl BudgeterBuilder {
         self
     }
 
+    /// Flight-record every inbound wire frame, connection and lease
+    /// transition, pump trigger and emitted cap decision into `recorder`
+    /// so `anor-replay` can reproduce the run offline bit-for-bit. Use
+    /// [`crate::replay::recorder_meta`] to stamp the recording with a
+    /// replay-compatible config description.
+    pub fn recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Bind (or adopt the supplied listener) and construct the daemon.
     /// Returns the daemon and the address endpoints should connect to.
     pub fn bind(self) -> Result<(ClusterBudgeter, SocketAddr)> {
@@ -354,6 +397,9 @@ impl BudgeterBuilder {
                 pumps: 0,
                 last_budget: Watts::ZERO,
                 audit_dumped: AuditDumped::default(),
+                recorder: self.recorder,
+                replay: None,
+                model_observe_s: 0.0,
             },
             addr,
         ))
@@ -390,6 +436,22 @@ struct AuditDumped {
     stale_session: bool,
 }
 
+/// Replay-mode I/O substitution: when attached, the budgeter reads no
+/// sockets — the replayer injects recorded frames and connection
+/// transitions directly, outbound frames are captured instead of sent,
+/// and decision cause ids come from the recorded feed rather than the
+/// tracer (tracer counters are shared across components, so re-minting
+/// would not reproduce the recorded wire bytes).
+#[derive(Debug, Default)]
+pub(crate) struct ReplayIo {
+    /// Virtual connection liveness, by recorded slot index.
+    open: Vec<bool>,
+    /// Captured outbound frames `(conn, body)` in emission order.
+    out: Vec<(usize, bytes::Bytes)>,
+    /// Recorded decision cause ids, consumed in mint order.
+    causes: VecDeque<u64>,
+}
+
 /// The budgeter daemon (pump-driven).
 #[derive(Debug)]
 pub struct ClusterBudgeter {
@@ -409,6 +471,11 @@ pub struct ClusterBudgeter {
     pumps: u64,
     last_budget: Watts,
     audit_dumped: AuditDumped,
+    recorder: Option<FlightRecorder>,
+    replay: Option<ReplayIo>,
+    /// Seconds spent in `Sample`/`Model` handling during the current
+    /// pump (the model-observe phase, carved out of ingest).
+    model_observe_s: f64,
 }
 
 impl ClusterBudgeter {
@@ -484,13 +551,40 @@ impl ClusterBudgeter {
         let _timer = Timer::start(self.metrics.pump.clone());
         self.pumps += 1;
         self.last_budget = busy_budget;
-        self.accept_new()?;
-        self.ingest()?;
+        if let Some(r) = &self.recorder {
+            r.record(&RecEvent::PumpStart {
+                pump: self.pumps,
+                budget: busy_budget.value(),
+            });
+        }
+        // Phase: ingest (minus the model-observe time carved out below).
+        self.model_observe_s = 0.0;
+        let ingest_started = Instant::now();
+        if self.replay.is_none() {
+            self.accept_new()?;
+            self.ingest()?;
+        }
+        let ingest_s = (ingest_started.elapsed().as_secs_f64() - self.model_observe_s).max(0.0);
+        self.metrics.phase_ingest.observe(ingest_s);
+        self.metrics
+            .phase_model_observe
+            .observe(self.model_observe_s);
+        // Phase: lease-audit.
+        let lease_started = Instant::now();
         self.tick_leases();
+        self.metrics
+            .phase_lease_audit
+            .observe(lease_started.elapsed().as_secs_f64());
+        // Phases decide + actuate are observed inside redistribute.
         let out = self.redistribute(busy_budget);
         self.metrics.active_jobs.set(self.active_jobs() as f64);
+        // Phase: invariant-audit (including status publication).
+        let audit_started = Instant::now();
         self.audit(busy_budget);
         self.publish_status();
+        self.metrics
+            .phase_invariant_audit
+            .observe(audit_started.elapsed().as_secs_f64());
         out
     }
 
@@ -502,6 +596,11 @@ impl ClusterBudgeter {
                     let mut opts = StreamOptions::default().metrics(self.transport.clone());
                     if let Some(plan) = &self.faults {
                         opts = opts.faults(plan.fork(self.accepted));
+                    }
+                    if let Some(r) = &self.recorder {
+                        r.record(&RecEvent::ConnOpen {
+                            conn: self.conns.len() as u32,
+                        });
                     }
                     self.conns.push(Some(FramedStream::new(stream, opts)?));
                 }
@@ -547,6 +646,13 @@ impl ClusterBudgeter {
                 Err(AnorError::Protocol(e)) => {
                     stream.shutdown_now();
                     self.metrics.conns_quarantined.inc();
+                    // Length-prefix corruption is caught below decode, so
+                    // no FrameIn exists for the replayer to re-trip on —
+                    // the quarantine is recorded as its own event and
+                    // applied as such on replay.
+                    if let Some(r) = &self.recorder {
+                        r.record(&RecEvent::ConnQuarantined { conn: idx as u32 });
+                    }
                     if let Some(t) = &self.tracer {
                         t.record_detail(TraceStage::TransportError, CauseId::NONE, &e);
                         t.dump_postmortem("budgeter-protocol-error");
@@ -556,223 +662,300 @@ impl ClusterBudgeter {
                 Err(e) => return Err(e),
             };
             for body in frames {
-                let msg = match JobToCluster::decode(body) {
-                    Ok(m) => m,
-                    Err(e) => {
-                        if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-                            stream.shutdown_now();
-                        }
-                        self.metrics.conns_quarantined.inc();
-                        if let Some(t) = &self.tracer {
-                            t.record_detail(
-                                TraceStage::TransportError,
-                                CauseId::NONE,
-                                &format!("malformed frame: {e}"),
-                            );
-                            t.dump_postmortem("budgeter-malformed-frame");
-                        }
-                        closed = true;
-                        break;
-                    }
-                };
-                match msg {
-                    JobToCluster::Hello {
-                        job,
-                        type_name,
-                        nodes,
-                    } => {
-                        self.metrics.msgs_hello.inc();
-                        self.telemetry.event(
-                            "budgeter_hello",
-                            &[
-                                ("job", job.0.into()),
-                                ("type", type_name.as_str().into()),
-                                ("nodes", u64::from(nodes).into()),
-                            ],
-                        );
-                        let view = self.resolve_view(job, &type_name, nodes)?;
-                        self.jobs.insert(job, JobEntry::new(view, idx));
-                    }
-                    JobToCluster::Resume {
-                        job,
-                        type_name,
-                        nodes,
-                        believed_cap,
-                        cause,
-                    } => {
-                        self.metrics.msgs_resume.inc();
-                        self.telemetry.event(
-                            "budgeter_resume",
-                            &[
-                                ("job", job.0.into()),
-                                ("believed_cap", believed_cap.value().into()),
-                            ],
-                        );
-                        if let Some(t) = &self.tracer {
-                            t.record_job(
-                                TraceStage::Resume,
-                                CauseId(cause),
-                                job.0,
-                                Some(believed_cap.value()),
-                            );
-                        }
-                        if !self.jobs.contains_key(&job) {
-                            // No record of this job (the daemon restarted,
-                            // or it was evicted): re-register from the
-                            // resume announcement as if it were a Hello.
-                            let view = self.resolve_view(job, &type_name, nodes)?;
-                            self.jobs.insert(job, JobEntry::new(view, idx));
-                        }
-                        let mut restored = None;
-                        let mut ack_cap = Watts(-1.0);
-                        if let Some(e) = self.jobs.get_mut(&job) {
-                            e.conn = idx;
-                            e.missed_pumps = 0;
-                            e.state = SessionState::Connected;
-                            restored = e.reclaimed.take();
-                            if let Some(cap) = e.last_cap {
-                                ack_cap = cap;
-                            }
-                        }
-                        if let Some(w) = restored {
-                            let g = &self.metrics.watts_reclaimed;
-                            g.set((g.get() - w.value()).max(0.0));
-                            if let Some(t) = &self.tracer {
-                                t.record_full(
-                                    TraceStage::LeaseRestored,
-                                    CauseId(cause),
-                                    Some(job.0),
-                                    Some(w.value()),
-                                    Some(format!("{w} restored to resumed job")),
-                                );
-                            }
-                        }
-                        if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-                            stream.send(
-                                ClusterToJob::ResumeAck {
-                                    cap: ack_cap,
-                                    cause,
-                                }
-                                .encode(),
-                            )?;
-                        }
-                    }
-                    JobToCluster::Sample(s) => {
-                        self.metrics.msgs_sample.inc();
-                        if let Some(t) = &self.tracer {
-                            t.record_job(
-                                TraceStage::SampleRx,
-                                CauseId(s.cause),
-                                s.job.0,
-                                Some(s.avg_power.value()),
-                            );
-                        }
-                        if let Some(e) = self.jobs.get_mut(&s.job) {
-                            e.missed_pumps = 0;
-                            e.samples_seen += 1;
-                            let per_node = s.avg_power / e.view.nodes.max(1) as f64;
-                            e.peak_node_power = e.peak_node_power.max(per_node);
-                            if self.cfg.feedback {
-                                if per_node.value() > e.view.max_draw.value() + 1.0 {
-                                    // Observation contradicts the believed
-                                    // power window: widen it.
-                                    e.view.max_draw = per_node;
-                                }
-                                // Slack reclaim (Section 7.2): a job whose
-                                // draw sits far below its assigned cap
-                                // (setup/teardown, I/O stall) donates its
-                                // headroom back to the pool; a job pinned
-                                // at its cap probes upward so a shrunken
-                                // window can recover.
-                                if let Some(cap) = e.last_cap {
-                                    let ratio = per_node / cap;
-                                    if ratio < 0.7 {
-                                        e.under_draw_streak += 1;
-                                        if e.under_draw_streak >= 3 {
-                                            e.view.max_draw =
-                                                (per_node * 1.05).max(e.view.cap_range.min);
-                                        }
-                                    } else {
-                                        e.under_draw_streak = 0;
-                                        if ratio > 0.98
-                                            && e.view.max_draw.value() <= cap.value() * 1.05
-                                        {
-                                            e.view.max_draw = (e.view.max_draw + Watts(10.0))
-                                                .min(e.view.cap_range.max);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    JobToCluster::Model {
-                        job, curve, cause, ..
-                    } => {
-                        self.metrics.msgs_model.inc();
-                        if let Some(t) = &self.tracer {
-                            t.record_job(TraceStage::ModelRx, CauseId(cause), job.0, None);
-                        }
-                        if let Some(e) = self.jobs.get_mut(&job) {
-                            e.missed_pumps = 0;
-                            e.models_seen += 1;
-                            // The "per-job retrain count" the summary
-                            // table reports: every Model push is one
-                            // retrain at the job tier.
-                            self.telemetry
-                                .gauge("job_retrains", &[("job", &job.0.to_string())])
-                                .set(e.models_seen as f64);
-                            if self.cfg.feedback {
-                                e.view = e.view.clone().with_curve(curve);
-                            }
-                        }
-                    }
-                    JobToCluster::Done { job, elapsed } => {
-                        self.metrics.msgs_done.inc();
-                        self.telemetry.event(
-                            "budgeter_job_done",
-                            &[("job", job.0.into()), ("elapsed_s", elapsed.value().into())],
-                        );
-                        if let Some(e) = self.jobs.get_mut(&job) {
-                            e.missed_pumps = 0;
-                            e.done = Some(elapsed);
-                        }
-                        self.completed.push((job, elapsed));
-                    }
+                if self.process_frame(idx, body)? {
+                    closed = true;
+                    break;
                 }
             }
             if closed {
-                let lost: Vec<JobId> = self
-                    .jobs
-                    .iter()
-                    .filter(|(_, e)| e.conn == idx && e.done.is_none() && e.state.is_connected())
-                    .map(|(&id, _)| id)
-                    .collect();
-                if !lost.is_empty() {
-                    if let Some(t) = &self.tracer {
-                        t.record_detail(
-                            TraceStage::Disconnect,
-                            CauseId::NONE,
-                            &format!("conn {idx} lost with {} active job(s)", lost.len()),
-                        );
-                        t.dump_postmortem("endpoint-disconnect");
+                self.disconnect_conn(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle one decoded-or-rejected inbound frame body on `conn`.
+    /// Returns `true` when the frame poisoned its connection (malformed:
+    /// the conn is quarantined and must be torn down by the caller).
+    /// This is the single code path for live ingest *and* replay
+    /// injection, so a recording replays through exactly the logic that
+    /// produced it.
+    fn process_frame(&mut self, idx: usize, body: bytes::Bytes) -> Result<bool> {
+        if let Some(r) = &self.recorder {
+            r.record(&RecEvent::FrameIn {
+                conn: idx as u32,
+                body: body.to_vec(),
+            });
+        }
+        let msg = match JobToCluster::decode(body) {
+            Ok(m) => m,
+            Err(e) => {
+                if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                    stream.shutdown_now();
+                }
+                // On replay the recorded ConnQuarantined event drives the
+                // counter, so re-tripping here must not double-count.
+                if self.replay.is_none() {
+                    self.metrics.conns_quarantined.inc();
+                    if let Some(r) = &self.recorder {
+                        r.record(&RecEvent::ConnQuarantined { conn: idx as u32 });
                     }
                 }
-                if self.lease.enabled {
-                    // The lease keeps these jobs' watts reserved: mark
-                    // them reconnecting and start the miss countdown.
-                    for id in lost {
-                        if let Some(e) = self.jobs.get_mut(&id) {
-                            e.state = SessionState::Reconnecting { attempt: 0 };
+                if let Some(t) = &self.tracer {
+                    t.record_detail(
+                        TraceStage::TransportError,
+                        CauseId::NONE,
+                        &format!("malformed frame: {e}"),
+                    );
+                    t.dump_postmortem("budgeter-malformed-frame");
+                }
+                return Ok(true);
+            }
+        };
+        match msg {
+            JobToCluster::Hello {
+                job,
+                type_name,
+                nodes,
+            } => {
+                self.metrics.msgs_hello.inc();
+                self.telemetry.event(
+                    "budgeter_hello",
+                    &[
+                        ("job", job.0.into()),
+                        ("type", type_name.as_str().into()),
+                        ("nodes", u64::from(nodes).into()),
+                    ],
+                );
+                let view = self.resolve_view(job, &type_name, nodes)?;
+                self.jobs.insert(job, JobEntry::new(view, idx));
+            }
+            JobToCluster::Resume {
+                job,
+                type_name,
+                nodes,
+                believed_cap,
+                cause,
+            } => {
+                self.metrics.msgs_resume.inc();
+                self.telemetry.event(
+                    "budgeter_resume",
+                    &[
+                        ("job", job.0.into()),
+                        ("believed_cap", believed_cap.value().into()),
+                    ],
+                );
+                if let Some(t) = &self.tracer {
+                    t.record_job(
+                        TraceStage::Resume,
+                        CauseId(cause),
+                        job.0,
+                        Some(believed_cap.value()),
+                    );
+                }
+                if !self.jobs.contains_key(&job) {
+                    // No record of this job (the daemon restarted,
+                    // or it was evicted): re-register from the
+                    // resume announcement as if it were a Hello.
+                    let view = self.resolve_view(job, &type_name, nodes)?;
+                    self.jobs.insert(job, JobEntry::new(view, idx));
+                }
+                let mut restored = None;
+                let mut ack_cap = Watts(-1.0);
+                if let Some(e) = self.jobs.get_mut(&job) {
+                    e.conn = idx;
+                    e.missed_pumps = 0;
+                    e.state = SessionState::Connected;
+                    restored = e.reclaimed.take();
+                    if let Some(cap) = e.last_cap {
+                        ack_cap = cap;
+                    }
+                }
+                if let Some(w) = restored {
+                    let g = &self.metrics.watts_reclaimed;
+                    g.set((g.get() - w.value()).max(0.0));
+                    if let Some(r) = &self.recorder {
+                        r.record(&RecEvent::LeaseRestored {
+                            job: job.0,
+                            watts: w.value(),
+                        });
+                    }
+                    if let Some(t) = &self.tracer {
+                        t.record_full(
+                            TraceStage::LeaseRestored,
+                            CauseId(cause),
+                            Some(job.0),
+                            Some(w.value()),
+                            Some(format!("{w} restored to resumed job")),
+                        );
+                    }
+                }
+                self.send_to_conn(
+                    idx,
+                    ClusterToJob::ResumeAck {
+                        cap: ack_cap,
+                        cause,
+                    }
+                    .encode(),
+                )?;
+            }
+            JobToCluster::Sample(s) => {
+                self.metrics.msgs_sample.inc();
+                let observe_started = Instant::now();
+                if let Some(t) = &self.tracer {
+                    t.record_job(
+                        TraceStage::SampleRx,
+                        CauseId(s.cause),
+                        s.job.0,
+                        Some(s.avg_power.value()),
+                    );
+                }
+                if let Some(e) = self.jobs.get_mut(&s.job) {
+                    e.missed_pumps = 0;
+                    e.samples_seen += 1;
+                    let per_node = s.avg_power / e.view.nodes.max(1) as f64;
+                    e.peak_node_power = e.peak_node_power.max(per_node);
+                    if self.cfg.feedback {
+                        if per_node.value() > e.view.max_draw.value() + 1.0 {
+                            // Observation contradicts the believed
+                            // power window: widen it.
+                            e.view.max_draw = per_node;
+                        }
+                        // Slack reclaim (Section 7.2): a job whose
+                        // draw sits far below its assigned cap
+                        // (setup/teardown, I/O stall) donates its
+                        // headroom back to the pool; a job pinned
+                        // at its cap probes upward so a shrunken
+                        // window can recover.
+                        if let Some(cap) = e.last_cap {
+                            let ratio = per_node / cap;
+                            if ratio < 0.7 {
+                                e.under_draw_streak += 1;
+                                if e.under_draw_streak >= 3 {
+                                    e.view.max_draw = (per_node * 1.05).max(e.view.cap_range.min);
+                                }
+                            } else {
+                                e.under_draw_streak = 0;
+                                if ratio > 0.98 && e.view.max_draw.value() <= cap.value() * 1.05 {
+                                    e.view.max_draw =
+                                        (e.view.max_draw + Watts(10.0)).min(e.view.cap_range.max);
+                                }
+                            }
                         }
                     }
-                } else {
-                    // Pre-lease behaviour: a lost connection strands its
-                    // jobs immediately.
-                    self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
                 }
-                if let Some(slot) = self.conns.get_mut(idx) {
-                    *slot = None;
+                self.model_observe_s += observe_started.elapsed().as_secs_f64();
+            }
+            JobToCluster::Model {
+                job, curve, cause, ..
+            } => {
+                self.metrics.msgs_model.inc();
+                let observe_started = Instant::now();
+                if let Some(t) = &self.tracer {
+                    t.record_job(TraceStage::ModelRx, CauseId(cause), job.0, None);
                 }
+                if let Some(e) = self.jobs.get_mut(&job) {
+                    e.missed_pumps = 0;
+                    e.models_seen += 1;
+                    // The "per-job retrain count" the summary
+                    // table reports: every Model push is one
+                    // retrain at the job tier.
+                    self.telemetry
+                        .gauge("job_retrains", &[("job", &job.0.to_string())])
+                        .set(e.models_seen as f64);
+                    if self.cfg.feedback {
+                        e.view = e.view.clone().with_curve(curve);
+                    }
+                }
+                self.model_observe_s += observe_started.elapsed().as_secs_f64();
+            }
+            JobToCluster::Done { job, elapsed } => {
+                self.metrics.msgs_done.inc();
+                self.telemetry.event(
+                    "budgeter_job_done",
+                    &[("job", job.0.into()), ("elapsed_s", elapsed.value().into())],
+                );
+                if let Some(e) = self.jobs.get_mut(&job) {
+                    e.missed_pumps = 0;
+                    e.done = Some(elapsed);
+                }
+                self.completed.push((job, elapsed));
+            }
+        }
+        Ok(false)
+    }
+
+    /// Tear down connection `idx`'s session bookkeeping: postmortem any
+    /// jobs it carried, start their lease countdowns (or strand them when
+    /// leases are off), and free the slot. Shared between live ingest and
+    /// replayed `ConnClosed` events.
+    fn disconnect_conn(&mut self, idx: usize) {
+        if let Some(r) = &self.recorder {
+            r.record(&RecEvent::ConnClosed { conn: idx as u32 });
+        }
+        let lost: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, e)| e.conn == idx && e.done.is_none() && e.state.is_connected())
+            .map(|(&id, _)| id)
+            .collect();
+        if !lost.is_empty() {
+            if let Some(t) = &self.tracer {
+                t.record_detail(
+                    TraceStage::Disconnect,
+                    CauseId::NONE,
+                    &format!("conn {idx} lost with {} active job(s)", lost.len()),
+                );
+                t.dump_postmortem("endpoint-disconnect");
+            }
+        }
+        if self.lease.enabled {
+            // The lease keeps these jobs' watts reserved: mark them
+            // reconnecting and start the miss countdown.
+            for id in lost {
+                if let Some(e) = self.jobs.get_mut(&id) {
+                    e.state = SessionState::Reconnecting { attempt: 0 };
+                }
+            }
+        } else {
+            // Pre-lease behaviour: a lost connection strands its jobs
+            // immediately.
+            self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
+        }
+        if let Some(slot) = self.conns.get_mut(idx) {
+            *slot = None;
+        }
+    }
+
+    /// Is connection slot `idx` live? In replay mode liveness comes from
+    /// the recorded connection transitions, not real sockets.
+    fn conn_slot_live(&self, idx: usize) -> bool {
+        match &self.replay {
+            Some(rio) => rio.open.get(idx).copied().unwrap_or(false),
+            None => self.conns.get(idx).is_some_and(Option::is_some),
+        }
+    }
+
+    /// Send `frame` (an un-length-prefixed message body) to `conn`,
+    /// recording it as a `DecisionTx` exactly when a send really happens.
+    /// In replay mode the frame is captured for byte-comparison instead
+    /// of being written to a socket.
+    fn send_to_conn(&mut self, conn: usize, frame: bytes::Bytes) -> Result<()> {
+        if let Some(rio) = self.replay.as_mut() {
+            if rio.open.get(conn).copied().unwrap_or(false) {
+                rio.out.push((conn, frame));
+            }
+            return Ok(());
+        }
+        if self.conns.get(conn).is_some_and(Option::is_some) {
+            if let Some(r) = &self.recorder {
+                r.record(&RecEvent::DecisionTx {
+                    conn: conn as u32,
+                    frame: frame.to_vec(),
+                });
+            }
+            if let Some(stream) = self.conns.get_mut(conn).and_then(Option::as_mut) {
+                stream.send(frame)?;
             }
         }
         Ok(())
@@ -791,11 +974,14 @@ impl ClusterBudgeter {
             if !e.holds_lease() {
                 continue;
             }
-            let connected = self
-                .conns
-                .get(e.conn)
-                .and_then(Option::as_ref)
-                .is_some_and(|s| !s.is_closed());
+            let connected = match &self.replay {
+                Some(rio) => rio.open.get(e.conn).copied().unwrap_or(false),
+                None => self
+                    .conns
+                    .get(e.conn)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|s| !s.is_closed()),
+            };
             if connected {
                 continue;
             }
@@ -814,6 +1000,12 @@ impl ClusterBudgeter {
             self.metrics.leases_expired.inc();
             let g = &self.metrics.watts_reclaimed;
             g.set(g.get() + watts.value());
+            if let Some(r) = &self.recorder {
+                r.record(&RecEvent::LeaseExpired {
+                    job: id.0,
+                    watts: watts.value(),
+                });
+            }
             self.telemetry.event(
                 "budgeter_lease_expired",
                 &[("job", id.0.into()), ("watts", watts.value().into())],
@@ -836,6 +1028,7 @@ impl ClusterBudgeter {
     }
 
     fn redistribute(&mut self, busy_budget: Watts) -> Result<()> {
+        let decide_started = Instant::now();
         // Collect (id, view) pairs in one pass so `views` stays aligned
         // with the ids even if an entry were to vanish mid-iteration.
         // Expired leases are excluded: their watts are back in the pool.
@@ -846,6 +1039,10 @@ impl ClusterBudgeter {
             .map(|(&id, e)| (id, e.view.clone()))
             .collect();
         if active.is_empty() {
+            self.metrics
+                .phase_decide
+                .observe(decide_started.elapsed().as_secs_f64());
+            self.metrics.phase_actuate.observe(0.0);
             return Ok(());
         }
         // Latency of an actual rebalance; empty passes are not observed
@@ -869,35 +1066,56 @@ impl ClusterBudgeter {
             .map(|(id, cap)| (*id, cap))
             .collect();
         if changed.is_empty() {
+            self.metrics
+                .phase_decide
+                .observe(decide_started.elapsed().as_secs_f64());
+            self.metrics.phase_actuate.observe(0.0);
             return Ok(());
         }
         // One decision id covers every cap this rebalance re-issues; a
         // pass that re-sends nothing mints nothing (no phantom orphans).
-        let cause = match &self.tracer {
-            Some(t) => {
-                let c = t.next_cause();
-                t.record_full(
-                    TraceStage::Decision,
-                    c,
-                    None,
-                    Some(busy_budget.value()),
-                    Some(format!("{} cap(s) re-issued", changed.len())),
-                );
-                c
+        // The tracer's cause counter is shared across components, so its
+        // value depends on interleaving a replay cannot reproduce: the
+        // mint is recorded, and replay consumes the recorded feed so the
+        // re-emitted cap frames stay byte-identical.
+        let cause = if let Some(rio) = self.replay.as_mut() {
+            CauseId(rio.causes.pop_front().unwrap_or(0))
+        } else {
+            let c = match &self.tracer {
+                Some(t) => {
+                    let c = t.next_cause();
+                    t.record_full(
+                        TraceStage::Decision,
+                        c,
+                        None,
+                        Some(busy_budget.value()),
+                        Some(format!("{} cap(s) re-issued", changed.len())),
+                    );
+                    c
+                }
+                None => CauseId::NONE,
+            };
+            if let Some(r) = &self.recorder {
+                r.record(&RecEvent::CauseMinted { cause: c.0 });
             }
-            None => CauseId::NONE,
+            c
         };
+        self.metrics
+            .phase_decide
+            .observe(decide_started.elapsed().as_secs_f64());
+        let actuate_started = Instant::now();
         for (id, cap) in changed {
             let Some(entry) = self.jobs.get_mut(&id) else {
                 continue;
             };
             entry.last_cap = Some(cap);
             let conn = entry.conn;
-            if let Some(stream) = self.conns.get_mut(conn).and_then(Option::as_mut) {
+            if self.conn_slot_live(conn) {
                 if let Some(t) = &self.tracer {
                     t.record_job(TraceStage::CapTx, cause, id.0, Some(cap.value()));
                 }
-                stream.send(
+                self.send_to_conn(
+                    conn,
                     ClusterToJob::SetPowerCap {
                         cap,
                         cause: cause.0,
@@ -906,6 +1124,9 @@ impl ClusterBudgeter {
                 )?;
             }
         }
+        self.metrics
+            .phase_actuate
+            .observe(actuate_started.elapsed().as_secs_f64());
         Ok(())
     }
 
@@ -950,7 +1171,7 @@ impl ClusterBudgeter {
             }
             match e.state {
                 SessionState::Connected => {
-                    if self.conns.get(e.conn).is_none_or(Option::is_none) {
+                    if !self.conn_slot_live(e.conn) {
                         violations.push((
                             AuditKind::StaleSession,
                             format!(
@@ -1078,11 +1299,26 @@ impl ClusterBudgeter {
             .collect();
         jobs.sort_unstable_by_key(|j| j.job);
         let (allocated, _, _) = self.allocation();
+        let info = BuildInfo::current();
+        let phases = self
+            .metrics
+            .phases()
+            .iter()
+            .map(|(name, h)| PhaseStat {
+                phase: (*name).to_string(),
+                p50: h.quantile(0.5),
+                p90: h.quantile(0.9),
+                p99: h.quantile(0.99),
+            })
+            .collect();
         StatusSnapshot {
             budget: self.last_budget.value(),
             pumps: self.pumps,
             active_jobs: self.active_jobs(),
-            conns_open: self.conns.iter().filter(|c| c.is_some()).count(),
+            conns_open: match &self.replay {
+                Some(rio) => rio.open.iter().filter(|o| **o).count(),
+                None => self.conns.iter().filter(|c| c.is_some()).count(),
+            },
             accepted: self.accepted,
             completed: self.completed.len(),
             allocated_watts: allocated,
@@ -1094,6 +1330,9 @@ impl ClusterBudgeter {
             ring_depth: self.tracer.as_ref().map_or(0, Tracer::ring_depth),
             trace_recorded: self.tracer.as_ref().map_or(0, Tracer::recorded),
             postmortems: self.tracer.as_ref().map_or(0, Tracer::postmortems),
+            build_version: info.version.clone(),
+            git_hash: info.git_hash.clone(),
+            phases,
             jobs,
         }
     }
@@ -1107,6 +1346,70 @@ impl ClusterBudgeter {
     /// Control passes executed so far.
     pub fn pump_count(&self) -> u64 {
         self.pumps
+    }
+
+    // ---- replay-mode hooks (driven by `crate::replay`) ---------------
+
+    /// Detach the daemon from its sockets: all subsequent I/O comes from
+    /// replayed events, and outbound frames are captured for comparison.
+    pub(crate) fn replay_begin(&mut self) {
+        self.replay = Some(ReplayIo::default());
+    }
+
+    /// Apply a recorded `ConnOpen`: slot `conn` becomes virtually live.
+    pub(crate) fn replay_conn_open(&mut self, conn: usize) {
+        self.accepted += 1;
+        if let Some(rio) = self.replay.as_mut() {
+            if rio.open.len() <= conn {
+                rio.open.resize(conn + 1, false);
+            }
+            if let Some(slot) = rio.open.get_mut(conn) {
+                *slot = true;
+            }
+        }
+    }
+
+    /// Apply a recorded `ConnClosed`: mark the slot dead and run the
+    /// live disconnect bookkeeping (lease countdowns, postmortems).
+    pub(crate) fn replay_conn_closed(&mut self, conn: usize) {
+        if let Some(rio) = self.replay.as_mut() {
+            if let Some(slot) = rio.open.get_mut(conn) {
+                *slot = false;
+            }
+        }
+        self.disconnect_conn(conn);
+    }
+
+    /// Apply a recorded `ConnQuarantined`: count it. (Recordings pair a
+    /// quarantine with a `ConnClosed`, which does the teardown; frame-
+    /// level quarantines additionally re-trip inside `process_frame`,
+    /// which skips the counter in replay mode to avoid double-counting.)
+    pub(crate) fn replay_conn_quarantined(&mut self, _conn: usize) {
+        self.metrics.conns_quarantined.inc();
+    }
+
+    /// Inject a recorded inbound frame body through the real decode and
+    /// session paths. Returns `true` when the frame was malformed (the
+    /// recording carries the resulting quarantine/close as events).
+    pub(crate) fn replay_inject(&mut self, conn: usize, body: bytes::Bytes) -> Result<bool> {
+        self.process_frame(conn, body)
+    }
+
+    /// Queue a recorded decision cause id for the next cap-reissuing
+    /// redistribute pass.
+    pub(crate) fn replay_feed_cause(&mut self, cause: u64) {
+        if let Some(rio) = self.replay.as_mut() {
+            rio.causes.push_back(cause);
+        }
+    }
+
+    /// Drain the outbound frames captured since the last call, in
+    /// emission order.
+    pub(crate) fn replay_take_out(&mut self) -> Vec<(usize, bytes::Bytes)> {
+        self.replay
+            .as_mut()
+            .map(|rio| std::mem::take(&mut rio.out))
+            .unwrap_or_default()
     }
 
     /// Invariant-auditor violations observed so far (all kinds).

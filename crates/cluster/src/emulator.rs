@@ -14,7 +14,7 @@ use anor_aqa::{PowerTarget, TrackingRecorder};
 use anor_geopm::{JobReport, JobRuntime};
 use anor_model::{DriftDetector, ModelerConfig, PowerModeler};
 use anor_platform::{Node, PerformanceVariation, Phase};
-use anor_telemetry::{Telemetry, Timer, Tracer};
+use anor_telemetry::{FlightRecorder, Telemetry, Timer, Tracer};
 use anor_types::{AnorError, Catalog, JobId, NodeId, Result, Seconds, Watts};
 
 pub use crate::budgeter::BudgetPolicy;
@@ -67,6 +67,10 @@ pub struct EmulatorConfig {
     pub retry: RetryPolicy,
     /// Budgeter-side lease policy for silent/disconnected jobs.
     pub lease: LeaseConfig,
+    /// Flight recorder attached to the budgeter: every inbound frame,
+    /// connection/lease transition and emitted cap decision is logged
+    /// for `anor-replay`. `None` disables recording.
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl EmulatorConfig {
@@ -90,6 +94,7 @@ impl EmulatorConfig {
             faults: None,
             retry: RetryPolicy::default(),
             lease: LeaseConfig::default(),
+            recorder: None,
         }
     }
 
@@ -122,6 +127,14 @@ impl EmulatorConfig {
     /// Override the budgeter lease policy (builder style).
     pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
         self.lease = lease;
+        self
+    }
+
+    /// Flight-record the budgeter side of the run (builder style). Pair
+    /// with [`crate::recorder_meta`] so `anor-replay` can reconstruct the
+    /// exact budgeter configuration from the recording header.
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -380,6 +393,9 @@ impl EmulatedCluster {
             .lease(cfg.lease);
         if let Some(t) = &cfg.tracer {
             builder = builder.tracer(t);
+        }
+        if let Some(rec) = &cfg.recorder {
+            builder = builder.recorder(rec.clone());
         }
         let (mut budgeter, addr) = builder.bind()?;
         telemetry.event(

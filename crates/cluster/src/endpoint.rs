@@ -11,7 +11,7 @@ use crate::codec::{FramedStream, StreamOptions, TransportMetrics};
 use crate::session::{FaultPlan, RetryPolicy, SessionState};
 use anor_geopm::{AgentPolicy, EndpointModeler};
 use anor_model::{ModelSource, PowerModeler};
-use anor_telemetry::{CauseId, Counter, Telemetry, TraceStage, Tracer};
+use anor_telemetry::{CauseId, Counter, FlightRecorder, RecEvent, Telemetry, TraceStage, Tracer};
 use anor_types::msg::{ClusterToJob, EpochSample, JobToCluster};
 use anor_types::{AnorError, JobId, Result, Seconds, Watts};
 use std::net::{SocketAddr, TcpStream};
@@ -66,6 +66,7 @@ pub struct EndpointBuilder {
     tracer: Option<Tracer>,
     retry: RetryPolicy,
     faults: Option<FaultPlan>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl EndpointBuilder {
@@ -97,6 +98,15 @@ impl EndpointBuilder {
         self
     }
 
+    /// Flight-record the endpoint's wire traffic: every inbound budgeter
+    /// frame, every frame sent up, and session open/close transitions.
+    /// Endpoint recordings carry role `endpoint` — `anor-replay` reads
+    /// them for inspection and diffing, not reconstruction.
+    pub fn recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Connect to the budgeter and introduce the job.
     pub fn connect(self) -> Result<JobEndpoint> {
         let telemetry = self.telemetry.unwrap_or_default();
@@ -113,14 +123,20 @@ impl EndpointBuilder {
             opts = opts.faults(p.clone());
         }
         let mut stream = FramedStream::new(TcpStream::connect(session.addr)?, opts)?;
-        stream.send(
-            JobToCluster::Hello {
-                job: self.job,
-                type_name: self.announced_type,
-                nodes: self.nodes,
-            }
-            .encode(),
-        )?;
+        let hello = JobToCluster::Hello {
+            job: self.job,
+            type_name: self.announced_type,
+            nodes: self.nodes,
+        }
+        .encode();
+        if let Some(rec) = &self.recorder {
+            rec.record(&RecEvent::ConnOpen { conn: 0 });
+            rec.record(&RecEvent::DecisionTx {
+                conn: 0,
+                frame: hello.to_vec(),
+            });
+        }
+        stream.send(hello)?;
         let mut modeler = self.modeler;
         let tracer = self.tracer;
         if let Some(t) = &tracer {
@@ -149,6 +165,7 @@ impl EndpointBuilder {
             state: SessionState::Connected,
             next_attempt_at: None,
             last_model: None,
+            recorder: self.recorder,
         })
     }
 }
@@ -186,6 +203,8 @@ pub struct JobEndpoint {
     /// Last model pushed (or queued) — replayed after a resume, since
     /// models are not individually acknowledged.
     last_model: Option<JobToCluster>,
+    /// Endpoint-side flight recorder (wire traffic + session events).
+    recorder: Option<FlightRecorder>,
 }
 
 impl JobEndpoint {
@@ -210,6 +229,7 @@ impl JobEndpoint {
             tracer: None,
             retry: RetryPolicy::default(),
             faults: None,
+            recorder: None,
         }
     }
 
@@ -283,7 +303,9 @@ impl JobEndpoint {
                     };
                     self.last_model = Some(model.clone());
                     if self.state.is_connected() {
-                        self.stream.send(model.encode())?;
+                        let frame = model.encode();
+                        self.rec_tx(&frame);
+                        self.stream.send(frame)?;
                         self.models_sent += 1;
                         self.metrics.models_pushed.inc();
                     }
@@ -325,6 +347,12 @@ impl JobEndpoint {
             Err(e) => return Err(e),
         };
         for body in frames {
+            if let Some(rec) = &self.recorder {
+                rec.record(&RecEvent::FrameIn {
+                    conn: 0,
+                    body: body.to_vec(),
+                });
+            }
             let msg = match ClusterToJob::decode(body) {
                 Ok(m) => m,
                 Err(e) => {
@@ -374,6 +402,16 @@ impl JobEndpoint {
         Ok(())
     }
 
+    /// Record an outbound frame into the endpoint flight recorder.
+    fn rec_tx(&self, frame: &bytes::Bytes) {
+        if let Some(rec) = &self.recorder {
+            rec.record(&RecEvent::DecisionTx {
+                conn: 0,
+                frame: frame.to_vec(),
+            });
+        }
+    }
+
     /// Adopt a budgeter-supplied cap and apply it promptly.
     fn adopt_cap(&mut self, cap: Watts, cause: u64, now: Seconds) {
         self.budget_cap = Some(cap);
@@ -388,6 +426,9 @@ impl JobEndpoint {
     fn on_disconnect(&mut self, now: Seconds) {
         if !self.disconnect_dumped {
             self.disconnect_dumped = true;
+            if let Some(rec) = &self.recorder {
+                rec.record(&RecEvent::ConnClosed { conn: 0 });
+            }
             if let Some(t) = &self.tracer {
                 t.record_job(
                     TraceStage::Disconnect,
@@ -468,18 +509,23 @@ impl JobEndpoint {
             opts = opts.faults(p.clone());
         }
         let mut stream = FramedStream::new(TcpStream::connect(self.session.addr)?, opts)?;
-        stream.send(
-            JobToCluster::Resume {
-                job: self.job,
-                type_name: self.session.announced_type.clone(),
-                nodes: self.nodes,
-                believed_cap: self.budget_cap.unwrap_or(Watts(-1.0)),
-                cause: self.budget_cause,
-            }
-            .encode(),
-        )?;
+        if let Some(rec) = &self.recorder {
+            rec.record(&RecEvent::ConnOpen { conn: 0 });
+        }
+        let resume = JobToCluster::Resume {
+            job: self.job,
+            type_name: self.session.announced_type.clone(),
+            nodes: self.nodes,
+            believed_cap: self.budget_cap.unwrap_or(Watts(-1.0)),
+            cause: self.budget_cause,
+        }
+        .encode();
+        self.rec_tx(&resume);
+        stream.send(resume)?;
         if let Some(model) = self.last_model.clone() {
-            stream.send(model.encode())?;
+            let frame = model.encode();
+            self.rec_tx(&frame);
+            stream.send(frame)?;
         }
         self.stream = stream;
         Ok(())
@@ -535,29 +581,29 @@ impl JobEndpoint {
                 Some(s.power.value()),
             );
         }
-        self.stream.send(
-            JobToCluster::Sample(EpochSample {
-                job: self.job,
-                epoch_count: s.epoch_count,
-                energy: s.energy,
-                avg_power: s.power,
-                avg_cap: s.cap / self.nodes as f64,
-                timestamp: s.timestamp,
-                cause: s.cause,
-            })
-            .encode(),
-        )
+        let frame = JobToCluster::Sample(EpochSample {
+            job: self.job,
+            epoch_count: s.epoch_count,
+            energy: s.energy,
+            avg_power: s.power,
+            avg_cap: s.cap / self.nodes as f64,
+            timestamp: s.timestamp,
+            cause: s.cause,
+        })
+        .encode();
+        self.rec_tx(&frame);
+        self.stream.send(frame)
     }
 
     /// Announce job completion with its final application runtime.
     pub fn finish(&mut self, elapsed: Seconds) -> Result<()> {
-        self.stream.send(
-            JobToCluster::Done {
-                job: self.job,
-                elapsed,
-            }
-            .encode(),
-        )?;
+        let frame = JobToCluster::Done {
+            job: self.job,
+            elapsed,
+        }
+        .encode();
+        self.rec_tx(&frame);
+        self.stream.send(frame)?;
         self.stream.flush_some()
     }
 

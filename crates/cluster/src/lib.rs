@@ -25,6 +25,9 @@
 //! * [`status`] — the live ops surface: the budgeter publishes a
 //!   [`StatusSnapshot`] each control pass into a [`StatusBoard`] that the
 //!   introspection endpoint serves as `GET /status` JSON;
+//! * [`replay`] — offline reconstruction of a budgeter from a flight
+//!   recording, with byte-exact decision verification
+//!   (`anor-replay --verify`) and first-divergence diffing;
 //! * [`emulator`] — a 16-node emulated cluster harness that wires
 //!   simulated nodes, GEOPM runtimes, endpoint processes and the budgeter
 //!   daemon together under a virtual clock (the real-hardware
@@ -35,6 +38,7 @@ pub mod cli;
 pub mod codec;
 pub mod emulator;
 pub mod endpoint;
+pub mod replay;
 pub mod session;
 pub mod status;
 
@@ -43,5 +47,9 @@ pub use cli::Args;
 pub use codec::{FramedStream, StreamOptions, TransportMetrics};
 pub use emulator::{EmulatedCluster, EmulatorConfig, JobResult, JobSetup, RunReport};
 pub use endpoint::{EndpointBuilder, JobEndpoint};
+pub use replay::{
+    describe_config, diff_recordings, parse_config, recorder_meta, replay, Divergence,
+    RecordingDiff, ReplayOptions, ReplayOutcome,
+};
 pub use session::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, SessionState};
-pub use status::{parse_json, JobStatus, Json, StatusBoard, StatusSnapshot};
+pub use status::{parse_json, JobStatus, Json, PhaseStat, StatusBoard, StatusSnapshot};

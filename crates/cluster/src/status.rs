@@ -41,6 +41,21 @@ pub struct JobStatus {
     pub done: bool,
 }
 
+/// Latency percentiles for one named pump phase (the
+/// `pump_phase_seconds{phase=...}` histogram family, snapshotted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name (`ingest`, `lease-audit`, `model-observe`, `decide`,
+    /// `actuate`, `invariant-audit`).
+    pub phase: String,
+    /// Median phase latency, seconds.
+    pub p50: f64,
+    /// 90th-percentile phase latency, seconds.
+    pub p90: f64,
+    /// 99th-percentile phase latency, seconds.
+    pub p99: f64,
+}
+
 /// One coherent, cheap-to-take snapshot of a running budgeter: pool and
 /// lease watts, per-connection session state, pump-latency percentiles,
 /// flight-recorder depth and the invariant-auditor verdict. Rendered to
@@ -77,6 +92,12 @@ pub struct StatusSnapshot {
     pub trace_recorded: u64,
     /// Postmortem dumps written so far.
     pub postmortems: u64,
+    /// Version of the binary that produced this snapshot.
+    pub build_version: String,
+    /// Git hash of the binary that produced this snapshot.
+    pub git_hash: String,
+    /// Pump-phase latency percentiles, in execution order.
+    pub phases: Vec<PhaseStat>,
     /// Per-job rows, sorted by job id.
     pub jobs: Vec<JobStatus>,
 }
@@ -140,9 +161,29 @@ impl StatusSnapshot {
         );
         let _ = write!(
             o,
-            "\"ring_depth\":{},\"trace_recorded\":{},\"postmortems\":{},\"jobs\":[",
+            "\"ring_depth\":{},\"trace_recorded\":{},\"postmortems\":{},",
             self.ring_depth, self.trace_recorded, self.postmortems
         );
+        o.push_str("\"build_version\":");
+        push_json_str(&mut o, &self.build_version);
+        o.push_str(",\"git_hash\":");
+        push_json_str(&mut o, &self.git_hash);
+        o.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"phase\":");
+            push_json_str(&mut o, &p.phase);
+            let _ = write!(
+                o,
+                ",\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                fnum(p.p50),
+                fnum(p.p90),
+                fnum(p.p99)
+            );
+        }
+        o.push_str("],\"jobs\":[");
         for (i, j) in self.jobs.iter().enumerate() {
             if i > 0 {
                 o.push(',');
@@ -470,6 +511,22 @@ mod tests {
             ring_depth: 812,
             trace_recorded: 2048,
             postmortems: 1,
+            build_version: "0.1.0".to_string(),
+            git_hash: "abc123def456".to_string(),
+            phases: vec![
+                PhaseStat {
+                    phase: "ingest".to_string(),
+                    p50: 0.0001,
+                    p90: 0.0002,
+                    p99: 0.0009,
+                },
+                PhaseStat {
+                    phase: "decide".to_string(),
+                    p50: 0.0002,
+                    p90: 0.0004,
+                    p99: 0.0013,
+                },
+            ],
             jobs: vec![
                 JobStatus {
                     job: 1,
@@ -509,6 +566,18 @@ mod tests {
             Some(0)
         );
         assert_eq!(v.get("reclaimed_watts").and_then(Json::as_f64), Some(120.0));
+        assert_eq!(v.get("build_version").and_then(Json::as_str), Some("0.1.0"));
+        assert_eq!(
+            v.get("git_hash").and_then(Json::as_str),
+            Some("abc123def456")
+        );
+        let phases = v.get("phases").and_then(Json::as_array).unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            phases[0].get("phase").and_then(Json::as_str),
+            Some("ingest")
+        );
+        assert_eq!(phases[1].get("p99").and_then(Json::as_f64), Some(0.0013));
         let jobs = v.get("jobs").and_then(Json::as_array).unwrap();
         assert_eq!(jobs.len(), 2);
         assert_eq!(

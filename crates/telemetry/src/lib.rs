@@ -30,6 +30,7 @@
 //! steady-state recording takes no lock.
 
 pub mod ops;
+pub mod recorder;
 mod registry;
 mod render;
 mod sink;
@@ -37,6 +38,11 @@ mod span;
 pub mod trace;
 
 pub use ops::{http_get, OpsServer, StatusProvider};
+pub use recorder::{
+    config_digest, read_recording, BuildInfo, FlightRecorder, RecEvent, RecordedEvent, Recording,
+    RecordingHeader, RecordingMeta, DEFAULT_RECORDING_ROTATE_BYTES, MAX_RECORD_LEN,
+    RECORDING_MAGIC, RECORDING_VERSION,
+};
 pub use registry::{Counter, Gauge, Histogram, MetricId, Registry, Snapshot};
 pub use sink::{
     parse_line, read_events, render_line, Event, EventLog, Value, DEFAULT_ROTATE_BYTES,
@@ -77,14 +83,16 @@ impl Telemetry {
     /// at [`MEMORY_EVENT_CAP`]). This is the default every component
     /// gets, so instrumentation never needs an `Option`.
     pub fn new() -> Self {
-        Telemetry {
+        let t = Telemetry {
             inner: Arc::new(Inner {
                 registry: Registry::new(),
                 events: EventLog::memory(),
                 start: Instant::now(),
                 dir: None,
             }),
-        }
+        };
+        t.register_build_info();
+        t
     }
 
     /// Telemetry writing `events.jsonl` into `dir` (created if absent);
@@ -94,14 +102,33 @@ impl Telemetry {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let events = EventLog::file(&dir.join("events.jsonl"))?;
-        Ok(Telemetry {
+        let t = Telemetry {
             inner: Arc::new(Inner {
                 registry: Registry::new(),
                 events,
                 start: Instant::now(),
                 dir: Some(dir),
             }),
-        })
+        };
+        t.register_build_info();
+        Ok(t)
+    }
+
+    /// Every registry answers "which binary produced these numbers":
+    /// `anor_build_info` is a constant-1 gauge carrying the version and
+    /// git hash as labels (the standard Prometheus build-info idiom).
+    fn register_build_info(&self) {
+        let info = BuildInfo::current();
+        self.inner
+            .registry
+            .gauge(
+                "anor_build_info",
+                &[
+                    ("version", info.version.as_str()),
+                    ("git_hash", info.git_hash.as_str()),
+                ],
+            )
+            .set(1.0);
     }
 
     /// The artifact directory, when configured via [`Telemetry::to_dir`].
@@ -215,6 +242,22 @@ mod tests {
         assert_eq!(a.counter("c", &[]).get(), 2);
         b.event("e", &[]);
         assert_eq!(a.event_counts().0, 1);
+    }
+
+    #[test]
+    fn build_info_gauge_is_registered_on_construction() {
+        let t = Telemetry::new();
+        let info = BuildInfo::current();
+        let prom = t.render_prometheus();
+        assert!(prom.contains("anor_build_info{"), "{prom}");
+        assert!(
+            prom.contains(&format!("version=\"{}\"", info.version)),
+            "{prom}"
+        );
+        assert!(
+            prom.contains(&format!("git_hash=\"{}\"", info.git_hash)),
+            "{prom}"
+        );
     }
 
     #[test]

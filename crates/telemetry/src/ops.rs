@@ -281,6 +281,53 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scrapes_all_succeed() {
+        // The listener is sequential by design; concurrent scrapers
+        // queue in the accept backlog and every one of them still gets
+        // a complete answer.
+        let s = server();
+        let addr = s.local_addr().to_string();
+        let n = 8;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || http_get(&addr, "/metrics", Duration::from_secs(5)))
+            })
+            .collect();
+        for h in handles {
+            let (code, body) = h.join().unwrap().unwrap();
+            assert_eq!(code, 200);
+            assert!(body.contains("ops_probe_total"), "{body}");
+        }
+        assert_eq!(s.requests_served(), n);
+        assert_eq!(s.request_errors(), 0);
+    }
+
+    #[test]
+    fn slow_loris_times_out_without_wedging_the_listener() {
+        // A client that sends the request line and then stalls must not
+        // pin the single server thread forever: the 2 s read timeout
+        // drops it, the error counter ticks, and the next well-behaved
+        // scrape (queued behind the stall) still completes.
+        let s = server();
+        let addr = s.local_addr();
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n")
+            .unwrap();
+        loris.flush().unwrap();
+        // No terminating blank line, no further bytes: the server's
+        // read blocks until IO_TIMEOUT fires. Meanwhile a legitimate
+        // request queues in the backlog; a timeout comfortably above
+        // IO_TIMEOUT lets it ride out the stall.
+        let (code, body) = http_get(&addr.to_string(), "/health", Duration::from_secs(8)).unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+        assert_eq!(s.requests_served(), 1);
+        assert_eq!(s.request_errors(), 1);
+        drop(loris);
+    }
+
+    #[test]
     fn drop_shuts_the_server_down() {
         let s = server();
         let addr = s.local_addr();
