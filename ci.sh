@@ -18,6 +18,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# The lint crate's own test suite (fixtures, property tests, repo
+# self-check) must stay quick enough to run on every edit-compile loop.
+# Binaries are already built by the workspace test step, so this times
+# test execution, not compilation.
+echo "==> lint test timing budget (<5 s)"
+LINT_T0="$(date +%s%N)"
+cargo test -p anor-lint -q >/dev/null
+LINT_ELAPSED_MS=$(( ($(date +%s%N) - LINT_T0) / 1000000 ))
+echo "    anor-lint tests ran in ${LINT_ELAPSED_MS} ms"
+[ "$LINT_ELAPSED_MS" -lt 5000 ] \
+    || { echo "lint timing budget: anor-lint tests took ${LINT_ELAPSED_MS} ms (budget 5000 ms)"; exit 1; }
+
+# Advisory UB pass over the unsafe-adjacent parsing hot spots: the wire
+# codec and the lint lexer. Miri (or cargo-careful as a fallback) is not
+# part of the pinned toolchain everywhere, so absence is a skip and
+# findings are reported without failing the gate.
+echo "==> miri/careful advisory (codec + lexer unit tests)"
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="${MIRIFLAGS:-}" cargo miri test -p anor-cluster codec -q \
+        && cargo miri test -p anor-lint lexer -q \
+        || echo "    ADVISORY: miri reported findings (not failing the gate)"
+elif cargo careful --version >/dev/null 2>&1; then
+    cargo careful test -p anor-cluster codec -q \
+        && cargo careful test -p anor-lint lexer -q \
+        || echo "    ADVISORY: cargo-careful reported findings (not failing the gate)"
+else
+    echo "    skipped: neither cargo-miri nor cargo-careful is installed"
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -32,7 +32,7 @@ use anor_telemetry::{
 };
 use anor_types::msg::{ClusterToJob, JobToCluster};
 use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Instant;
 
@@ -384,7 +384,7 @@ impl BudgeterBuilder {
                 cfg: self.cfg,
                 listener,
                 conns: Vec::new(),
-                jobs: HashMap::new(),
+                jobs: BTreeMap::new(),
                 completed: Vec::new(),
                 telemetry,
                 transport,
@@ -458,7 +458,11 @@ pub struct ClusterBudgeter {
     cfg: BudgeterConfig,
     listener: TcpListener,
     conns: Vec<Option<FramedStream>>,
-    jobs: HashMap<JobId, JobEntry>,
+    // Ordered so every pump-phase walk (lease ticks, redistribution,
+    // audits, status snapshots) visits jobs in JobId order: the audit's
+    // float sums and the recorded decision stream must not depend on
+    // hasher seeding.
+    jobs: BTreeMap<JobId, JobEntry>,
     completed: Vec<(JobId, Seconds)>,
     telemetry: Telemetry,
     transport: TransportMetrics,

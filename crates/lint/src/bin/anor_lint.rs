@@ -2,15 +2,33 @@
 //!
 //! ```text
 //! anor-lint [--deny] [--json <path|->] [--root <dir>] [file.rs ...]
+//!           [--baseline <file>] [--write-baseline <file>] [--changed]
 //! ```
 //!
 //! With no file arguments the whole workspace is linted. `--deny` exits
 //! non-zero when any non-allowlisted diagnostic remains — that is the CI
 //! gate in `ci.sh`. `--json` additionally writes the machine-readable
 //! report (`-` = stdout).
+//!
+//! ## Ratcheting a new rule in
+//!
+//! A new rule usually lands with pre-existing findings. Rather than
+//! blocking on a big-bang cleanup, freeze the current debt and deny only
+//! growth:
+//!
+//! ```text
+//! anor-lint --write-baseline lint-baseline.txt   # freeze today's findings
+//! anor-lint --deny --baseline lint-baseline.txt  # old debt passes, new fails
+//! anor-lint --deny --changed                     # only files changed vs git
+//! ```
+//!
+//! Baseline entries key on `(rule, file, snippet)` — not line numbers —
+//! so unrelated edits to a file do not invalidate the baseline. Shrink
+//! the file as debt is paid down; it never grows automatically.
 
 use anor_lint::{find_root, json_report, lint_source, Config, Diagnostic};
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Options {
@@ -18,6 +36,9 @@ struct Options {
     json: Option<String>,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    changed: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -26,6 +47,9 @@ fn parse_args() -> Result<Options, String> {
         json: None,
         root: None,
         files: Vec::new(),
+        baseline: None,
+        write_baseline: None,
+        changed: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,14 +61,27 @@ fn parse_args() -> Result<Options, String> {
             "--root" => {
                 opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a dir")?));
             }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--write-baseline needs a file")?,
+                ));
+            }
+            "--changed" => opts.changed = true,
             "--help" | "-h" => {
                 println!(
                     "anor-lint [--deny] [--json <path|->] [--root <dir>] [file.rs ...]\n\
-                     Project-invariant static analysis: ANOR-PANIC, ANOR-CODEC, \
-                     ANOR-UNITS, ANOR-LOCK.\n\
-                     --deny   exit 1 on any non-allowlisted finding (CI gate)\n\
-                     --json   write the machine-readable report (`-` = stdout)\n\
-                     --root   workspace root (default: nearest [workspace] Cargo.toml)"
+                     \x20         [--baseline <file>] [--write-baseline <file>] [--changed]\n\
+                     Project-invariant static analysis: ANOR-PANIC, ANOR-CODEC, ANOR-UNITS,\n\
+                     ANOR-LOCK, ANOR-DETERM, ANOR-SHIM, ANOR-LINTS.\n\
+                     --deny            exit 1 on any non-allowlisted finding (CI gate)\n\
+                     --json            write the machine-readable report (`-` = stdout)\n\
+                     --root            workspace root (default: nearest [workspace] Cargo.toml)\n\
+                     --baseline        findings recorded in <file> warn instead of denying\n\
+                     --write-baseline  freeze current non-allowlisted findings into <file>\n\
+                     --changed         only report findings in files changed vs git HEAD"
                 );
                 std::process::exit(0);
             }
@@ -53,6 +90,43 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Stable identity of a finding for baseline purposes: line numbers
+/// churn with every edit, `(rule, file, snippet)` does not.
+fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}\t{}\t{}", d.rule, d.file, d.snippet)
+}
+
+/// Workspace-relative paths changed vs `HEAD`, plus untracked files —
+/// the review surface of the working tree.
+fn changed_files(root: &Path) -> Result<BTreeSet<String>, String> {
+    let mut out = BTreeSet::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let run = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("cannot run git for --changed: {e}"))?;
+        if !run.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&run.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&run.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.to_string());
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -95,7 +169,7 @@ fn main() -> ExitCode {
         }
         Ok(diags)
     };
-    let diags = match result {
+    let mut diags = match result {
         Ok(d) => d,
         Err(e) => {
             eprintln!("anor-lint: {e}");
@@ -103,13 +177,78 @@ fn main() -> ExitCode {
         }
     };
 
+    // `--changed`: the whole workspace is still analyzed (the call graph
+    // needs every file), but only findings in touched files are surfaced.
+    if opts.changed {
+        let touched = match changed_files(&root) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("anor-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        diags.retain(|d| touched.contains(&d.file));
+    }
+
+    // `--write-baseline`: freeze the current non-allowlisted findings and
+    // exit clean; the next `--baseline` run denies only what is new.
+    if let Some(dest) = &opts.write_baseline {
+        let keys: BTreeSet<String> = diags
+            .iter()
+            .filter(|d| !d.allowed)
+            .map(baseline_key)
+            .collect();
+        let mut text = String::from(
+            "# anor-lint baseline: pre-existing findings tolerated by --baseline.\n\
+             # One `rule<TAB>file<TAB>snippet` per line. Shrink as debt is paid.\n",
+        );
+        for k in &keys {
+            text.push_str(k);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(dest, text) {
+            eprintln!("anor-lint: cannot write {}: {e}", dest.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "anor-lint: baseline written to {} ({} finding(s))",
+            dest.display(),
+            keys.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline: BTreeSet<String> = match &opts.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from)
+                .collect(),
+            Err(e) => {
+                eprintln!("anor-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => BTreeSet::new(),
+    };
+
     // `--json -` owns stdout; the human report moves to stderr so the
     // JSON stays machine-readable.
     let json_on_stdout = opts.json.as_deref() == Some("-");
-    let denied = diags.iter().filter(|d| !d.allowed).count();
-    let allowed = diags.len() - denied;
+    let baselined = diags
+        .iter()
+        .filter(|d| !d.allowed && baseline.contains(&baseline_key(d)))
+        .count();
+    let denied = diags
+        .iter()
+        .filter(|d| !d.allowed && !baseline.contains(&baseline_key(d)))
+        .count();
+    let allowed = diags.len() - denied - baselined;
     let summary = format!(
-        "anor-lint: {} finding(s) ({denied} denied, {allowed} allowlisted)",
+        "anor-lint: {} finding(s) ({denied} denied, {allowed} allowlisted, \
+         {baselined} baselined)",
         diags.len()
     );
     if json_on_stdout {

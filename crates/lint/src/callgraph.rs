@@ -1,0 +1,166 @@
+//! The intra-workspace call graph and reachability walks.
+//!
+//! Built once per lint run from the parsed [`Workspace`]: each function's
+//! body is scanned for call expressions, each call is resolved through
+//! the symbol table, and the result is a forward adjacency list over
+//! [`FnId`]s. The call-graph rules walk it breadth-first from their roots
+//! (deterministic roots for `ANOR-DETERM`, hot-path functions for
+//! reachability `ANOR-PANIC`) and report the full call chain in every
+//! diagnostic, so a finding two hops from the pump reads as
+//! `pump -> helper -> offender` rather than a bare file:line.
+
+use crate::parser::calls_in;
+use crate::symbols::{FnId, Workspace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub to: FnId,
+    /// Line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Forward adjacency over every function in the workspace.
+pub struct CallGraph {
+    edges: BTreeMap<FnId, Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolve every call in every (non-test) function body.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut edges: BTreeMap<FnId, Vec<Edge>> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, item) in file.parsed.fns.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let id = (fi, gi);
+                let mut out: Vec<Edge> = Vec::new();
+                let mut seen: BTreeSet<FnId> = BTreeSet::new();
+                for call in calls_in(&file.toks, item.body) {
+                    for target in ws.resolve(id, &call) {
+                        if target != id && seen.insert(target) {
+                            out.push(Edge {
+                                to: target,
+                                line: call.line(),
+                            });
+                        }
+                    }
+                }
+                edges.insert(id, out);
+            }
+        }
+        CallGraph { edges }
+    }
+
+    pub fn edges_from(&self, id: FnId) -> &[Edge] {
+        self.edges.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Breadth-first walk from `root`. Returns, for every function
+    /// reached (root included), the predecessor on a shortest call path
+    /// and the call-site line on the predecessor's side. Functions for
+    /// which `stop` returns true are not expanded (their own callees
+    /// stay unexplored), but are still reported as reached.
+    pub fn reach<F: Fn(FnId) -> bool>(
+        &self,
+        root: FnId,
+        stop: F,
+    ) -> BTreeMap<FnId, Option<(FnId, u32)>> {
+        let mut pred: BTreeMap<FnId, Option<(FnId, u32)>> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        pred.insert(root, None);
+        queue.push_back(root);
+        while let Some(cur) = queue.pop_front() {
+            if stop(cur) && cur != root {
+                continue;
+            }
+            for e in self.edges_from(cur) {
+                if let std::collections::btree_map::Entry::Vacant(v) = pred.entry(e.to) {
+                    v.insert(Some((cur, e.line)));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Render the call chain root -> ... -> `target` from a predecessor
+    /// map as `pump -> redistribute -> helper`.
+    pub fn chain(
+        ws: &Workspace,
+        pred: &BTreeMap<FnId, Option<(FnId, u32)>>,
+        target: FnId,
+    ) -> String {
+        let mut names = vec![ws.fn_item(target).name.clone()];
+        let mut cur = target;
+        while let Some(Some((p, _))) = pred.get(&cur) {
+            names.push(ws.fn_item(*p).name.clone());
+            cur = *p;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::parse(&sources)
+    }
+
+    #[test]
+    fn edges_cross_files_and_crates() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn root() { mid(); }\nfn mid() { deep::leaf(); }",
+            ),
+            ("crates/b/src/deep.rs", "fn leaf() {}"),
+        ]);
+        let g = CallGraph::build(&w);
+        let pred = g.reach((0, 0), |_| false);
+        assert!(pred.contains_key(&(1, 0)), "leaf reached two hops away");
+        assert_eq!(CallGraph::chain(&w, &pred, (1, 0)), "root -> mid -> leaf");
+    }
+
+    #[test]
+    fn test_functions_contribute_no_edges() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn leaf() {}\n#[cfg(test)]\nmod tests { fn t() { leaf(); } }",
+        )]);
+        let g = CallGraph::build(&w);
+        assert!(g.edges_from((0, 1)).is_empty());
+    }
+
+    #[test]
+    fn stop_predicate_prunes_the_walk() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn root() { barrier(); }\nfn barrier() { hidden(); }\nfn hidden() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let pred = g.reach((0, 0), |id| id == (0, 1));
+        assert!(pred.contains_key(&(0, 1)), "barrier itself is reached");
+        assert!(!pred.contains_key(&(0, 2)), "nothing beyond the barrier");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { a(); b(); }",
+        )]);
+        let g = CallGraph::build(&w);
+        let pred = g.reach((0, 0), |_| false);
+        assert_eq!(pred.len(), 2);
+    }
+}

@@ -44,6 +44,15 @@ pub struct AllowEntry {
     pub needle: String,
 }
 
+/// One deterministic root (a "det sink"): functions here must only
+/// consume deterministic inputs. `func == "*"` seeds every function in
+/// the file.
+#[derive(Debug, Clone)]
+pub struct DetSink {
+    pub path: String,
+    pub func: String,
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -60,7 +69,19 @@ pub struct Config {
     /// Method/function names treated as blocking for the lock rule.
     pub blocking_calls: Vec<String>,
     /// Declared lock acquisition order (earlier must be taken first).
+    /// Optional since the lock-graph rewrite: cycle detection over the
+    /// observed acquisition graph is the primary deadlock guard, and an
+    /// order table (when declared) is checked on top of it.
     pub lock_order: Vec<String>,
+    /// Deterministic roots for `ANOR-DETERM` (`det-sink` directives).
+    pub det_sinks: Vec<DetSink>,
+    /// Extra nondeterminism sources (`det-source` directives): a bare
+    /// name matches any call of that name, `Qual::name` a qualified one.
+    pub det_sources: Vec<String>,
+    /// Path fragments where the determinism walk stops (`det-barrier`):
+    /// audited observability boundaries whose internals never feed
+    /// decisions (the telemetry crate records, it does not decide).
+    pub det_barriers: Vec<String>,
     /// Audited exceptions.
     pub allow: Vec<AllowEntry>,
 }
@@ -124,6 +145,25 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             lock_order: Vec::new(),
+            // The paper's headline guarantees are determinism properties:
+            // byte-identical parallel grids, byte-identical chaos replay,
+            // watts-conservation audits. These are the code paths that
+            // carry them.
+            det_sinks: [
+                ("crates/sim/src/sim.rs", "step"),
+                ("crates/cluster/src/budgeter.rs", "pump"),
+                ("crates/cluster/src/replay.rs", "replay"),
+                ("crates/cluster/src/codec.rs", "*"),
+                ("crates/exec/src/lib.rs", "*"),
+            ]
+            .iter()
+            .map(|(p, f)| DetSink {
+                path: p.to_string(),
+                func: f.to_string(),
+            })
+            .collect(),
+            det_sources: Vec::new(),
+            det_barriers: Vec::new(),
             allow: Vec::new(),
         }
     }
@@ -169,6 +209,17 @@ impl Config {
                 "extended-panic-file" => self.extended_panic_files.push(rest.to_string()),
                 "codec-file" => self.codec_files.push(rest.to_string()),
                 "blocking-call" => self.blocking_calls.push(rest.to_string()),
+                "det-sink" => {
+                    let mut fields = rest.split_whitespace();
+                    if let Some(path) = fields.next() {
+                        self.det_sinks.push(DetSink {
+                            path: path.to_string(),
+                            func: fields.next().unwrap_or("*").to_string(),
+                        });
+                    }
+                }
+                "det-source" => self.det_sources.push(rest.to_string()),
+                "det-barrier" => self.det_barriers.push(rest.to_string()),
                 _ => {} // Unknown directives are ignored for forward compat.
             }
         }
@@ -201,6 +252,21 @@ impl Config {
     /// Rank of a lock receiver in the declared order (None = undeclared).
     pub fn lock_rank(&self, receiver: &str) -> Option<usize> {
         self.lock_order.iter().position(|l| l == receiver)
+    }
+
+    /// Is `path` inside a determinism barrier (an audited observability
+    /// boundary the `ANOR-DETERM` walk does not cross)?
+    pub fn is_det_barrier(&self, path: &str) -> bool {
+        self.det_barriers.iter().any(|b| path.contains(b.as_str()))
+    }
+
+    /// The deterministic-root functions seeded for `path` (`*` = all).
+    pub fn det_sink_funcs(&self, path: &str) -> Vec<&str> {
+        self.det_sinks
+            .iter()
+            .filter(|s| path.ends_with(&s.path))
+            .map(|s| s.func.as_str())
+            .collect()
     }
 
     /// Mark diagnostics covered by an allowlist entry.

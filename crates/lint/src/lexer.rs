@@ -112,6 +112,15 @@ impl Lexer {
                     self.bump();
                     self.raw_string_body(line);
                 }
+                'c' if self.peek_at(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'c' if self.peek_at(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body(line);
+                }
                 'r' if self.peek_at(1) == Some('#')
                     && self
                         .peek_at(2)
@@ -249,15 +258,37 @@ impl Lexer {
         let mut text = String::new();
         match self.bump() {
             Some('\\') => {
+                text.push('\\');
                 if let Some(e) = self.bump() {
-                    text.push('\\');
                     text.push(e);
+                    // Multi-character escapes: `'\u{1F600}'`, `'\x41'`.
+                    // Consuming only one escaped character here would
+                    // leave the tail (`1F600}'`) in the stream and
+                    // desynchronize everything after the literal.
+                    if e == 'u' && self.peek() == Some('{') {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    } else if e == 'x' {
+                        while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                            if let Some(c) = self.bump() {
+                                text.push(c);
+                            }
+                        }
+                    }
                 }
-                self.bump(); // closing quote
+                if self.peek() == Some('\'') {
+                    self.bump(); // closing quote
+                }
             }
             Some(c) => {
                 text.push(c);
-                self.bump(); // closing quote
+                if self.peek() == Some('\'') {
+                    self.bump(); // closing quote
+                }
             }
             None => {}
         }
@@ -342,7 +373,8 @@ fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
         return None;
     }
     let end = skip_attr(toks, i);
-    let inner = &toks[i + 2..end.saturating_sub(1)];
+    // An unterminated `#[` at end of stream yields an inverted range.
+    let inner = toks.get(i + 2..end.saturating_sub(1)).unwrap_or(&[]);
     let is_test = match inner.first() {
         Some(t) if t.is_ident("test") => inner.len() == 1,
         Some(t) if t.is_ident("cfg") || t.is_ident("cfg_attr") => {
@@ -453,6 +485,88 @@ mod tests {
             .map(|(_, m)| *m)
             .collect();
         assert_eq!(unwraps, [false, true]);
+    }
+
+    #[test]
+    fn multi_char_escapes_do_not_desync_the_stream() {
+        // `'\u{1F600}'` used to lex as char `\u` with `1F600}'` left in
+        // the stream; the stray quote then flipped char/lifetime mode
+        // and swallowed later identifiers, silently skipping rules.
+        for src in [
+            "let a = '\\u{1F600}'; x.unwrap();",
+            "let a = '\\x41'; x.unwrap();",
+            "let a = '\\n'; x.unwrap();",
+            "let a = b'\\x7f'; x.unwrap();",
+        ] {
+            let toks = lex(src);
+            assert!(
+                toks.iter().any(|t| t.is_ident("unwrap")),
+                "`unwrap` lost after escape in {src:?}: {toks:?}"
+            );
+            assert_eq!(
+                toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+                1,
+                "exactly one char literal in {src:?}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_hash_variants_terminate_correctly() {
+        // `"#` inside a `##`-delimited raw string must not close it.
+        let toks = lex("let s = r##\"a \"# b \"quoted\"\"##; tail");
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["a \"# b \"quoted\""]);
+        // Zero-hash and byte-raw variants.
+        let toks = lex("r\"plain\" br#\"bytes\"# after");
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        // Multi-line raw strings keep the line counter honest.
+        let toks = lex("r#\"a\nb\nc\"#\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 4);
+    }
+
+    #[test]
+    fn c_string_literals_lex_as_strings() {
+        let toks = lex("let s = c\"abc\"; let r = cr#\"x\"#; tail");
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let toks = lex("/* a /* b /* c */ */ still-comment */ code");
+        assert!(toks.iter().any(|t| t.is_ident("code")));
+        assert!(!toks.iter().any(|t| t.is_ident("still")));
+        // Unterminated: everything to EOF is comment, no panic.
+        let toks = lex("/* /* never closed\nunwrap()");
+        assert!(toks.is_empty());
+    }
+
+    #[test]
+    fn lifetime_char_ambiguity_edge_cases() {
+        // `'_'` is a char; `'_` is the anonymous lifetime.
+        let toks = lex("let c = '_'; fn f(x: &'_ str) {}");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            1
+        );
+        // Loop labels are lifetimes, not unterminated chars.
+        let toks = lex("'outer: for x in 'a'..='z' { break 'outer; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["outer", "outer"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
     }
 
     #[test]

@@ -14,16 +14,32 @@
 //! * **`ANOR-UNITS`** — watts/joules/seconds identifiers are never mixed
 //!   additively in raw-`f64` arithmetic.
 //! * **`ANOR-LOCK`** — no `parking_lot` guard held across blocking I/O;
-//!   nested acquisition follows the declared lock-order table.
+//!   nested acquisition is collected into a whole-workspace lock graph
+//!   and any cycle (in-different-order acquisition) is a finding.
+//! * **`ANOR-DETERM`** — deterministic roots (sim tick, budgeter pump,
+//!   replay, codec, ExecPool task bodies) must not reach nondeterminism
+//!   sources: `HashMap` iteration, wall-clock reads, thread identity.
 //!
-//! The engine lexes Rust by hand (see [`lexer`]) — no syn/proc-macro
-//! dependencies, because the build is offline — and walks flat token
-//! streams. Audited exceptions live in the workspace `anor-lint.toml`.
+//! The engine is three layers (DESIGN.md "Static Analysis"):
+//!
+//! 1. a hand-rolled lexer (see [`lexer`]) — no syn/proc-macro
+//!    dependencies, because the build is offline — plus a lightweight
+//!    item [`parser`] (fn items, impl owners, use trees, call sites);
+//! 2. a per-crate symbol table and workspace call graph
+//!    ([`symbols`], [`callgraph`]) with deliberately conservative call
+//!    resolution (same file, then same crate, then unique-in-workspace);
+//! 3. the rule passes — per-file token rules and whole-workspace
+//!    call-graph rules — over those structures.
+//!
+//! Audited exceptions live in the workspace `anor-lint.toml`.
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
 pub use diag::{json_report, Diagnostic};
@@ -74,10 +90,88 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Lint a set of `(workspace-relative path, source)` pairs as one
+/// workspace: per-file rules over each file, then the call-graph rules
+/// (`ANOR-DETERM`, panic reachability, lock-graph cycles) over the
+/// whole set. Diagnostics come back sorted by `(file, line, rule)` and
+/// with the allowlist applied.
+pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let ws = symbols::Workspace::parse(sources);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        diags.extend(rules::run_all(&file.path, &file.toks, &file.mask, cfg));
+    }
+    let graph = callgraph::CallGraph::build(&ws);
+    diags.extend(rules::run_workspace(&ws, &graph, cfg));
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    cfg.apply_allowlist(&mut diags);
+    diags
+}
+
+/// Rule `ANOR-LINTS`: every workspace crate must opt into the shared
+/// `[workspace.lints]` table — a crate that forgets `[lints] workspace =
+/// true` silently loses `deny(unsafe_code)` and the rest of the hardened
+/// set. Checked over manifest text, so it needs no TOML parser.
+pub fn check_manifests(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let opted_in = |text: &str| -> bool {
+        let lines: Vec<&str> = text.lines().map(str::trim).collect();
+        lines.iter().enumerate().any(|(i, l)| {
+            *l == "[lints]"
+                && lines[i + 1..]
+                    .iter()
+                    .take_while(|l| !l.starts_with('['))
+                    .any(|l| l.replace(' ', "") == "workspace=true")
+        })
+    };
+    let mut manifests = vec![(root.join("Cargo.toml"), "Cargo.toml".to_string())];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let rel = format!(
+                "crates/{}/Cargo.toml",
+                d.file_name().unwrap_or_default().to_string_lossy()
+            );
+            manifests.push((d.join("Cargo.toml"), rel));
+        }
+    }
+    for (path, rel) in manifests {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if rel == "Cargo.toml" && !text.contains("[workspace.lints.rust]") {
+            out.push(Diagnostic::new(
+                "ANOR-LINTS",
+                &rel,
+                1,
+                "workspace manifest has no `[workspace.lints.rust]` table".to_string(),
+                "declare the shared hardened lint set (deny unsafe_code, \
+                 unused_must_use, unreachable_pub) at the workspace root",
+                "[workspace.lints.rust]".to_string(),
+            ));
+        }
+        if text.contains("[package]") && !opted_in(&text) {
+            out.push(Diagnostic::new(
+                "ANOR-LINTS",
+                &rel,
+                1,
+                "crate does not opt into the shared workspace lints".to_string(),
+                "add `[lints]` with `workspace = true` so deny(unsafe_code) \
+                 and the rest of the hardened set apply here too",
+                "[lints] workspace = true".to_string(),
+            ));
+        }
+    }
+    out
+}
+
 /// Lint the whole workspace rooted at `root`. Returns all diagnostics
 /// (allowlisted ones included, marked `allowed`).
 pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut sources = Vec::new();
     for file in discover(root) {
         let rel = file
             .strip_prefix(root)
@@ -85,8 +179,11 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnost
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
-        diags.extend(lint_source(&rel, &src, cfg));
+        sources.push((rel, src));
     }
+    let mut diags = check_manifests(root);
+    diags.extend(lint_sources(&sources, cfg));
+    cfg.apply_allowlist(&mut diags);
     Ok(diags)
 }
 

@@ -1,0 +1,533 @@
+//! A lightweight item parser on top of the lexer.
+//!
+//! The call-graph rules (`ANOR-DETERM`, lock-graph `ANOR-LOCK`,
+//! reachability `ANOR-PANIC`) need to know *which function* a token
+//! belongs to and *what it calls* — flat token walking cannot answer
+//! either. This parser extracts exactly that structure and nothing more:
+//! `fn` items with their body token ranges, the `impl` block (and inline
+//! `mod` path) each one sits in, flattened `use` trees, and the call
+//! expressions inside each body. It is resolutely not a full Rust
+//! parser: generics, where-clauses, patterns and expressions are skipped
+//! structurally by brace/bracket matching, and anything it cannot
+//! understand it skips rather than mis-attributes.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`pump`, `step`).
+    pub name: String,
+    /// Surrounding `impl` type (`ClusterBudgeter`) — `None` for free fns.
+    pub owner: Option<String>,
+    /// Inline `mod` path inside the file (e.g. `["tests"]`).
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, exclusive of the outer braces.
+    pub body: (usize, usize),
+    /// Whole item (including the signature) sits in test-masked code.
+    pub is_test: bool,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `helper(...)` — unqualified call.
+    Free { name: String, line: u32 },
+    /// `Type::assoc(...)` / `module::helper(...)` — one-level qualifier
+    /// (the last path segment before the called name).
+    Path {
+        qual: String,
+        name: String,
+        line: u32,
+    },
+    /// `.method(...)`.
+    Method { name: String, line: u32 },
+}
+
+impl Call {
+    pub fn name(&self) -> &str {
+        match self {
+            Call::Free { name, .. } | Call::Path { name, .. } | Call::Method { name, .. } => name,
+        }
+    }
+
+    pub fn line(&self) -> u32 {
+        match self {
+            Call::Free { line, .. } | Call::Path { line, .. } | Call::Method { line, .. } => *line,
+        }
+    }
+}
+
+/// Parse result for one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    /// Flattened `use` paths: `use a::b::{c, d::e};` yields
+    /// `["a","b","c"]` and `["a","b","d","e"]`.
+    pub uses: Vec<Vec<String>>,
+}
+
+/// Scope kinds tracked through brace nesting.
+#[derive(Debug)]
+enum Scope {
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+/// Words that look like calls (`if (x)`, `match (a, b)`) but are not.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "pub"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "union"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "extern"
+            | "async"
+            | "await"
+    )
+}
+
+/// Parse one file's token stream into items.
+pub fn parse(toks: &[Tok], test_mask: &[bool]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            scopes.push(Scope::Other);
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(Scope::Fn(idx)) = scopes.last() {
+                // Body end recorded when the fn scope closes.
+                let idx = *idx;
+                if let Some(f) = out.fns.get_mut(idx) {
+                    f.body.1 = i;
+                }
+            }
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" => {
+                // `mod name {` opens a module scope; `mod name;` is an
+                // out-of-line module (its file is parsed separately).
+                let name = toks
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| n.text.clone());
+                if let (Some(name), Some(open)) = (name, toks.get(i + 2)) {
+                    if open.is_punct('{') {
+                        scopes.push(Scope::Mod(name));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((owner, open)) = impl_owner(toks, i) {
+                    scopes.push(Scope::Impl(owner));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "use" => {
+                let end = parse_use(toks, i + 1, &mut out.uses);
+                i = end;
+            }
+            "fn" => {
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let Some(open) = body_open(toks, i + 2) else {
+                    // Trait method declaration (`fn f(...);`) — no body.
+                    i += 2;
+                    continue;
+                };
+                let owner = scopes.iter().rev().find_map(|s| match s {
+                    Scope::Impl(o) => Some(o.clone()),
+                    _ => None,
+                });
+                let module = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let idx = out.fns.len();
+                out.fns.push(FnItem {
+                    name: name.text.clone(),
+                    owner,
+                    module,
+                    line: t.line,
+                    body: (open + 1, usize::MAX),
+                    is_test: test_mask.get(i).copied().unwrap_or(false),
+                });
+                scopes.push(Scope::Fn(idx));
+                i = open + 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    // Unterminated bodies (malformed input) run to end of stream.
+    for f in &mut out.fns {
+        if f.body.1 == usize::MAX {
+            f.body.1 = toks.len();
+        }
+    }
+    out
+}
+
+/// For `impl` at `i`, find the implemented type's last path segment and
+/// the index of the opening `{`. `impl<T> Foo<T> for Bar<T> { ... }`
+/// yields `Bar`.
+fn impl_owner(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                let owner = after_for.or(last_ident)?;
+                return Some((owner, j));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.is_ident("where") {
+                // Type position is over; keep the current candidate.
+            } else if t.kind == TokKind::Ident && !is_expr_keyword(&t.text) {
+                if saw_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Find the `{` opening a fn body, skipping the signature (parens,
+/// generics, return type, where clause). Returns `None` on `;`.
+fn body_open(toks: &[Tok], mut j: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` must not decrement the generics depth.
+            let is_arrow = j > 0 && toks[j - 1].is_punct('-');
+            if !is_arrow && angle > 0 {
+                angle -= 1;
+            }
+        } else if paren == 0 && angle <= 0 {
+            if t.is_punct('{') {
+                return Some(j);
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Flatten the `use` tree starting after the `use` keyword into `out`.
+/// Returns the index one past the terminating `;`.
+fn parse_use(toks: &[Tok], mut j: usize, out: &mut Vec<Vec<String>>) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // prefix lengths at `{`
+                                            // After a `{...}` group closes, the remaining prefix has already been
+                                            // emitted through the group's leaves — only a fresh ident re-arms it.
+    let mut just_closed = false;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct(';') {
+            if !prefix.is_empty() && !just_closed {
+                out.push(prefix.clone());
+            }
+            return j + 1;
+        }
+        if t.is_punct('{') {
+            stack.push(prefix.len());
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if !just_closed && prefix.len() > stack.last().copied().unwrap_or(0) {
+                out.push(prefix.clone());
+            }
+            let base = stack.pop().unwrap_or(0);
+            prefix.truncate(base);
+            just_closed = true;
+            j += 1;
+            continue;
+        }
+        if t.is_punct(',') {
+            let base = stack.last().copied().unwrap_or(0);
+            if !just_closed && prefix.len() > base {
+                out.push(prefix.clone());
+            }
+            prefix.truncate(base);
+            just_closed = false;
+            j += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident && !t.is_ident("as") {
+            prefix.push(t.text.clone());
+            just_closed = false;
+        } else if t.is_ident("as") {
+            // `use a::b as c;` — skip the rename, keep the real path.
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extract the call expressions inside `toks[range]`.
+///
+/// Recognized shapes: `name(`, `qual::name(`, `.name(`. Macro calls
+/// (`name!(`), definitions (`fn name(`) and control keywords are
+/// excluded. Tuple-struct constructors look like free calls and are
+/// tolerated — they resolve to no function and fall out naturally.
+pub fn calls_in(toks: &[Tok], range: (usize, usize)) -> Vec<Call> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        // `fn name(` is a definition; `name!(` handled below via `!`.
+        if prev.is_some_and(|p| p.is_ident("fn")) {
+            continue;
+        }
+        match prev {
+            Some(p) if p.is_punct('.') => out.push(Call::Method {
+                name: t.text.clone(),
+                line: t.line,
+            }),
+            Some(p) if p.is_punct(':') => {
+                // `qual::name(` — the lexer emits `:` `:` as two puncts.
+                let qual = i
+                    .checked_sub(3)
+                    .map(|q| &toks[q])
+                    .filter(|q| q.kind == TokKind::Ident && i >= 2 && toks[i - 2].is_punct(':'))
+                    .map(|q| q.text.clone());
+                match qual {
+                    Some(qual) => out.push(Call::Path {
+                        qual,
+                        name: t.text.clone(),
+                        line: t.line,
+                    }),
+                    None => out.push(Call::Free {
+                        name: t.text.clone(),
+                        line: t.line,
+                    }),
+                }
+            }
+            Some(p) if p.is_punct('!') => {} // macro invocation
+            _ => out.push(Call::Free {
+                name: t.text.clone(),
+                line: t.line,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mask};
+
+    fn parse_src(src: &str) -> (Vec<Tok>, ParsedFile) {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let parsed = parse(&toks, &mask);
+        (toks, parsed)
+    }
+
+    #[test]
+    fn fns_get_owners_and_modules() {
+        let src = "impl Budgeter { fn pump(&mut self) { self.ingest(); } }\n\
+                   fn free_helper() {}\n\
+                   mod inner { fn nested() {} }\n\
+                   impl Display for Watts { fn fmt(&self) -> usize { 0 } }";
+        let (_, p) = parse_src(src);
+        let names: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("pump", Some("Budgeter")),
+                ("free_helper", None),
+                ("nested", None),
+                ("fmt", Some("Watts")),
+            ]
+        );
+        assert_eq!(p.fns[2].module, ["inner"]);
+    }
+
+    #[test]
+    fn bodies_span_the_right_tokens() {
+        let src = "fn a() { x(); }\nfn b() { y(); }";
+        let (toks, p) = parse_src(src);
+        let calls_a = calls_in(&toks, p.fns[0].body);
+        let calls_b = calls_in(&toks, p.fns[1].body);
+        assert_eq!(calls_a.len(), 1);
+        assert_eq!(calls_a[0].name(), "x");
+        assert_eq!(calls_b[0].name(), "y");
+    }
+
+    #[test]
+    fn call_shapes_are_classified() {
+        let src = "fn f() { helper(); Type::assoc(); obj.method(); vec![1]; assert!(x); \
+                   if (a) {} }";
+        let (toks, p) = parse_src(src);
+        let calls = calls_in(&toks, p.fns[0].body);
+        assert_eq!(
+            calls,
+            [
+                Call::Free {
+                    name: "helper".into(),
+                    line: 1
+                },
+                Call::Path {
+                    qual: "Type".into(),
+                    name: "assoc".into(),
+                    line: 1
+                },
+                Call::Method {
+                    name: "method".into(),
+                    line: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let src = "use a::b::{c, d::e, f as g};\nuse std::collections::HashMap;";
+        let (_, p) = parse_src(src);
+        assert_eq!(
+            p.uses,
+            [
+                vec!["a", "b", "c"],
+                vec!["a", "b", "d", "e"],
+                vec!["a", "b", "f"],
+                vec!["std", "collections", "HashMap"],
+            ]
+            .map(|v: Vec<&str>| v.into_iter().map(String::from).collect::<Vec<String>>())
+        );
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests { fn t() {} }";
+        let (_, p) = parse_src(src);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        assert_eq!(p.fns[1].module, ["tests"]);
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let src = "impl<T: Clone> Pool<T> {\n\
+                   fn run<F>(&self, f: F) -> Vec<T> where F: Fn() -> T { f() }\n\
+                   }";
+        let (toks, p) = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Pool"));
+        let calls = calls_in(&toks, p.fns[0].body);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name(), "f");
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "fn f() { unclosed",
+            "use ;;{}::",
+            "}}}}",
+            "fn f<'a>(x: &'a str) {",
+        ] {
+            let (_, _p) = parse_src(src);
+        }
+    }
+}

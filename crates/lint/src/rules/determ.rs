@@ -1,0 +1,306 @@
+//! Rule `ANOR-DETERM`: deterministic roots must not reach
+//! nondeterminism sources.
+//!
+//! The framework's headline guarantees — byte-identical parallel
+//! experiment grids, byte-identical chaos replay, watts-conservation
+//! audits — are determinism properties of specific code paths: the
+//! simulator tick, the budgeter pump phases, replay, the codec, and
+//! ExecPool task bodies. A single `HashMap` iteration or `Instant::now`
+//! smuggled into one of them only surfaces (if at all) as a golden-test
+//! or `anor-replay --verify` failure long after the commit. This rule
+//! shifts that left: it seeds *deterministic roots* ("det sinks") from
+//! config, walks the workspace call graph, and flags every reachable
+//! call into a nondeterminism source:
+//!
+//! * `HashMap`/`HashSet` iteration (`.iter()`, `.keys()`, `.values()`,
+//!   `.drain()`, `.retain()`, `for _ in map`) — iteration order is
+//!   seeded per process;
+//! * wall-clock reads (`Instant::now`, `SystemTime::now`);
+//! * thread identity (`thread::current`) and machine shape
+//!   (`available_parallelism`);
+//! * `RandomState` hashing in keyed aggregation;
+//! * anything declared via `det-source` in `anor-lint.toml`.
+//!
+//! The walk stops at `det-barrier` files (audited observability
+//! boundaries: telemetry records, it never decides) and audited
+//! exceptions go through the same `allow` list as every other rule.
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::{FnId, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "ANOR-DETERM";
+
+/// Builtin qualified sources (`Qual::name` call shapes).
+const QUAL_SOURCES: [(&str, &str, &str); 4] = [
+    ("Instant", "now", "reads the monotonic clock"),
+    ("SystemTime", "now", "reads the wall clock"),
+    ("thread", "current", "depends on thread identity"),
+    (
+        "available_parallelism",
+        "available_parallelism",
+        "depends on machine shape",
+    ),
+];
+
+/// HashMap/HashSet methods whose visit order is the hasher's.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+/// One nondeterminism source site inside a function body.
+#[derive(Debug, Clone)]
+struct Site {
+    line: u32,
+    /// What was called (goes into the snippet for allowlisting).
+    what: String,
+    /// Why it is nondeterministic.
+    why: String,
+}
+
+pub fn check_workspace(ws: &Workspace, graph: &CallGraph, cfg: &Config) -> Vec<Diagnostic> {
+    // Per-function nondeterminism sites, computed lazily per file.
+    let mut sites: BTreeMap<FnId, Vec<Site>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        let hashed = hash_typed_names(&file.toks);
+        for (gi, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let s = scan_body(&file.toks, item.body, &hashed, cfg);
+            if !s.is_empty() {
+                sites.insert((fi, gi), s);
+            }
+        }
+    }
+
+    // Deterministic roots, in file order.
+    let mut roots: Vec<FnId> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        let funcs = cfg.det_sink_funcs(&file.path);
+        if funcs.is_empty() {
+            continue;
+        }
+        for (gi, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            if funcs.iter().any(|f| *f == "*" || *f == item.name) {
+                roots.push((fi, gi));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    for root in roots {
+        let pred = graph.reach(root, |id| cfg.is_det_barrier(&ws.file(id).path));
+        for (&id, _) in pred.iter() {
+            // Sites inside a barrier file are the barrier's own business.
+            if cfg.is_det_barrier(&ws.file(id).path) {
+                continue;
+            }
+            let Some(fn_sites) = sites.get(&id) else {
+                continue;
+            };
+            let chain = CallGraph::chain(ws, &pred, id);
+            let root_item = ws.fn_item(root);
+            for s in fn_sites {
+                if !reported.insert((id.0, s.line, s.what.clone())) {
+                    continue;
+                }
+                let message = if id == root {
+                    format!(
+                        "`{}` in deterministic root `{}` {}",
+                        s.what, root_item.name, s.why
+                    )
+                } else {
+                    format!(
+                        "`{}` {} and is reachable from deterministic root `{}` \
+                         (call chain: {chain})",
+                        s.what, s.why, root_item.name
+                    )
+                };
+                out.push(Diagnostic::new(
+                    RULE,
+                    &ws.file(id).path,
+                    s.line,
+                    message,
+                    "recorded/pooled paths must be replayable bit-for-bit: use a \
+                     BTreeMap/sorted iteration, the virtual clock, or seeded state; \
+                     audited observability-only uses go in anor-lint.toml",
+                    format!("{} via {chain}", s.what),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Names declared (or initialized) as `HashMap`/`HashSet` anywhere in the
+/// file: `jobs: HashMap<...>`, `let m = HashMap::new()`, `m: &mut
+/// HashSet<...>`. A per-file set is deliberately coarse — a field shares
+/// its name across methods — and errs toward catching iteration.
+fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk left over `: & mut` / `= ` to the declared name.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is_punct('&') || p.is_ident("mut") || p.is_punct(':') || p.is_punct('=') {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        if j == i {
+            continue; // bare mention (use-tree, turbofish) — not a binding
+        }
+        if let Some(name) = toks.get(j.wrapping_sub(1)) {
+            if name.kind == TokKind::Ident && !name.is_ident("let") && !name.is_ident("mut") {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Scan one function body for nondeterminism sources.
+fn scan_body(
+    toks: &[Tok],
+    range: (usize, usize),
+    hashed: &BTreeSet<String>,
+    cfg: &Config,
+) -> Vec<Site> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `RandomState` anywhere in a det path is hasher-seeded state.
+        if t.text == "RandomState" {
+            out.push(Site {
+                line: t.line,
+                what: "RandomState".into(),
+                why: "seeds hashing per process".into(),
+            });
+            continue;
+        }
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !called {
+            // `for _ in map { ... }` / `for _ in &map { ... }` — whole-map
+            // iteration without a method call.
+            if hashed.contains(&t.text)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('{'))
+                && is_for_in_receiver(toks, start, i)
+            {
+                out.push(Site {
+                    line: t.line,
+                    what: format!("for _ in {}", t.text),
+                    why: "iterates a HashMap/HashSet in hasher order".into(),
+                });
+            }
+            continue;
+        }
+        // Qualified builtin sources: `Instant::now(` etc.
+        let qual = qual_before(toks, i);
+        for (q, name, why) in QUAL_SOURCES {
+            let hit = if q == name {
+                t.text == name // bare: `available_parallelism(`
+            } else {
+                t.text == name && qual.as_deref() == Some(q)
+            };
+            if hit {
+                let what = if q == name {
+                    name.to_string()
+                } else {
+                    format!("{q}::{name}")
+                };
+                out.push(Site {
+                    line: t.line,
+                    what,
+                    why: why.to_string(),
+                });
+            }
+        }
+        // Config-declared extra sources.
+        for src in &cfg.det_sources {
+            let hit = match src.split_once("::") {
+                Some((q, name)) => t.text == name && qual.as_deref() == Some(q),
+                None => t.text == *src,
+            };
+            if hit {
+                out.push(Site {
+                    line: t.line,
+                    what: src.clone(),
+                    why: "is a declared nondeterminism source (det-source)".into(),
+                });
+            }
+        }
+        // Hash-collection iteration: `map.keys()`, `self.map.drain()`, ...
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && hashed.contains(&toks[i - 2].text)
+        {
+            out.push(Site {
+                line: t.line,
+                what: format!("{}.{}()", toks[i - 2].text, t.text),
+                why: "iterates a HashMap/HashSet in hasher order".into(),
+            });
+        }
+    }
+    out
+}
+
+/// The path qualifier immediately before a call name: `Qual::name`.
+fn qual_before(toks: &[Tok], i: usize) -> Option<String> {
+    if i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].kind == TokKind::Ident
+    {
+        Some(toks[i - 3].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Is the identifier at `i` the receiver of a `for _ in [&][mut]` loop?
+/// Handles receiver chains (`for k in self.map {`) by scanning left over
+/// `ident.`-prefixes, then `&`/`mut`, to the `in` keyword.
+fn is_for_in_receiver(toks: &[Tok], start: usize, i: usize) -> bool {
+    let mut j = i;
+    while j >= start + 2 && toks[j - 1].is_punct('.') && toks[j - 2].kind == TokKind::Ident {
+        j -= 2;
+    }
+    while j > start {
+        let p = &toks[j - 1];
+        if p.is_punct('&') || p.is_ident("mut") {
+            j -= 1;
+            continue;
+        }
+        return p.is_ident("in");
+    }
+    false
+}

@@ -13,10 +13,25 @@
 //! calls zero-argument `.lock()`, `.read()` or `.write()` (zero-argument
 //! distinguishes lock APIs from `io::Read::read(&mut buf)`). The guard
 //! lives until its binding scope closes or an explicit `drop(guard)`.
+//!
+//! Since the call-graph rewrite the deadlock check is a *whole-workspace
+//! lock-acquisition graph*: an edge `A -> B` is recorded whenever lock
+//! `B` is acquired — directly, or transitively through any reachable
+//! callee — while a guard on `A` is live. Any cycle in that graph (a
+//! strongly connected component, self-loops included) is a deadlock
+//! risk and is flagged; this replaces the hand-maintained `lock-order`
+//! leaf list, which had drifted to five entries of prose. Lock nodes
+//! are scoped per crate (`telemetry/registry`), so unrelated locks that
+//! happen to share a field name do not alias. A declared `lock-order`
+//! (when present) is still enforced on top, inside each function.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::parser::calls_in;
+use crate::symbols::{FnId, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub const RULE: &str = "ANOR-LOCK";
 
@@ -139,6 +154,323 @@ pub fn check(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<
         }
     }
     out
+}
+
+/// A lock identity: `(crate, receiver)`.
+type LockNode = (String, String);
+
+/// Lock behaviour of one function.
+#[derive(Debug, Default)]
+struct LockFacts {
+    /// Receivers this function acquires directly.
+    acquires: BTreeSet<String>,
+    /// `(held, acquired, line)` — direct nested acquisition.
+    nested: Vec<(String, String, u32)>,
+    /// `(held, call-token-index, line)` — calls made under a live guard.
+    held_calls: Vec<(String, usize, u32)>,
+}
+
+/// Walk one function body collecting lock facts (same guard model as the
+/// per-file check: zero-argument `.lock()/.read()/.write()`, guards die
+/// at scope end or `drop(guard)`).
+fn lock_facts(toks: &[Tok], range: (usize, usize)) -> LockFacts {
+    let mut facts = LockFacts::default();
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    for i in start..end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                guards.retain(|g| g.name != name.text);
+            }
+            continue;
+        }
+        let is_acquire = ACQUIRE.contains(&t.text.as_str())
+            && i > start
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if is_acquire {
+            // `self.faults.lock()` and `copy.faults.lock()` are different
+            // lock instances: when the receiver chain is rooted at a
+            // local (not `self`), keep the root in the node name so a
+            // fork/clone pattern does not read as a self-cycle. Chains
+            // rooted at `self` (`self.inner.recsink`) collapse to the
+            // field name alone.
+            let receiver = match toks.get(i.wrapping_sub(2)) {
+                Some(r) if r.kind == TokKind::Ident => {
+                    let mut j = i - 2;
+                    while j >= 2 && toks[j - 1].is_punct('.') && toks[j - 2].kind == TokKind::Ident
+                    {
+                        j -= 2;
+                    }
+                    let root = &toks[j];
+                    if j == i - 2 || root.is_ident("self") {
+                        r.text.clone()
+                    } else {
+                        format!("{}.{}", root.text, r.text)
+                    }
+                }
+                _ => "<expr>".to_string(),
+            };
+            for held in &guards {
+                facts
+                    .nested
+                    .push((held.receiver.clone(), receiver.clone(), t.line));
+            }
+            facts.acquires.insert(receiver.clone());
+            if let Some(name) = binding_name(toks, i) {
+                guards.push(Guard {
+                    name,
+                    receiver,
+                    depth,
+                    line: t.line,
+                    rank: None,
+                });
+            }
+            continue;
+        }
+        // Any other call made while a guard is live: a transitive
+        // acquisition inside the callee still happens under the guard.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) && !guards.is_empty() {
+            for held in &guards {
+                facts.held_calls.push((held.receiver.clone(), i, t.line));
+            }
+        }
+    }
+    facts
+}
+
+/// Whole-workspace lock-graph cycle detection.
+pub fn check_workspace(ws: &Workspace, graph: &CallGraph, _cfg: &Config) -> Vec<Diagnostic> {
+    // Per-function lock facts (tests excluded).
+    let mut facts: BTreeMap<FnId, LockFacts> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (gi, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let f = lock_facts(&file.toks, item.body);
+            if !f.acquires.is_empty() || !f.held_calls.is_empty() {
+                facts.insert((fi, gi), f);
+            }
+        }
+    }
+
+    // Fixpoint: the set of locks each function may acquire, directly or
+    // through any callee.
+    let mut may: BTreeMap<FnId, BTreeSet<LockNode>> = BTreeMap::new();
+    for (&id, f) in &facts {
+        let krate = ws.file(id).krate.clone();
+        may.insert(
+            id,
+            f.acquires
+                .iter()
+                .map(|r| (krate.clone(), r.clone()))
+                .collect(),
+        );
+    }
+    loop {
+        let mut changed = false;
+        let ids: Vec<FnId> = ws
+            .files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| (0..f.parsed.fns.len()).map(move |gi| (fi, gi)))
+            .collect();
+        for id in ids {
+            let mut acc: BTreeSet<LockNode> = may.get(&id).cloned().unwrap_or_default();
+            let before = acc.len();
+            for e in graph.edges_from(id) {
+                if let Some(t) = may.get(&e.to) {
+                    acc.extend(t.iter().cloned());
+                }
+            }
+            if acc.len() != before || (!acc.is_empty() && !may.contains_key(&id)) {
+                may.insert(id, acc);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The acquisition graph: held -> acquired, with a representative
+    // site per edge (first observed, in file order).
+    let mut edges: BTreeMap<LockNode, BTreeMap<LockNode, (String, u32)>> = BTreeMap::new();
+    let mut add_edge = |from: LockNode, to: LockNode, file: &str, line: u32| {
+        edges
+            .entry(from)
+            .or_default()
+            .entry(to)
+            .or_insert_with(|| (file.to_string(), line));
+    };
+    for (&id, f) in &facts {
+        let file = ws.file(id);
+        for (held, acq, line) in &f.nested {
+            add_edge(
+                (file.krate.clone(), held.clone()),
+                (file.krate.clone(), acq.clone()),
+                &file.path,
+                *line,
+            );
+        }
+        for (held, tok_idx, line) in &f.held_calls {
+            for call in calls_in(&file.toks, (*tok_idx, *tok_idx + 1)) {
+                for target in ws.resolve(id, &call) {
+                    if let Some(locks) = may.get(&target) {
+                        for node in locks {
+                            add_edge(
+                                (file.krate.clone(), held.clone()),
+                                node.clone(),
+                                &file.path,
+                                *line,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycles = non-trivial strongly connected components (self-loops
+    // included). Tarjan over the (tiny) lock graph.
+    let sccs = tarjan(&edges);
+    let mut out = Vec::new();
+    for scc in sccs {
+        let self_loop =
+            scc.len() == 1 && edges.get(&scc[0]).is_some_and(|m| m.contains_key(&scc[0]));
+        if scc.len() < 2 && !self_loop {
+            continue;
+        }
+        // Representative sites: every intra-SCC edge, sorted.
+        let in_scc: BTreeSet<&LockNode> = scc.iter().collect();
+        let mut sites: Vec<String> = Vec::new();
+        let mut first: Option<(String, u32)> = None;
+        for (from, tos) in &edges {
+            if !in_scc.contains(from) {
+                continue;
+            }
+            for (to, (file, line)) in tos {
+                if in_scc.contains(to) {
+                    sites.push(format!(
+                        "{}/{} -> {}/{} at {file}:{line}",
+                        from.0, from.1, to.0, to.1
+                    ));
+                    if first.is_none() {
+                        first = Some((file.clone(), *line));
+                    }
+                }
+            }
+        }
+        let Some((file, line)) = first else { continue };
+        let names: Vec<String> = scc.iter().map(|(k, r)| format!("{k}/{r}")).collect();
+        out.push(Diagnostic::new(
+            RULE,
+            &file,
+            line,
+            format!(
+                "lock acquisition cycle through {{{}}}: two threads taking these \
+                 locks in different orders can deadlock ({})",
+                names.join(", "),
+                sites.join("; ")
+            ),
+            "break the cycle: release the outer guard before the inner \
+             acquisition, or collapse the locks into one",
+            format!("lock-cycle {}", names.join(" ")),
+        ));
+    }
+    out
+}
+
+/// Tarjan's strongly-connected components over the lock graph, returning
+/// each SCC as a sorted node list (deterministic output order).
+fn tarjan(edges: &BTreeMap<LockNode, BTreeMap<LockNode, (String, u32)>>) -> Vec<Vec<LockNode>> {
+    // Collect every node (sources and sinks).
+    let mut nodes: BTreeSet<LockNode> = BTreeSet::new();
+    for (from, tos) in edges {
+        nodes.insert(from.clone());
+        for to in tos.keys() {
+            nodes.insert(to.clone());
+        }
+    }
+    struct State<'a> {
+        edges: &'a BTreeMap<LockNode, BTreeMap<LockNode, (String, u32)>>,
+        index: BTreeMap<LockNode, usize>,
+        low: BTreeMap<LockNode, usize>,
+        on_stack: BTreeSet<LockNode>,
+        stack: Vec<LockNode>,
+        next: usize,
+        sccs: Vec<Vec<LockNode>>,
+    }
+    fn strongconnect(s: &mut State, v: &LockNode) {
+        s.index.insert(v.clone(), s.next);
+        s.low.insert(v.clone(), s.next);
+        s.next += 1;
+        s.stack.push(v.clone());
+        s.on_stack.insert(v.clone());
+        let succs: Vec<LockNode> = s
+            .edges
+            .get(v)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        for w in succs {
+            if !s.index.contains_key(&w) {
+                strongconnect(s, &w);
+                let lw = s.low.get(&w).copied().unwrap_or(0);
+                let lv = s.low.get(v).copied().unwrap_or(0);
+                s.low.insert(v.clone(), lv.min(lw));
+            } else if s.on_stack.contains(&w) {
+                let iw = s.index.get(&w).copied().unwrap_or(0);
+                let lv = s.low.get(v).copied().unwrap_or(0);
+                s.low.insert(v.clone(), lv.min(iw));
+            }
+        }
+        if s.low.get(v) == s.index.get(v) {
+            let mut scc = Vec::new();
+            while let Some(w) = s.stack.pop() {
+                s.on_stack.remove(&w);
+                let done = w == *v;
+                scc.push(w);
+                if done {
+                    break;
+                }
+            }
+            scc.sort();
+            s.sccs.push(scc);
+        }
+    }
+    let mut s = State {
+        edges,
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    for n in &nodes {
+        if !s.index.contains_key(n) {
+            strongconnect(&mut s, n);
+        }
+    }
+    s.sccs.sort();
+    s.sccs
 }
 
 /// If the acquisition at token `i` is the initializer of a `let` binding

@@ -1,18 +1,23 @@
-//! The five rule families. Each rule is a pure function over one file's
-//! token stream plus the engine [`Config`]; the engine runs all of them
-//! and merges diagnostics.
+//! The rule families. Per-file rules are pure functions over one file's
+//! token stream plus the engine [`Config`]; workspace rules additionally
+//! see the parsed [`crate::symbols::Workspace`] and the
+//! [`crate::callgraph::CallGraph`] built over it. The engine runs all of
+//! them and merges diagnostics.
 
 pub mod codec;
+pub mod determ;
 pub mod locks;
 pub mod panic_free;
 pub mod shims;
 pub mod units;
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::lexer::Tok;
+use crate::symbols::Workspace;
 
-/// Run every rule over one file's tokens.
+/// Run every per-file rule over one file's tokens.
 pub fn run_all(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(panic_free::check(path, toks, test_mask, cfg));
@@ -20,5 +25,14 @@ pub fn run_all(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Ve
     out.extend(units::check(path, toks, test_mask, cfg));
     out.extend(locks::check(path, toks, test_mask, cfg));
     out.extend(shims::check(path, toks, test_mask, cfg));
+    out
+}
+
+/// Run every workspace (call-graph) rule.
+pub fn run_workspace(ws: &Workspace, graph: &CallGraph, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(determ::check_workspace(ws, graph, cfg));
+    out.extend(panic_free::check_workspace(ws, graph, cfg));
+    out.extend(locks::check_workspace(ws, graph, cfg));
     out
 }

@@ -13,10 +13,22 @@
 //! `debug_assert!` is deliberately not flagged (compiled out in release),
 //! and plain `assert!` is left to review — invariant checks at startup
 //! are legitimate.
+//!
+//! Since the call-graph rewrite the rule also checks panic
+//! *reachability*: a helper in a non-hot-path file that `unwrap()`s is
+//! flagged when a hot-path function can reach it through the workspace
+//! call graph, so the panic-freedom guarantee no longer stops at file
+//! boundaries. Reachability checks the keyword constructs only
+//! (`unwrap`/`expect`/`panic!`-family) — indexing stays a strict-file
+//! concern, because shape-invariant indexing is idiomatic everywhere
+//! else.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::symbols::{FnId, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub const RULE: &str = "ANOR-PANIC";
 
@@ -72,6 +84,118 @@ pub fn check(path: &str, toks: &[Tok], test_mask: &[bool], cfg: &Config) -> Vec<
                 }
             }
             _ => {}
+        }
+    }
+    out
+}
+
+/// One keyword-panic construct inside a function body.
+#[derive(Debug, Clone)]
+struct PanicSite {
+    line: u32,
+    /// `.unwrap(`, `panic!`, ... — used in the snippet for allowlisting.
+    construct: String,
+}
+
+/// Keyword panic sites (`unwrap`/`expect` method calls, `panic!`-family
+/// macros) in `toks[range]`, skipping test-masked tokens.
+fn keyword_sites(toks: &[Tok], mask: &[bool], range: (usize, usize)) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    for i in start..end {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(PanicSite {
+                line: t.line,
+                construct: format!(".{}(", t.text),
+            });
+        } else if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && !(i > 0 && toks[i - 1].is_punct('.'))
+        {
+            out.push(PanicSite {
+                line: t.line,
+                construct: format!("{}!", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// Call-graph panic reachability: walk from every function defined in a
+/// panic-scoped (strict or extended) file and flag panic constructs in
+/// reachable functions *outside* the scoped files — those sites are not
+/// covered by the per-file scan and previously hid one hop away from
+/// the pump.
+pub fn check_workspace(ws: &Workspace, graph: &CallGraph, cfg: &Config) -> Vec<Diagnostic> {
+    let in_scope =
+        |path: &str| -> bool { cfg.is_strict_panic(path) || cfg.is_extended_panic(path) };
+
+    // Panic sites per out-of-scope function.
+    let mut sites: BTreeMap<FnId, Vec<PanicSite>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if in_scope(&file.path) {
+            continue;
+        }
+        for (gi, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let s = keyword_sites(&file.toks, &file.mask, item.body);
+            if !s.is_empty() {
+                sites.insert((fi, gi), s);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(FnId, u32)> = BTreeSet::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !in_scope(&file.path) {
+            continue;
+        }
+        for (gi, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let root = (fi, gi);
+            let pred = graph.reach(root, |_| false);
+            for (&id, _) in pred.iter() {
+                let Some(fn_sites) = sites.get(&id) else {
+                    continue;
+                };
+                let chain = CallGraph::chain(ws, &pred, id);
+                let target = ws.fn_item(id);
+                for s in fn_sites {
+                    if !reported.insert((id, s.line)) {
+                        continue;
+                    }
+                    out.push(Diagnostic::new(
+                        RULE,
+                        &ws.file(id).path,
+                        s.line,
+                        format!(
+                            "`{}` in `{}` is reachable from hot-path `{}` \
+                             (call chain: {chain})",
+                            s.construct, target.name, item.name
+                        ),
+                        "the control loop can reach this panic: return a degraded-mode \
+                         error up the chain, or audit it in anor-lint.toml",
+                        format!("{} via {chain}", s.construct),
+                    ));
+                }
+            }
         }
     }
     out

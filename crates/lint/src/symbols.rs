@@ -1,0 +1,341 @@
+//! Per-crate symbol resolution over the parsed workspace.
+//!
+//! Resolution is deliberately conservative: a lint must not drown the
+//! tree in false edges through common method names (`get`, `push`,
+//! `send`...). A call resolves to a workspace function only when the
+//! evidence is strong:
+//!
+//! * `qual::name(...)` — functions whose `impl` owner or defining file
+//!   module matches `qual` (with `Self::` mapped to the caller's owner);
+//! * `name(...)` — free functions named `name`: same file first, then
+//!   same crate, then a unique workspace-wide match;
+//! * `.name(...)` — methods named `name`: same file first, then same
+//!   crate, then a unique workspace-wide match.
+//!
+//! Anything else (std, vendored crates, macros) resolves to nothing and
+//! simply ends the walk on that edge. Method names that are ubiquitous
+//! std vocabulary (`get`, `map`, `flush`, ...) are never resolved at all
+//! — a workspace type defining `fn flush` must not capture every
+//! `BufWriter::flush` in the same file.
+
+use crate::lexer::{lex, test_mask, Tok};
+use crate::parser::{self, Call, FnItem, ParsedFile};
+
+/// Method names so common in std/core that `.name(...)` is, in
+/// practice, never a call into workspace code identified by name alone.
+/// Resolving them produces false edges (`writer.flush()` landing on an
+/// unrelated `fn flush(&self)` in the same file), so the walk ends
+/// there instead. Path calls (`Type::get`) still resolve — the
+/// qualifier is the evidence.
+const COMMON_METHODS: [&str; 36] = [
+    "and_then",
+    "as_mut",
+    "as_ref",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "drain",
+    "entry",
+    "extend",
+    "filter",
+    "flush",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "len",
+    "lock",
+    "map",
+    "next",
+    "pop",
+    "push",
+    "read",
+    "remove",
+    "replace",
+    "take",
+    "to_string",
+    "try_into",
+    "unwrap_or_else",
+    "write",
+];
+
+/// A parsed source file plus its identity in the workspace.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Owning crate (`cluster` for `crates/cluster/src/...`, the root
+    /// package name for `src/...`).
+    pub krate: String,
+    pub toks: Vec<Tok>,
+    pub mask: Vec<bool>,
+    pub parsed: ParsedFile,
+}
+
+/// Global function id: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// The fully parsed workspace with its symbol index.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    /// name -> every function with that bare name.
+    by_name: std::collections::BTreeMap<String, Vec<FnId>>,
+}
+
+/// The crate a workspace-relative path belongs to.
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((krate, _)) = rest.split_once('/') {
+            return krate.to_string();
+        }
+    }
+    "<root>".to_string()
+}
+
+impl Workspace {
+    /// Lex and parse a set of `(path, source)` pairs into a workspace.
+    pub fn parse(sources: &[(String, String)]) -> Workspace {
+        let mut files = Vec::with_capacity(sources.len());
+        for (path, src) in sources {
+            let toks = lex(src);
+            let mask = test_mask(&toks);
+            let parsed = parser::parse(&toks, &mask);
+            files.push(SourceFile {
+                path: path.clone(),
+                krate: crate_of(path),
+                toks,
+                mask,
+                parsed,
+            });
+        }
+        let mut by_name: std::collections::BTreeMap<String, Vec<FnId>> =
+            std::collections::BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.parsed.fns.iter().enumerate() {
+                by_name.entry(g.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        Workspace { files, by_name }
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &FnItem {
+        &self.files[id.0].parsed.fns[id.1]
+    }
+
+    pub fn file(&self, id: FnId) -> &SourceFile {
+        &self.files[id.0]
+    }
+
+    /// `path::to::file.rs` stem (`sim` for `crates/sim/src/sim.rs`) —
+    /// used to resolve module-qualified calls like `bidding::choose(...)`.
+    fn file_stem(path: &str) -> &str {
+        path.rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or(path)
+    }
+
+    /// All functions whose bare name is `name`.
+    fn candidates(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Narrow `all` by proximity to the caller: same file, else same
+    /// crate, else a unique workspace-wide candidate, else nothing.
+    fn narrow(&self, all: &[FnId], caller: FnId) -> Vec<FnId> {
+        let same_file: Vec<FnId> = all.iter().copied().filter(|id| id.0 == caller.0).collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let caller_crate = &self.files[caller.0].krate;
+        let same_crate: Vec<FnId> = all
+            .iter()
+            .copied()
+            .filter(|id| &self.files[id.0].krate == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if all.len() == 1 {
+            return all.to_vec();
+        }
+        Vec::new()
+    }
+
+    /// Resolve one call made from `caller` to workspace functions.
+    pub fn resolve(&self, caller: FnId, call: &Call) -> Vec<FnId> {
+        match call {
+            Call::Free { name, .. } => {
+                let free: Vec<FnId> = self
+                    .candidates(name)
+                    .iter()
+                    .copied()
+                    .filter(|id| self.fn_item(*id).owner.is_none())
+                    .collect();
+                self.narrow(&free, caller)
+            }
+            Call::Method { name, .. } => {
+                if COMMON_METHODS.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                let methods: Vec<FnId> = self
+                    .candidates(name)
+                    .iter()
+                    .copied()
+                    .filter(|id| self.fn_item(*id).owner.is_some())
+                    .collect();
+                self.narrow(&methods, caller)
+            }
+            Call::Path { qual, name, .. } => {
+                let qual = if qual == "Self" {
+                    match &self.fn_item(caller).owner {
+                        Some(o) => o.clone(),
+                        None => return Vec::new(),
+                    }
+                } else {
+                    qual.clone()
+                };
+                let matches: Vec<FnId> = self
+                    .candidates(name)
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        let item = self.fn_item(*id);
+                        let file = &self.files[id.0];
+                        // `Type::assoc` — impl owner matches.
+                        item.owner.as_deref() == Some(qual.as_str())
+                            // `module::helper` — defining file or inline
+                            // module matches the qualifier.
+                            || (item.owner.is_none()
+                                && (Self::file_stem(&file.path) == qual
+                                    || item.module.last().map(String::as_str)
+                                        == Some(qual.as_str())))
+                    })
+                    .collect();
+                // Qualified matches are already strong evidence; prefer
+                // proximity only to break genuine ambiguity.
+                if matches.len() > 1 {
+                    self.narrow(&matches, caller)
+                } else {
+                    matches
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::parse(&sources)
+    }
+
+    #[test]
+    fn crate_names_derive_from_paths() {
+        assert_eq!(crate_of("crates/cluster/src/budgeter.rs"), "cluster");
+        assert_eq!(crate_of("src/bidding.rs"), "<root>");
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_same_crate() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn caller() { helper(); }",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        let caller = (0, 1);
+        let call = Call::Free {
+            name: "helper".into(),
+            line: 2,
+        };
+        assert_eq!(w.resolve(caller, &call), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_methods_resolve_to_nothing() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", "impl A { fn get(&self) {} }"),
+            ("crates/b/src/lib.rs", "impl B { fn get(&self) {} }"),
+            ("crates/c/src/lib.rs", "fn caller(x: &A) { x.get(); }"),
+        ]);
+        let call = Call::Method {
+            name: "get".into(),
+            line: 1,
+        };
+        assert!(w.resolve((2, 0), &call).is_empty());
+    }
+
+    #[test]
+    fn common_std_method_names_never_resolve() {
+        // `writer.flush()` must not land on the unrelated `fn flush` in
+        // the same file — but `Sink::flush` (qualified) still does.
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "impl Sink { fn flush(&self) {} }\n\
+             fn caller(w: &mut W) { w.flush(); Sink::flush(); }",
+        )]);
+        let method = Call::Method {
+            name: "flush".into(),
+            line: 2,
+        };
+        assert!(w.resolve((0, 1), &method).is_empty());
+        let path = Call::Path {
+            qual: "Sink".into(),
+            name: "flush".into(),
+            line: 2,
+        };
+        assert_eq!(w.resolve((0, 1), &path), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn path_calls_match_owner_and_module() {
+        let w = ws(&[
+            ("crates/a/src/pool.rs", "impl Pool { fn new() {} }"),
+            ("crates/a/src/bidding.rs", "fn choose() {}"),
+            (
+                "crates/b/src/lib.rs",
+                "fn caller() { Pool::new(); bidding::choose(); }",
+            ),
+        ]);
+        let new_call = Call::Path {
+            qual: "Pool".into(),
+            name: "new".into(),
+            line: 1,
+        };
+        let choose_call = Call::Path {
+            qual: "bidding".into(),
+            name: "choose".into(),
+            line: 1,
+        };
+        assert_eq!(w.resolve((2, 0), &new_call), vec![(0, 0)]);
+        assert_eq!(w.resolve((2, 0), &choose_call), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn self_qualifier_maps_to_the_callers_owner() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "impl Pool { fn make() {} fn caller(&self) { Self::make(); } }",
+        )]);
+        let call = Call::Path {
+            qual: "Self".into(),
+            name: "make".into(),
+            line: 1,
+        };
+        assert_eq!(w.resolve((0, 1), &call), vec![(0, 0)]);
+    }
+}

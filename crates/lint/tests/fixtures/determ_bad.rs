@@ -1,0 +1,29 @@
+//! ANOR-DETERM bad fixture: a deterministic root reads the clock and
+//! iterates hash collections, directly and through a helper.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Pool {
+    jobs: HashMap<u64, f64>,
+}
+
+impl Pool {
+    pub fn run(&mut self) -> f64 {
+        let started = Instant::now();
+        let mut sum = 0.0;
+        for (_, v) in self.jobs.iter() {
+            sum += v;
+        }
+        let _ = started;
+        sum + helper(&self.jobs)
+    }
+}
+
+fn helper(jobs: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in jobs.values() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,28 @@
+//! ANOR-DETERM good fixture: the same shape as `determ_bad.rs` with the
+//! nondeterminism removed — ordered map, virtual tick counter.
+
+use std::collections::BTreeMap;
+
+pub struct Pool {
+    jobs: BTreeMap<u64, f64>,
+    ticks: u64,
+}
+
+impl Pool {
+    pub fn run(&mut self) -> f64 {
+        self.ticks += 1;
+        let mut sum = 0.0;
+        for (_, v) in self.jobs.iter() {
+            sum += v;
+        }
+        sum + helper(&self.jobs)
+    }
+}
+
+fn helper(jobs: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in jobs.values() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,29 @@
+//! ANOR-LOCK bad fixture: `forward` nests alpha -> beta directly, while
+//! `backward` holds beta and reaches alpha through `bump` — a cycle in
+//! the workspace lock-acquisition graph.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock();
+        self.bump();
+        *b
+    }
+
+    fn bump(&self) {
+        let mut a = self.alpha.lock();
+        *a += 1;
+    }
+}

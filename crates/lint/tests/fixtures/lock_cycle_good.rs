@@ -1,0 +1,28 @@
+//! ANOR-LOCK good fixture: every path acquires alpha before beta, so
+//! the acquisition graph is acyclic.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        self.bump();
+        let b = self.beta.lock();
+        *b
+    }
+
+    fn bump(&self) {
+        let mut a = self.alpha.lock();
+        *a += 1;
+    }
+}

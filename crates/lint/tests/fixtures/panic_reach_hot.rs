@@ -1,0 +1,6 @@
+//! ANOR-PANIC reachability fixture, hot side: `pump` itself is clean —
+//! the panic hides one hop away in `panic_reach_util.rs`.
+
+pub fn pump(v: Option<u64>) -> u64 {
+    poke(v)
+}

@@ -1,0 +1,6 @@
+//! ANOR-PANIC reachability fixture, helper side: not itself a hot-path
+//! file, but called from one.
+
+pub fn poke(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

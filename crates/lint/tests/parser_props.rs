@@ -1,0 +1,104 @@
+//! Property tests for the analysis front end: the lexer, the item
+//! parser, and the full engine must never panic, whatever bytes they are
+//! fed — a broken source file must produce diagnostics (or nothing), not
+//! take down the lint run. Two generators cover the space from different
+//! sides: raw character soup, and shuffled Rust-ish token fragments that
+//! keep the parser's scope tracking under pressure.
+
+use anor_lint::{lexer, lint_sources, parser, Config};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragments biased toward the constructs the parser actually tracks:
+/// item keywords, braces, call shapes, half-finished strings and chars.
+const FRAGMENTS: [&str; 40] = [
+    "fn",
+    "impl",
+    "mod",
+    "use",
+    "pub",
+    "struct",
+    "trait",
+    "for",
+    "in",
+    "let",
+    "match",
+    "if",
+    "unsafe",
+    "self",
+    "Self",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "[",
+    "]",
+    "::",
+    ":",
+    ";",
+    ",",
+    ".",
+    "->",
+    "=>",
+    "#",
+    "!",
+    "'a",
+    "'\\u{41}'",
+    "\"str",
+    "r#\"raw\"#",
+    "/* nest /* more",
+    "//",
+    "ident",
+    "0x1f",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    let mut src = String::new();
+    for &p in picks {
+        src.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+        // Vary the joiner so fragments sometimes fuse into new tokens.
+        src.push(if p % 3 == 0 { ' ' } else { '\n' });
+    }
+    src
+}
+
+/// Full front-end pass over arbitrary source; returns the diagnostics so
+/// callers can assert structural invariants beyond "did not panic".
+fn exercise(src: &str) {
+    let toks = lexer::lex(src);
+    let mask = lexer::test_mask(&toks);
+    let parsed = parser::parse(&toks, &mask);
+    for f in &parsed.fns {
+        assert!(f.body.0 <= f.body.1, "inverted body range in {}", f.name);
+        assert!(f.body.1 <= toks.len(), "body overruns stream in {}", f.name);
+        // Call extraction over every body must also hold up.
+        let _ = parser::calls_in(&toks, f.body);
+    }
+    let _ = parser::calls_in(&toks, (0, toks.len()));
+    // And the full engine, workspace rules included, with the file posing
+    // as a hot-path + det-root so every rule engages.
+    let mut cfg = Config::default();
+    cfg.apply("det-sink crates/x/src/soup.rs *\nstrict-panic-file crates/x/src/soup.rs\n");
+    let _ = lint_sources(
+        &[("crates/x/src/soup.rs".to_string(), src.to_string())],
+        &cfg,
+    );
+}
+
+proptest! {
+    /// Raw character soup: heavy on the delimiters and quote characters
+    /// that drive lexer state.
+    #[test]
+    fn character_soup_never_panics(src in "[a-zA-Z0-9_{}()<>:;,.#!'\"/* \\n&|=+\\-]{0,160}") {
+        exercise(&src);
+    }
+
+    /// Rust-shaped fragment streams: item headers, unbalanced braces,
+    /// dangling strings and comments in arbitrary orders.
+    #[test]
+    fn fragment_streams_never_panic(picks in vec(0usize..1000, 0..80)) {
+        exercise(&assemble(&picks));
+    }
+}

@@ -21,3 +21,31 @@ fn workspace_lints_clean_under_deny() {
         denied
     );
 }
+
+#[test]
+fn determinism_walk_engages_and_repo_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let cfg = Config::load(&root);
+    let diags = lint_workspace(&root, &cfg).expect("workspace sources readable");
+    // Every determinism finding must be an audited allowlist entry;
+    // anything else is a regression on a replay-bearing path.
+    let denied: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "ANOR-DETERM" && !d.allowed)
+        .collect();
+    assert!(
+        denied.is_empty(),
+        "unaudited ANOR-DETERM findings: {denied:#?}"
+    );
+    // Sanity: the det roots really seed the walk (the audited clock
+    // reads in the budgeter/sim/exec stopwatches are visible to it). A
+    // zero here would mean the rule silently stopped engaging.
+    let seen = diags.iter().filter(|d| d.rule == "ANOR-DETERM").count();
+    assert!(
+        seen > 0,
+        "ANOR-DETERM found nothing at all — roots not seeding?"
+    );
+}

@@ -1,0 +1,144 @@
+//! Fixture tests for the call-graph (workspace) rules: ANOR-DETERM
+//! determinism reachability, ANOR-LOCK cycle detection, and ANOR-PANIC
+//! panic reachability. Fixtures are linted as miniature workspaces under
+//! virtual paths so crate attribution and the symbol table engage.
+
+use anor_lint::{lint_sources, Config, Diagnostic};
+
+fn ws(cfg_text: &str, files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut cfg = Config::default();
+    cfg.apply(cfg_text);
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_sources(&sources, &cfg)
+}
+
+fn rule_count(diags: &[Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn determ_bad_fixture_flags_clock_and_hash_iteration() {
+    let diags = ws(
+        "det-sink crates/x/src/pool.rs run\n",
+        &[(
+            "crates/x/src/pool.rs",
+            include_str!("fixtures/determ_bad.rs"),
+        )],
+    );
+    // Instant::now + `self.jobs.iter()` in the root, `jobs.values()` one
+    // hop away in `helper`.
+    assert_eq!(rule_count(&diags, "ANOR-DETERM"), 3, "{diags:#?}");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("Instant::now")));
+    assert!(msgs.iter().any(|m| m.contains("jobs.iter()")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("jobs.values()") && m.contains("run -> helper")));
+}
+
+#[test]
+fn determ_good_fixture_is_clean() {
+    let diags = ws(
+        "det-sink crates/x/src/pool.rs run\n",
+        &[(
+            "crates/x/src/pool.rs",
+            include_str!("fixtures/determ_good.rs"),
+        )],
+    );
+    assert_eq!(rule_count(&diags, "ANOR-DETERM"), 0, "{diags:#?}");
+}
+
+#[test]
+fn determ_walk_stops_at_barrier_files() {
+    let diags = ws(
+        "det-sink crates/x/src/pool.rs run\n\
+         det-barrier crates/x/src/telemetry.rs\n",
+        &[
+            (
+                "crates/x/src/pool.rs",
+                "pub fn run() -> f64 { observe() }\n",
+            ),
+            (
+                "crates/x/src/telemetry.rs",
+                "pub fn observe() -> f64 { let t = Instant::now(); t.elapsed().as_secs_f64() }\n",
+            ),
+        ],
+    );
+    assert_eq!(rule_count(&diags, "ANOR-DETERM"), 0, "{diags:#?}");
+}
+
+#[test]
+fn lock_cycle_bad_fixture_is_a_cycle() {
+    let diags = ws(
+        "",
+        &[(
+            "crates/x/src/pair.rs",
+            include_str!("fixtures/lock_cycle_bad.rs"),
+        )],
+    );
+    assert_eq!(rule_count(&diags, "ANOR-LOCK"), 1, "{diags:#?}");
+    let d = diags.iter().find(|d| d.rule == "ANOR-LOCK").unwrap();
+    assert!(d.message.contains("cycle"), "{d:#?}");
+    assert!(d.message.contains("x/alpha"), "{d:#?}");
+    assert!(d.message.contains("x/beta"), "{d:#?}");
+}
+
+#[test]
+fn lock_cycle_good_fixture_is_clean() {
+    let diags = ws(
+        "",
+        &[(
+            "crates/x/src/pair.rs",
+            include_str!("fixtures/lock_cycle_good.rs"),
+        )],
+    );
+    assert_eq!(rule_count(&diags, "ANOR-LOCK"), 0, "{diags:#?}");
+}
+
+#[test]
+fn panic_reachability_crosses_file_boundaries() {
+    let diags = ws(
+        "strict-panic-file crates/x/src/hot.rs\n",
+        &[
+            (
+                "crates/x/src/hot.rs",
+                include_str!("fixtures/panic_reach_hot.rs"),
+            ),
+            (
+                "crates/x/src/util.rs",
+                include_str!("fixtures/panic_reach_util.rs"),
+            ),
+        ],
+    );
+    assert_eq!(rule_count(&diags, "ANOR-PANIC"), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.file, "crates/x/src/util.rs");
+    assert!(
+        d.message.contains("reachable from hot-path `pump`"),
+        "{d:#?}"
+    );
+    assert!(d.message.contains("pump -> poke"), "{d:#?}");
+}
+
+#[test]
+fn panic_reachability_sites_can_be_allowlisted_by_chain() {
+    let diags = ws(
+        "strict-panic-file crates/x/src/hot.rs\n\
+         allow ANOR-PANIC crates/x/src/util.rs .unwrap( via pump -> poke\n",
+        &[
+            (
+                "crates/x/src/hot.rs",
+                include_str!("fixtures/panic_reach_hot.rs"),
+            ),
+            (
+                "crates/x/src/util.rs",
+                include_str!("fixtures/panic_reach_util.rs"),
+            ),
+        ],
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(diags[0].allowed, "{diags:#?}");
+}

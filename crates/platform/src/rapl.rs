@@ -48,11 +48,13 @@ impl PackageDomain {
     /// The currently programmed power limit, as the hardware will enforce
     /// it (clamped to `[min_cap, tdp]`).
     pub fn power_limit(&self) -> Watts {
-        let raw = self
-            .msr
-            .read(MSR_PKG_POWER_LIMIT)
-            .expect("PKG_POWER_LIMIT always present");
-        let requested = msr::decode_power_limit(raw);
+        // `MsrFile::rapl` seeds this register, but a missing read must
+        // degrade (enforce TDP), not panic: the budgeter pump reaches
+        // this through the emulated sampling path.
+        let requested = match self.msr.read(MSR_PKG_POWER_LIMIT) {
+            Ok(raw) => msr::decode_power_limit(raw),
+            Err(_) => self.tdp,
+        };
         requested.clamp(self.min_cap, self.tdp)
     }
 
@@ -84,9 +86,9 @@ impl PackageDomain {
     /// Read the raw energy-status counter the way GEOPM's `CPU_ENERGY`
     /// signal does.
     pub fn read_energy_counter(&self) -> u64 {
-        self.msr
-            .read(MSR_PKG_ENERGY_STATUS)
-            .expect("PKG_ENERGY_STATUS always present")
+        // A missing counter reads as 0 (a stalled counter produces a
+        // zero delta downstream) rather than taking down the sampler.
+        self.msr.read(MSR_PKG_ENERGY_STATUS).unwrap_or(0)
     }
 
     /// Unwrapped total energy (simulation-side; agents must use the
