@@ -93,6 +93,37 @@ impl RegulationSignal {
         }
     }
 
+    /// The next time strictly after `t` at which the signal's value can
+    /// change, or `None` when it is constant from `t` on.
+    ///
+    /// This is the event-driven simulator's re-cap boundary source: a
+    /// [`RegulationSignal::Trace`] only moves at multiples of its update
+    /// period, so the engine can fast-forward between boundaries. A
+    /// sinusoid changes continuously, reported as `Some(t)` ("immediately
+    /// after `t`"), which callers treat as "advance one tick at a time".
+    /// Boundaries where adjacent trace levels happen to be equal are
+    /// still reported; a spurious wake-up is cheap and always safe.
+    pub fn next_change_after(&self, t: Seconds) -> Option<Seconds> {
+        match self {
+            RegulationSignal::Constant(_) => None,
+            RegulationSignal::Sinusoid { .. } => Some(t),
+            RegulationSignal::Trace {
+                values,
+                update_period,
+            } => {
+                if values.len() <= 1 {
+                    return None;
+                }
+                let k = (t.value().max(0.0) / update_period.value()) as usize;
+                if k + 1 >= values.len() {
+                    None
+                } else {
+                    Some(Seconds((k + 1) as f64 * update_period.value()))
+                }
+            }
+        }
+    }
+
     /// The signal value at time `t`, clamped into `[−1, 1]`.
     pub fn value(&self, t: Seconds) -> f64 {
         let y = match self {
@@ -231,6 +262,41 @@ mod tests {
     #[should_panic(expected = "at least one period")]
     fn empty_tariff_rejected() {
         RegulationSignal::from_tariff(&[], Seconds(3600.0));
+    }
+
+    #[test]
+    fn next_change_after_reports_trace_boundaries() {
+        let s = RegulationSignal::Trace {
+            values: vec![-1.0, 0.0, 1.0],
+            update_period: Seconds(4.0),
+        };
+        assert_eq!(s.next_change_after(Seconds(0.0)), Some(Seconds(4.0)));
+        assert_eq!(s.next_change_after(Seconds(3.9)), Some(Seconds(4.0)));
+        assert_eq!(s.next_change_after(Seconds(4.0)), Some(Seconds(8.0)));
+        // Past the last boundary the trace holds forever.
+        assert_eq!(s.next_change_after(Seconds(8.0)), None);
+        assert_eq!(s.next_change_after(Seconds(100.0)), None);
+        // Negative time clamps like value() does.
+        assert_eq!(s.next_change_after(Seconds(-5.0)), Some(Seconds(4.0)));
+    }
+
+    #[test]
+    fn next_change_after_degenerate_signals() {
+        assert_eq!(
+            RegulationSignal::Constant(0.3).next_change_after(Seconds(0.0)),
+            None
+        );
+        let single = RegulationSignal::Trace {
+            values: vec![0.5],
+            update_period: Seconds(4.0),
+        };
+        assert_eq!(single.next_change_after(Seconds(0.0)), None);
+        // Sinusoids change continuously: "immediately after t".
+        let sine = RegulationSignal::Sinusoid {
+            period: Seconds(100.0),
+            amplitude: 1.0,
+        };
+        assert_eq!(sine.next_change_after(Seconds(7.0)), Some(Seconds(7.0)));
     }
 
     #[test]

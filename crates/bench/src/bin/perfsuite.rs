@@ -15,6 +15,12 @@
 //! - `fig4`: the analytic budget sweep.
 //! - `sim_step_1000x600`: 600 simulated seconds of a 1000-node
 //!   `TabularSim` at 75% utilization — the per-tick hot path.
+//! - `sim_step_100k`: the same workload at 100,000 nodes, exercising the
+//!   event-driven engine at ROADMAP scale (60 simulated seconds with
+//!   `--quick`). The run's final state hash is also checked for equality
+//!   across re-cap worker counts and against the fast-forward path.
+//! - `sim_state_hash`: one FNV-1a fingerprint pass over the final
+//!   100k-node node/job tables (the determinism-check primitive).
 //! - `status_snapshot`: 10k snapshot+render passes over a live budgeter
 //!   with 8 registered job sessions — the per-pump cost the ops plane
 //!   adds when `--status-addr` is active.
@@ -84,8 +90,9 @@ fn fig11_small(quick: bool, jobs: usize) -> fig11::Fig11Config {
     }
 }
 
-/// One 1000-node, 600-tick simulator run (the hot-path bench body).
-fn sim_step_loop(nodes: u32, ticks: usize) {
+/// The `sim_step` bench scenario: 75% utilization, a ±35% random-walk
+/// regulation signal, 5% performance variation.
+fn sim_build(nodes: u32, ticks: usize) -> TabularSim {
     let catalog = anor_core::types::standard_catalog().scale_nodes((nodes / 40).max(1));
     let types = catalog.long_running();
     let cfg = SimConfig {
@@ -119,11 +126,34 @@ fn sim_step_loop(nodes: u32, ticks: usize) {
         signal: RegulationSignal::random_walk(Seconds(4.0), 0.35, Seconds(7200.0), 7),
     };
     let variation = PerformanceVariation::with_sigma(nodes as usize, 0.05, 13);
-    let mut sim = TabularSim::new(cfg, target, &variation, schedule, None);
+    TabularSim::new(cfg, target, &variation, schedule, None)
+}
+
+/// One `nodes`-node, `ticks`-tick simulator run (the hot-path bench body).
+fn sim_step_loop(nodes: u32, ticks: usize) {
+    let mut sim = sim_build(nodes, ticks);
     for _ in 0..ticks {
         sim.step();
     }
     assert!(sim.measured_power().value() > 0.0);
+}
+
+/// One full run returning the final state hash. `workers` shards the
+/// re-cap staging pass; `fast_forward` drives the run through `run_to`
+/// (tracking frozen) instead of per-tick stepping. All variants must
+/// produce the same hash — that is the engine's determinism contract.
+fn sim_hash_run(nodes: u32, ticks: usize, workers: usize, fast_forward: bool) -> u64 {
+    let mut sim = sim_build(nodes, ticks);
+    sim.set_recap_shards(workers);
+    if fast_forward {
+        sim.freeze_tracking();
+        sim.run_to(Seconds(ticks as f64));
+    } else {
+        for _ in 0..ticks {
+            sim.step();
+        }
+    }
+    sim.state_hash()
 }
 
 /// A live budgeter with `sessions` registered jobs, for the snapshot
@@ -191,7 +221,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let baseline_path = args
         .iter()
         .position(|a| a == "--baseline")
@@ -206,7 +236,7 @@ fn main() {
 
     anor_bench::header(
         "perfsuite",
-        "Benchmark trajectory harness (stats land in BENCH_PR7.json)",
+        "Benchmark trajectory harness (stats land in BENCH_PR9.json)",
     );
     let mut results = Vec::new();
     for jobs in [1usize, 8] {
@@ -256,6 +286,60 @@ fn main() {
     );
     results.push(BenchResult {
         bench: format!("sim_step_{nodes}x{ticks}"),
+        min_s: min,
+        median_s: median,
+        stddev_s: sigma,
+        runs,
+        jobs: 1,
+    });
+
+    let ticks_100k = if quick { 60 } else { 600 };
+    let (min, median, sigma) = timed_runs(runs, || sim_step_loop(100_000, ticks_100k));
+    println!(
+        "sim_step_100k: median {median:.3} s (min {min:.3}, \u{3c3} {sigma:.3}) over {runs} \
+         run(s) at {ticks_100k} simulated second(s)"
+    );
+    results.push(BenchResult {
+        bench: "sim_step_100k".to_string(),
+        min_s: min,
+        median_s: median,
+        stddev_s: sigma,
+        runs,
+        jobs: 1,
+    });
+
+    // The determinism contract behind the bench: the identical scenario
+    // must hash the same across re-cap worker counts, repeat runs and
+    // the fast-forward stepping mode.
+    let h_serial = sim_hash_run(100_000, ticks_100k, 1, false);
+    let h_sharded = sim_hash_run(100_000, ticks_100k, 4, false);
+    let h_jumped = sim_hash_run(100_000, ticks_100k, 1, true);
+    assert_eq!(
+        h_serial, h_sharded,
+        "state hash must not depend on worker count"
+    );
+    assert_eq!(
+        h_serial, h_jumped,
+        "state hash must not depend on stepping mode"
+    );
+    println!(
+        "sim_state_hash determinism: {h_serial:#018x} at 1 and 4 re-cap workers and under \
+         fast-forward"
+    );
+
+    let mut hashed_sim = sim_build(100_000, ticks_100k);
+    for _ in 0..ticks_100k {
+        hashed_sim.step();
+    }
+    let (min, median, sigma) = timed_runs(runs, || {
+        assert_ne!(hashed_sim.state_hash(), 0);
+    });
+    println!(
+        "sim_state_hash: median {median:.3} s (min {min:.3}, \u{3c3} {sigma:.3}) over {runs} \
+         run(s) for a 100k-node table fingerprint"
+    );
+    results.push(BenchResult {
+        bench: "sim_state_hash".to_string(),
         min_s: min,
         median_s: median,
         stddev_s: sigma,

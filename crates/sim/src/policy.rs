@@ -35,6 +35,14 @@ impl SimPowerPolicy {
         }
     }
 
+    /// Does this policy consume per-tick inputs (the at-risk
+    /// projections, which drift with simulated time itself)? When true
+    /// the engine re-runs the capping stage every tick instead of
+    /// memoizing it between events.
+    pub fn per_tick_recompute(&self) -> bool {
+        matches!(self, SimPowerPolicy::EvenSlowdownQosAware)
+    }
+
     /// Assign per-job node caps given the busy-node power budget.
     /// `at_risk[i]` marks jobs the feedback path flagged (ignored except
     /// by the QoS-aware variant). Returns caps in job order.
