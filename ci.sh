@@ -56,7 +56,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 echo "==> perf smoke: perfsuite --quick"
 PERF_JSON="$SMOKE_DIR/bench.json"
 PERF_OUT="$(./target/release/perfsuite --quick --runs 1 --out "$PERF_JSON" \
-    --baseline BENCH_PR9.json)"
+    --baseline BENCH_PR10.json)"
 grep -q '"bench"' "$PERF_JSON" && grep -q '"median_s"' "$PERF_JSON" \
     || { echo "perf smoke: $PERF_JSON is missing bench results"; cat "$PERF_JSON"; exit 1; }
 # Advisory regression table: perfsuite compares the quick run against the
@@ -107,6 +107,19 @@ done
 [ "$REC_COUNT" -gt 0 ] \
     || { echo "replay smoke: fig6 --record produced no recordings"; exit 1; }
 echo "    verified $REC_COUNT recording(s) byte-identical"
+
+# The connection-plane gate: a reconnect storm with seeded chaos against
+# the sharded reactor must register every endpoint, survive the storm,
+# and close with a clean invariant audit (anor-load exits non-zero on
+# any stalled stage, lost session, or auditor violation).
+echo "==> load smoke: anor-load --endpoints 256 --storms 3 --faults drop@17,corrupt@42"
+LOAD_OUT="$SMOKE_DIR/load.txt"
+./target/release/anor-load --endpoints 256 --storms 3 --faults drop@17,corrupt@42 \
+    > "$LOAD_OUT" \
+    || { echo "load smoke: anor-load failed"; cat "$LOAD_OUT"; exit 1; }
+grep -q "invariant violations: 0" "$LOAD_OUT" \
+    || { echo "load smoke: auditor flagged violations"; cat "$LOAD_OUT"; exit 1; }
+sed 's/^/    /' "$LOAD_OUT"
 
 echo "==> ops smoke: anord --status-addr + anor-top --fetch"
 OPS_OUT="$SMOKE_DIR/anord.txt"

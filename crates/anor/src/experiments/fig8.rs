@@ -3,8 +3,8 @@
 //! misclassified as EP. The paper uses 6 back-to-back trials.
 
 use super::hw::{
-    run_configs, run_configs_chaos, run_configs_pooled, run_configs_recorded, run_configs_traced,
-    run_configs_with, HwBar, HwConfig,
+    run_configs, run_configs_chaos, run_configs_opts, run_configs_pooled, run_configs_recorded,
+    run_configs_traced, run_configs_with, HwBar, HwConfig, HwRunOptions,
 };
 use anor_cluster::{BudgetPolicy, FaultPlan, JobSetup};
 use anor_telemetry::{Telemetry, Tracer};
@@ -118,6 +118,13 @@ pub fn run_recorded(
         faults,
         record_dir,
     )
+}
+
+/// Run the figure with every optional knob — including the budgeter's
+/// connection plane — in one [`HwRunOptions`]. The figure binaries call
+/// this; the positional variants above remain for older callers.
+pub fn run_opts(trials: usize, seed: u64, opts: &HwRunOptions) -> Result<Vec<HwBar>> {
+    run_configs_opts(&configs(), trials, seed, opts)
 }
 
 #[cfg(test)]

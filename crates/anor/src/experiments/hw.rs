@@ -7,13 +7,13 @@
 
 use anor_cluster::{
     recorder_meta, BudgetPolicy, BudgeterConfig, EmulatedCluster, EmulatorConfig, FaultPlan,
-    JobSetup,
+    JobSetup, TransportKind,
 };
 use anor_exec::ExecPool;
 use anor_telemetry::{FlightRecorder, Telemetry, Tracer};
 use anor_types::stats::{mean, std_dev};
 use anor_types::{Result, Watts};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The shared budget: 75% of the 4-node TDP (0.75 × 4 × 280 W).
 pub const SHARED_BUDGET: Watts = Watts(840.0);
@@ -51,6 +51,43 @@ pub struct HwBar {
     pub label: String,
     /// `(job display name, mean slowdown %, σ %)` per job.
     pub jobs: Vec<(String, f64, f64)>,
+}
+
+/// Optional knobs shared by every figure's emulated-cluster grid; the
+/// positional `run_configs*` cascade below delegates here. New runners
+/// should build one of these (`..HwRunOptions::default()`) instead of
+/// threading another positional argument through the cascade.
+#[derive(Debug, Clone)]
+pub struct HwRunOptions {
+    /// Telemetry sink shared by every trial (`--telemetry <dir>`).
+    pub telemetry: Telemetry,
+    /// Optional causal tracer shared by every trial (`--trace <dir>`).
+    pub tracer: Option<Tracer>,
+    /// Worker threads for the trial fan-out (0 = `ANOR_JOBS` /
+    /// available parallelism). Output is identical for every value.
+    pub jobs: usize,
+    /// Optional chaos plan, forked per (configuration, trial) cell.
+    pub faults: Option<FaultPlan>,
+    /// Optional flight-recording directory (`--record <dir>`).
+    pub record_dir: Option<PathBuf>,
+    /// Budgeter connection plane for every trial (`--transport`).
+    /// Decisions are byte-identical across kinds, so figures keep their
+    /// shape; this exists to soak the reactor under real experiment
+    /// traffic.
+    pub transport: TransportKind,
+}
+
+impl Default for HwRunOptions {
+    fn default() -> Self {
+        HwRunOptions {
+            telemetry: Telemetry::new(),
+            tracer: None,
+            jobs: 0,
+            faults: None,
+            record_dir: None,
+            transport: TransportKind::default(),
+        }
+    }
 }
 
 /// Run a set of configurations for `trials` repetitions each.
@@ -152,23 +189,48 @@ pub fn run_configs_recorded(
     faults: Option<&FaultPlan>,
     record_dir: Option<&Path>,
 ) -> Result<Vec<HwBar>> {
+    run_configs_opts(
+        configs,
+        trials,
+        seed,
+        &HwRunOptions {
+            telemetry: telemetry.clone(),
+            tracer: tracer.cloned(),
+            jobs,
+            faults: faults.cloned(),
+            record_dir: record_dir.map(Path::to_path_buf),
+            transport: TransportKind::default(),
+        },
+    )
+}
+
+/// The root of the `run_configs*` cascade: every optional knob in one
+/// [`HwRunOptions`], including the budgeter connection plane.
+pub fn run_configs_opts(
+    configs: &[HwConfig],
+    trials: usize,
+    seed: u64,
+    opts: &HwRunOptions,
+) -> Result<Vec<HwBar>> {
+    let telemetry = &opts.telemetry;
     let grid: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
         .collect();
-    let pool = ExecPool::new(jobs).with_telemetry(telemetry);
+    let pool = ExecPool::new(opts.jobs).with_telemetry(telemetry);
     let trial_results = pool.map(&grid, |&(ci, trial)| -> Result<Vec<f64>> {
         let cfg = &configs[ci];
-        let mut ecfg =
-            EmulatorConfig::paper(cfg.policy, cfg.feedback).with_telemetry(telemetry.clone());
-        if let Some(t) = tracer {
+        let mut ecfg = EmulatorConfig::paper(cfg.policy, cfg.feedback)
+            .with_telemetry(telemetry.clone())
+            .with_transport(opts.transport);
+        if let Some(t) = &opts.tracer {
             ecfg = ecfg.with_tracer(t.clone());
         }
-        if let Some(plan) = faults {
+        if let Some(plan) = &opts.faults {
             ecfg = ecfg.with_faults(plan.fork(((ci as u64) << 32) ^ (trial as u64 + 1)));
         }
         ecfg.seed = seed ^ ((trial as u64 + 1) << 16);
         let mut cell_rec = None;
-        if let Some(dir) = record_dir {
+        if let Some(dir) = &opts.record_dir {
             let bcfg = BudgeterConfig::new(cfg.policy, cfg.feedback);
             let meta = recorder_meta(&bcfg, &ecfg.lease, ecfg.seed);
             let path = dir.join(format!(

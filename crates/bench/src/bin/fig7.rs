@@ -4,8 +4,10 @@
 use anor_bench::{
     chaos_summary, faults_from_args, finish_recording, finish_telemetry, finish_tracer, header,
     jobs_from_args, record_dir_from_args, scaled, telemetry_from_args, tracer_from_args,
+    transport_from_args,
 };
 use anor_core::experiments::fig7;
+use anor_core::experiments::hw::HwRunOptions;
 use anor_core::render::render_bars;
 
 fn main() {
@@ -18,16 +20,15 @@ fn main() {
     let faults = faults_from_args();
     let record = record_dir_from_args();
     let trials = scaled(3, 1);
-    let bars = fig7::run_recorded(
-        trials,
-        7,
-        &telemetry,
-        tracer.as_ref(),
-        jobs_from_args(),
-        faults.as_ref(),
-        record.as_deref(),
-    )
-    .expect("emulated run failed");
+    let opts = HwRunOptions {
+        telemetry: telemetry.clone(),
+        tracer: tracer.clone(),
+        jobs: jobs_from_args(),
+        faults: faults.clone(),
+        record_dir: record.clone(),
+        transport: transport_from_args(),
+    };
+    let bars = fig7::run_opts(trials, 7, &opts).expect("emulated run failed");
     for bar in &bars {
         let rows: Vec<(String, f64, f64)> = bar
             .jobs

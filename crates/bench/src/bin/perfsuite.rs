@@ -24,16 +24,24 @@
 //! - `status_snapshot`: 10k snapshot+render passes over a live budgeter
 //!   with 8 registered job sessions — the per-pump cost the ops plane
 //!   adds when `--status-addr` is active.
+//! - `load_1k_endpoints`: a full `anor-load` pass — 1000 scripted
+//!   endpoints (200 with `--quick`) registering, absorbing caps and
+//!   riding out a reconnect storm against the sharded reactor. The run
+//!   must finish clean (all sessions re-established, zero invariant
+//!   violations) and its pump p99 is reported against the 10 ms target.
 //!
 //! Each bench reports the min, median and run-to-run standard deviation
 //! of K runs (default 5; 3 with `--quick`, which also shrinks the fig11
 //! scenario). When the prior PR's trajectory file exists (`--baseline`,
-//! default `BENCH_PR6.json`), medians that slowed by more than 10% are
+//! default `BENCH_PR9.json`), medians that slowed by more than 10% are
 //! flagged as `PERF REGRESSION` lines.
 
 use anor_bench::analyze::{flag_regressions, parse_bench_file, BenchRow};
 use anor_cluster::budgeter::{BudgeterConfig, ClusterBudgeter};
-use anor_cluster::{BudgetPolicy, FramedStream, StreamOptions};
+use anor_cluster::{
+    run_load, BudgetPolicy, FramedStream, LoadConfig, StreamOptions, TransportKind,
+    TransportOptions,
+};
 use anor_core::aqa::{poisson_schedule, PowerTarget, RegulationSignal};
 use anor_core::experiments::{fig11, fig4};
 use anor_core::platform::PerformanceVariation;
@@ -221,12 +229,12 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let baseline_path = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let runs = args
         .iter()
         .position(|a| a == "--runs")
@@ -236,7 +244,7 @@ fn main() {
 
     anor_bench::header(
         "perfsuite",
-        "Benchmark trajectory harness (stats land in BENCH_PR9.json)",
+        "Benchmark trajectory harness (stats land in BENCH_PR10.json)",
     );
     let mut results = Vec::new();
     for jobs in [1usize, 8] {
@@ -363,6 +371,48 @@ fn main() {
     );
     results.push(BenchResult {
         bench: "status_snapshot".to_string(),
+        min_s: min,
+        median_s: median,
+        stddev_s: sigma,
+        runs,
+        jobs: 1,
+    });
+
+    // The connection-plane bench: a full anor-load pass on the sharded
+    // reactor — register N endpoints, land caps on all of them, drop
+    // every socket at once and resume. The run must finish clean; the
+    // timing is the trajectory metric, the pump p99 is checked against
+    // the 10 ms design target.
+    let endpoints = if quick { 200 } else { 1000 };
+    let mut last_p99 = 0.0f64;
+    let mut last_eps = 0.0f64;
+    let (min, median, sigma) = timed_runs(runs, || {
+        let cfg = LoadConfig {
+            endpoints,
+            storms: 1,
+            transport: TransportOptions {
+                kind: TransportKind::Reactor,
+                shards: 4,
+                conn_queue_depth: 64,
+            },
+            drivers: 4,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("load run failed");
+        assert!(report.ok(), "load run must finish clean:\n{report}");
+        last_p99 = report.pump_p99_ms;
+        last_eps = report.endpoints_per_sec;
+    });
+    println!(
+        "load_1k_endpoints: median {median:.3} s (min {min:.3}, σ {sigma:.3}) over {runs} \
+         run(s) at {endpoints} endpoint(s); {last_eps:.0} endpoints/s, pump p99 \
+         {last_p99:.3} ms (target < 10 ms)"
+    );
+    if last_p99 >= 10.0 {
+        println!("PERF WARNING: pump p99 {last_p99:.3} ms exceeds the 10 ms reactor target");
+    }
+    results.push(BenchResult {
+        bench: "load_1k_endpoints".to_string(),
         min_s: min,
         median_s: median,
         stddev_s: sigma,

@@ -193,6 +193,30 @@ pub fn record_dir_from_args() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Parse a `--transport blocking|reactor` command-line option for the
+/// emulated budgeter's connection plane. Defaults to blocking when
+/// absent; a malformed value is an operator error and aborts the run.
+/// Decisions are byte-identical across kinds, so figure output is
+/// unchanged — the flag exists to soak the sharded reactor under real
+/// experiment traffic.
+pub fn transport_from_args() -> anor_cluster::TransportKind {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--transport" {
+            if let Some(name) = args.next() {
+                match name.parse() {
+                    Ok(kind) => return kind,
+                    Err(e) => {
+                        eprintln!("--transport {name}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+    anor_cluster::TransportKind::default()
+}
+
 /// Print where a `--record` run's flight recordings went and how to
 /// verify them.
 pub fn finish_recording(record_dir: &Option<std::path::PathBuf>) {

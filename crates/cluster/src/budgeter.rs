@@ -22,9 +22,10 @@
 //! answered with a `ResumeAck` carrying the last cap on record, or a
 //! negative cap when there is none).
 
-use crate::codec::{FramedStream, StreamOptions, TransportMetrics};
+use crate::codec::TransportMetrics;
 use crate::session::{FaultPlan, SessionState};
 use crate::status::{JobStatus, PhaseStat, StatusBoard, StatusSnapshot};
+use crate::transport::{build_transport, ConnId, Transport, TransportKind, TransportOptions};
 use anor_policy::{Budgeter, EvenPowerBudgeter, EvenSlowdownBudgeter, JobView, UniformBudgeter};
 use anor_telemetry::{
     BuildInfo, CauseId, Counter, FlightRecorder, Gauge, Histogram, RecEvent, Telemetry, Timer,
@@ -34,7 +35,7 @@ use anor_types::msg::{ClusterToJob, JobToCluster};
 use anor_types::{AnorError, Catalog, JobId, Result, Seconds, Watts};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which distribution rule the daemon runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +146,7 @@ impl LeaseConfig {
 #[derive(Debug)]
 struct JobEntry {
     view: JobView,
-    conn: usize,
+    conn: ConnId,
     last_cap: Option<Watts>,
     samples_seen: u64,
     models_seen: u64,
@@ -167,7 +168,7 @@ struct JobEntry {
 }
 
 impl JobEntry {
-    fn new(view: JobView, conn: usize) -> Self {
+    fn new(view: JobView, conn: ConnId) -> Self {
         JobEntry {
             view,
             conn,
@@ -291,6 +292,7 @@ pub struct BudgeterBuilder {
     faults: Option<FaultPlan>,
     status: Option<StatusBoard>,
     recorder: Option<FlightRecorder>,
+    transport: TransportOptions,
 }
 
 impl BudgeterBuilder {
@@ -305,6 +307,7 @@ impl BudgeterBuilder {
             faults: None,
             status: None,
             recorder: None,
+            transport: TransportOptions::default(),
         }
     }
 
@@ -367,6 +370,29 @@ impl BudgeterBuilder {
         self
     }
 
+    /// Which connection plane to run (default [`TransportKind::Blocking`]).
+    /// The recorded decision stream is byte-identical across planes —
+    /// [`TransportKind::Reactor`] changes fan-in capacity, not decisions.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport.kind = kind;
+        self
+    }
+
+    /// Reactor shard count (ignored by the blocking plane; clamped to at
+    /// least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.transport.shards = shards.max(1);
+        self
+    }
+
+    /// Per-connection bounded-queue depth: ingress pauses reads past this
+    /// many undrained frames, egress drops (and counts) frames past
+    /// `depth × 256` unflushed bytes. See [`crate::transport`].
+    pub fn conn_queue_depth(mut self, depth: usize) -> Self {
+        self.transport.conn_queue_depth = depth.max(1);
+        self
+    }
+
     /// Bind (or adopt the supplied listener) and construct the daemon.
     /// Returns the daemon and the address endpoints should connect to.
     pub fn bind(self) -> Result<(ClusterBudgeter, SocketAddr)> {
@@ -374,24 +400,27 @@ impl BudgeterBuilder {
             Some(l) => l,
             None => TcpListener::bind(self.addr.as_str())?,
         };
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let telemetry = self.telemetry.unwrap_or_default();
-        let transport = TransportMetrics::new(&telemetry, "budgeter");
+        let transport_metrics = TransportMetrics::new(&telemetry, "budgeter");
         let metrics = BudgeterMetrics::new(&telemetry);
+        let transport = build_transport(
+            &self.transport,
+            listener,
+            &telemetry,
+            transport_metrics,
+            self.faults,
+        )?;
         Ok((
             ClusterBudgeter {
                 cfg: self.cfg,
-                listener,
-                conns: Vec::new(),
+                transport,
                 jobs: BTreeMap::new(),
                 completed: Vec::new(),
                 telemetry,
-                transport,
                 metrics,
                 tracer: self.tracer,
                 lease: self.lease,
-                faults: self.faults,
                 accepted: 0,
                 status: self.status,
                 pumps: 0,
@@ -456,8 +485,9 @@ pub(crate) struct ReplayIo {
 #[derive(Debug)]
 pub struct ClusterBudgeter {
     cfg: BudgeterConfig,
-    listener: TcpListener,
-    conns: Vec<Option<FramedStream>>,
+    /// The connection plane: blocking sweeps or the sharded reactor.
+    /// Session logic above this seam addresses peers by [`ConnId`] only.
+    transport: Box<dyn Transport>,
     // Ordered so every pump-phase walk (lease ticks, redistribution,
     // audits, status snapshots) visits jobs in JobId order: the audit's
     // float sums and the recorded decision stream must not depend on
@@ -465,11 +495,9 @@ pub struct ClusterBudgeter {
     jobs: BTreeMap<JobId, JobEntry>,
     completed: Vec<(JobId, Seconds)>,
     telemetry: Telemetry,
-    transport: TransportMetrics,
     metrics: BudgeterMetrics,
     tracer: Option<Tracer>,
     lease: LeaseConfig,
-    faults: Option<FaultPlan>,
     accepted: u64,
     status: Option<StatusBoard>,
     pumps: u64,
@@ -541,9 +569,29 @@ impl ClusterBudgeter {
     /// budgeter built with [`BudgeterBuilder::listener`] keeps the same
     /// address, so endpoints' reconnect loops find it again. All session
     /// state (jobs, leases, caps) dies with the daemon — resuming
-    /// endpoints re-register via `Resume`.
+    /// endpoints re-register via `Resume`. Reactor shard threads are
+    /// stopped and joined before the listener is handed back.
     pub fn into_listener(self) -> TcpListener {
-        self.listener
+        self.transport.into_listener()
+    }
+
+    /// Park until inbound traffic is plausibly available or `timeout`
+    /// elapses (at most one millisecond on the blocking plane, which has
+    /// no readiness signal). `true` means input arrived. Callers pumping
+    /// in a loop should wait here between passes instead of sleeping.
+    pub fn wait_readable(&self, timeout: Duration) -> bool {
+        self.transport.wait_readable(timeout)
+    }
+
+    /// Outbound frames dropped to egress backpressure so far (slow or
+    /// stalled endpoints; always zero on the blocking plane).
+    pub fn backpressure_drops(&self) -> u64 {
+        self.transport.backpressure_drops()
+    }
+
+    /// Which connection plane this daemon runs.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
     }
 
     /// One control pass: accept connections, ingest messages, advance
@@ -593,25 +641,13 @@ impl ClusterBudgeter {
     }
 
     fn accept_new(&mut self) -> Result<()> {
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.accepted += 1;
-                    let mut opts = StreamOptions::default().metrics(self.transport.clone());
-                    if let Some(plan) = &self.faults {
-                        opts = opts.faults(plan.fork(self.accepted));
-                    }
-                    if let Some(r) = &self.recorder {
-                        r.record(&RecEvent::ConnOpen {
-                            conn: self.conns.len() as u32,
-                        });
-                    }
-                    self.conns.push(Some(FramedStream::new(stream, opts)?));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
-                Err(e) => return Err(e.into()),
+        for id in self.transport.accept()? {
+            self.accepted += 1;
+            if let Some(r) = &self.recorder {
+                r.record(&RecEvent::ConnOpen { conn: id.value() });
             }
         }
+        Ok(())
     }
 
     fn resolve_view(&self, job: JobId, type_name: &str, nodes: u32) -> Result<JobView> {
@@ -635,27 +671,26 @@ impl ClusterBudgeter {
     }
 
     fn ingest(&mut self) -> Result<()> {
-        for idx in 0..self.conns.len() {
-            let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                continue;
-            };
-            stream.flush_some()?;
+        // `poll_readable` yields ids in ascending accept order on every
+        // plane — the deterministic drain order the recorded decision
+        // stream depends on.
+        for id in self.transport.poll_readable() {
             // A misbehaving peer (malformed frames, oversized length
             // prefix) must not take the daemon down — and must not spin
             // the pump loop either: quarantine the connection (hard
             // shutdown + counter + postmortem) so a reject-storm from a
             // hostile or corrupted peer costs one pass, not every pass.
-            let (frames, mut closed) = match stream.recv_frames() {
-                Ok(frames) => (frames, stream.is_closed()),
+            let (frames, mut closed) = match self.transport.read_frames(id) {
+                Ok(drained) => drained,
                 Err(AnorError::Protocol(e)) => {
-                    stream.shutdown_now();
+                    self.transport.shutdown(id);
                     self.metrics.conns_quarantined.inc();
                     // Length-prefix corruption is caught below decode, so
                     // no FrameIn exists for the replayer to re-trip on —
                     // the quarantine is recorded as its own event and
                     // applied as such on replay.
                     if let Some(r) = &self.recorder {
-                        r.record(&RecEvent::ConnQuarantined { conn: idx as u32 });
+                        r.record(&RecEvent::ConnQuarantined { conn: id.value() });
                     }
                     if let Some(t) = &self.tracer {
                         t.record_detail(TraceStage::TransportError, CauseId::NONE, &e);
@@ -666,13 +701,13 @@ impl ClusterBudgeter {
                 Err(e) => return Err(e),
             };
             for body in frames {
-                if self.process_frame(idx, body)? {
+                if self.process_frame(id, body)? {
                     closed = true;
                     break;
                 }
             }
             if closed {
-                self.disconnect_conn(idx);
+                self.disconnect_conn(id);
             }
         }
         Ok(())
@@ -684,25 +719,23 @@ impl ClusterBudgeter {
     /// This is the single code path for live ingest *and* replay
     /// injection, so a recording replays through exactly the logic that
     /// produced it.
-    fn process_frame(&mut self, idx: usize, body: bytes::Bytes) -> Result<bool> {
+    fn process_frame(&mut self, id: ConnId, body: bytes::Bytes) -> Result<bool> {
         if let Some(r) = &self.recorder {
             r.record(&RecEvent::FrameIn {
-                conn: idx as u32,
+                conn: id.value(),
                 body: body.to_vec(),
             });
         }
         let msg = match JobToCluster::decode(body) {
             Ok(m) => m,
             Err(e) => {
-                if let Some(stream) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-                    stream.shutdown_now();
-                }
+                self.transport.shutdown(id);
                 // On replay the recorded ConnQuarantined event drives the
                 // counter, so re-tripping here must not double-count.
                 if self.replay.is_none() {
                     self.metrics.conns_quarantined.inc();
                     if let Some(r) = &self.recorder {
-                        r.record(&RecEvent::ConnQuarantined { conn: idx as u32 });
+                        r.record(&RecEvent::ConnQuarantined { conn: id.value() });
                     }
                 }
                 if let Some(t) = &self.tracer {
@@ -732,7 +765,7 @@ impl ClusterBudgeter {
                     ],
                 );
                 let view = self.resolve_view(job, &type_name, nodes)?;
-                self.jobs.insert(job, JobEntry::new(view, idx));
+                self.jobs.insert(job, JobEntry::new(view, id));
             }
             JobToCluster::Resume {
                 job,
@@ -762,12 +795,12 @@ impl ClusterBudgeter {
                     // or it was evicted): re-register from the
                     // resume announcement as if it were a Hello.
                     let view = self.resolve_view(job, &type_name, nodes)?;
-                    self.jobs.insert(job, JobEntry::new(view, idx));
+                    self.jobs.insert(job, JobEntry::new(view, id));
                 }
                 let mut restored = None;
                 let mut ack_cap = Watts(-1.0);
                 if let Some(e) = self.jobs.get_mut(&job) {
-                    e.conn = idx;
+                    e.conn = id;
                     e.missed_pumps = 0;
                     e.state = SessionState::Connected;
                     restored = e.reclaimed.take();
@@ -795,7 +828,7 @@ impl ClusterBudgeter {
                     }
                 }
                 self.send_to_conn(
-                    idx,
+                    id,
                     ClusterToJob::ResumeAck {
                         cap: ack_cap,
                         cause,
@@ -889,18 +922,18 @@ impl ClusterBudgeter {
         Ok(false)
     }
 
-    /// Tear down connection `idx`'s session bookkeeping: postmortem any
+    /// Tear down connection `conn`'s session bookkeeping: postmortem any
     /// jobs it carried, start their lease countdowns (or strand them when
     /// leases are off), and free the slot. Shared between live ingest and
     /// replayed `ConnClosed` events.
-    fn disconnect_conn(&mut self, idx: usize) {
+    fn disconnect_conn(&mut self, conn: ConnId) {
         if let Some(r) = &self.recorder {
-            r.record(&RecEvent::ConnClosed { conn: idx as u32 });
+            r.record(&RecEvent::ConnClosed { conn: conn.value() });
         }
         let lost: Vec<JobId> = self
             .jobs
             .iter()
-            .filter(|(_, e)| e.conn == idx && e.done.is_none() && e.state.is_connected())
+            .filter(|(_, e)| e.conn == conn && e.done.is_none() && e.state.is_connected())
             .map(|(&id, _)| id)
             .collect();
         if !lost.is_empty() {
@@ -908,7 +941,7 @@ impl ClusterBudgeter {
                 t.record_detail(
                     TraceStage::Disconnect,
                     CauseId::NONE,
-                    &format!("conn {idx} lost with {} active job(s)", lost.len()),
+                    &format!("conn {conn} lost with {} active job(s)", lost.len()),
                 );
                 t.dump_postmortem("endpoint-disconnect");
             }
@@ -924,19 +957,17 @@ impl ClusterBudgeter {
         } else {
             // Pre-lease behaviour: a lost connection strands its jobs
             // immediately.
-            self.jobs.retain(|_, e| e.conn != idx || e.done.is_some());
+            self.jobs.retain(|_, e| e.conn != conn || e.done.is_some());
         }
-        if let Some(slot) = self.conns.get_mut(idx) {
-            *slot = None;
-        }
+        self.transport.release(conn);
     }
 
-    /// Is connection slot `idx` live? In replay mode liveness comes from
+    /// Is connection `conn` live? In replay mode liveness comes from
     /// the recorded connection transitions, not real sockets.
-    fn conn_slot_live(&self, idx: usize) -> bool {
+    fn conn_slot_live(&self, conn: ConnId) -> bool {
         match &self.replay {
-            Some(rio) => rio.open.get(idx).copied().unwrap_or(false),
-            None => self.conns.get(idx).is_some_and(Option::is_some),
+            Some(rio) => rio.open.get(conn.index()).copied().unwrap_or(false),
+            None => self.transport.is_open(conn),
         }
     }
 
@@ -944,23 +975,24 @@ impl ClusterBudgeter {
     /// recording it as a `DecisionTx` exactly when a send really happens.
     /// In replay mode the frame is captured for byte-comparison instead
     /// of being written to a socket.
-    fn send_to_conn(&mut self, conn: usize, frame: bytes::Bytes) -> Result<()> {
+    fn send_to_conn(&mut self, conn: ConnId, frame: bytes::Bytes) -> Result<()> {
         if let Some(rio) = self.replay.as_mut() {
-            if rio.open.get(conn).copied().unwrap_or(false) {
-                rio.out.push((conn, frame));
+            if rio.open.get(conn.index()).copied().unwrap_or(false) {
+                rio.out.push((conn.index(), frame));
             }
             return Ok(());
         }
-        if self.conns.get(conn).is_some_and(Option::is_some) {
+        if self.transport.is_open(conn) {
             if let Some(r) = &self.recorder {
                 r.record(&RecEvent::DecisionTx {
-                    conn: conn as u32,
+                    conn: conn.value(),
                     frame: frame.to_vec(),
                 });
             }
-            if let Some(stream) = self.conns.get_mut(conn).and_then(Option::as_mut) {
-                stream.send(frame)?;
-            }
+            // The decision is recorded above even if the transport then
+            // drops the frame to egress backpressure: recordings are the
+            // *decision* stream, and delivery is the transport's problem.
+            self.transport.write_frame(conn, frame)?;
         }
         Ok(())
     }
@@ -979,12 +1011,8 @@ impl ClusterBudgeter {
                 continue;
             }
             let connected = match &self.replay {
-                Some(rio) => rio.open.get(e.conn).copied().unwrap_or(false),
-                None => self
-                    .conns
-                    .get(e.conn)
-                    .and_then(Option::as_ref)
-                    .is_some_and(|s| !s.is_closed()),
+                Some(rio) => rio.open.get(e.conn.index()).copied().unwrap_or(false),
+                None => self.transport.is_live(e.conn),
             };
             if connected {
                 continue;
@@ -1304,7 +1332,7 @@ impl ClusterBudgeter {
         jobs.sort_unstable_by_key(|j| j.job);
         let (allocated, _, _) = self.allocation();
         let info = BuildInfo::current();
-        let phases = self
+        let mut phases: Vec<PhaseStat> = self
             .metrics
             .phases()
             .iter()
@@ -1315,13 +1343,16 @@ impl ClusterBudgeter {
                 p99: h.quantile(0.99),
             })
             .collect();
+        // The reactor contributes one ingest row per shard, so the PHASE
+        // pane shows where fan-in time is going.
+        phases.extend(self.transport.shard_phases());
         StatusSnapshot {
             budget: self.last_budget.value(),
             pumps: self.pumps,
             active_jobs: self.active_jobs(),
             conns_open: match &self.replay {
                 Some(rio) => rio.open.iter().filter(|o| **o).count(),
-                None => self.conns.iter().filter(|c| c.is_some()).count(),
+                None => self.transport.open_conns(),
             },
             accepted: self.accepted,
             completed: self.completed.len(),
@@ -1381,7 +1412,7 @@ impl ClusterBudgeter {
                 *slot = false;
             }
         }
-        self.disconnect_conn(conn);
+        self.disconnect_conn(ConnId::new(conn as u32));
     }
 
     /// Apply a recorded `ConnQuarantined`: count it. (Recordings pair a
@@ -1396,7 +1427,7 @@ impl ClusterBudgeter {
     /// session paths. Returns `true` when the frame was malformed (the
     /// recording carries the resulting quarantine/close as events).
     pub(crate) fn replay_inject(&mut self, conn: usize, body: bytes::Bytes) -> Result<bool> {
-        self.process_frame(conn, body)
+        self.process_frame(ConnId::new(conn as u32), body)
     }
 
     /// Queue a recorded decision cause id for the next cap-reissuing
@@ -1499,6 +1530,7 @@ impl ClusterBudgeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{FramedStream, StreamOptions};
     use anor_types::msg::EpochSample;
     use anor_types::{Joules, PowerCurve};
     use std::net::TcpStream;
@@ -1507,8 +1539,16 @@ mod tests {
         FramedStream::new(TcpStream::connect(addr).unwrap(), StreamOptions::default()).unwrap()
     }
 
+    /// The default test daemon runs the reactor plane so the whole
+    /// session suite exercises it; the blocking plane keeps its own
+    /// coverage via `deprecated_bind_shims_still_work` and the
+    /// `reactor_equiv` integration tests.
     fn bind(cfg: BudgeterConfig) -> (ClusterBudgeter, SocketAddr) {
-        ClusterBudgeter::builder(cfg).bind().unwrap()
+        ClusterBudgeter::builder(cfg)
+            .transport(TransportKind::Reactor)
+            .shards(2)
+            .bind()
+            .unwrap()
     }
 
     fn hello(job: u64, name: &str, nodes: u32) -> bytes::Bytes {
@@ -1520,8 +1560,9 @@ mod tests {
         .encode()
     }
 
-    /// Pump the daemon until a predicate holds (bounded retries with tiny
-    /// sleeps — localhost TCP is fast but not instantaneous).
+    /// Pump the daemon until a predicate holds, parking on transport
+    /// readiness between passes (localhost TCP is fast but not
+    /// instantaneous).
     fn pump_until(
         b: &mut ClusterBudgeter,
         budget: Watts,
@@ -1532,7 +1573,7 @@ mod tests {
             if done(b) {
                 return;
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            b.wait_readable(Duration::from_millis(1));
         }
         panic!("budgeter pump_until timed out");
     }
@@ -1837,7 +1878,7 @@ mod tests {
         for _ in 0..100 {
             evil.flush_some().unwrap();
             b.pump(Watts(500.0)).unwrap();
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            b.wait_readable(Duration::from_millis(1));
         }
         assert_eq!(b.active_jobs(), 1, "healthy job must survive");
         // The hostile connection was quarantined, not just ignored.
@@ -1910,9 +1951,16 @@ mod tests {
         client.send(hello(8, "mg.D.32", 1)).unwrap();
         pump_until(&mut b, Watts(200.0), |b| b.active_jobs() == 1);
         let mut frames = Vec::new();
-        // Pump many times at the same budget: only one cap message.
+        // Wait for the first cap to land, then pump many more times at
+        // the same budget: still only one cap message.
+        pump_until(&mut b, Watts(200.0), |_| {
+            client.flush_some().unwrap();
+            frames.extend(client.recv_frames().unwrap());
+            !frames.is_empty()
+        });
         for _ in 0..50 {
             b.pump(Watts(200.0)).unwrap();
+            b.wait_readable(Duration::from_millis(1));
             client.flush_some().unwrap();
             frames.extend(client.recv_frames().unwrap());
         }
@@ -1925,7 +1973,7 @@ mod tests {
             if frames.len() == 2 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            b.wait_readable(Duration::from_millis(1));
         }
         assert_eq!(frames.len(), 2);
     }

@@ -10,6 +10,7 @@
 use crate::budgeter::{BudgeterConfig, ClusterBudgeter, LeaseConfig};
 use crate::endpoint::JobEndpoint;
 use crate::session::{FaultPlan, RetryPolicy};
+use crate::transport::{TransportKind, TransportOptions};
 use anor_aqa::{PowerTarget, TrackingRecorder};
 use anor_geopm::{JobReport, JobRuntime};
 use anor_model::{DriftDetector, ModelerConfig, PowerModeler};
@@ -71,6 +72,10 @@ pub struct EmulatorConfig {
     /// connection/lease transition and emitted cap decision is logged
     /// for `anor-replay`. `None` disables recording.
     pub recorder: Option<FlightRecorder>,
+    /// Budgeter connection plane: blocking (default) or the sharded
+    /// reactor. Decisions are byte-identical either way; the reactor
+    /// trades one pump thread for per-shard socket sweeps.
+    pub transport: TransportOptions,
 }
 
 impl EmulatorConfig {
@@ -95,6 +100,7 @@ impl EmulatorConfig {
             retry: RetryPolicy::default(),
             lease: LeaseConfig::default(),
             recorder: None,
+            transport: TransportOptions::default(),
         }
     }
 
@@ -135,6 +141,14 @@ impl EmulatorConfig {
     /// exact budgeter configuration from the recording header.
     pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Select the budgeter's connection plane (builder style). The
+    /// blocking default sweeps sockets inline on the pump thread; the
+    /// reactor fans socket I/O out across shard threads.
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport.kind = kind;
         self
     }
 }
@@ -390,7 +404,10 @@ impl EmulatedCluster {
         bcfg.catalog = cfg.catalog.clone();
         let mut builder = ClusterBudgeter::builder(bcfg)
             .telemetry(telemetry.clone())
-            .lease(cfg.lease);
+            .lease(cfg.lease)
+            .transport(cfg.transport.kind)
+            .shards(cfg.transport.shards)
+            .conn_queue_depth(cfg.transport.conn_queue_depth);
         if let Some(t) = &cfg.tracer {
             builder = builder.tracer(t);
         }

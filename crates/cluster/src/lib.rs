@@ -31,25 +31,39 @@
 //! * [`emulator`] — a 16-node emulated cluster harness that wires
 //!   simulated nodes, GEOPM runtimes, endpoint processes and the budgeter
 //!   daemon together under a virtual clock (the real-hardware
-//!   substitution documented in DESIGN.md).
+//!   substitution documented in DESIGN.md);
+//! * [`transport`] — the connection plane behind the budgeter: a
+//!   [`Transport`] seam with the original blocking sweep
+//!   ([`BlockingTransport`]) and a sharded non-blocking reactor
+//!   ([`ReactorTransport`]) whose recorded decision streams are
+//!   byte-identical at any shard count;
+//! * [`load`] — the `anor-load` synthetic-endpoint harness: N endpoints
+//!   × reconnect storms × fault specs against a live budgeter.
 
 pub mod budgeter;
 pub mod cli;
 pub mod codec;
 pub mod emulator;
 pub mod endpoint;
+pub mod load;
 pub mod replay;
 pub mod session;
 pub mod status;
+pub mod transport;
 
 pub use budgeter::{BudgetPolicy, BudgeterBuilder, BudgeterConfig, ClusterBudgeter, LeaseConfig};
 pub use cli::Args;
 pub use codec::{FramedStream, StreamOptions, TransportMetrics};
 pub use emulator::{EmulatedCluster, EmulatorConfig, JobResult, JobSetup, RunReport};
 pub use endpoint::{EndpointBuilder, JobEndpoint};
+pub use load::{run_load, LoadConfig, LoadReport};
 pub use replay::{
     describe_config, diff_recordings, parse_config, recorder_meta, replay, Divergence,
     RecordingDiff, ReplayOptions, ReplayOutcome,
 };
 pub use session::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, SessionState};
 pub use status::{parse_json, JobStatus, Json, PhaseStat, StatusBoard, StatusSnapshot};
+pub use transport::{
+    BlockingTransport, ConnId, ConnSlab, ReactorTransport, Transport, TransportKind,
+    TransportOptions,
+};

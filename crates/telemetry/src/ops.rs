@@ -299,6 +299,14 @@ mod tests {
             assert_eq!(code, 200);
             assert!(body.contains("ops_probe_total"), "{body}");
         }
+        // The served counter ticks after the response bytes are written,
+        // so a client can observe its complete answer before the server
+        // thread reaches the fetch_add: give the counter a moment rather
+        // than asserting against the race.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while s.requests_served() < n && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert_eq!(s.requests_served(), n);
         assert_eq!(s.request_errors(), 0);
     }
